@@ -1,0 +1,49 @@
+// Ablation A1 — p_B recomputation policy (DESIGN.md).
+//
+// The paper computes the top-B cumulative probability p_B once at
+// initialisation and claims per-iteration recomputation "produced the same
+// result": the renormalisation of the remaining sites' popularity roughly
+// cancels the buffer shrinkage.  This driver runs the hybrid greedy both
+// ways at 5% and 10% capacity and compares placements, predicted costs,
+// simulated latency, and wall-clock time.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_support.h"
+#include "src/placement/hybrid_greedy.h"
+
+int main() {
+  using namespace cdn;
+  using Clock = std::chrono::steady_clock;
+  std::cout << "Ablation A1: p_B once-at-init (paper) vs per-iteration\n\n";
+
+  util::TextTable table({"capacity%", "pb_mode", "replicas", "pred_hops/req",
+                         "sim_mean_ms", "algo_seconds"});
+
+  for (double capacity : {0.05, 0.10}) {
+    core::Scenario scenario(bench::paper_config(capacity, 0.0));
+    for (const auto mode : {model::PbMode::kAtInit,
+                            model::PbMode::kPerIteration}) {
+      placement::HybridGreedyOptions options;
+      options.pb_mode = mode;
+      const auto t0 = Clock::now();
+      const auto result = placement::hybrid_greedy(scenario.system(), options);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - t0).count();
+      const auto report =
+          sim::simulate(scenario.system(), result, bench::paper_sim());
+      table.add_row(
+          {util::format_double(capacity * 100, 0),
+           mode == model::PbMode::kAtInit ? "at-init" : "per-iteration",
+           std::to_string(result.replicas_created),
+           util::format_double(result.predicted_cost_per_request, 4),
+           util::format_double(report.mean_latency_ms, 3),
+           util::format_double(seconds, 2)});
+    }
+  }
+  std::cout << table.str()
+            << "\nExpectation (paper Section 4): the two modes agree to "
+               "within noise; at-init is cheaper.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation A4 (extension) — cache replacement policy.
+//
+// The paper models and simulates plain LRU; [15]'s delayed-LRU is cited as
+// competitive with replica placement.  This driver swaps the simulator's
+// policy under the *same* hybrid placement (optimised for the LRU model)
+// and under pure caching, quantifying how much the conclusions depend on
+// the replacement policy.
+
+#include <iostream>
+
+#include "bench/bench_support.h"
+#include "src/placement/fixed_split.h"
+#include "src/placement/hybrid_greedy.h"
+
+int main() {
+  using namespace cdn;
+  std::cout << "Ablation A4: cache replacement policy "
+               "(5% capacity, lambda = 0)\n\n";
+
+  core::Scenario scenario(bench::paper_config(0.05, 0.0));
+  const auto hybrid = placement::hybrid_greedy(scenario.system());
+  const auto caching = placement::pure_caching(scenario.system());
+
+  util::TextTable table({"placement", "policy", "mean_ms", "hops/req",
+                         "cache_hit%"});
+  const std::vector<std::pair<const char*,
+                              const placement::PlacementResult*>> placements{
+      {"hybrid", &hybrid}, {"pure-caching", &caching}};
+  for (const auto& [label, placement] : placements) {
+    for (const auto policy :
+         {cache::PolicyKind::kLru, cache::PolicyKind::kFifo,
+          cache::PolicyKind::kLfu, cache::PolicyKind::kClock,
+          cache::PolicyKind::kDelayedLru}) {
+      auto sim_cfg = bench::paper_sim();
+      sim_cfg.policy = policy;
+      const auto report =
+          sim::simulate(scenario.system(), *placement, sim_cfg);
+      table.add_row({label, cache::policy_name(policy),
+                     util::format_double(report.mean_latency_ms, 3),
+                     util::format_double(report.mean_cost_hops, 4),
+                     util::format_double(100.0 * report.cache_hit_ratio, 1)});
+    }
+  }
+  std::cout << table.str()
+            << "\nExpectation: LRU/CLOCK/LFU are close (the placement was "
+               "optimised for the LRU model); FIFO trails; delayed-LRU "
+               "filters one-hit wonders.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Extension bench — adaptive replanning vs stale placement vs full re-run.
+//
+// Section 2.1's premise: replica placements must stay "fairly static"
+// because creation/migration is expensive, which is why the hybrid keeps a
+// cache.  The dynamic-FAP line of work ([24, 28]) replans instead.  This
+// driver spikes one site 50x and compares, on the new demand:
+//
+//   * the stale hybrid placement (caches absorb what they can);
+//   * adaptive replanning with free transfers;
+//   * adaptive replanning with a high transfer charge (conservative);
+//   * a from-scratch hybrid run (upper bound, ignores transfer cost).
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/placement/adaptive.h"
+#include "src/placement/hybrid_greedy.h"
+
+int main() {
+  using namespace cdn;
+  std::cout << "Adaptive replanning under a 50x flash crowd "
+               "(5% capacity)\n\n";
+
+  core::Scenario scenario(bench::paper_config(0.05, 0.0));
+  const auto& system = scenario.system();
+  const auto stale = placement::hybrid_greedy(system);
+  auto sim_cfg = bench::paper_sim();
+
+  // Site 0 (low popularity) goes 50x viral.
+  std::vector<double> spiked;
+  spiked.reserve(system.server_count() * system.site_count());
+  for (std::size_t i = 0; i < system.server_count(); ++i) {
+    const auto row = system.demand().row(static_cast<sys::ServerIndex>(i));
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      spiked.push_back(j == 0 ? row[j] * 50.0 : row[j]);
+    }
+  }
+  const auto new_demand = workload::DemandMatrix::from_values(
+      system.server_count(), system.site_count(), spiked);
+  const sys::CdnSystem new_system(scenario.catalog(), new_demand,
+                                  scenario.distances(), 0.05);
+
+  util::TextTable table({"strategy", "mean_ms", "hops/req", "kept", "added",
+                         "dropped", "GB_moved"});
+  auto add_row = [&](const std::string& name,
+                     const placement::PlacementResult& p, std::size_t kept,
+                     std::size_t added, std::size_t dropped,
+                     std::uint64_t bytes) {
+    const auto report = sim::simulate(new_system, p, sim_cfg);
+    table.add_row({name, util::format_double(report.mean_latency_ms, 3),
+                   util::format_double(report.mean_cost_hops, 4),
+                   std::to_string(kept), std::to_string(added),
+                   std::to_string(dropped),
+                   util::format_double(static_cast<double>(bytes) / 1e9, 2)});
+  };
+
+  add_row("stale placement", stale, stale.replicas_created, 0, 0, 0);
+
+  const auto free_replan =
+      placement::adaptive_hybrid_replan(new_system, stale, {});
+  add_row("adaptive (free transfer)", free_replan.result,
+          free_replan.replicas_kept, free_replan.replicas_added,
+          free_replan.replicas_dropped, free_replan.bytes_transferred);
+
+  placement::AdaptiveOptions costly;
+  costly.transfer_cost_per_byte = 2e-4;  // suppress marginal moves
+  const auto costly_replan =
+      placement::adaptive_hybrid_replan(new_system, stale, costly);
+  add_row("adaptive (charged transfer)", costly_replan.result,
+          costly_replan.replicas_kept, costly_replan.replicas_added,
+          costly_replan.replicas_dropped, costly_replan.bytes_transferred);
+
+  const auto scratch = placement::hybrid_greedy(new_system);
+  std::uint64_t scratch_bytes = 0;
+  for (std::size_t i = 0; i < system.server_count(); ++i) {
+    for (std::size_t j = 0; j < system.site_count(); ++j) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      const auto site = static_cast<sys::SiteIndex>(j);
+      if (scratch.placement.is_replicated(server, site) &&
+          !stale.placement.is_replicated(server, site)) {
+        scratch_bytes += system.site_bytes()[j];
+      }
+    }
+  }
+  add_row("from-scratch rerun", scratch, 0, scratch.replicas_created, 0,
+          scratch_bytes);
+
+  std::cout << table.str()
+            << "\nReading: the caches already absorb most of the spike "
+               "(the paper's core argument); replanning recovers the rest, "
+               "and the transfer charge keeps the data moved small.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Future-work bench — per-cluster replication (Section 5.3).
+//
+// The paper conjectures: "against a per-cluster replication scheme hybrid
+// will again be the winner with the latency reduction varying in between
+// the per-site replication and the caching case ... Proving the validity of
+// the above claim is left for future work."  This driver provides that
+// evaluation: per-site replication, per-cluster replication at several
+// granularities, pure caching, and the hybrid, all at 5% capacity —
+// under (a) stationary demand and (b) a flash crowd that the static
+// placements did not anticipate.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/cluster/cluster_replication.h"
+#include "src/cluster/cluster_sim.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/placement/fixed_split.h"
+
+int main() {
+  using namespace cdn;
+  std::cout << "Future work (Section 5.3): per-cluster replication vs the "
+               "hybrid (5% capacity, lambda = 0)\n\n";
+
+  core::Scenario scenario(bench::paper_config(0.05, 0.0));
+  const auto& system = scenario.system();
+  auto sim_cfg = bench::paper_sim();
+
+  // Flash-crowd demand: a low-popularity site (id 0) goes 50x viral; the
+  // static placements below were computed on the ORIGINAL demand.
+  std::vector<double> spiked;
+  spiked.reserve(system.server_count() * system.site_count());
+  for (std::size_t i = 0; i < system.server_count(); ++i) {
+    const auto row = system.demand().row(static_cast<sys::ServerIndex>(i));
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      spiked.push_back(j == 0 ? row[j] * 50.0 : row[j]);
+    }
+  }
+  const auto spiked_demand = workload::DemandMatrix::from_values(
+      system.server_count(), system.site_count(), spiked);
+  const sys::CdnSystem spiked_system(scenario.catalog(), spiked_demand,
+                                     scenario.distances(), 0.05);
+
+  util::TextTable table({"mechanism", "stationary_mean_ms",
+                         "flashcrowd_mean_ms", "replicas"});
+
+  const auto report_row = [&](const std::string& name, double stat_ms,
+                              double flash_ms, std::size_t replicas) {
+    table.add_row({name, util::format_double(stat_ms, 3),
+                   util::format_double(flash_ms, 3),
+                   std::to_string(replicas)});
+  };
+
+  {
+    const auto p = placement::greedy_global(system);
+    const auto a = sim::simulate(system, p, sim_cfg);
+    const auto b = sim::simulate(spiked_system, p, sim_cfg);
+    report_row("site-replication", a.mean_latency_ms, b.mean_latency_ms,
+               p.replicas_created);
+  }
+  for (std::uint32_t clusters : {4u, 16u, 64u}) {
+    const auto p = cluster::cluster_greedy_global(system, clusters);
+    const auto a = cluster::simulate_clusters(system, p, sim_cfg);
+    const auto b = cluster::simulate_clusters(spiked_system, p, sim_cfg);
+    report_row("cluster-replication C=" + std::to_string(clusters),
+               a.mean_latency_ms, b.mean_latency_ms, p.replicas_created);
+  }
+  {
+    const auto p = placement::pure_caching(system);
+    const auto a = sim::simulate(system, p, sim_cfg);
+    const auto b = sim::simulate(spiked_system, p, sim_cfg);
+    report_row("caching", a.mean_latency_ms, b.mean_latency_ms, 0);
+  }
+  {
+    const auto p = placement::hybrid_greedy(system);
+    const auto a = sim::simulate(system, p, sim_cfg);
+    const auto b = sim::simulate(spiked_system, p, sim_cfg);
+    report_row("hybrid", a.mean_latency_ms, b.mean_latency_ms,
+               p.replicas_created);
+  }
+
+  std::cout << table.str()
+            << "\nReading: under stationary demand, finer static clusters "
+               "approach the per-object optimum and can rival or beat the "
+               "hybrid;\nunder the unanticipated flash crowd the hybrid's "
+               "caches adapt while every static placement degrades — the "
+               "conjecture's spirit (caching is the robust half of the "
+               "split) holds, its letter only for coarse clusters.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension bench — Section 3.3 consistency mechanisms made concrete.
+//
+// The paper folds consistency into a flat lambda.  Here the simulator runs
+// the real mechanisms on the hybrid placement: TTL-based weak consistency
+// (several TTLs) and invalidation-based strong consistency, with per-object
+// modification intervals of 1-24 h as reported by [22].  The paper's
+// Section 3.3 argument — "the probability of requesting a stale object is
+// very small", so strong consistency is cheap inside a CDN — becomes a
+// measurable row.
+
+#include <iostream>
+
+#include "bench/bench_support.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/sim/consistency_sim.h"
+
+int main() {
+  using namespace cdn;
+  std::cout << "Consistency mechanisms on the hybrid placement "
+               "(5% capacity)\n\n";
+
+  core::Scenario scenario(bench::paper_config(0.05, 0.0));
+  const auto placement = placement::hybrid_greedy(scenario.system());
+  auto sim_cfg = bench::paper_sim();
+
+  util::TextTable table({"mechanism", "mean_ms", "hops/req", "stale%",
+                         "validations", "inval_misses"});
+
+  auto run = [&](const std::string& name, const sim::ConsistencyConfig& cc) {
+    const auto report = sim::simulate_with_consistency(
+        scenario.system(), placement, sim_cfg, cc);
+    table.add_row({name,
+                   util::format_double(report.base.mean_latency_ms, 3),
+                   util::format_double(report.base.mean_cost_hops, 4),
+                   util::format_double(100.0 * report.stale_ratio(), 4),
+                   std::to_string(report.validations),
+                   std::to_string(report.invalidation_misses)});
+  };
+
+  sim::ConsistencyConfig none;
+  none.mode = sim::ConsistencyMode::kBernoulli;
+  run("none (lambda=0)", none);
+
+  for (double ttl : {60.0, 600.0, 3600.0}) {
+    sim::ConsistencyConfig ttl_cfg;
+    ttl_cfg.mode = sim::ConsistencyMode::kTtl;
+    ttl_cfg.ttl = ttl;
+    run("ttl " + util::format_double(ttl, 0) + "s", ttl_cfg);
+  }
+
+  sim::ConsistencyConfig strong;
+  strong.mode = sim::ConsistencyMode::kInvalidation;
+  run("invalidation (strong)", strong);
+
+  std::cout << table.str()
+            << "\nReading: with 1-24 h update intervals, strong consistency "
+               "costs almost nothing (few invalidation misses) while TTLs "
+               "trade validation traffic against staleness — matching the "
+               "paper's Section 3.3 argument for running strong consistency "
+               "inside a CDN.\n";
+  return 0;
+}

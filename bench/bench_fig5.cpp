@@ -1,0 +1,38 @@
+// Figure 5 — "Greedy algorithm vs ad-hoc schemes": the hybrid greedy
+// against fixed cache/replica splits (20% and 80% cache; the text also
+// reports 40%/60% runs confirming the trend) at 5% capacity, for lambda = 0
+// and lambda = 0.1.  The paper's conclusion: ad-hoc splits are never
+// competitive with the model-driven split.
+
+#include <iostream>
+
+#include "bench/bench_support.h"
+
+int main() {
+  using namespace cdn;
+  std::cout << "Figure 5: Hybrid greedy vs ad-hoc fixed splits "
+               "(5% capacity)\n";
+
+  for (double lambda : {0.0, 0.1}) {
+    core::Scenario scenario(bench::paper_config(0.05, lambda));
+    auto sim = bench::paper_sim();
+    sim.staleness = sim::StalenessMode::kRefresh;
+    const auto runs = core::run_mechanisms(
+        scenario,
+        {core::hybrid_mechanism(), core::fixed_split_mechanism(0.2),
+         core::fixed_split_mechanism(0.4), core::fixed_split_mechanism(0.6),
+         core::fixed_split_mechanism(0.8)},
+        sim);
+    bench::print_panel(
+        "Figure 5(" + std::string(lambda == 0.0 ? "a" : "b") +
+            "): 5% capacity, lambda = " + util::format_double(lambda, 1),
+        runs);
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+      std::cout << "hybrid vs " << runs[i].name << ": "
+                << util::format_double(
+                       core::mean_latency_gain_percent(runs[i], runs[0]), 1)
+                << "% lower mean latency\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 6 — "Accuracy of the LRU hit ratio approximation": the average
+// cost per request (hops) predicted by the greedy algorithm's analytical
+// model vs the cost measured by the trace-driven simulation, over
+// (capacity %, uncacheable %) in {5, 10, 20} x {0, 10}.  The paper reports
+// the model slightly overestimating the cost with an overall error < 7%.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/util/stats.h"
+
+int main() {
+  using namespace cdn;
+  std::cout << "Figure 6: predicted vs actual average cost per request "
+               "(hybrid greedy)\n\n";
+
+  util::TextTable table({"capacity%", "uncacheable%", "predicted_hops",
+                         "actual_hops", "error%"});
+  std::vector<double> predicted_series, actual_series;
+
+  const std::vector<std::pair<double, double>> settings{
+      {0.05, 0.0}, {0.10, 0.0}, {0.20, 0.0},
+      {0.05, 0.1}, {0.10, 0.1}, {0.20, 0.1}};
+
+  for (const auto& [capacity, lambda] : settings) {
+    core::Scenario scenario(bench::paper_config(capacity, lambda));
+    const auto placement = placement::hybrid_greedy(scenario.system());
+    auto sim_cfg = bench::paper_sim();
+    sim_cfg.staleness = sim::StalenessMode::kRefresh;
+    const auto report = sim::simulate(scenario.system(), placement, sim_cfg);
+
+    const double predicted = placement.predicted_cost_per_request;
+    const double actual = report.mean_cost_hops;
+    predicted_series.push_back(predicted);
+    actual_series.push_back(actual);
+    table.add_row({util::format_double(capacity * 100, 0),
+                   util::format_double(lambda * 100, 0),
+                   util::format_double(predicted, 4),
+                   util::format_double(actual, 4),
+                   util::format_double(
+                       100.0 * (predicted - actual) / actual, 2)});
+  }
+
+  std::cout << table.str() << '\n';
+  const double overall =
+      util::mean_relative_error(actual_series, predicted_series);
+  std::cout << "overall mean relative error: "
+            << util::format_double(100.0 * overall, 2)
+            << "% (paper: < 7%)\n";
+  return overall < 0.07 ? 0 : 1;
+}

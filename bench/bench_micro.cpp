@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives: cache
+// operations, samplers, BFS, and the analytical model's inner loops.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/cache/cache_factory.h"
+#include "src/model/characteristic_time.h"
+#include "src/model/hit_ratio_curve.h"
+#include "src/topology/shortest_paths.h"
+#include "src/topology/transit_stub.h"
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace {
+
+using namespace cdn;
+
+void BM_LruAccessZipf(benchmark::State& state) {
+  const auto policy = static_cast<cache::PolicyKind>(state.range(0));
+  auto cache = cache::make_cache(policy, 10'000);
+  const util::ZipfDistribution zipf(100'000, 1.0);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto key = static_cast<cache::ObjectKey>(zipf.sample(rng));
+    benchmark::DoNotOptimize(cache->access(key, 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LruAccessZipf)
+    ->Arg(static_cast<int>(cache::PolicyKind::kLru))
+    ->Arg(static_cast<int>(cache::PolicyKind::kFifo))
+    ->Arg(static_cast<int>(cache::PolicyKind::kLfu))
+    ->Arg(static_cast<int>(cache::PolicyKind::kClock))
+    ->Arg(static_cast<int>(cache::PolicyKind::kDelayedLru));
+
+void BM_ZipfSample(benchmark::State& state) {
+  const util::ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)),
+                                    1.0);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_AliasSample(benchmark::State& state) {
+  std::vector<double> weights(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const util::AliasSampler sampler(weights);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample)->Arg(10000);
+
+void BM_BfsTransitStub(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto topo =
+      topology::generate_transit_stub(topology::TransitStubParams{}, rng);
+  util::Rng pick(5);
+  for (auto _ : state) {
+    const auto source = static_cast<topology::NodeId>(
+        pick.uniform_index(topo.graph.node_count()));
+    benchmark::DoNotOptimize(topology::bfs_hops(topo.graph, source));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(topo.graph.node_count()));
+}
+BENCHMARK(BM_BfsTransitStub);
+
+void BM_CharacteristicTimeClosedForm(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model::characteristic_time_closed_form(100'000, 0.7));
+  }
+}
+BENCHMARK(BM_CharacteristicTimeClosedForm);
+
+void BM_CharacteristicTimeExact(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::characteristic_time_exact(100'000, 0.7));
+  }
+}
+BENCHMARK(BM_CharacteristicTimeExact);
+
+void BM_HitRatioTableEvaluate(benchmark::State& state) {
+  const util::ZipfDistribution zipf(1000, 1.0);
+  const model::HitRatioCurve curve(zipf);
+  double p = 1e-4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(curve.evaluate(p, 5000.0));
+    p = p < 0.05 ? p * 1.01 : 1e-4;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HitRatioTableEvaluate);
+
+void BM_HitRatioExact(benchmark::State& state) {
+  const util::ZipfDistribution zipf(1000, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::lru_hit_ratio_exact(zipf, 0.005, 5000.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HitRatioExact);
+
+void BM_TopBProbability(benchmark::State& state) {
+  const util::ZipfDistribution zipf(1000, 1.0);
+  std::vector<double> weights(200);
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    weights[j] = 1.0 / static_cast<double>(j + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::top_b_cumulative_probability(
+        weights, zipf, static_cast<std::uint64_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_TopBProbability)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

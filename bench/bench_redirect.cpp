@@ -1,0 +1,66 @@
+// Extension bench — server-selection policies (Section 2.2's second axis).
+//
+// Compares nearest-copy redirection (the paper's rule) with [9]-style
+// load-aware selection at full paper scale, across placements and fleet
+// headrooms.  The metric is the flow-level response cost: network hops plus
+// an M/M/1-shaped queueing penalty.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_support.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/redirect/server_selection.h"
+
+int main() {
+  using namespace cdn;
+  std::cout << "Server selection: nearest vs load-aware "
+               "(5% capacity, lambda = 0)\n\n";
+
+  core::Scenario scenario(bench::paper_config(0.05, 0.0));
+  const auto& system = scenario.system();
+
+  util::TextTable table({"placement", "headroom", "selection", "net_hops",
+                         "resp_cost", "max_util%"});
+
+  for (const auto& [name, placement] :
+       std::vector<std::pair<const char*, placement::PlacementResult>>{
+           {"replication", placement::greedy_global(system)},
+           {"hybrid", placement::hybrid_greedy(system)}}) {
+    redirect::SelectionParams probe;
+    probe.policy = redirect::SelectionPolicy::kNearest;
+    const auto baseline =
+        redirect::assign_miss_traffic(system, placement, probe);
+    double total = 0.0;
+    for (double f : baseline.server_flow) total += f;
+    const double mean_load =
+        total / static_cast<double>(system.server_count());
+
+    for (double headroom : {1.2, 2.0, 4.0}) {
+      for (const auto policy : {redirect::SelectionPolicy::kNearest,
+                                redirect::SelectionPolicy::kLoadAware}) {
+        redirect::SelectionParams params;
+        params.policy = policy;
+        params.server_capacity = headroom * mean_load;
+        params.primary_capacity = 4.0 * headroom * mean_load;
+        const auto sel =
+            redirect::assign_miss_traffic(system, placement, params);
+        table.add_row(
+            {name, util::format_double(headroom, 1),
+             policy == redirect::SelectionPolicy::kNearest ? "nearest"
+                                                           : "load-aware",
+             util::format_double(sel.mean_network_hops, 3),
+             util::format_double(sel.mean_response_cost, 3),
+             util::format_double(100.0 * sel.max_server_utilization, 1)});
+      }
+    }
+  }
+  std::cout << table.str()
+            << "\nReading: at tight headroom, load-aware selection trades a "
+               "few hops for a large cut in peak utilisation; at 4x "
+               "headroom the policies coincide (queueing is negligible) — "
+               "consistent with the paper treating nearest-copy as "
+               "sufficient for a well-provisioned CDN.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Capacity planning: how much storage does a CDN operator need, and how
+// should it be split between replicas and cache?
+//
+// Sweeps the per-server storage budget from 2% to 30% of the hosted bytes
+// and reports, for each point, the hybrid algorithm's chosen replica/cache
+// split and the resulting user-perceived latency — the kind of table an
+// operator would use to size a deployment against a latency SLO.
+//
+//   ./capacity_planning [sla_ms=18]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/hybridcdn.h"
+
+int main(int argc, char** argv) {
+  const double sla_ms = argc > 1 ? std::atof(argv[1]) : 18.0;
+
+  std::cout << "Capacity planning sweep (hybrid placement, lambda = 0)\n"
+            << "Latency SLO: p90 <= " << sla_ms << " ms\n\n";
+
+  cdn::util::TextTable table({"storage%", "replicas", "cache_share%",
+                              "mean_ms", "p90_ms", "p99_ms", "local%",
+                              "meets_slo"});
+
+  bool recommended = false;
+  double recommended_pct = 0.0;
+  for (double storage : {0.02, 0.05, 0.10, 0.20, 0.30}) {
+    cdn::core::ScenarioConfig cfg;
+    cfg.server_count = 16;
+    cfg.classes = {{12, 1.0, "low"}, {24, 4.0, "medium"}, {12, 16.0, "high"}};
+    cfg.surge.objects_per_site = 400;
+    cfg.storage_fraction = storage;
+    cdn::core::Scenario scenario(cfg);
+
+    const auto placement =
+        cdn::placement::hybrid_greedy(scenario.system());
+    cdn::sim::SimulationConfig sim;
+    sim.total_requests = 1'000'000;
+    const auto report =
+        cdn::sim::simulate(scenario.system(), placement, sim);
+
+    std::uint64_t cache = 0, total = 0;
+    for (std::size_t i = 0; i < scenario.system().server_count(); ++i) {
+      const auto server = static_cast<cdn::sys::ServerIndex>(i);
+      cache += placement.cache_bytes(server);
+      total += scenario.system().server_storage(server);
+    }
+    const double p90 = report.latency_cdf.quantile(0.90);
+    const bool ok = p90 <= sla_ms;
+    if (ok && !recommended) {
+      recommended = true;
+      recommended_pct = storage * 100.0;
+    }
+    table.add_row(
+        {cdn::util::format_double(storage * 100, 0),
+         std::to_string(placement.replicas_created),
+         cdn::util::format_double(
+             100.0 * static_cast<double>(cache) / static_cast<double>(total),
+             1),
+         cdn::util::format_double(report.mean_latency_ms, 2),
+         cdn::util::format_double(p90, 2),
+         cdn::util::format_double(report.latency_cdf.quantile(0.99), 2),
+         cdn::util::format_double(100.0 * report.local_ratio, 1),
+         ok ? "yes" : "no"});
+  }
+
+  std::cout << table.str() << '\n';
+  if (recommended) {
+    std::cout << "Smallest storage meeting the SLO: " << recommended_pct
+              << "% of hosted bytes per server.\n";
+  } else {
+    std::cout << "No swept capacity meets the SLO; relax it or add "
+                 "servers closer to clients.\n";
+  }
+  return 0;
+}

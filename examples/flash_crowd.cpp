@@ -1,0 +1,79 @@
+// Flash crowd: the paper's introduction motivates CDNs with news sites
+// whose load spikes suddenly.  Replica placement is computed from
+// *yesterday's* demand and is expensive to change ("placement decisions
+// should remain fairly static ... replica creation and migration incurs a
+// high transfer cost"); caching adapts per request.  This example makes
+// that concrete:
+//
+//   1. compute placements (replication-only vs hybrid) on baseline demand;
+//   2. overnight, one previously quiet site becomes 50x hotter;
+//   3. replay the spiked traffic against the stale placements.
+//
+// The hybrid's caches absorb the flash crowd, while pure replication pays
+// full redirection for the now-hot site.
+
+#include <iostream>
+#include <vector>
+
+#include "src/core/hybridcdn.h"
+
+int main() {
+  using namespace cdn;
+
+  core::ScenarioConfig cfg;
+  cfg.server_count = 16;
+  cfg.classes = {{12, 1.0, "low"}, {24, 4.0, "medium"}, {12, 16.0, "high"}};
+  cfg.surge.objects_per_site = 400;
+  cfg.storage_fraction = 0.05;
+  core::Scenario scenario(cfg);
+  const auto& base = scenario.system();
+
+  // Yesterday's placements.
+  const auto replication = placement::greedy_global(base);
+  const auto hybrid = placement::hybrid_greedy(base);
+
+  // Overnight: the first low-popularity site goes viral (50x volume).
+  const workload::SiteId viral = 0;
+  std::vector<double> spiked;
+  spiked.reserve(base.server_count() * base.site_count());
+  for (std::size_t i = 0; i < base.server_count(); ++i) {
+    const auto row = base.demand().row(static_cast<sys::ServerIndex>(i));
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      spiked.push_back(j == viral ? row[j] * 50.0 : row[j]);
+    }
+  }
+  const auto spiked_demand = workload::DemandMatrix::from_values(
+      base.server_count(), base.site_count(), spiked);
+  const sys::CdnSystem spiked_system(scenario.catalog(), spiked_demand,
+                                     scenario.distances(),
+                                     cfg.storage_fraction);
+
+  sim::SimulationConfig sim;
+  sim.total_requests = 1'500'000;
+
+  std::cout << "Flash crowd on site " << viral << " (50x demand) with "
+               "placements computed from stale demand\n\n";
+  util::TextTable table({"placement", "traffic", "mean_ms", "p99_ms",
+                         "local%", "hops/req"});
+  for (const auto& [name, system] :
+       std::vector<std::pair<const char*, const sys::CdnSystem*>>{
+           {"baseline", &base}, {"flash-crowd", &spiked_system}}) {
+    for (const auto& [mech, placement] :
+         std::vector<std::pair<const char*,
+                               const placement::PlacementResult*>>{
+             {"replication", &replication}, {"hybrid", &hybrid}}) {
+      const auto report = sim::simulate(*system, *placement, sim);
+      table.add_row({mech, name,
+                     util::format_double(report.mean_latency_ms, 2),
+                     util::format_double(report.latency_cdf.quantile(0.99), 2),
+                     util::format_double(100.0 * report.local_ratio, 1),
+                     util::format_double(report.mean_cost_hops, 3)});
+    }
+  }
+  std::cout << table.str()
+            << "\nThe hybrid's caches pull the viral site's hot objects to "
+               "the first hop within the warm-up window;\nthe stale "
+               "replication placement keeps paying redirection for every "
+               "request.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Load-aware redirection: what happens when the fleet runs hot.
+//
+// The paper's redirection rule always picks the nearest copy; related work
+// [9, 24, 29] balances server load instead.  This example provisions a
+// deliberately tight fleet, then compares nearest-copy vs load-aware
+// assignment of the miss traffic for both pure replication and the hybrid
+// placement — showing the classic trade: a few extra network hops buy a
+// much lower peak utilisation (and therefore bounded queueing delay).
+//
+//   ./load_balancing [capacity_headroom=1.2]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/hybridcdn.h"
+
+int main(int argc, char** argv) {
+  using namespace cdn;
+  const double headroom = argc > 1 ? std::atof(argv[1]) : 1.2;
+
+  core::ScenarioConfig cfg;
+  cfg.server_count = 16;
+  cfg.classes = {{12, 1.0, "low"}, {24, 4.0, "medium"}, {12, 16.0, "high"}};
+  cfg.surge.objects_per_site = 400;
+  cfg.storage_fraction = 0.05;
+  cfg.demand_model = core::DemandModel::kClientPopulation;
+  core::Scenario scenario(cfg);
+
+  std::cout << "Fleet provisioned at " << headroom
+            << "x the mean per-server miss load (client-population demand)\n\n";
+
+  util::TextTable table({"placement", "selection", "net_hops", "resp_cost",
+                         "max_util%", "mean_util%"});
+
+  for (const auto& [name, placement] :
+       std::vector<std::pair<const char*, placement::PlacementResult>>{
+           {"replication", placement::greedy_global(scenario.system())},
+           {"hybrid", placement::hybrid_greedy(scenario.system())}}) {
+    // Capacity relative to this placement's own nearest-rule mean load.
+    redirect::SelectionParams probe;
+    probe.policy = redirect::SelectionPolicy::kNearest;
+    const auto baseline =
+        redirect::assign_miss_traffic(scenario.system(), placement, probe);
+    double total = 0.0;
+    for (double f : baseline.server_flow) total += f;
+    const double capacity =
+        headroom * total / static_cast<double>(scenario.system().server_count());
+
+    for (const auto policy : {redirect::SelectionPolicy::kNearest,
+                              redirect::SelectionPolicy::kLoadAware}) {
+      redirect::SelectionParams params;
+      params.policy = policy;
+      params.server_capacity = capacity;
+      params.primary_capacity = 4.0 * capacity;
+      const auto sel = redirect::assign_miss_traffic(scenario.system(),
+                                                     placement, params);
+      table.add_row(
+          {name,
+           policy == redirect::SelectionPolicy::kNearest ? "nearest"
+                                                         : "load-aware",
+           util::format_double(sel.mean_network_hops, 3),
+           util::format_double(sel.mean_response_cost, 3),
+           util::format_double(100.0 * sel.max_server_utilization, 1),
+           util::format_double(100.0 * sel.mean_server_utilization, 1)});
+    }
+  }
+  std::cout << table.str()
+            << "\nThe hybrid also redirects far less traffic in the first "
+               "place (its caches absorb misses locally),\nso its fleet "
+               "runs cooler at the same capacity.\n";
+  return 0;
+}

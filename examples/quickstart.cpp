@@ -1,0 +1,48 @@
+// Quickstart: build the paper's scenario, run the three content-delivery
+// mechanisms (pure replication, pure caching, hybrid), and print the
+// response-time comparison.
+//
+//   ./quickstart [storage_fraction=0.05] [lambda=0.0]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/core/hybridcdn.h"
+
+int main(int argc, char** argv) {
+  const double storage = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const double lambda = argc > 2 ? std::atof(argv[2]) : 0.0;
+
+  cdn::core::ScenarioConfig cfg;  // paper defaults: N=50 servers, M=200 sites
+  cfg.storage_fraction = storage;
+  cfg.uncacheable_fraction = lambda;
+  // Scaled down from the paper's full run so the quickstart finishes in
+  // seconds; bench_fig3 runs the full configuration.
+  cfg.server_count = 16;
+  cfg.classes = {{12, 1.0, "low"}, {24, 4.0, "medium"}, {12, 16.0, "high"}};
+  cfg.surge.objects_per_site = 400;
+
+  std::cout << "Building scenario (storage=" << storage * 100.0
+            << "%, lambda=" << lambda << ") ...\n";
+  cdn::core::Scenario scenario(cfg);
+
+  cdn::sim::SimulationConfig sim;
+  sim.total_requests = 1'000'000;
+
+  const auto runs = cdn::core::run_mechanisms(
+      scenario,
+      {cdn::core::replication_mechanism(), cdn::core::caching_mechanism(),
+       cdn::core::hybrid_mechanism()},
+      sim);
+
+  std::cout << '\n' << cdn::core::summary_table(runs).str() << '\n';
+  std::cout << "Response-time CDF (fraction of requests answered within x ms):\n"
+            << cdn::core::cdf_table(runs) << '\n';
+  std::cout << "hybrid vs replication: "
+            << cdn::core::mean_latency_gain_percent(runs[0], runs[2])
+            << "% lower mean latency\n";
+  std::cout << "hybrid vs caching:     "
+            << cdn::core::mean_latency_gain_percent(runs[1], runs[2])
+            << "% lower mean latency\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "src/cache/cache_factory.h"
+
+#include "src/cache/clock_cache.h"
+#include "src/cache/delayed_lru_cache.h"
+#include "src/cache/fifo_cache.h"
+#include "src/cache/lfu_cache.h"
+#include "src/cache/lru_cache.h"
+#include "src/util/error.h"
+
+namespace cdn::cache {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return "lru";
+    case PolicyKind::kFifo:
+      return "fifo";
+    case PolicyKind::kLfu:
+      return "lfu";
+    case PolicyKind::kClock:
+      return "clock";
+    case PolicyKind::kDelayedLru:
+      return "delayed-lru";
+  }
+  return "unknown";
+}
+
+PolicyKind parse_policy(const std::string& name) {
+  if (name == "lru") return PolicyKind::kLru;
+  if (name == "fifo") return PolicyKind::kFifo;
+  if (name == "lfu") return PolicyKind::kLfu;
+  if (name == "clock") return PolicyKind::kClock;
+  if (name == "delayed-lru") return PolicyKind::kDelayedLru;
+  CDN_EXPECT(false, "unknown cache policy name: " + name);
+  return PolicyKind::kLru;  // unreachable
+}
+
+std::unique_ptr<CachePolicy> make_cache(PolicyKind kind,
+                                        std::uint64_t capacity_bytes) {
+  switch (kind) {
+    case PolicyKind::kLru:
+      return std::make_unique<LruCache>(capacity_bytes);
+    case PolicyKind::kFifo:
+      return std::make_unique<FifoCache>(capacity_bytes);
+    case PolicyKind::kLfu:
+      return std::make_unique<LfuCache>(capacity_bytes);
+    case PolicyKind::kClock:
+      return std::make_unique<ClockCache>(capacity_bytes);
+    case PolicyKind::kDelayedLru:
+      return std::make_unique<DelayedLruCache>(capacity_bytes);
+  }
+  CDN_CHECK(false, "unhandled policy kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace cdn::cache

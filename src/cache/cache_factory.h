@@ -1,0 +1,32 @@
+// Factory for cache policies, used by the simulator and ablation benches.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/cache/cache_policy.h"
+
+namespace cdn::cache {
+
+/// Replacement policies available to the simulator.
+enum class PolicyKind {
+  kLru,         // the paper's policy
+  kFifo,
+  kLfu,
+  kClock,
+  kDelayedLru,  // Karlsson & Mahalingam [15] comparator
+};
+
+/// Human-readable policy name ("lru", "fifo", ...).
+const char* policy_name(PolicyKind kind);
+
+/// Parses a policy name; throws PreconditionError on unknown names.
+PolicyKind parse_policy(const std::string& name);
+
+/// Creates a cache of the given kind and byte capacity.
+std::unique_ptr<CachePolicy> make_cache(PolicyKind kind,
+                                        std::uint64_t capacity_bytes);
+
+}  // namespace cdn::cache

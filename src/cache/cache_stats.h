@@ -1,0 +1,50 @@
+// Hit/miss/byte counters shared by every cache policy.
+
+#pragma once
+
+#include <cstdint>
+
+namespace cdn::cache {
+
+/// Streaming cache statistics.  Byte counters use the requested object's
+/// size, so byte_hit_ratio() weights large objects proportionally.
+class CacheStats {
+ public:
+  void record_hit(std::uint64_t bytes) noexcept {
+    ++hits_;
+    hit_bytes_ += bytes;
+  }
+  void record_miss(std::uint64_t bytes) noexcept {
+    ++misses_;
+    miss_bytes_ += bytes;
+  }
+  void record_eviction() noexcept { ++evictions_; }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t accesses() const noexcept { return hits_ + misses_; }
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Request hit ratio — the h of the paper's model.  0 when no accesses.
+  double hit_ratio() const noexcept {
+    const std::uint64_t n = accesses();
+    return n ? static_cast<double>(hits_) / static_cast<double>(n) : 0.0;
+  }
+
+  /// Byte-weighted hit ratio.  0 when no bytes requested.
+  double byte_hit_ratio() const noexcept {
+    const std::uint64_t total = hit_bytes_ + miss_bytes_;
+    return total ? static_cast<double>(hit_bytes_) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t hit_bytes_ = 0;
+  std::uint64_t miss_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace cdn::cache

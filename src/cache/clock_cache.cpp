@@ -1,0 +1,83 @@
+#include "src/cache/clock_cache.h"
+
+#include "src/util/error.h"
+
+namespace cdn::cache {
+
+ClockCache::ClockCache(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+bool ClockCache::lookup(ObjectKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  it->second->referenced = true;
+  return true;
+}
+
+void ClockCache::advance_hand() {
+  if (ring_.empty()) {
+    hand_ = ring_.end();
+    return;
+  }
+  ++hand_;
+  if (hand_ == ring_.end()) hand_ = ring_.begin();
+}
+
+void ClockCache::admit(ObjectKey key, std::uint64_t bytes) {
+  if (bytes > capacity_) return;
+  if (index_.contains(key)) return;
+  while (used_ + bytes > capacity_) evict_one();
+  // Insert just behind the hand so a full sweep passes everything else first.
+  const auto pos = ring_.empty() ? ring_.end() : hand_;
+  const auto it = ring_.insert(pos, {key, bytes, false});
+  if (ring_.size() == 1) hand_ = it;
+  index_.emplace(key, it);
+  used_ += bytes;
+}
+
+bool ClockCache::erase(ObjectKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  if (hand_ == it->second) advance_hand();
+  used_ -= it->second->bytes;
+  if (ring_.size() == 1) {
+    ring_.clear();
+    hand_ = ring_.end();
+  } else {
+    ring_.erase(it->second);
+  }
+  index_.erase(it);
+  return true;
+}
+
+bool ClockCache::contains(ObjectKey key) const { return index_.contains(key); }
+
+void ClockCache::set_capacity(std::uint64_t bytes) {
+  capacity_ = bytes;
+  while (used_ > capacity_) evict_one();
+}
+
+void ClockCache::clear() {
+  ring_.clear();
+  index_.clear();
+  hand_ = ring_.end();
+  used_ = 0;
+}
+
+void ClockCache::evict_one() {
+  CDN_DCHECK(!ring_.empty(), "eviction from empty cache");
+  while (hand_->referenced) {
+    hand_->referenced = false;
+    advance_hand();
+  }
+  const auto victim = hand_;
+  advance_hand();
+  if (hand_ == victim) hand_ = ring_.end();  // last element is going away
+  used_ -= victim->bytes;
+  index_.erase(victim->key);
+  ring_.erase(victim);
+  if (hand_ == ring_.end() && !ring_.empty()) hand_ = ring_.begin();
+  stats_.record_eviction();
+}
+
+}  // namespace cdn::cache

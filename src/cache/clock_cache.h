@@ -1,0 +1,49 @@
+// CLOCK (second-chance) byte-capacity cache: an LRU approximation with
+// cheaper hit handling.  Extension baseline beyond the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/cache/cache_policy.h"
+
+namespace cdn::cache {
+
+/// CLOCK keeps entries on a circular list with a reference bit; the hand
+/// clears bits until it finds an unreferenced victim.
+class ClockCache final : public CachePolicy {
+ public:
+  explicit ClockCache(std::uint64_t capacity_bytes);
+
+  bool lookup(ObjectKey key) override;
+  void admit(ObjectKey key, std::uint64_t bytes) override;
+  bool erase(ObjectKey key) override;
+  bool contains(ObjectKey key) const override;
+  void set_capacity(std::uint64_t bytes) override;
+  void clear() override;
+
+  std::uint64_t capacity_bytes() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return used_; }
+  std::size_t object_count() const override { return index_.size(); }
+
+ private:
+  struct Entry {
+    ObjectKey key;
+    std::uint64_t bytes;
+    bool referenced;
+  };
+  using Ring = std::list<Entry>;
+
+  void evict_one();
+  void advance_hand();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  Ring ring_;
+  Ring::iterator hand_ = ring_.end();
+  std::unordered_map<ObjectKey, Ring::iterator> index_;
+};
+
+}  // namespace cdn::cache

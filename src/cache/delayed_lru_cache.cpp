@@ -1,0 +1,73 @@
+#include "src/cache/delayed_lru_cache.h"
+
+#include "src/util/error.h"
+
+namespace cdn::cache {
+
+DelayedLruCache::DelayedLruCache(std::uint64_t capacity_bytes,
+                                 std::uint32_t admission_threshold,
+                                 std::size_t ghost_entries)
+    : inner_(capacity_bytes),
+      threshold_(admission_threshold),
+      ghost_capacity_(ghost_entries) {
+  CDN_EXPECT(admission_threshold >= 1, "admission threshold must be >= 1");
+  CDN_EXPECT(ghost_entries >= 1, "ghost directory must hold >= 1 entry");
+}
+
+bool DelayedLruCache::lookup(ObjectKey key) { return inner_.lookup(key); }
+
+void DelayedLruCache::note_miss(ObjectKey key) {
+  auto it = ghost_index_.find(key);
+  if (it != ghost_index_.end()) {
+    ++it->second.count;
+    ghost_order_.splice(ghost_order_.begin(), ghost_order_, it->second.pos);
+    return;
+  }
+  if (ghost_index_.size() >= ghost_capacity_) {
+    ghost_index_.erase(ghost_order_.back());
+    ghost_order_.pop_back();
+  }
+  ghost_order_.push_front(key);
+  ghost_index_.emplace(key, GhostEntry{1, ghost_order_.begin()});
+}
+
+bool DelayedLruCache::ready_to_admit(ObjectKey key) const {
+  const auto it = ghost_index_.find(key);
+  return it != ghost_index_.end() && it->second.count >= threshold_;
+}
+
+void DelayedLruCache::admit(ObjectKey key, std::uint64_t bytes) {
+  if (threshold_ == 1) {
+    inner_.admit(key, bytes);
+    return;
+  }
+  note_miss(key);
+  if (ready_to_admit(key)) {
+    inner_.admit(key, bytes);
+    if (inner_.contains(key)) {
+      auto it = ghost_index_.find(key);
+      if (it != ghost_index_.end()) {
+        ghost_order_.erase(it->second.pos);
+        ghost_index_.erase(it);
+      }
+    }
+  }
+}
+
+bool DelayedLruCache::erase(ObjectKey key) { return inner_.erase(key); }
+
+bool DelayedLruCache::contains(ObjectKey key) const {
+  return inner_.contains(key);
+}
+
+void DelayedLruCache::set_capacity(std::uint64_t bytes) {
+  inner_.set_capacity(bytes);
+}
+
+void DelayedLruCache::clear() {
+  inner_.clear();
+  ghost_order_.clear();
+  ghost_index_.clear();
+}
+
+}  // namespace cdn::cache

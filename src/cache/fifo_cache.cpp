@@ -1,0 +1,52 @@
+#include "src/cache/fifo_cache.h"
+
+#include "src/util/error.h"
+
+namespace cdn::cache {
+
+FifoCache::FifoCache(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+bool FifoCache::lookup(ObjectKey key) { return index_.contains(key); }
+
+void FifoCache::admit(ObjectKey key, std::uint64_t bytes) {
+  if (bytes > capacity_) return;
+  if (index_.contains(key)) return;
+  while (used_ + bytes > capacity_) evict_one();
+  queue_.push_front({key, bytes});
+  index_.emplace(key, queue_.begin());
+  used_ += bytes;
+}
+
+bool FifoCache::erase(ObjectKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  used_ -= it->second->bytes;
+  queue_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool FifoCache::contains(ObjectKey key) const { return index_.contains(key); }
+
+void FifoCache::set_capacity(std::uint64_t bytes) {
+  capacity_ = bytes;
+  while (used_ > capacity_) evict_one();
+}
+
+void FifoCache::clear() {
+  queue_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+void FifoCache::evict_one() {
+  CDN_DCHECK(!queue_.empty(), "eviction from empty cache");
+  const Entry& victim = queue_.back();
+  used_ -= victim.bytes;
+  index_.erase(victim.key);
+  queue_.pop_back();
+  stats_.record_eviction();
+}
+
+}  // namespace cdn::cache

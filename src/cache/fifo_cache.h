@@ -1,0 +1,45 @@
+// First-In-First-Out byte-capacity cache: like LRU but hits do not refresh
+// an object's position.  Ablation baseline for the LRU model's sensitivity
+// to recency updates.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/cache/cache_policy.h"
+
+namespace cdn::cache {
+
+/// FIFO eviction: objects leave in admission order regardless of hits.
+class FifoCache final : public CachePolicy {
+ public:
+  explicit FifoCache(std::uint64_t capacity_bytes);
+
+  bool lookup(ObjectKey key) override;
+  void admit(ObjectKey key, std::uint64_t bytes) override;
+  bool erase(ObjectKey key) override;
+  bool contains(ObjectKey key) const override;
+  void set_capacity(std::uint64_t bytes) override;
+  void clear() override;
+
+  std::uint64_t capacity_bytes() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return used_; }
+  std::size_t object_count() const override { return index_.size(); }
+
+ private:
+  struct Entry {
+    ObjectKey key;
+    std::uint64_t bytes;
+  };
+
+  void evict_one();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<Entry> queue_;  // front = newest admission
+  std::unordered_map<ObjectKey, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace cdn::cache

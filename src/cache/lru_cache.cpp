@@ -1,0 +1,66 @@
+#include "src/cache/lru_cache.h"
+
+#include "src/util/error.h"
+
+namespace cdn::cache {
+
+LruCache::LruCache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+bool LruCache::lookup(ObjectKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  recency_.splice(recency_.begin(), recency_, it->second);
+  return true;
+}
+
+void LruCache::admit(ObjectKey key, std::uint64_t bytes) {
+  if (bytes > capacity_) return;
+  if (index_.contains(key)) return;
+  while (used_ + bytes > capacity_) evict_one();
+  recency_.push_front({key, bytes});
+  index_.emplace(key, recency_.begin());
+  used_ += bytes;
+}
+
+bool LruCache::erase(ObjectKey key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  used_ -= it->second->bytes;
+  recency_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool LruCache::contains(ObjectKey key) const { return index_.contains(key); }
+
+void LruCache::set_capacity(std::uint64_t bytes) {
+  capacity_ = bytes;
+  while (used_ > capacity_) evict_one();
+}
+
+void LruCache::clear() {
+  recency_.clear();
+  index_.clear();
+  used_ = 0;
+}
+
+ObjectKey LruCache::lru_key() const {
+  CDN_EXPECT(!recency_.empty(), "lru_key of empty cache");
+  return recency_.back().key;
+}
+
+ObjectKey LruCache::mru_key() const {
+  CDN_EXPECT(!recency_.empty(), "mru_key of empty cache");
+  return recency_.front().key;
+}
+
+void LruCache::evict_one() {
+  CDN_DCHECK(!recency_.empty(), "eviction from empty cache");
+  const Entry& victim = recency_.back();
+  used_ -= victim.bytes;
+  index_.erase(victim.key);
+  recency_.pop_back();
+  stats_.record_eviction();
+}
+
+}  // namespace cdn::cache

@@ -1,0 +1,53 @@
+// Least-Recently-Used byte-capacity cache — the policy modelled analytically
+// in Section 3.2 and simulated throughout the paper's evaluation.
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/cache/cache_policy.h"
+
+namespace cdn::cache {
+
+/// Classic LRU: hash map + intrusive recency list.  All operations O(1)
+/// amortised.  The recency list's front is the most-recent end (the "rear"
+/// of the buffer in the paper's Figure 1); eviction pops the back.
+class LruCache final : public CachePolicy {
+ public:
+  explicit LruCache(std::uint64_t capacity_bytes);
+
+  bool lookup(ObjectKey key) override;
+  void admit(ObjectKey key, std::uint64_t bytes) override;
+  bool erase(ObjectKey key) override;
+  bool contains(ObjectKey key) const override;
+  void set_capacity(std::uint64_t bytes) override;
+  void clear() override;
+
+  std::uint64_t capacity_bytes() const override { return capacity_; }
+  std::uint64_t used_bytes() const override { return used_; }
+  std::size_t object_count() const override { return index_.size(); }
+
+  /// Key that would be evicted next (the least recently used).
+  /// Requires a non-empty cache.
+  ObjectKey lru_key() const;
+
+  /// Key at the most-recent position.  Requires a non-empty cache.
+  ObjectKey mru_key() const;
+
+ private:
+  struct Entry {
+    ObjectKey key;
+    std::uint64_t bytes;
+  };
+
+  void evict_one();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<Entry> recency_;  // front = most recent
+  std::unordered_map<ObjectKey, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace cdn::cache

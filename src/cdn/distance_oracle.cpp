@@ -1,0 +1,71 @@
+#include "src/cdn/distance_oracle.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace cdn::sys {
+
+DistanceOracle::DistanceOracle(std::size_t servers, std::size_t sites,
+                               std::vector<double> server_server,
+                               std::vector<double> server_primary)
+    : servers_(servers),
+      sites_(sites),
+      server_server_(std::move(server_server)),
+      server_primary_(std::move(server_primary)) {
+  CDN_EXPECT(servers_ >= 1 && sites_ >= 1, "need servers and sites");
+  CDN_EXPECT(server_server_.size() == servers_ * servers_,
+             "server-server table must be N x N");
+  CDN_EXPECT(server_primary_.size() == servers_ * sites_,
+             "server-primary table must be N x M");
+  for (std::size_t i = 0; i < servers_; ++i) {
+    CDN_EXPECT(server_server_[i * servers_ + i] == 0.0,
+               "self-distance must be zero");
+    for (std::size_t k = 0; k < servers_; ++k) {
+      CDN_EXPECT(server_server_[i * servers_ + k] >= 0.0,
+                 "costs must be non-negative");
+      max_cost_ = std::max(max_cost_, server_server_[i * servers_ + k]);
+    }
+  }
+  for (double c : server_primary_) {
+    CDN_EXPECT(c >= 0.0, "costs must be non-negative");
+    max_cost_ = std::max(max_cost_, c);
+  }
+}
+
+DistanceOracle DistanceOracle::from_topology(
+    const topology::HopMatrix& hops,
+    std::span<const topology::NodeId> primary_nodes) {
+  const std::size_t n = hops.source_count();
+  const std::size_t m = primary_nodes.size();
+  CDN_EXPECT(n >= 1 && m >= 1, "need servers and primaries");
+  std::vector<double> ss(n * n);
+  std::vector<double> sp(n * m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double c = hops.cost(i, hops.source_node(k));
+      CDN_EXPECT(c != topology::kUnreachableDistance,
+                 "servers must be mutually reachable");
+      ss[i * n + k] = c;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      const double c = hops.cost(i, primary_nodes[j]);
+      CDN_EXPECT(c != topology::kUnreachableDistance,
+                 "primaries must be reachable from every server");
+      sp[i * m + j] = c;
+    }
+  }
+  return DistanceOracle(n, m, std::move(ss), std::move(sp));
+}
+
+double DistanceOracle::server_to_server(ServerIndex i, ServerIndex k) const {
+  CDN_EXPECT(i < servers_ && k < servers_, "server index out of range");
+  return server_server_[static_cast<std::size_t>(i) * servers_ + k];
+}
+
+double DistanceOracle::server_to_primary(ServerIndex i, SiteIndex j) const {
+  CDN_EXPECT(i < servers_ && j < sites_, "index out of range");
+  return server_primary_[static_cast<std::size_t>(i) * sites_ + j];
+}
+
+}  // namespace cdn::sys

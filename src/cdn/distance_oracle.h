@@ -1,0 +1,59 @@
+// Communication costs C(i, j) between CDN servers and to primary sites.
+//
+// Section 3: "the communication cost between two servers S(i) and S(j),
+// denoted by C(i, j), is the cumulative cost of the shortest path (e.g. the
+// total number of hops)", known a priori and symmetric.  Each site also has
+// a primary copy at an origin node; C(i, SP_j) is the cost from server i to
+// site j's primary.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/topology/shortest_paths.h"
+
+namespace cdn::sys {
+
+using ServerIndex = std::uint32_t;
+using SiteIndex = std::uint32_t;
+
+/// Dense hop-cost tables: server-to-server (N x N) and server-to-primary
+/// (N x M).  Immutable after construction.
+class DistanceOracle {
+ public:
+  /// Builds from explicit tables (row-major).  server_server must be
+  /// N x N with zero diagonal; server_primary N x M.  All costs >= 0.
+  DistanceOracle(std::size_t servers, std::size_t sites,
+                 std::vector<double> server_server,
+                 std::vector<double> server_primary);
+
+  /// Extracts the tables from a HopMatrix whose sources are the server
+  /// nodes.  `primary_nodes[j]` is the graph node hosting site j's primary.
+  static DistanceOracle from_topology(
+      const topology::HopMatrix& hops,
+      std::span<const topology::NodeId> primary_nodes);
+
+  std::size_t server_count() const noexcept { return servers_; }
+  std::size_t site_count() const noexcept { return sites_; }
+
+  /// C(i, k) between two servers; 0 when i == k.
+  double server_to_server(ServerIndex i, ServerIndex k) const;
+
+  /// C(i, SP_j) from server i to site j's primary origin.
+  double server_to_primary(ServerIndex i, SiteIndex j) const;
+
+  /// Largest finite entry across both tables (report scaling helper).
+  double max_cost() const noexcept { return max_cost_; }
+
+ private:
+  std::size_t servers_;
+  std::size_t sites_;
+  std::vector<double> server_server_;   // N x N
+  std::vector<double> server_primary_;  // N x M
+  double max_cost_ = 0.0;
+};
+
+}  // namespace cdn::sys

@@ -1,0 +1,65 @@
+#include "src/cdn/nearest_replica.h"
+
+#include "src/util/error.h"
+
+namespace cdn::sys {
+
+NearestReplicaIndex::NearestReplicaIndex(const DistanceOracle& distances,
+                                         const ReplicaPlacement& placement)
+    : distances_(&distances),
+      servers_(distances.server_count()),
+      sites_(distances.site_count()) {
+  CDN_EXPECT(placement.server_count() == servers_ &&
+                 placement.site_count() == sites_,
+             "placement and distances disagree on dimensions");
+  rebuild(placement);
+}
+
+void NearestReplicaIndex::rebuild(const ReplicaPlacement& placement) {
+  CDN_EXPECT(placement.server_count() == servers_ &&
+                 placement.site_count() == sites_,
+             "placement and distances disagree on dimensions");
+  table_.assign(servers_ * sites_, NearestCopy{});
+  for (std::size_t j = 0; j < sites_; ++j) {
+    const auto holders = placement.replicators(static_cast<SiteIndex>(j));
+    for (std::size_t i = 0; i < servers_; ++i) {
+      NearestCopy best;
+      best.at_primary = true;
+      best.cost = distances_->server_to_primary(static_cast<ServerIndex>(i),
+                                                static_cast<SiteIndex>(j));
+      for (ServerIndex holder : holders) {
+        const double c =
+            distances_->server_to_server(static_cast<ServerIndex>(i), holder);
+        if (c < best.cost) {
+          best = {false, holder, c};
+        }
+      }
+      table_[i * sites_ + j] = best;
+    }
+  }
+}
+
+double NearestReplicaIndex::cost(ServerIndex server, SiteIndex site) const {
+  return nearest(server, site).cost;
+}
+
+const NearestCopy& NearestReplicaIndex::nearest(ServerIndex server,
+                                                SiteIndex site) const {
+  CDN_EXPECT(server < servers_ && site < sites_, "index out of range");
+  return table_[static_cast<std::size_t>(server) * sites_ + site];
+}
+
+void NearestReplicaIndex::on_replica_added(ServerIndex holder,
+                                           SiteIndex site) {
+  CDN_EXPECT(holder < servers_ && site < sites_, "index out of range");
+  for (std::size_t i = 0; i < servers_; ++i) {
+    const double c =
+        distances_->server_to_server(static_cast<ServerIndex>(i), holder);
+    NearestCopy& cell = table_[i * sites_ + site];
+    if (c < cell.cost || (i == holder && c <= cell.cost)) {
+      cell = {false, holder, c};
+    }
+  }
+}
+
+}  // namespace cdn::sys

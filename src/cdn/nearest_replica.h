@@ -1,0 +1,57 @@
+// The nearest-replica index SN_j^(i) of Section 3.
+//
+// For every (server, site) pair this tracks the cheapest holder of a copy —
+// the server itself if it replicates the site, another replicator, or the
+// primary origin — and the corresponding redirection cost C(i, SN_j^(i)).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cdn/distance_oracle.h"
+#include "src/cdn/replication.h"
+
+namespace cdn::sys {
+
+/// Where a request is redirected on a local miss.
+struct NearestCopy {
+  /// True when the nearest copy is the site's primary origin node.
+  bool at_primary = true;
+  /// Holder server index (valid when !at_primary).
+  ServerIndex server = 0;
+  /// C(i, SN_j^(i)); 0 when the local server replicates the site.
+  double cost = 0.0;
+};
+
+/// Incrementally maintained SN matrix.  Construction assumes the placement's
+/// current replicas; on_replica_added() keeps it consistent as a greedy
+/// algorithm grows the placement (O(N) per replica).
+class NearestReplicaIndex {
+ public:
+  NearestReplicaIndex(const DistanceOracle& distances,
+                      const ReplicaPlacement& placement);
+
+  /// Redirection cost C(i, SN_j^(i)) (0 if replicated locally).
+  double cost(ServerIndex server, SiteIndex site) const;
+
+  /// Full nearest-copy record.
+  const NearestCopy& nearest(ServerIndex server, SiteIndex site) const;
+
+  /// Updates column `site` after `holder` gained a replica of it.
+  void on_replica_added(ServerIndex holder, SiteIndex site);
+
+  /// Rebuilds everything from `placement` (validation / after removals).
+  void rebuild(const ReplicaPlacement& placement);
+
+  std::size_t server_count() const noexcept { return servers_; }
+  std::size_t site_count() const noexcept { return sites_; }
+
+ private:
+  const DistanceOracle* distances_;
+  std::size_t servers_;
+  std::size_t sites_;
+  std::vector<NearestCopy> table_;  // N x M row-major
+};
+
+}  // namespace cdn::sys

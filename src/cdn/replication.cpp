@@ -1,0 +1,92 @@
+#include "src/cdn/replication.h"
+
+#include "src/util/error.h"
+
+namespace cdn::sys {
+
+ReplicaPlacement::ReplicaPlacement(
+    std::span<const std::uint64_t> server_storage,
+    std::span<const std::uint64_t> site_bytes)
+    : storage_(server_storage.begin(), server_storage.end()),
+      used_(server_storage.size(), 0),
+      site_bytes_(site_bytes.begin(), site_bytes.end()),
+      x_(server_storage.size() * site_bytes.size(), 0),
+      site_replica_counts_(site_bytes.size(), 0) {
+  CDN_EXPECT(!storage_.empty(), "need at least one server");
+  CDN_EXPECT(!site_bytes_.empty(), "need at least one site");
+  for (std::uint64_t b : site_bytes_) {
+    CDN_EXPECT(b > 0, "site sizes must be positive");
+  }
+}
+
+void ReplicaPlacement::check(ServerIndex server, SiteIndex site) const {
+  CDN_EXPECT(server < storage_.size(), "server index out of range");
+  CDN_EXPECT(site < site_bytes_.size(), "site index out of range");
+}
+
+bool ReplicaPlacement::is_replicated(ServerIndex server,
+                                     SiteIndex site) const {
+  check(server, site);
+  return x_[static_cast<std::size_t>(server) * site_bytes_.size() + site] != 0;
+}
+
+bool ReplicaPlacement::can_add(ServerIndex server, SiteIndex site) const {
+  check(server, site);
+  return !is_replicated(server, site) &&
+         used_[server] + site_bytes_[site] <= storage_[server];
+}
+
+void ReplicaPlacement::add(ServerIndex server, SiteIndex site) {
+  CDN_EXPECT(can_add(server, site),
+             "replica does not fit or already exists");
+  x_[static_cast<std::size_t>(server) * site_bytes_.size() + site] = 1;
+  used_[server] += site_bytes_[site];
+  ++site_replica_counts_[site];
+  ++replica_count_;
+}
+
+void ReplicaPlacement::remove(ServerIndex server, SiteIndex site) {
+  CDN_EXPECT(is_replicated(server, site), "replica does not exist");
+  x_[static_cast<std::size_t>(server) * site_bytes_.size() + site] = 0;
+  used_[server] -= site_bytes_[site];
+  --site_replica_counts_[site];
+  --replica_count_;
+}
+
+std::uint64_t ReplicaPlacement::storage_bytes(ServerIndex server) const {
+  CDN_EXPECT(server < storage_.size(), "server index out of range");
+  return storage_[server];
+}
+
+std::uint64_t ReplicaPlacement::used_bytes(ServerIndex server) const {
+  CDN_EXPECT(server < storage_.size(), "server index out of range");
+  return used_[server];
+}
+
+std::uint64_t ReplicaPlacement::free_bytes(ServerIndex server) const {
+  CDN_EXPECT(server < storage_.size(), "server index out of range");
+  return storage_[server] - used_[server];
+}
+
+std::size_t ReplicaPlacement::replicas_of_site(SiteIndex site) const {
+  CDN_EXPECT(site < site_bytes_.size(), "site index out of range");
+  return site_replica_counts_[site];
+}
+
+std::vector<ServerIndex> ReplicaPlacement::replicators(SiteIndex site) const {
+  CDN_EXPECT(site < site_bytes_.size(), "site index out of range");
+  std::vector<ServerIndex> out;
+  for (std::size_t i = 0; i < storage_.size(); ++i) {
+    if (x_[i * site_bytes_.size() + site]) {
+      out.push_back(static_cast<ServerIndex>(i));
+    }
+  }
+  return out;
+}
+
+std::uint64_t ReplicaPlacement::site_bytes(SiteIndex site) const {
+  CDN_EXPECT(site < site_bytes_.size(), "site index out of range");
+  return site_bytes_[site];
+}
+
+}  // namespace cdn::sys

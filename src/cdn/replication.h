@@ -1,0 +1,67 @@
+// The replication matrix X of Section 3.1 with storage-capacity accounting.
+//
+// X[i][j] = 1 iff site O_j is replicated at server S(i), subject to
+// sum_j X[i][j] * o_j <= s(i) for every server.  Primary copies live on
+// origin nodes outside the server set and are not part of X.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/cdn/distance_oracle.h"
+
+namespace cdn::sys {
+
+/// Mutable replica placement with per-server byte budgets.
+class ReplicaPlacement {
+ public:
+  /// `server_storage[i]` = s(i) in bytes; `site_bytes[j]` = o_j.
+  ReplicaPlacement(std::span<const std::uint64_t> server_storage,
+                   std::span<const std::uint64_t> site_bytes);
+
+  std::size_t server_count() const noexcept { return storage_.size(); }
+  std::size_t site_count() const noexcept { return site_bytes_.size(); }
+
+  bool is_replicated(ServerIndex server, SiteIndex site) const;
+
+  /// True if site j's replica fits in server i's remaining storage and is
+  /// not already there.
+  bool can_add(ServerIndex server, SiteIndex site) const;
+
+  /// Creates the replica.  Requires can_add().
+  void add(ServerIndex server, SiteIndex site);
+
+  /// Removes a replica (used by migration-style what-ifs).  Requires the
+  /// replica to exist.
+  void remove(ServerIndex server, SiteIndex site);
+
+  std::uint64_t storage_bytes(ServerIndex server) const;
+  std::uint64_t used_bytes(ServerIndex server) const;
+  std::uint64_t free_bytes(ServerIndex server) const;
+
+  /// Total number of replicas across all servers (the R of the paper's
+  /// complexity analysis).
+  std::size_t replica_count() const noexcept { return replica_count_; }
+
+  /// Number of servers holding site j.
+  std::size_t replicas_of_site(SiteIndex site) const;
+
+  /// Servers holding site j, ascending.
+  std::vector<ServerIndex> replicators(SiteIndex site) const;
+
+  std::uint64_t site_bytes(SiteIndex site) const;
+
+ private:
+  void check(ServerIndex server, SiteIndex site) const;
+
+  std::vector<std::uint64_t> storage_;
+  std::vector<std::uint64_t> used_;
+  std::vector<std::uint64_t> site_bytes_;
+  std::vector<std::uint8_t> x_;  // N x M, row-major
+  std::vector<std::uint32_t> site_replica_counts_;
+  std::size_t replica_count_ = 0;
+};
+
+}  // namespace cdn::sys

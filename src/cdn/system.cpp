@@ -1,0 +1,65 @@
+#include "src/cdn/system.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace cdn::sys {
+
+CdnSystem::CdnSystem(const workload::SiteCatalog& catalog,
+                     const workload::DemandMatrix& demand,
+                     const DistanceOracle& distances, double storage_fraction)
+    : catalog_(&catalog), demand_(&demand), distances_(&distances) {
+  CDN_EXPECT(storage_fraction > 0.0 && storage_fraction <= 1.0,
+             "storage fraction must be in (0, 1]");
+  const auto bytes = static_cast<std::uint64_t>(
+      storage_fraction * static_cast<double>(catalog.total_bytes()));
+  storage_.assign(distances.server_count(), bytes);
+  site_bytes_.resize(catalog.site_count());
+  for (std::size_t j = 0; j < site_bytes_.size(); ++j) {
+    site_bytes_[j] = catalog.site_bytes(static_cast<workload::SiteId>(j));
+  }
+  validate();
+}
+
+CdnSystem::CdnSystem(const workload::SiteCatalog& catalog,
+                     const workload::DemandMatrix& demand,
+                     const DistanceOracle& distances,
+                     std::vector<std::uint64_t> server_storage)
+    : catalog_(&catalog),
+      demand_(&demand),
+      distances_(&distances),
+      storage_(std::move(server_storage)) {
+  CDN_EXPECT(storage_.size() == distances.server_count(),
+             "one storage budget per server is required");
+  site_bytes_.resize(catalog.site_count());
+  for (std::size_t j = 0; j < site_bytes_.size(); ++j) {
+    site_bytes_[j] = catalog.site_bytes(static_cast<workload::SiteId>(j));
+  }
+  validate();
+}
+
+void CdnSystem::validate() const {
+  CDN_EXPECT(demand_->server_count() == distances_->server_count(),
+             "demand and distances disagree on server count");
+  CDN_EXPECT(demand_->site_count() == catalog_->site_count(),
+             "demand and catalog disagree on site count");
+  CDN_EXPECT(distances_->site_count() == catalog_->site_count(),
+             "distances and catalog disagree on site count");
+}
+
+std::uint64_t CdnSystem::server_storage(ServerIndex server) const {
+  CDN_EXPECT(server < storage_.size(), "server index out of range");
+  return storage_[server];
+}
+
+std::vector<double> CdnSystem::uncacheable_fractions() const {
+  std::vector<double> out(catalog_->site_count());
+  for (std::size_t j = 0; j < out.size(); ++j) {
+    out[j] =
+        catalog_->uncacheable_fraction(static_cast<workload::SiteId>(j));
+  }
+  return out;
+}
+
+}  // namespace cdn::sys

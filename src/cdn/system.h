@@ -1,0 +1,66 @@
+// Aggregate view of one CDN instance: the hosted sites, the demand they
+// attract, the distance tables, and the per-server storage budgets.  This is
+// the input contract shared by every placement algorithm and the simulator.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/cdn/distance_oracle.h"
+#include "src/workload/demand.h"
+#include "src/workload/site_catalog.h"
+
+namespace cdn::sys {
+
+/// Non-owning bundle; all referenced components must outlive it.
+class CdnSystem {
+ public:
+  /// `storage_fraction` sets every server's capacity to that fraction of
+  /// the cumulative site bytes (the paper's homogeneous-server setting).
+  CdnSystem(const workload::SiteCatalog& catalog,
+            const workload::DemandMatrix& demand,
+            const DistanceOracle& distances, double storage_fraction);
+
+  /// Heterogeneous variant with explicit per-server budgets.
+  CdnSystem(const workload::SiteCatalog& catalog,
+            const workload::DemandMatrix& demand,
+            const DistanceOracle& distances,
+            std::vector<std::uint64_t> server_storage);
+
+  const workload::SiteCatalog& catalog() const noexcept { return *catalog_; }
+  const workload::DemandMatrix& demand() const noexcept { return *demand_; }
+  const DistanceOracle& distances() const noexcept { return *distances_; }
+
+  std::size_t server_count() const noexcept {
+    return distances_->server_count();
+  }
+  std::size_t site_count() const noexcept { return catalog_->site_count(); }
+
+  /// s(i) in bytes.
+  std::uint64_t server_storage(ServerIndex server) const;
+
+  /// All budgets (length N).
+  const std::vector<std::uint64_t>& server_storage() const noexcept {
+    return storage_;
+  }
+
+  /// o_j for every site (length M), cached for placement algorithms.
+  const std::vector<std::uint64_t>& site_bytes() const noexcept {
+    return site_bytes_;
+  }
+
+  /// lambda_j for every site (length M).
+  std::vector<double> uncacheable_fractions() const;
+
+ private:
+  void validate() const;
+
+  const workload::SiteCatalog* catalog_;
+  const workload::DemandMatrix* demand_;
+  const DistanceOracle* distances_;
+  std::vector<std::uint64_t> storage_;
+  std::vector<std::uint64_t> site_bytes_;
+};
+
+}  // namespace cdn::sys

@@ -1,0 +1,70 @@
+#include "src/cluster/cluster_scheme.h"
+
+#include "src/util/error.h"
+
+namespace cdn::cluster {
+
+ClusterScheme::ClusterScheme(const workload::SiteCatalog& catalog,
+                             std::uint32_t clusters_per_site)
+    : clusters_per_site_(clusters_per_site),
+      objects_per_site_(
+          static_cast<std::uint32_t>(catalog.objects_per_site())) {
+  CDN_EXPECT(clusters_per_site >= 1, "need at least one cluster per site");
+  CDN_EXPECT(clusters_per_site <= catalog.objects_per_site(),
+             "cannot have more clusters than objects");
+
+  const auto& zipf = catalog.object_popularity();
+  const std::uint32_t L = objects_per_site_;
+  clusters_.reserve(catalog.site_count() * clusters_per_site);
+  for (workload::SiteId j = 0; j < catalog.site_count(); ++j) {
+    for (std::uint32_t c = 0; c < clusters_per_site; ++c) {
+      Cluster cl;
+      cl.site = j;
+      // Near-equal rank counts; remainders spread over the first clusters.
+      cl.first_rank = 1 + c * L / clusters_per_site;
+      cl.last_rank = (c + 1) * L / clusters_per_site;
+      CDN_CHECK(cl.first_rank <= cl.last_rank, "empty cluster");
+      for (std::uint32_t r = cl.first_rank; r <= cl.last_rank; ++r) {
+        cl.bytes += catalog.object_bytes(j, r);
+      }
+      cl.mass = zipf.cdf(cl.last_rank) -
+                (cl.first_rank > 1 ? zipf.cdf(cl.first_rank - 1) : 0.0);
+      clusters_.push_back(cl);
+    }
+  }
+}
+
+const Cluster& ClusterScheme::cluster(ClusterId id) const {
+  CDN_EXPECT(id < clusters_.size(), "cluster id out of range");
+  return clusters_[id];
+}
+
+ClusterId ClusterScheme::cluster_of(workload::SiteId site,
+                                    std::uint32_t rank) const {
+  CDN_EXPECT(rank >= 1 && rank <= objects_per_site_, "rank out of range");
+  // Invert the near-equal partition: candidate from the uniform split, then
+  // adjust by one if the remainder spreading moved the boundary.
+  const std::uint64_t base = static_cast<std::uint64_t>(site) *
+                             clusters_per_site_;
+  std::uint32_t c = static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(rank - 1) * clusters_per_site_) /
+      objects_per_site_);
+  while (c > 0 && clusters_[base + c].first_rank > rank) --c;
+  while (c + 1 < clusters_per_site_ && clusters_[base + c].last_rank < rank) {
+    ++c;
+  }
+  const ClusterId id = static_cast<ClusterId>(base + c);
+  CDN_DCHECK(clusters_[id].first_rank <= rank &&
+                 rank <= clusters_[id].last_rank,
+             "cluster_of inversion failed");
+  return id;
+}
+
+std::vector<std::uint64_t> ClusterScheme::cluster_bytes() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(clusters_.size());
+  for (const auto& c : clusters_) out.push_back(c.bytes);
+  return out;
+}
+
+}  // namespace cdn::cluster

@@ -1,0 +1,62 @@
+// Per-cluster replication granularity — the paper's future work.
+//
+// Section 5.3: "against a per-cluster replication scheme [6] hybrid will
+// again be the winner with the latency reduction varying in between the
+// per-site replication and the caching case ... Proving the validity of the
+// above claim is left for future work."  This module implements that
+// missing comparator: each site's objects are grouped into popularity
+// clusters (contiguous Zipf-rank ranges, the natural popularity-based
+// clustering of [6]), and replication is decided per cluster instead of per
+// site.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/site_catalog.h"
+
+namespace cdn::cluster {
+
+using ClusterId = std::uint32_t;
+
+/// One cluster: a contiguous popularity-rank range of one site.
+struct Cluster {
+  workload::SiteId site = 0;
+  std::uint32_t first_rank = 1;  // inclusive, 1-based
+  std::uint32_t last_rank = 1;   // inclusive
+  std::uint64_t bytes = 0;
+  /// Fraction of the parent site's requests hitting this cluster
+  /// (the Zipf mass of its rank range); sums to 1 per site.
+  double mass = 0.0;
+};
+
+/// Partition of every site's catalogue into `clusters_per_site` clusters of
+/// (near-)equal rank count.  Cluster ids are dense: site j's clusters are
+/// [j*C, (j+1)*C).
+class ClusterScheme {
+ public:
+  /// Requires 1 <= clusters_per_site <= objects_per_site.
+  ClusterScheme(const workload::SiteCatalog& catalog,
+                std::uint32_t clusters_per_site);
+
+  std::size_t cluster_count() const noexcept { return clusters_.size(); }
+  std::uint32_t clusters_per_site() const noexcept {
+    return clusters_per_site_;
+  }
+
+  const Cluster& cluster(ClusterId id) const;
+
+  /// Cluster holding (site, rank).
+  ClusterId cluster_of(workload::SiteId site, std::uint32_t rank) const;
+
+  /// Byte sizes of all clusters, in id order (for ReplicaPlacement).
+  std::vector<std::uint64_t> cluster_bytes() const;
+
+ private:
+  std::uint32_t clusters_per_site_;
+  std::uint32_t objects_per_site_;
+  std::vector<Cluster> clusters_;
+};
+
+}  // namespace cdn::cluster

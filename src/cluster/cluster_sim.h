@@ -1,0 +1,19 @@
+// Trace-driven simulation of a per-cluster replication scheme (pure
+// replication at cluster granularity — no caching, matching [6]).
+
+#pragma once
+
+#include "src/cdn/system.h"
+#include "src/cluster/cluster_replication.h"
+#include "src/sim/simulator.h"
+
+namespace cdn::cluster {
+
+/// Replays synthetic traffic against a cluster placement: a request whose
+/// cluster is replicated at the first-hop server is served locally; anything
+/// else is redirected to the cluster's nearest copy.
+sim::SimulationReport simulate_clusters(const sys::CdnSystem& system,
+                                        const ClusterPlacementResult& result,
+                                        const sim::SimulationConfig& config);
+
+}  // namespace cdn::cluster

@@ -1,0 +1,115 @@
+#include "src/core/experiment.h"
+
+#include <algorithm>
+
+#include "src/placement/baselines.h"
+#include "src/placement/fixed_split.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/util/error.h"
+
+namespace cdn::core {
+
+MechanismSpec replication_mechanism() {
+  return {"replication",
+          [](const sys::CdnSystem& s) { return placement::greedy_global(s); }};
+}
+
+MechanismSpec caching_mechanism() {
+  return {"caching",
+          [](const sys::CdnSystem& s) { return placement::pure_caching(s); }};
+}
+
+MechanismSpec hybrid_mechanism() {
+  return {"hybrid",
+          [](const sys::CdnSystem& s) { return placement::hybrid_greedy(s); }};
+}
+
+MechanismSpec fixed_split_mechanism(double cache_fraction) {
+  return {"cache" + util::format_double(100.0 * cache_fraction, 0) + "%",
+          [cache_fraction](const sys::CdnSystem& s) {
+            return placement::fixed_split(s, cache_fraction);
+          }};
+}
+
+MechanismSpec random_mechanism(std::uint64_t seed) {
+  return {"random", [seed](const sys::CdnSystem& s) {
+            util::Rng rng(seed);
+            return placement::random_placement(s, rng);
+          }};
+}
+
+MechanismSpec popularity_mechanism() {
+  return {"popularity", [](const sys::CdnSystem& s) {
+            return placement::popularity_placement(s);
+          }};
+}
+
+std::vector<MechanismRun> run_mechanisms(
+    const Scenario& scenario, const std::vector<MechanismSpec>& mechanisms,
+    const sim::SimulationConfig& sim_config) {
+  CDN_EXPECT(!mechanisms.empty(), "no mechanisms to run");
+  std::vector<MechanismRun> runs;
+  runs.reserve(mechanisms.size());
+  for (const auto& spec : mechanisms) {
+    MechanismRun run{.name = spec.name,
+                     .placement = spec.build(scenario.system()),
+                     .report = {}};
+    run.report = sim::simulate(scenario.system(), run.placement, sim_config);
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+util::TextTable summary_table(const std::vector<MechanismRun>& runs) {
+  util::TextTable table({"mechanism", "mean_ms", "p50_ms", "p90_ms", "p99_ms",
+                         "local%", "hops/req", "pred_hops/req", "replicas"});
+  for (const auto& run : runs) {
+    const auto& cdf = run.report.latency_cdf;
+    table.add_row({run.name, util::format_double(run.report.mean_latency_ms, 2),
+                   util::format_double(cdf.quantile(0.50), 2),
+                   util::format_double(cdf.quantile(0.90), 2),
+                   util::format_double(cdf.quantile(0.99), 2),
+                   util::format_double(100.0 * run.report.local_ratio, 1),
+                   util::format_double(run.report.mean_cost_hops, 3),
+                   util::format_double(
+                       run.placement.predicted_cost_per_request, 3),
+                   std::to_string(run.placement.replicas_created)});
+  }
+  return table;
+}
+
+std::string cdf_table(const std::vector<MechanismRun>& runs,
+                      std::size_t grid_points) {
+  CDN_EXPECT(!runs.empty(), "no runs to tabulate");
+  // Shared grid spanning the union of all latency ranges.
+  double lo = runs.front().report.latency_cdf.min();
+  double hi = runs.front().report.latency_cdf.max();
+  for (const auto& run : runs) {
+    lo = std::min(lo, run.report.latency_cdf.min());
+    hi = std::max(hi, run.report.latency_cdf.max());
+  }
+  std::vector<double> grid(grid_points);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    grid[g] = lo + (hi - lo) * static_cast<double>(g) /
+                       static_cast<double>(grid_points - 1);
+  }
+  std::vector<std::string> names;
+  std::vector<std::vector<util::CdfPoint>> curves;
+  for (const auto& run : runs) {
+    names.push_back(run.name);
+    curves.push_back(run.report.latency_cdf.at(grid));
+  }
+  return util::format_cdf_table(names, curves);
+}
+
+double mean_latency_gain_percent(const MechanismRun& baseline,
+                                 const MechanismRun& candidate) {
+  CDN_EXPECT(baseline.report.mean_latency_ms > 0.0,
+             "baseline latency must be positive");
+  return 100.0 *
+         (baseline.report.mean_latency_ms - candidate.report.mean_latency_ms) /
+         baseline.report.mean_latency_ms;
+}
+
+}  // namespace cdn::core

@@ -1,0 +1,61 @@
+// Experiment harness: run several content-delivery mechanisms on one
+// scenario, simulate each, and report the paper's metrics side by side
+// (response-time CDFs, means, hop costs, predicted-vs-measured).
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/scenario.h"
+#include "src/placement/placement_result.h"
+#include "src/sim/simulator.h"
+#include "src/util/cdf.h"
+#include "src/util/table.h"
+
+namespace cdn::core {
+
+/// A named placement strategy to evaluate.
+struct MechanismSpec {
+  std::string name;
+  std::function<placement::PlacementResult(const sys::CdnSystem&)> build;
+};
+
+/// Standard mechanisms of the paper's evaluation.
+MechanismSpec replication_mechanism();
+MechanismSpec caching_mechanism();
+MechanismSpec hybrid_mechanism();
+/// Ad-hoc fixed split with the given cache share (0.2 / 0.8 in Figure 5).
+MechanismSpec fixed_split_mechanism(double cache_fraction);
+MechanismSpec random_mechanism(std::uint64_t seed);
+MechanismSpec popularity_mechanism();
+
+/// Placement + simulation outcome of one mechanism.
+struct MechanismRun {
+  std::string name;
+  placement::PlacementResult placement;
+  sim::SimulationReport report;
+};
+
+/// Runs every mechanism on the scenario with a shared simulation
+/// configuration (same seed => same request stream for all mechanisms).
+std::vector<MechanismRun> run_mechanisms(
+    const Scenario& scenario, const std::vector<MechanismSpec>& mechanisms,
+    const sim::SimulationConfig& sim_config);
+
+/// Summary table: mean / median / p90 / p99 latency, local ratio, measured
+/// hop cost, model-predicted hop cost, replica count.
+util::TextTable summary_table(const std::vector<MechanismRun>& runs);
+
+/// Response-time CDFs of all runs on a shared latency grid (ms) — the
+/// textual rendering of the paper's Figures 3-5 panels.
+std::string cdf_table(const std::vector<MechanismRun>& runs,
+                      std::size_t grid_points = 25);
+
+/// Relative mean-latency gain of `candidate` over `baseline` in percent
+/// (positive = candidate is faster).
+double mean_latency_gain_percent(const MechanismRun& baseline,
+                                 const MechanismRun& candidate);
+
+}  // namespace cdn::core

@@ -1,0 +1,96 @@
+#include "src/core/scenario.h"
+
+#include <unordered_set>
+
+#include "src/redirect/client_population.h"
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace cdn::core {
+
+Scenario::Scenario(ScenarioConfig config) : config_(std::move(config)) {
+  CDN_EXPECT(config_.server_count >= 1, "need at least one server");
+
+  util::Rng rng(config_.seed);
+  std::size_t num_sites = 0;
+  for (const auto& c : config_.classes) num_sites += c.site_count;
+
+  // 1 + 2. Network substrate, then server and primary placement.  With the
+  //    transit-stub model both go inside random stub domains (the paper's
+  //    rule); Waxman graphs have no stub structure, so placements are
+  //    uniform over distinct nodes.  Servers get distinct nodes; a single
+  //    draw covers both sets so servers and primaries stay distinct.
+  util::Rng topo_rng = rng.fork(1);
+  util::Rng place_rng = rng.fork(2);
+  std::vector<topology::NodeId> nodes;
+  if (config_.topology_model == TopologyModel::kWaxman) {
+    waxman_topo_ = std::make_unique<topology::WaxmanTopology>(
+        topology::generate_waxman(config_.waxman, topo_rng));
+    graph_ = &waxman_topo_->graph;
+    const std::size_t wanted = config_.server_count + num_sites;
+    CDN_EXPECT(wanted <= graph_->node_count(),
+               "more placements requested than graph nodes exist");
+    std::unordered_set<topology::NodeId> used;
+    while (nodes.size() < wanted) {
+      const auto v = static_cast<topology::NodeId>(
+          place_rng.uniform_index(graph_->node_count()));
+      if (used.insert(v).second) nodes.push_back(v);
+    }
+  } else {
+    topo_ = std::make_unique<topology::TransitStubTopology>(
+        topology::generate_transit_stub(config_.topology, topo_rng));
+    graph_ = &topo_->graph;
+    nodes = topology::place_in_stub_domains(
+        *topo_, config_.server_count + num_sites, place_rng,
+        /*distinct_nodes=*/true);
+  }
+  server_nodes_.assign(nodes.begin(),
+                       nodes.begin() + static_cast<std::ptrdiff_t>(
+                                           config_.server_count));
+  primary_nodes_.assign(
+      nodes.begin() + static_cast<std::ptrdiff_t>(config_.server_count),
+      nodes.end());
+
+  // 3. Hop costs from every server to all nodes (BFS, parallel).
+  hops_ = std::make_unique<topology::HopMatrix>(*graph_, server_nodes_);
+  distances_ = std::make_unique<sys::DistanceOracle>(
+      sys::DistanceOracle::from_topology(*hops_, primary_nodes_));
+
+  // 4. Sites and demand.
+  util::Rng workload_rng = rng.fork(3);
+  catalog_ = std::make_unique<workload::SiteCatalog>(
+      workload::SiteCatalog::generate(config_.surge, config_.classes,
+                                      workload_rng));
+  catalog_->set_uncacheable_fraction(config_.uncacheable_fraction);
+
+  util::Rng demand_rng = rng.fork(4);
+  if (config_.demand_model == DemandModel::kClientPopulation) {
+    const redirect::ClientPopulation clients(*hops_);
+    demand_ = std::make_unique<workload::DemandMatrix>(clients.derive_demand(
+        *catalog_, config_.demand_total, demand_rng,
+        config_.client_demand_jitter));
+  } else {
+    demand_ = std::make_unique<workload::DemandMatrix>(
+        workload::DemandMatrix::generate(*catalog_, config_.server_count,
+                                         config_.demand_total, demand_rng));
+  }
+
+  // 5. The assembled system.
+  system_ = std::make_unique<sys::CdnSystem>(
+      *catalog_, *demand_, *distances_, config_.storage_fraction);
+}
+
+const topology::TransitStubTopology& Scenario::topology() const {
+  CDN_EXPECT(topo_ != nullptr,
+             "scenario was built with a non-transit-stub topology");
+  return *topo_;
+}
+
+const topology::WaxmanTopology& Scenario::waxman_topology() const {
+  CDN_EXPECT(waxman_topo_ != nullptr,
+             "scenario was built with a non-Waxman topology");
+  return *waxman_topo_;
+}
+
+}  // namespace cdn::core

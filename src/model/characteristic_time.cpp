@@ -1,0 +1,101 @@
+#include "src/model/characteristic_time.h"
+
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace cdn::model {
+
+double characteristic_time_exact(std::uint64_t slots,
+                                 double top_b_probability) {
+  CDN_EXPECT(top_b_probability >= 0.0 && top_b_probability < 1.0,
+             "p_B must be in [0, 1)");
+  if (slots == 0) return 0.0;
+  if (slots == 1) return 1.0;
+  const double b = static_cast<double>(slots);
+  const double c = top_b_probability / (b - 1.0);
+  double k = 0.0;
+  for (std::uint64_t i = 1; i <= slots; ++i) {
+    k += 1.0 / (1.0 - static_cast<double>(i - 1) * c);
+  }
+  return k;
+}
+
+double digamma(double x) {
+  CDN_EXPECT(x > 0.0, "digamma requires a positive argument");
+  double result = 0.0;
+  // Shift into the asymptotic region with psi(x) = psi(x+1) - 1/x.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic series: ln x - 1/(2x) - 1/(12x^2) + 1/(120x^4) - 1/(252x^6).
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+double characteristic_time_closed_form(std::uint64_t slots,
+                                       double top_b_probability) {
+  CDN_EXPECT(top_b_probability >= 0.0 && top_b_probability < 1.0,
+             "p_B must be in [0, 1)");
+  if (slots == 0) return 0.0;
+  if (slots == 1) return 1.0;
+  const double b = static_cast<double>(slots);
+  const double p = top_b_probability;
+  if (p < 1e-12) return b;  // limit of the sum as p_B -> 0
+  // sum_{m=0..B-1} 1/(1 - m*c) = a * [psi(a+1) - psi(a+1-B)], a = 1/c.
+  const double a = (b - 1.0) / p;
+  return a * (digamma(a + 1.0) - digamma(a + 1.0 - b));
+}
+
+double top_b_cumulative_probability(std::span<const double> site_weights,
+                                    const util::ZipfDistribution& zipf,
+                                    std::uint64_t slots) {
+  if (slots == 0) return 0.0;
+  const std::size_t ranks = zipf.size();
+
+  // Count available objects across sites with positive weight.
+  std::size_t available_sites = 0;
+  for (double w : site_weights) {
+    CDN_EXPECT(w >= 0.0, "site weights must be non-negative");
+    if (w > 0.0) ++available_sites;
+  }
+  if (available_sites == 0) return 0.0;
+  if (slots >= static_cast<std::uint64_t>(available_sites) * ranks) {
+    return 1.0;  // everything fits
+  }
+
+  // K-way merge over per-site descending popularity sequences.
+  struct Head {
+    double prob;
+    std::uint32_t site;
+    std::uint32_t rank;  // 1-based
+    bool operator<(const Head& o) const { return prob < o.prob; }
+  };
+  std::priority_queue<Head> heap;
+  for (std::size_t j = 0; j < site_weights.size(); ++j) {
+    if (site_weights[j] > 0.0) {
+      heap.push({site_weights[j] * zipf.pmf(1), static_cast<std::uint32_t>(j),
+                 1});
+    }
+  }
+  double cumulative = 0.0;
+  for (std::uint64_t taken = 0; taken < slots && !heap.empty(); ++taken) {
+    const Head top = heap.top();
+    heap.pop();
+    cumulative += top.prob;
+    if (top.rank < ranks) {
+      heap.push({site_weights[top.site] * zipf.pmf(top.rank + 1), top.site,
+                 top.rank + 1});
+    }
+  }
+  // Guard against floating accumulation pushing past 1.
+  return cumulative < 1.0 ? cumulative : 1.0 - 1e-12;
+}
+
+}  // namespace cdn::model

@@ -1,0 +1,53 @@
+// The characteristic time K of the paper's LRU model (Section 3.2, Eq. 2).
+//
+// An object inserted at the rear of a B-slot LRU buffer and never requested
+// again is evicted after K request slots.  With the paper's simplifying
+// assumption — positions in front of the object hold the B most popular
+// objects, whose cumulative request probability is p_B — the expected time
+// at position i is t_i = 1 / (1 - p_i) with p_i = (i-1) * p_B / (B-1), and
+//
+//     K = sum_{i=1..B} 1 / (1 - (i-1) * p_B / (B-1)).          (Eq. 2)
+//
+// Both the exact O(B) sum and a closed-form O(1) approximation (trapezoid-
+// corrected integral) are provided; the greedy algorithm uses the closed
+// form, tests bound the difference.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/util/zipf.h"
+
+namespace cdn::model {
+
+/// Exact Eq. 2 sum.  Requires slots >= 0 and top_b_probability in [0, 1).
+/// Returns 0 for an empty buffer.
+double characteristic_time_exact(std::uint64_t slots,
+                                 double top_b_probability);
+
+/// Closed form via the digamma function:
+///   sum_{m=0..B-1} 1/(1 - m*c) = (1/c) * [psi(a+1) - psi(a+1-B)],
+/// with c = p_B/(B-1) and a = 1/c.  Exact up to digamma precision (~1e-12),
+/// O(1) regardless of B — this is what the greedy algorithm evaluates per
+/// candidate.
+double characteristic_time_closed_form(std::uint64_t slots,
+                                       double top_b_probability);
+
+/// Digamma psi(x) for x > 0 (recurrence into the asymptotic region).
+/// Exposed for testing.
+double digamma(double x);
+
+/// Cumulative request probability of the B most popular *cacheable* objects
+/// at a server (the p_B of Eq. 2).
+///
+/// `site_weights[j]` is the (renormalised) probability that a cacheable
+/// request targets site j; within a site, object ranks follow `zipf`.  The
+/// object universe is the multiset { site_weights[j] * zipf.pmf(k) }, and
+/// the function sums the `slots` largest values via a k-way merge in
+/// O(B log M).  Returns 1 if `slots` >= the number of available objects.
+double top_b_cumulative_probability(std::span<const double> site_weights,
+                                    const util::ZipfDistribution& zipf,
+                                    std::uint64_t slots);
+
+}  // namespace cdn::model

@@ -1,0 +1,70 @@
+#include "src/model/hit_ratio_curve.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace cdn::model {
+
+double lru_hit_ratio_exact(const util::ZipfDistribution& zipf, double p,
+                           double K) {
+  CDN_EXPECT(p >= 0.0 && p <= 1.0, "site popularity must be in [0, 1]");
+  CDN_EXPECT(K >= 0.0, "characteristic time must be non-negative");
+  if (p == 0.0 || K == 0.0) return 0.0;
+  const auto q = zipf.probabilities();
+  double h = 0.0;
+  for (double qk : q) {
+    const double x = p * qk;
+    // (1 - x)^K = exp(K * log1p(-x)); x < 1 always since p, qk <= 1 and the
+    // degenerate x == 1 case (single object, p == 1) yields survival 0.
+    const double survival = x >= 1.0 ? 0.0 : std::exp(K * std::log1p(-x));
+    h += qk * (1.0 - survival);
+  }
+  return h;
+}
+
+double lru_hit_ratio_exponential(const util::ZipfDistribution& zipf,
+                                 double z) {
+  CDN_EXPECT(z >= 0.0, "z must be non-negative");
+  const auto q = zipf.probabilities();
+  double h = 0.0;
+  for (double qk : q) {
+    h += qk * (1.0 - std::exp(-z * qk));
+  }
+  return h;
+}
+
+HitRatioCurve::HitRatioCurve(const util::ZipfDistribution& zipf,
+                             std::size_t grid_points, double z_min,
+                             double z_max)
+    : z_min_(z_min), z_max_(z_max) {
+  CDN_EXPECT(grid_points >= 2, "grid needs at least 2 points");
+  CDN_EXPECT(z_min > 0.0 && z_min < z_max, "need 0 < z_min < z_max");
+  values_.resize(grid_points);
+  log_z_min_ = std::log(z_min);
+  const double log_step =
+      (std::log(z_max) - log_z_min_) / static_cast<double>(grid_points - 1);
+  inv_log_step_ = 1.0 / log_step;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double z = std::exp(log_z_min_ + log_step * static_cast<double>(i));
+    values_[i] = lru_hit_ratio_exponential(zipf, z);
+  }
+}
+
+double HitRatioCurve::evaluate_z(double z) const {
+  CDN_DCHECK(z >= 0.0, "z must be non-negative");
+  if (z <= 0.0) return 0.0;
+  if (z <= z_min_) {
+    // H is ~linear in z near 0 (H(z) ~ z * sum q_k^2); interpolate through
+    // the origin.
+    return values_.front() * (z / z_min_);
+  }
+  if (z >= z_max_) return values_.back();
+  const double pos = (std::log(z) - log_z_min_) * inv_log_step_;
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = lo + 1 < values_.size() ? lo + 1 : lo;
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+}  // namespace cdn::model

@@ -1,0 +1,65 @@
+// The per-site LRU hit ratio of Eq. 1 and its fast tabulated evaluator.
+//
+// Eq. 1:  h(p, K) = sum_{k=1..L} [1 - (1 - p * q_k)^K] * q_k,
+// where q_k = alpha / k^theta is the within-site Zipf pmf and p is the
+// site's (renormalised) popularity at the server.
+//
+// Inside the hybrid greedy this is evaluated O(M^2 N) times per iteration,
+// so the paper tabulates it off-line.  We exploit the structure
+// (1 - p q)^K = exp(K ln(1 - p q)) ~ exp(-K p q) for the small p*q_k values
+// that occur in practice, making h a function of the single variable
+// z = K * p:
+//
+//     H(z) = sum_k q_k * (1 - exp(-z * q_k)),
+//
+// tabulated once per (theta, L) on a logarithmic z grid.  Tests bound the
+// table-vs-exact error; Figure 6 validates model-vs-simulation end to end.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/zipf.h"
+
+namespace cdn::model {
+
+/// Exact Eq. 1 evaluation, O(L) pow calls.  Requires p in [0, 1], K >= 0.
+double lru_hit_ratio_exact(const util::ZipfDistribution& zipf, double p,
+                           double K);
+
+/// Exponential-approximation of Eq. 1 without tabulation (reference for the
+/// table; same z = K*p dependence).
+double lru_hit_ratio_exponential(const util::ZipfDistribution& zipf,
+                                 double z);
+
+/// Tabulated H(z) with linear interpolation on a log-spaced grid.
+/// Immutable after construction; cheap to share across servers.
+class HitRatioCurve {
+ public:
+  /// Builds the table for the given within-site popularity law.
+  /// `grid_points` >= 2; the grid spans [z_min, z_max] logarithmically,
+  /// H(0) = 0 and H(z > z_max) clamps to H(z_max) (which is ~1 for any
+  /// realistic grid).
+  explicit HitRatioCurve(const util::ZipfDistribution& zipf,
+                         std::size_t grid_points = 2048, double z_min = 1e-4,
+                         double z_max = 1e8);
+
+  /// H(K * p): the modelled LRU hit ratio for a site with popularity p at a
+  /// server whose characteristic time is K.
+  double evaluate(double p, double K) const { return evaluate_z(p * K); }
+
+  /// H(z) by interpolation.
+  double evaluate_z(double z) const;
+
+  std::size_t grid_points() const noexcept { return values_.size(); }
+  double z_min() const noexcept { return z_min_; }
+  double z_max() const noexcept { return z_max_; }
+
+ private:
+  double z_min_, z_max_;
+  double log_z_min_, inv_log_step_;
+  std::vector<double> values_;
+};
+
+}  // namespace cdn::model

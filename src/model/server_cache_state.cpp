@@ -1,0 +1,145 @@
+#include "src/model/server_cache_state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/error.h"
+
+namespace cdn::model {
+
+ServerCacheState::ServerCacheState(std::span<const double> site_rates,
+                                   std::span<const std::uint64_t> site_bytes,
+                                   std::span<const double> lambdas,
+                                   std::uint64_t storage_bytes,
+                                   double mean_object_bytes,
+                                   const util::ZipfDistribution& zipf,
+                                   const HitRatioCurve& curve, PbMode pb_mode)
+    : rates_(site_rates.begin(), site_rates.end()),
+      bytes_(site_bytes.begin(), site_bytes.end()),
+      lambdas_(lambdas.begin(), lambdas.end()),
+      replicated_(site_rates.size(), false),
+      zipf_(&zipf),
+      curve_(&curve),
+      pb_mode_(pb_mode),
+      mean_object_bytes_(mean_object_bytes),
+      cache_bytes_(storage_bytes) {
+  CDN_EXPECT(!rates_.empty(), "need at least one site");
+  CDN_EXPECT(bytes_.size() == rates_.size() && lambdas_.size() == rates_.size(),
+             "site arrays must have equal length");
+  CDN_EXPECT(mean_object_bytes > 0.0, "mean object size must be positive");
+  double total = 0.0;
+  for (double r : rates_) {
+    CDN_EXPECT(r >= 0.0, "request rates must be non-negative");
+    total += r;
+  }
+  for (double l : lambdas_) {
+    CDN_EXPECT(l >= 0.0 && l <= 1.0, "lambda must be in [0, 1]");
+  }
+  popularity_.resize(rates_.size());
+  for (std::size_t j = 0; j < rates_.size(); ++j) {
+    popularity_[j] = total > 0.0 ? rates_[j] / total : 0.0;
+  }
+  w_ = total > 0.0 ? 1.0 : 0.0;
+
+  slots_ = static_cast<std::uint64_t>(static_cast<double>(cache_bytes_) /
+                                      mean_object_bytes_);
+  // Initial p_B over the full (nothing replicated) cacheable set.
+  std::vector<double> weights(popularity_);
+  p_b_ = top_b_cumulative_probability(weights, *zipf_, slots_);
+  if (p_b_ >= 1.0) p_b_ = 1.0 - 1e-12;
+  recompute_k();
+}
+
+void ServerCacheState::recompute_k() {
+  slots_ = static_cast<std::uint64_t>(static_cast<double>(cache_bytes_) /
+                                      mean_object_bytes_);
+  k_ = characteristic_time_closed_form(slots_, p_b_);
+}
+
+double ServerCacheState::hit_ratio_internal(std::uint32_t site, double w,
+                                            double k) const {
+  if (w <= 0.0 || k <= 0.0) return 0.0;
+  const double p = popularity_[site] / w;
+  const double h = curve_->evaluate(std::min(p, 1.0), k);
+  return (1.0 - lambdas_[site]) * h;
+}
+
+double ServerCacheState::hit_ratio(std::uint32_t site) const {
+  CDN_EXPECT(site < rates_.size(), "site out of range");
+  if (replicated_[site]) return 0.0;
+  return hit_ratio_internal(site, w_, k_);
+}
+
+bool ServerCacheState::is_replicated(std::uint32_t site) const {
+  CDN_EXPECT(site < rates_.size(), "site out of range");
+  return replicated_[site];
+}
+
+bool ServerCacheState::can_fit(std::uint32_t site) const {
+  CDN_EXPECT(site < rates_.size(), "site out of range");
+  return bytes_[site] <= cache_bytes_;
+}
+
+double ServerCacheState::renormalized_popularity(std::uint32_t site) const {
+  CDN_EXPECT(site < rates_.size(), "site out of range");
+  if (replicated_[site] || w_ <= 0.0) return 0.0;
+  return popularity_[site] / w_;
+}
+
+ServerCacheState::WhatIf ServerCacheState::what_if_replicate(
+    std::uint32_t site) const {
+  CDN_EXPECT(site < rates_.size(), "site out of range");
+  CDN_EXPECT(!replicated_[site], "site already replicated");
+  CDN_EXPECT(can_fit(site), "replica does not fit in remaining space");
+  WhatIf w;
+  w.parent_ = this;
+  w.replicating_ = site;
+  w.w_new_ = std::max(0.0, w_ - popularity_[site]);
+  const std::uint64_t cache_new = cache_bytes_ - bytes_[site];
+  const auto slots_new = static_cast<std::uint64_t>(
+      static_cast<double>(cache_new) / mean_object_bytes_);
+  w.k_new_ = characteristic_time_closed_form(slots_new, p_b_);
+  return w;
+}
+
+double ServerCacheState::WhatIf::hit_ratio(std::uint32_t site) const {
+  CDN_DCHECK(site != replicating_,
+             "hit ratio of the site being replicated is undefined");
+  if (parent_->replicated_[site]) return 0.0;
+  return parent_->hit_ratio_internal(site, w_new_, k_new_);
+}
+
+void ServerCacheState::replicate(std::uint32_t site) {
+  CDN_EXPECT(site < rates_.size(), "site out of range");
+  CDN_EXPECT(!replicated_[site], "site already replicated");
+  CDN_EXPECT(can_fit(site), "replica does not fit in remaining space");
+  replicated_[site] = true;
+  cache_bytes_ -= bytes_[site];
+  w_ = std::max(0.0, w_ - popularity_[site]);
+  if (pb_mode_ == PbMode::kPerIteration) {
+    refresh_pb();
+  } else {
+    recompute_k();
+  }
+}
+
+void ServerCacheState::refresh_pb() {
+  if (pb_mode_ != PbMode::kPerIteration) return;
+  slots_ = static_cast<std::uint64_t>(static_cast<double>(cache_bytes_) /
+                                      mean_object_bytes_);
+  if (w_ <= 0.0 || slots_ == 0) {
+    p_b_ = 0.0;
+    k_ = characteristic_time_closed_form(slots_, p_b_);
+    return;
+  }
+  std::vector<double> weights(popularity_.size(), 0.0);
+  for (std::size_t j = 0; j < popularity_.size(); ++j) {
+    if (!replicated_[j]) weights[j] = popularity_[j] / w_;
+  }
+  p_b_ = top_b_cumulative_probability(weights, *zipf_, slots_);
+  if (p_b_ >= 1.0) p_b_ = 1.0 - 1e-12;
+  recompute_k();
+}
+
+}  // namespace cdn::model

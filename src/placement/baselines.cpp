@@ -1,0 +1,70 @@
+#include "src/placement/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/placement/model_support.h"
+
+namespace cdn::placement {
+
+namespace {
+
+PlacementResult finalize(const sys::CdnSystem& system,
+                         sys::ReplicaPlacement placement,
+                         std::string algorithm) {
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+  PlacementResult result{.algorithm = std::move(algorithm),
+                         .placement = std::move(placement),
+                         .nearest = std::move(nearest)};
+  ModelContext context(system, model::PbMode::kPerIteration);
+  const auto states = context.make_states(&result.placement);
+  finalize_result(system, states, result);
+  result.cost_trajectory.push_back(result.predicted_total_cost);
+  return result;
+}
+
+}  // namespace
+
+PlacementResult random_placement(const sys::CdnSystem& system,
+                                 util::Rng& rng) {
+  sys::ReplicaPlacement placement(system.server_storage(),
+                                  system.site_bytes());
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+
+  // Visit (server, site) cells in random order; add every one that fits.
+  std::vector<std::size_t> cells(n * m);
+  std::iota(cells.begin(), cells.end(), 0);
+  for (std::size_t i = cells.size(); i > 1; --i) {
+    std::swap(cells[i - 1], cells[rng.uniform_index(i)]);
+  }
+  for (std::size_t cell : cells) {
+    const auto server = static_cast<sys::ServerIndex>(cell / m);
+    const auto site = static_cast<sys::SiteIndex>(cell % m);
+    if (placement.can_add(server, site)) placement.add(server, site);
+  }
+  return finalize(system, std::move(placement), "random");
+}
+
+PlacementResult popularity_placement(const sys::CdnSystem& system) {
+  sys::ReplicaPlacement placement(system.server_storage(),
+                                  system.site_bytes());
+  const std::size_t m = system.site_count();
+
+  std::vector<sys::SiteIndex> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](sys::SiteIndex a, sys::SiteIndex b) {
+              return system.demand().site_total(a) >
+                     system.demand().site_total(b);
+            });
+  for (std::size_t i = 0; i < system.server_count(); ++i) {
+    const auto server = static_cast<sys::ServerIndex>(i);
+    for (sys::SiteIndex site : order) {
+      if (placement.can_add(server, site)) placement.add(server, site);
+    }
+  }
+  return finalize(system, std::move(placement), "popularity");
+}
+
+}  // namespace cdn::placement

@@ -1,0 +1,24 @@
+// Sanity baselines beyond the paper: random and popularity-ranked replica
+// placement.  Useful for tests (greedy must beat them) and extensions.
+
+#pragma once
+
+#include "src/cdn/system.h"
+#include "src/placement/placement_result.h"
+#include "src/util/rng.h"
+
+namespace cdn::placement {
+
+/// Fills each server's storage with uniformly random feasible replicas.
+/// The leftover space is modelled as cache, so the comparison against the
+/// hybrid algorithm isolates *where* replicas go, not whether caching runs.
+PlacementResult random_placement(const sys::CdnSystem& system,
+                                 util::Rng& rng);
+
+/// Every server replicates the globally most-requested sites that still
+/// fit, in descending demand order.  The classic "cache the head of the
+/// Zipf" strawman: ignores distance and duplicates the same sites
+/// everywhere.
+PlacementResult popularity_placement(const sys::CdnSystem& system);
+
+}  // namespace cdn::placement

@@ -1,0 +1,72 @@
+#include "src/placement/fixed_split.h"
+
+#include <string>
+
+#include "src/cdn/cost.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/model_support.h"
+#include "src/util/error.h"
+#include "src/util/table.h"
+
+namespace cdn::placement {
+
+PlacementResult fixed_split(const sys::CdnSystem& system,
+                            double cache_fraction) {
+  CDN_EXPECT(cache_fraction >= 0.0 && cache_fraction <= 1.0,
+             "cache fraction must be in [0, 1]");
+
+  // Replication sees only the non-cache share of each server.
+  std::vector<std::uint64_t> replica_budgets(system.server_count());
+  for (std::size_t i = 0; i < replica_budgets.size(); ++i) {
+    replica_budgets[i] = static_cast<std::uint64_t>(
+        (1.0 - cache_fraction) *
+        static_cast<double>(
+            system.server_storage(static_cast<sys::ServerIndex>(i))));
+  }
+  PlacementResult greedy = greedy_global_with_budgets(system, replica_budgets);
+
+  // Re-house the chosen replicas under the full storage budgets so that
+  // free_bytes() reports the true cache space (reserved share + slack).
+  sys::ReplicaPlacement placement(system.server_storage(),
+                                  system.site_bytes());
+  for (std::size_t i = 0; i < system.server_count(); ++i) {
+    for (std::size_t j = 0; j < system.site_count(); ++j) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      const auto site = static_cast<sys::SiteIndex>(j);
+      if (greedy.placement.is_replicated(server, site)) {
+        placement.add(server, site);
+      }
+    }
+  }
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+
+  PlacementResult result{
+      .algorithm = "fixed-split-" +
+                   util::format_double(100.0 * cache_fraction, 0) + "%cache",
+      .placement = std::move(placement),
+      .nearest = std::move(nearest)};
+  result.cost_trajectory = std::move(greedy.cost_trajectory);
+
+  // Model the leftover caches post-hoc.  kPerIteration keeps p_B consistent
+  // with the actual (post-replica) cache sizes.
+  ModelContext context(system, model::PbMode::kPerIteration);
+  const auto states = context.make_states(&result.placement);
+  finalize_result(system, states, result);
+  return result;
+}
+
+PlacementResult pure_caching(const sys::CdnSystem& system) {
+  sys::ReplicaPlacement placement(system.server_storage(),
+                                  system.site_bytes());
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+  PlacementResult result{.algorithm = "caching",
+                         .placement = std::move(placement),
+                         .nearest = std::move(nearest)};
+  ModelContext context(system, model::PbMode::kAtInit);
+  const auto states = context.make_states();
+  finalize_result(system, states, result);
+  result.cost_trajectory.push_back(result.predicted_total_cost);
+  return result;
+}
+
+}  // namespace cdn::placement

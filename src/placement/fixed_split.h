@@ -1,0 +1,27 @@
+// Ad-hoc fixed cache/replica storage splits (Figure 5's comparators).
+//
+// "What if we allocate a fixed percentage of the storage space to caching
+// and run the greedy global replication algorithm for the remaining part?"
+// The paper tests 20% and 80% cache (plus 40%/60% mentioned in the text)
+// and shows the hybrid algorithm beats all of them.
+
+#pragma once
+
+#include "src/cdn/system.h"
+#include "src/placement/placement_result.h"
+
+namespace cdn::placement {
+
+/// Reserves `cache_fraction` of every server's storage for caching, runs
+/// greedy-global replication on the rest, then models the leftover caches
+/// post-hoc (so the result carries comparable hit ratios and predictions).
+/// cache_fraction in [0, 1]; 0 degenerates to pure replication with a
+/// cache only in the slack space, 1 to pure caching.
+PlacementResult fixed_split(const sys::CdnSystem& system,
+                            double cache_fraction);
+
+/// Pure caching — all storage is cache, no replicas beyond the primaries
+/// (Section 5.2 mechanism #2).
+PlacementResult pure_caching(const sys::CdnSystem& system);
+
+}  // namespace cdn::placement

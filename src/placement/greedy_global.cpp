@@ -1,0 +1,107 @@
+#include "src/placement/greedy_global.h"
+
+#include <algorithm>
+
+#include "src/cdn/cost.h"
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+
+namespace cdn::placement {
+
+namespace {
+
+struct Candidate {
+  double benefit = 0.0;
+  sys::ServerIndex server = 0;
+  sys::SiteIndex site = 0;
+  bool valid = false;
+};
+
+/// Benefit of replicating `site` at `server` under pure replication.
+double replication_benefit(const sys::CdnSystem& system,
+                           const sys::ReplicaPlacement& placement,
+                           const sys::NearestReplicaIndex& nearest,
+                           sys::ServerIndex server, sys::SiteIndex site) {
+  const auto& demand = system.demand();
+  const auto& dist = system.distances();
+  double b = demand.requests(server, site) * nearest.cost(server, site);
+  for (std::size_t k = 0; k < system.server_count(); ++k) {
+    const auto other = static_cast<sys::ServerIndex>(k);
+    if (other == server || placement.is_replicated(other, site)) continue;
+    const double delta =
+        nearest.cost(other, site) - dist.server_to_server(other, server);
+    if (delta > 0.0) {
+      b += delta * demand.requests(other, site);
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+PlacementResult greedy_global_with_budgets(
+    const sys::CdnSystem& system,
+    const std::vector<std::uint64_t>& replica_budgets,
+    const GreedyGlobalOptions& options) {
+  CDN_EXPECT(replica_budgets.size() == system.server_count(),
+             "one replica budget per server is required");
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+
+  sys::ReplicaPlacement placement(replica_budgets, system.site_bytes());
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+
+  PlacementResult result{.algorithm = "greedy-global",
+                         .placement = std::move(placement),
+                         .nearest = std::move(nearest)};
+  result.cost_trajectory.push_back(
+      sys::total_remote_cost(system.demand(), result.nearest));
+
+  std::vector<Candidate> best_per_server(n);
+  for (;;) {
+    if (options.max_replicas != 0 &&
+        result.placement.replica_count() >= options.max_replicas) {
+      break;
+    }
+    util::parallel_for(0, n, [&](std::size_t i) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      Candidate best;
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto site = static_cast<sys::SiteIndex>(j);
+        if (!result.placement.can_add(server, site)) continue;
+        const double b = replication_benefit(system, result.placement,
+                                             result.nearest, server, site);
+        if (!best.valid || b > best.benefit) {
+          best = {b, server, site, true};
+        }
+      }
+      best_per_server[i] = best;
+    });
+    Candidate winner;
+    for (const Candidate& c : best_per_server) {
+      if (c.valid && (!winner.valid || c.benefit > winner.benefit)) {
+        winner = c;
+      }
+    }
+    if (!winner.valid || winner.benefit <= 0.0) break;
+    result.placement.add(winner.server, winner.site);
+    result.nearest.on_replica_added(winner.server, winner.site);
+    result.cost_trajectory.push_back(
+        sys::total_remote_cost(system.demand(), result.nearest));
+  }
+
+  result.modeled_hit.assign(n * m, 0.0);
+  result.caching_enabled = false;  // stand-alone replication: no proxy cache
+  result.predicted_total_cost = result.cost_trajectory.back();
+  result.predicted_cost_per_request =
+      result.predicted_total_cost / system.demand().total();
+  result.replicas_created = result.placement.replica_count();
+  return result;
+}
+
+PlacementResult greedy_global(const sys::CdnSystem& system,
+                              const GreedyGlobalOptions& options) {
+  return greedy_global_with_budgets(system, system.server_storage(), options);
+}
+
+}  // namespace cdn::placement

@@ -1,0 +1,160 @@
+#include "src/placement/hybrid_greedy.h"
+
+#include <algorithm>
+
+#include "src/cdn/cost.h"
+#include "src/placement/model_support.h"
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+
+namespace cdn::placement {
+
+namespace {
+
+struct Candidate {
+  double benefit = 0.0;
+  sys::ServerIndex server = 0;
+  sys::SiteIndex site = 0;
+  bool valid = false;
+};
+
+}  // namespace
+
+double hybrid_candidate_benefit(const sys::CdnSystem& system,
+                                const sys::ReplicaPlacement& placement,
+                                const sys::NearestReplicaIndex& nearest,
+                                const model::ServerCacheState& state,
+                                const std::vector<double>& hit,
+                                sys::ServerIndex server,
+                                sys::SiteIndex site) {
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  const auto& demand = system.demand();
+  const auto& dist = system.distances();
+  const std::size_t i = server;
+  const std::size_t j = site;
+
+  // Local benefit (line 9): former misses for j become local.
+  double b = (1.0 - hit[i * m + j]) * demand.requests(server, site) *
+             nearest.cost(server, site);
+
+  // Cache penalty (lines 10-13): smaller buffer for everyone else.
+  const auto what_if = state.what_if_replicate(static_cast<std::uint32_t>(j));
+  for (std::size_t k = 0; k < m; ++k) {
+    if (k == j || state.is_replicated(static_cast<std::uint32_t>(k))) {
+      continue;
+    }
+    const double c = nearest.cost(server, static_cast<sys::SiteIndex>(k));
+    if (c == 0.0) continue;
+    const double dh =
+        hit[i * m + k] - what_if.hit_ratio(static_cast<std::uint32_t>(k));
+    b -= dh * demand.requests(server, static_cast<sys::SiteIndex>(k)) * c;
+  }
+
+  // Relative benefit (lines 14-17): other servers' misses for j.
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto other = static_cast<sys::ServerIndex>(k);
+    if (other == server || placement.is_replicated(other, site)) continue;
+    const double delta =
+        nearest.cost(other, site) - dist.server_to_server(other, server);
+    if (delta > 0.0) {
+      b += delta * (1.0 - hit[k * m + j]) * demand.requests(other, site);
+    }
+  }
+  return b;
+}
+
+PlacementResult hybrid_greedy(const sys::CdnSystem& system,
+                              const HybridGreedyOptions& options) {
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  const auto& demand = system.demand();
+
+  ModelContext context(system, options.pb_mode);
+  std::vector<model::ServerCacheState> states = context.make_states();
+
+  sys::ReplicaPlacement placement(system.server_storage(),
+                                  system.site_bytes());
+  if (options.seed != nullptr) {
+    CDN_EXPECT(options.seed->server_count() == n &&
+                   options.seed->site_count() == m,
+               "seed placement dimensions must match the system");
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto server = static_cast<sys::ServerIndex>(i);
+        const auto site = static_cast<sys::SiteIndex>(j);
+        if (options.seed->is_replicated(server, site)) {
+          placement.add(server, site);
+          states[i].replicate(static_cast<std::uint32_t>(j));
+        }
+      }
+    }
+  }
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+
+  PlacementResult result{.algorithm = "hybrid-greedy",
+                         .placement = std::move(placement),
+                         .nearest = std::move(nearest)};
+
+  // Current modelled hit ratios, refreshed once per iteration and shared by
+  // every candidate evaluation (lines 2-5 of Figure 2 for the initial D).
+  std::vector<double> hit = modeled_hit_matrix(states);
+  auto current_cost = [&] {
+    return sys::total_remote_cost(demand, result.nearest, hit_fn(hit, m));
+  };
+  result.cost_trajectory.push_back(current_cost());
+
+  const std::size_t seeded = result.placement.replica_count();
+  std::vector<Candidate> best_per_server(n);
+  for (;;) {
+    if (options.max_replicas != 0 &&
+        result.placement.replica_count() >= seeded + options.max_replicas) {
+      break;
+    }
+    util::parallel_for(0, n, [&](std::size_t i) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      Candidate best;
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto site = static_cast<sys::SiteIndex>(j);
+        if (!result.placement.can_add(server, site)) continue;
+        CDN_DCHECK(states[i].can_fit(static_cast<std::uint32_t>(j)),
+                   "placement and model state disagree on free space");
+        const double b =
+            hybrid_candidate_benefit(system, result.placement, result.nearest,
+                                     states[i], hit, server, site) -
+            options.add_cost_per_byte *
+                static_cast<double>(system.site_bytes()[j]);
+        if (!best.valid || b > best.benefit) {
+          best = {b, server, site, true};
+        }
+      }
+      best_per_server[i] = best;
+    });
+
+    Candidate winner;
+    for (const Candidate& c : best_per_server) {
+      if (c.valid && (!winner.valid || c.benefit > winner.benefit)) {
+        winner = c;
+      }
+    }
+    if (!winner.valid || winner.benefit <= 0.0) break;
+
+    // Lines 18-25: materialise the winner and update the books.
+    result.placement.add(winner.server, winner.site);
+    result.nearest.on_replica_added(winner.server, winner.site);
+    states[winner.server].replicate(winner.site);
+
+    // Refresh the winner server's modelled hit row; other rows are
+    // unchanged (their caches did not move).
+    for (std::size_t j = 0; j < m; ++j) {
+      hit[static_cast<std::size_t>(winner.server) * m + j] =
+          states[winner.server].hit_ratio(static_cast<std::uint32_t>(j));
+    }
+    result.cost_trajectory.push_back(current_cost());
+  }
+
+  finalize_result(system, states, result);
+  return result;
+}
+
+}  // namespace cdn::placement

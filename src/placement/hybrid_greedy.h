@@ -1,0 +1,68 @@
+// The hybrid replica-placement + cache-allocation algorithm — Figure 2 of
+// the paper, the primary contribution being reproduced.
+//
+// Starting from a network where only primary copies exist (all CDN storage
+// is cache), each iteration evaluates every (server, site) candidate
+// replica.  A candidate's benefit combines:
+//
+//   * the local gain     (1 - h_j^(i)) * r_j^(i) * C(i, SN_j^(i))
+//     — the site's former cache misses now served locally (lines 9);
+//   * the cache penalty  sum_k [h_k^(i) - h_k,new^(i)] * r_k^(i) *
+//     C(i, SN_k^(i)) — every other site's hit ratio drops because the LRU
+//     buffer shrinks by o_j bytes (lines 10-13), partially offset by the
+//     renormalised popularity boost of removing site j from the cacheable
+//     mix;
+//   * the relative gain  sum_{k != i} max(0, C(k, SN_j^(k)) - C(k, i)) *
+//     (1 - h_j^(k)) * r_j^(k) — other servers' cache-missed requests for
+//     site j now travel to a closer replica (lines 14-17).
+//
+// The best positive candidate is materialised (lines 18-25) and the model
+// state is updated; the algorithm stops when no candidate has positive
+// benefit or nothing fits.
+
+#pragma once
+
+#include "src/cdn/system.h"
+#include "src/model/server_cache_state.h"
+#include "src/placement/placement_result.h"
+
+namespace cdn::placement {
+
+struct HybridGreedyOptions {
+  /// When the top-B probability p_B of Eq. 2 is recomputed (paper default:
+  /// once at initialisation; see DESIGN.md ablation A1).
+  model::PbMode pb_mode = model::PbMode::kAtInit;
+
+  /// Optional cap on replicas (0 = unlimited).
+  std::size_t max_replicas = 0;
+
+  /// Optional starting placement whose replicas are materialised for free
+  /// before the greedy loop (adaptive replanning).  Must match the system's
+  /// dimensions; replicas that exceed the system's budgets are rejected.
+  const sys::ReplicaPlacement* seed = nullptr;
+
+  /// Benefit threshold per byte of a NEW replica: a candidate is accepted
+  /// only when benefit > add_cost_per_byte * o_j (models the transfer cost
+  /// of replica creation; 0 reproduces Figure 2 exactly).
+  double add_cost_per_byte = 0.0;
+};
+
+/// Benefit of creating a replica of `site` at `server` — Figure 2 lines
+/// 9-17: local gain + other-server relative gains - cache shrink penalty.
+/// `state` must be `server`'s model state and `hit` the N x M modelled hit
+/// matrix consistent with all servers' states.  Exposed for the adaptive
+/// replanner's keep/drop evaluation.
+double hybrid_candidate_benefit(const sys::CdnSystem& system,
+                                const sys::ReplicaPlacement& placement,
+                                const sys::NearestReplicaIndex& nearest,
+                                const model::ServerCacheState& state,
+                                const std::vector<double>& hit,
+                                sys::ServerIndex server, sys::SiteIndex site);
+
+/// Runs the hybrid algorithm on the system.  The result's modelled hit
+/// matrix describes the final cache allocation; predicted costs come from
+/// the same model the algorithm optimised.
+PlacementResult hybrid_greedy(const sys::CdnSystem& system,
+                              const HybridGreedyOptions& options = {});
+
+}  // namespace cdn::placement

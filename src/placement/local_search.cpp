@@ -1,0 +1,162 @@
+#include "src/placement/local_search.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/cdn/cost.h"
+#include "src/placement/greedy_global.h"
+#include "src/util/error.h"
+
+namespace cdn::placement {
+
+namespace {
+
+double replication_cost(const sys::CdnSystem& system,
+                        const sys::ReplicaPlacement& placement) {
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+  return sys::total_remote_cost(system.demand(), nearest);
+}
+
+}  // namespace
+
+LocalSearchStats local_search_refine(const sys::CdnSystem& system,
+                                     PlacementResult& result,
+                                     const LocalSearchOptions& options) {
+  CDN_EXPECT(options.min_relative_gain >= 0.0,
+             "minimum gain must be non-negative");
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+
+  LocalSearchStats stats;
+  stats.initial_cost = replication_cost(system, result.placement);
+  double current = stats.initial_cost;
+
+  for (;;) {
+    if (options.max_swaps != 0 && stats.swaps_applied >= options.max_swaps) {
+      break;
+    }
+    // Best single swap: remove (i, j), insert (i', j') that then fits.
+    double best_cost = current;
+    sys::ServerIndex best_out_server = 0, best_in_server = 0;
+    sys::SiteIndex best_out_site = 0, best_in_site = 0;
+    bool found = false;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto out_server = static_cast<sys::ServerIndex>(i);
+        const auto out_site = static_cast<sys::SiteIndex>(j);
+        if (!result.placement.is_replicated(out_server, out_site)) continue;
+        result.placement.remove(out_server, out_site);
+
+        for (std::size_t i2 = 0; i2 < n; ++i2) {
+          for (std::size_t j2 = 0; j2 < m; ++j2) {
+            const auto in_server = static_cast<sys::ServerIndex>(i2);
+            const auto in_site = static_cast<sys::SiteIndex>(j2);
+            if (in_server == out_server && in_site == out_site) continue;
+            if (!result.placement.can_add(in_server, in_site)) continue;
+            result.placement.add(in_server, in_site);
+            const double cost = replication_cost(system, result.placement);
+            if (cost < best_cost) {
+              best_cost = cost;
+              best_out_server = out_server;
+              best_out_site = out_site;
+              best_in_server = in_server;
+              best_in_site = in_site;
+              found = true;
+            }
+            result.placement.remove(in_server, in_site);
+          }
+        }
+        result.placement.add(out_server, out_site);
+      }
+    }
+
+    if (!found ||
+        current - best_cost <= options.min_relative_gain * current) {
+      break;
+    }
+    result.placement.remove(best_out_server, best_out_site);
+    result.placement.add(best_in_server, best_in_site);
+    current = best_cost;
+    ++stats.swaps_applied;
+  }
+
+  // Re-derive the dependent fields of the result.
+  result.nearest.rebuild(result.placement);
+  result.predicted_total_cost = current;
+  result.predicted_cost_per_request = current / system.demand().total();
+  result.replicas_created = result.placement.replica_count();
+  result.cost_trajectory.push_back(current);
+  stats.final_cost = current;
+  return stats;
+}
+
+PlacementResult greedy_with_backtracking(const sys::CdnSystem& system,
+                                         const LocalSearchOptions& options) {
+  PlacementResult result = greedy_global(system);
+  local_search_refine(system, result, options);
+  result.algorithm = "greedy-backtracking";
+  return result;
+}
+
+PlacementResult topology_informed_placement(const sys::CdnSystem& system) {
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+
+  // Rank servers by total distance to all other servers (proxy for the
+  // "highest-connectivity nodes first" rule of [25]).
+  std::vector<sys::ServerIndex> server_order(n);
+  std::iota(server_order.begin(), server_order.end(), 0);
+  std::vector<double> centrality(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) {
+      centrality[i] += system.distances().server_to_server(
+          static_cast<sys::ServerIndex>(i), static_cast<sys::ServerIndex>(k));
+    }
+  }
+  std::sort(server_order.begin(), server_order.end(),
+            [&](sys::ServerIndex a, sys::ServerIndex b) {
+              return centrality[a] < centrality[b];
+            });
+
+  std::vector<sys::SiteIndex> site_order(m);
+  std::iota(site_order.begin(), site_order.end(), 0);
+  std::sort(site_order.begin(), site_order.end(),
+            [&](sys::SiteIndex a, sys::SiteIndex b) {
+              return system.demand().site_total(a) >
+                     system.demand().site_total(b);
+            });
+
+  sys::ReplicaPlacement placement(system.server_storage(),
+                                  system.site_bytes());
+  // Round-robin the hottest sites over the most central servers.
+  std::size_t server_cursor = 0;
+  for (sys::SiteIndex site : site_order) {
+    std::size_t attempts = 0;
+    while (attempts < n) {
+      const sys::ServerIndex server = server_order[server_cursor];
+      server_cursor = (server_cursor + 1) % n;
+      ++attempts;
+      if (placement.can_add(server, site)) {
+        placement.add(server, site);
+        break;
+      }
+    }
+  }
+
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+  PlacementResult result{.algorithm = "topology-informed",
+                         .placement = std::move(placement),
+                         .nearest = std::move(nearest)};
+  result.modeled_hit.assign(n * m, 0.0);
+  result.caching_enabled = false;
+  result.predicted_total_cost =
+      sys::total_remote_cost(system.demand(), result.nearest);
+  result.predicted_cost_per_request =
+      result.predicted_total_cost / system.demand().total();
+  result.replicas_created = result.placement.replica_count();
+  result.cost_trajectory.push_back(result.predicted_total_cost);
+  return result;
+}
+
+}  // namespace cdn::placement

@@ -1,0 +1,108 @@
+#include "src/placement/update_aware.h"
+
+#include "src/cdn/cost.h"
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+
+namespace cdn::placement {
+
+double update_propagation_cost(const sys::CdnSystem& system,
+                               const sys::ReplicaPlacement& placement,
+                               std::span<const double> update_rates) {
+  if (update_rates.empty()) return 0.0;
+  CDN_EXPECT(update_rates.size() == system.site_count(),
+             "one update rate per site is required");
+  double cost = 0.0;
+  for (std::size_t j = 0; j < system.site_count(); ++j) {
+    if (update_rates[j] == 0.0) continue;
+    const auto site = static_cast<sys::SiteIndex>(j);
+    for (const auto holder : placement.replicators(site)) {
+      cost += update_rates[j] *
+              system.distances().server_to_primary(holder, site);
+    }
+  }
+  return cost;
+}
+
+PlacementResult update_aware_greedy(const sys::CdnSystem& system,
+                                    const UpdateAwareOptions& options) {
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  std::vector<double> rates = options.update_rates;
+  if (rates.empty()) rates.assign(m, 0.0);
+  CDN_EXPECT(rates.size() == m, "one update rate per site is required");
+  for (double r : rates) {
+    CDN_EXPECT(r >= 0.0, "update rates must be non-negative");
+  }
+
+  sys::ReplicaPlacement placement(system.server_storage(),
+                                  system.site_bytes());
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+  PlacementResult result{.algorithm = "update-aware-greedy",
+                         .placement = std::move(placement),
+                         .nearest = std::move(nearest)};
+  double current = sys::total_remote_cost(system.demand(), result.nearest);
+  result.cost_trajectory.push_back(current);
+
+  struct Candidate {
+    double benefit = 0.0;
+    sys::ServerIndex server = 0;
+    sys::SiteIndex site = 0;
+    bool valid = false;
+  };
+  std::vector<Candidate> best_per_server(n);
+  const auto& demand = system.demand();
+  const auto& dist = system.distances();
+
+  for (;;) {
+    util::parallel_for(0, n, [&](std::size_t i) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      Candidate best;
+      for (std::size_t j = 0; j < m; ++j) {
+        const auto site = static_cast<sys::SiteIndex>(j);
+        if (!result.placement.can_add(server, site)) continue;
+        // Read benefit (as in greedy-global).
+        double b =
+            demand.requests(server, site) * result.nearest.cost(server, site);
+        for (std::size_t k = 0; k < n; ++k) {
+          const auto other = static_cast<sys::ServerIndex>(k);
+          if (other == server || result.placement.is_replicated(other, site)) {
+            continue;
+          }
+          const double delta = result.nearest.cost(other, site) -
+                               dist.server_to_server(other, server);
+          if (delta > 0.0) b += delta * demand.requests(other, site);
+        }
+        // Update penalty: the new copy must receive every modification.
+        b -= rates[j] * dist.server_to_primary(server, site);
+        if (!best.valid || b > best.benefit) best = {b, server, site, true};
+      }
+      best_per_server[i] = best;
+    });
+
+    Candidate winner;
+    for (const Candidate& c : best_per_server) {
+      if (c.valid && (!winner.valid || c.benefit > winner.benefit)) {
+        winner = c;
+      }
+    }
+    if (!winner.valid || winner.benefit <= 0.0) break;
+    result.placement.add(winner.server, winner.site);
+    result.nearest.on_replica_added(winner.server, winner.site);
+    result.cost_trajectory.push_back(
+        sys::total_remote_cost(demand, result.nearest) +
+        update_propagation_cost(system, result.placement, rates));
+  }
+
+  result.modeled_hit.assign(n * m, 0.0);
+  result.caching_enabled = false;
+  result.predicted_total_cost =
+      sys::total_remote_cost(demand, result.nearest) +
+      update_propagation_cost(system, result.placement, rates);
+  result.predicted_cost_per_request =
+      result.predicted_total_cost / demand.total();
+  result.replicas_created = result.placement.replica_count();
+  return result;
+}
+
+}  // namespace cdn::placement

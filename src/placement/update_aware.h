@@ -1,0 +1,41 @@
+// Read + update cost replica placement — the classic FAP objective.
+//
+// Section 2.2: several of the formulations the paper builds on ([19, 28],
+// also [2]) minimise read AND update cost: every object modification at the
+// primary must be propagated to each replica, so replicas are not free even
+// when storage is.  This module extends greedy-global with that term:
+//
+//   benefit(i, j) = read_benefit(i, j) - update_rate_j * C(i, SP_j)
+//
+// (each update travels primary -> new replica).  With update_rate = 0 it
+// degenerates to greedy_global exactly.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/cdn/system.h"
+#include "src/placement/placement_result.h"
+
+namespace cdn::placement {
+
+struct UpdateAwareOptions {
+  /// Expected update (write) volume per site over the same period as the
+  /// demand matrix's read counts.  Length must equal the site count; an
+  /// empty span means all-zero (pure reads).
+  std::vector<double> update_rates;
+};
+
+/// Greedy-global under the read+update objective.  The returned
+/// predicted_total_cost includes the update-propagation term
+/// sum_j update_rate_j * sum_{i: X_ij} C(i, SP_j).
+PlacementResult update_aware_greedy(const sys::CdnSystem& system,
+                                    const UpdateAwareOptions& options);
+
+/// The update-propagation cost of a placement under the given rates.
+double update_propagation_cost(const sys::CdnSystem& system,
+                               const sys::ReplicaPlacement& placement,
+                               std::span<const double> update_rates);
+
+}  // namespace cdn::placement

@@ -1,0 +1,101 @@
+#include "src/redirect/client_population.h"
+
+#include <numeric>
+
+#include "src/util/error.h"
+
+namespace cdn::redirect {
+
+ClientPopulation::ClientPopulation(const topology::HopMatrix& server_hops,
+                                   std::vector<double> weights) {
+  const std::size_t nodes = server_hops.node_count();
+  const std::size_t servers = server_hops.source_count();
+  CDN_EXPECT(servers >= 1, "need at least one server");
+
+  if (weights.empty()) {
+    weights.assign(nodes, 1.0);
+    // Servers host no clients of their own by default.
+    for (std::size_t s = 0; s < servers; ++s) {
+      weights[server_hops.source_node(s)] = 0.0;
+    }
+  }
+  CDN_EXPECT(weights.size() == nodes, "one weight per node is required");
+  double total = 0.0;
+  for (double w : weights) {
+    CDN_EXPECT(w >= 0.0, "client weights must be non-negative");
+    total += w;
+  }
+  CDN_EXPECT(total > 0.0, "client population must have positive mass");
+  for (double& w : weights) w /= total;
+  weights_ = std::move(weights);
+
+  assignment_.resize(nodes);
+  server_mass_.assign(servers, 0.0);
+  double access = 0.0;
+  for (topology::NodeId v = 0; v < nodes; ++v) {
+    std::uint32_t best = 0;
+    std::uint32_t best_hops = server_hops.hops(0, v);
+    for (std::uint32_t s = 1; s < servers; ++s) {
+      const std::uint32_t h = server_hops.hops(s, v);
+      if (h < best_hops) {
+        best = s;
+        best_hops = h;
+      }
+    }
+    CDN_EXPECT(best_hops != topology::kUnreachableHops,
+               "every client node must reach a server");
+    assignment_[v] = best;
+    server_mass_[best] += weights_[v];
+    access += weights_[v] * static_cast<double>(best_hops);
+  }
+  mean_access_hops_ = access;
+}
+
+std::uint32_t ClientPopulation::first_hop(topology::NodeId v) const {
+  CDN_EXPECT(v < assignment_.size(), "node out of range");
+  return assignment_[v];
+}
+
+double ClientPopulation::weight(topology::NodeId v) const {
+  CDN_EXPECT(v < weights_.size(), "node out of range");
+  return weights_[v];
+}
+
+double ClientPopulation::server_share(std::uint32_t server) const {
+  CDN_EXPECT(server < server_mass_.size(), "server out of range");
+  return server_mass_[server];
+}
+
+workload::DemandMatrix ClientPopulation::derive_demand(
+    const workload::SiteCatalog& catalog, double total_requests,
+    util::Rng& rng, double jitter) const {
+  CDN_EXPECT(total_requests > 0.0, "total request volume must be positive");
+  CDN_EXPECT(jitter >= 0.0 && jitter < 1.0, "jitter must be in [0, 1)");
+  const std::size_t servers = server_mass_.size();
+  const std::size_t sites = catalog.site_count();
+
+  double weight_sum = 0.0;
+  for (workload::SiteId j = 0; j < sites; ++j) {
+    weight_sum += catalog.volume_weight(j);
+  }
+
+  std::vector<double> values(servers * sites, 0.0);
+  std::vector<double> shares(servers);
+  for (workload::SiteId j = 0; j < sites; ++j) {
+    const double site_volume =
+        total_requests * catalog.volume_weight(j) / weight_sum;
+    double share_total = 0.0;
+    for (std::size_t i = 0; i < servers; ++i) {
+      const double factor =
+          jitter > 0.0 ? 1.0 + rng.uniform(-jitter, jitter) : 1.0;
+      shares[i] = server_mass_[i] * factor;
+      share_total += shares[i];
+    }
+    for (std::size_t i = 0; i < servers; ++i) {
+      values[i * sites + j] = site_volume * shares[i] / share_total;
+    }
+  }
+  return workload::DemandMatrix::from_values(servers, sites, values);
+}
+
+}  // namespace cdn::redirect

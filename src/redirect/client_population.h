@@ -1,0 +1,66 @@
+// Client populations and DNS-style first-hop mapping.
+//
+// Section 3: "Whenever a client issues an HTTP request ... the DNS resolver
+// at the client side will reply with the IP address of the nearest, in
+// terms of network distance, server.  We will call this server a first hop
+// server."  The paper then abstracts clients into the demand matrix via a
+// truncated normal.  This module provides the explicit alternative: client
+// mass lives at stub nodes, every node is DNS-mapped to its nearest CDN
+// server, and the demand matrix is *derived* from the topology — so
+// per-server demand skew emerges from where servers sit instead of being
+// sampled.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/shortest_paths.h"
+#include "src/util/rng.h"
+#include "src/workload/demand.h"
+#include "src/workload/site_catalog.h"
+
+namespace cdn::redirect {
+
+/// Client mass per graph node plus the DNS node->server assignment.
+class ClientPopulation {
+ public:
+  /// Assigns every node its nearest server (ties break to the lower server
+  /// index, like a deterministic DNS).  `weights[v]` is the client mass at
+  /// node v; pass an empty span for uniform mass on all non-server nodes.
+  ClientPopulation(const topology::HopMatrix& server_hops,
+                   std::vector<double> weights = {});
+
+  std::size_t node_count() const noexcept { return assignment_.size(); }
+  std::size_t server_count() const noexcept { return server_mass_.size(); }
+
+  /// First-hop server of node v.
+  std::uint32_t first_hop(topology::NodeId v) const;
+
+  /// Client mass at node v.
+  double weight(topology::NodeId v) const;
+
+  /// Aggregated client mass behind server i (sums to ~1).
+  double server_share(std::uint32_t server) const;
+
+  /// Mean client-to-first-hop distance in hops (the access-side latency the
+  /// paper folds into its fixed first-hop term).
+  double mean_access_hops() const noexcept { return mean_access_hops_; }
+
+  /// Derives the demand matrix: site j's volume (from its class weight) is
+  /// split over servers by their client shares, optionally perturbed per
+  /// (server, site) by a +/- `jitter` relative uniform factor so sites keep
+  /// individual geographic profiles.
+  workload::DemandMatrix derive_demand(const workload::SiteCatalog& catalog,
+                                       double total_requests,
+                                       util::Rng& rng,
+                                       double jitter = 0.25) const;
+
+ private:
+  std::vector<std::uint32_t> assignment_;  // node -> server index
+  std::vector<double> weights_;            // node -> client mass (normalised)
+  std::vector<double> server_mass_;        // server -> aggregated mass
+  double mean_access_hops_ = 0.0;
+};
+
+}  // namespace cdn::redirect

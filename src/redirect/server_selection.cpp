@@ -1,0 +1,169 @@
+#include "src/redirect/server_selection.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace cdn::redirect {
+
+namespace {
+
+struct Flow {
+  sys::ServerIndex source;
+  sys::SiteIndex site;
+  double volume;
+  // Current holder: server index, or kPrimary for the site's origin.
+  static constexpr std::uint32_t kPrimary = 0xffffffffu;
+  std::uint32_t holder = kPrimary;
+};
+
+double queue_penalty(double load, double capacity, double weight) {
+  if (capacity <= 0.0) return 0.0;
+  const double rho = std::min(load / capacity, 0.99);
+  return weight * rho / (1.0 - rho);
+}
+
+}  // namespace
+
+SelectionResult assign_miss_traffic(const sys::CdnSystem& system,
+                                    const placement::PlacementResult& result,
+                                    const SelectionParams& params) {
+  CDN_EXPECT(params.queue_weight >= 0.0,
+             "queue weight must be non-negative");
+  CDN_EXPECT(params.iterations >= 1, "need at least one assignment pass");
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  const auto& dist = system.distances();
+
+  // Collect miss flows and per-site holder lists.
+  std::vector<Flow> flows;
+  std::vector<std::vector<sys::ServerIndex>> holders(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    holders[j] = result.placement.replicators(static_cast<sys::SiteIndex>(j));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      const auto site = static_cast<sys::SiteIndex>(j);
+      if (result.placement.is_replicated(server, site)) continue;
+      const double volume =
+          system.demand().requests(server, site) * (1.0 - result.hit(server, site));
+      if (volume <= 0.0) continue;
+      flows.push_back({server, site, volume});
+    }
+  }
+
+  SelectionResult out;
+  out.server_flow.assign(n, 0.0);
+  out.primary_flow.assign(m, 0.0);
+
+  auto holder_cost = [&](const Flow& f, std::uint32_t holder) {
+    return holder == Flow::kPrimary
+               ? dist.server_to_primary(f.source, f.site)
+               : dist.server_to_server(f.source,
+                                       static_cast<sys::ServerIndex>(holder));
+  };
+
+  // Pass 0: nearest-copy assignment (the paper's rule) — also the baseline
+  // from which auto-capacities are derived.
+  for (Flow& f : flows) {
+    std::uint32_t best = Flow::kPrimary;
+    double best_cost = holder_cost(f, Flow::kPrimary);
+    for (const sys::ServerIndex h : holders[f.site]) {
+      const double c = holder_cost(f, h);
+      if (c < best_cost) {
+        best_cost = c;
+        best = h;
+      }
+    }
+    f.holder = best;
+    if (best == Flow::kPrimary) {
+      out.primary_flow[f.site] += f.volume;
+    } else {
+      out.server_flow[best] += f.volume;
+    }
+  }
+
+  double server_capacity = params.server_capacity;
+  double primary_capacity = params.primary_capacity;
+  if (server_capacity <= 0.0) {
+    const double peak =
+        *std::max_element(out.server_flow.begin(), out.server_flow.end());
+    server_capacity = peak > 0.0 ? 1.5 * peak : 1.0;
+  }
+  if (primary_capacity <= 0.0) {
+    const double peak =
+        *std::max_element(out.primary_flow.begin(), out.primary_flow.end());
+    primary_capacity = peak > 0.0 ? 1.5 * peak : 1.0;
+  }
+
+  if (params.policy == SelectionPolicy::kLoadAware) {
+    for (std::size_t pass = 0; pass < params.iterations; ++pass) {
+      bool moved = false;
+      for (Flow& f : flows) {
+        // Detach.
+        if (f.holder == Flow::kPrimary) {
+          out.primary_flow[f.site] -= f.volume;
+        } else {
+          out.server_flow[f.holder] -= f.volume;
+        }
+        // Choose the holder minimising network + queueing after adding.
+        auto total_cost = [&](std::uint32_t holder) {
+          const double net = holder_cost(f, holder);
+          const double load = holder == Flow::kPrimary
+                                  ? out.primary_flow[f.site] + f.volume
+                                  : out.server_flow[holder] + f.volume;
+          const double cap = holder == Flow::kPrimary ? primary_capacity
+                                                      : server_capacity;
+          return net + queue_penalty(load, cap, params.queue_weight);
+        };
+        std::uint32_t best = Flow::kPrimary;
+        double best_cost = total_cost(Flow::kPrimary);
+        for (const sys::ServerIndex h : holders[f.site]) {
+          const double c = total_cost(h);
+          if (c < best_cost) {
+            best_cost = c;
+            best = h;
+          }
+        }
+        if (best != f.holder) moved = true;
+        f.holder = best;
+        if (best == Flow::kPrimary) {
+          out.primary_flow[f.site] += f.volume;
+        } else {
+          out.server_flow[best] += f.volume;
+        }
+      }
+      if (!moved) break;
+    }
+  }
+
+  // Aggregate the report.
+  double volume_total = 0.0, cost_total = 0.0, net_total = 0.0;
+  for (const Flow& f : flows) {
+    const double net = holder_cost(f, f.holder);
+    const double load = f.holder == Flow::kPrimary
+                            ? out.primary_flow[f.site]
+                            : out.server_flow[f.holder];
+    const double cap =
+        f.holder == Flow::kPrimary ? primary_capacity : server_capacity;
+    volume_total += f.volume;
+    net_total += f.volume * net;
+    cost_total +=
+        f.volume * (net + queue_penalty(load, cap, params.queue_weight));
+  }
+  if (volume_total > 0.0) {
+    out.mean_response_cost = cost_total / volume_total;
+    out.mean_network_hops = net_total / volume_total;
+  }
+  double util_sum = 0.0;
+  for (double flow : out.server_flow) {
+    const double rho = flow / server_capacity;
+    out.max_server_utilization = std::max(out.max_server_utilization, rho);
+    util_sum += rho;
+  }
+  out.mean_server_utilization = util_sum / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace cdn::redirect

@@ -1,0 +1,23 @@
+// Response-time model of Section 5.1: "we set the propagation, queueing and
+// processing delay inside the core network to be equal to 2 ms/hop"; the
+// client-to-first-hop leg costs one hop, so requests satisfied at the first
+// hop server (replica hit or cache hit) take exactly first_hop_ms — the
+// leftmost step of the paper's CDF figures.
+
+#pragma once
+
+namespace cdn::sim {
+
+struct LatencyModel {
+  double ms_per_hop = 2.0;
+  /// Client -> first-hop-server leg.
+  double first_hop_ms = 2.0;
+
+  /// Response time of a request redirected over `hops` additional hops
+  /// (0 for a local hit).
+  double latency_ms(double hops) const noexcept {
+    return first_hop_ms + ms_per_hop * hops;
+  }
+};
+
+}  // namespace cdn::sim

@@ -1,0 +1,124 @@
+#include "src/sim/simulator.h"
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/workload/request_stream.h"
+
+namespace cdn::sim {
+
+SimulationReport simulate(const sys::CdnSystem& system,
+                          const placement::PlacementResult& result,
+                          const SimulationConfig& config) {
+  CDN_EXPECT(config.total_requests > 0, "need at least one request");
+  CDN_EXPECT(config.warmup_fraction >= 0.0 && config.warmup_fraction < 1.0,
+             "warmup fraction must be in [0, 1)");
+
+  const auto& catalog = system.catalog();
+  const std::size_t n = system.server_count();
+
+  // One cache per server, sized by what the placement left free.
+  std::vector<std::unique_ptr<cache::CachePolicy>> caches;
+  caches.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    caches.push_back(cache::make_cache(
+        config.policy,
+        result.cache_bytes(static_cast<sys::ServerIndex>(i))));
+  }
+
+  workload::RequestStream stream(catalog, system.demand(), config.seed,
+                                 config.stream_locality);
+  util::Rng lambda_rng(config.seed ^ 0x5bd1e995u);
+
+  std::uint64_t total = config.total_requests;
+  if (config.trace != nullptr) {
+    CDN_EXPECT(!config.trace->empty(), "cannot replay an empty trace");
+    config.trace->validate(n, catalog.site_count(),
+                           catalog.objects_per_site());
+    total = config.trace->size();
+  }
+  const std::uint64_t warmup = static_cast<std::uint64_t>(
+      config.warmup_fraction * static_cast<double>(total));
+
+  SimulationReport report;
+  report.total_requests = total;
+  report.latency_cdf.reserve(total - warmup);
+
+  double hop_sum = 0.0;
+  std::uint64_t local = 0;
+  std::uint64_t eligible = 0;
+  std::uint64_t eligible_hits = 0;
+
+  for (std::uint64_t t = 0; t < total; ++t) {
+    // Reset measured-window statistics exactly at the end of warm-up.
+    if (t == warmup) {
+      for (auto& c : caches) c->reset_stats();
+    }
+    const workload::Request req =
+        config.trace != nullptr ? (*config.trace)[t] : stream.next();
+    const auto server = static_cast<sys::ServerIndex>(req.server);
+    const auto site = static_cast<sys::SiteIndex>(req.site);
+    const bool measured = t >= warmup;
+
+    double hops = 0.0;
+    bool served_locally = false;
+    bool cache_eligible = false;
+    bool cache_hit = false;
+
+    if (result.placement.is_replicated(server, site)) {
+      // Replicas are always consistent (the CDN pushes invalidations to
+      // them); even flagged requests are served locally.
+      served_locally = true;
+    } else {
+      const bool flagged =
+          lambda_rng.bernoulli(catalog.uncacheable_fraction(req.site));
+      const double redirect = result.nearest.cost(server, site);
+      cache::CachePolicy& cache = *caches[server];
+      const cache::ObjectKey key = catalog.object_id(req.site, req.rank);
+      const std::uint64_t bytes = catalog.object_bytes(req.site, req.rank);
+
+      if (flagged && config.staleness == StalenessMode::kUncacheable) {
+        // Never cached; straight to the nearest copy.
+        hops = redirect;
+      } else if (flagged) {
+        // kRefresh: must touch the remote copy; the (re-)fetched object
+        // stays cached with updated recency.
+        cache.access(key, bytes);
+        hops = redirect;
+      } else {
+        cache_eligible = true;
+        cache_hit = cache.access(key, bytes);
+        if (cache_hit) {
+          served_locally = true;
+        } else {
+          hops = redirect;
+        }
+      }
+    }
+
+    if (measured) {
+      report.latency_cdf.add(config.latency.latency_ms(hops));
+      hop_sum += hops;
+      if (served_locally) ++local;
+      if (cache_eligible) {
+        ++eligible;
+        if (cache_hit) ++eligible_hits;
+      }
+    }
+  }
+
+  report.measured_requests = total - warmup;
+  CDN_CHECK(report.measured_requests > 0, "warm-up consumed every request");
+  const double measured = static_cast<double>(report.measured_requests);
+  report.mean_latency_ms = report.latency_cdf.mean();
+  report.mean_cost_hops = hop_sum / measured;
+  report.local_ratio = static_cast<double>(local) / measured;
+  report.cache_hit_ratio =
+      eligible ? static_cast<double>(eligible_hits) /
+                     static_cast<double>(eligible)
+               : 0.0;
+  report.server_cache_stats.reserve(n);
+  for (const auto& c : caches) report.server_cache_stats.push_back(c->stats());
+  return report;
+}
+
+}  // namespace cdn::sim

@@ -1,0 +1,83 @@
+// Trace-driven simulation of the CDN (Section 5).
+//
+// Replays a synthetic request stream against a placement: each request hits
+// its first-hop server; a locally replicated site or a cache hit is served
+// at first-hop latency, anything else is redirected to the nearest copy
+// SN_j^(i) and pays the hop cost.  A lambda_j fraction of each site's
+// requests is stale/uncacheable and must touch the remote copy regardless
+// (Section 3.3 and the Figure 4 experiment).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/cache/cache_factory.h"
+#include "src/cache/cache_stats.h"
+#include "src/cdn/system.h"
+#include "src/placement/placement_result.h"
+#include "src/sim/latency_model.h"
+#include "src/util/cdf.h"
+#include "src/workload/trace_io.h"
+
+namespace cdn::sim {
+
+/// How lambda-flagged requests interact with the cache.
+enum class StalenessMode {
+  /// Strong consistency (Figure 4): the object may be cached, but a flagged
+  /// request must refresh it from the nearest copy — full redirection
+  /// latency; the refreshed object stays cached.
+  kRefresh,
+  /// Uncacheable content (Section 3.3's cgi-bin case): flagged requests
+  /// bypass the cache entirely and are never admitted.
+  kUncacheable,
+};
+
+struct SimulationConfig {
+  std::uint64_t total_requests = 2'000'000;
+  /// Optional pre-recorded trace (non-owning).  When set, the whole trace
+  /// is replayed instead of generating `total_requests` synthetic requests
+  /// (warmup_fraction still applies).  The trace must fit the system's
+  /// dimensions (see RecordedTrace::validate).
+  const workload::RecordedTrace* trace = nullptr;
+  /// Leading fraction of the stream excluded from measurement so caches
+  /// reach steady state ("we allowed an appropriate warm-up period").
+  double warmup_fraction = 0.3;
+  cache::PolicyKind policy = cache::PolicyKind::kLru;
+  StalenessMode staleness = StalenessMode::kRefresh;
+  LatencyModel latency;
+  std::uint64_t seed = 42;
+  /// Temporal-locality knob of the request stream (0 = i.i.d., the model's
+  /// assumption).
+  double stream_locality = 0.0;
+};
+
+struct SimulationReport {
+  /// Response-time samples of all measured requests.
+  util::EmpiricalCdf latency_cdf;
+
+  double mean_latency_ms = 0.0;
+  /// Average redirection cost in hops per measured request — comparable to
+  /// the model's predicted cost per request (Figure 6).
+  double mean_cost_hops = 0.0;
+  /// Fraction of measured requests satisfied at the first-hop server.
+  double local_ratio = 0.0;
+  /// Fraction of measured *cache-eligible* requests (unreplicated site,
+  /// not flagged uncacheable) that hit the cache.
+  double cache_hit_ratio = 0.0;
+
+  std::uint64_t measured_requests = 0;
+  std::uint64_t total_requests = 0;
+
+  /// Final per-server cache statistics (measured window only).
+  std::vector<cache::CacheStats> server_cache_stats;
+};
+
+/// Runs the simulation of `result` (a placement plus its implied per-server
+/// cache sizes) against freshly generated synthetic traffic.
+SimulationReport simulate(const sys::CdnSystem& system,
+                          const placement::PlacementResult& result,
+                          const SimulationConfig& config);
+
+}  // namespace cdn::sim

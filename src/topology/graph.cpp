@@ -1,0 +1,65 @@
+#include "src/topology/graph.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace cdn::topology {
+
+Graph::Graph(std::size_t nodes) : adjacency_(nodes) {}
+
+void Graph::check_node(NodeId v) const {
+  CDN_EXPECT(v < adjacency_.size(), "node id out of range");
+}
+
+void Graph::add_edge(NodeId a, NodeId b, double weight) {
+  check_node(a);
+  check_node(b);
+  CDN_EXPECT(a != b, "self-loops are not allowed");
+  CDN_EXPECT(weight > 0.0, "edge weight must be positive");
+  CDN_EXPECT(!has_edge(a, b), "parallel edges are not allowed");
+  adjacency_[a].push_back({b, weight});
+  adjacency_[b].push_back({a, weight});
+  ++edge_count_;
+}
+
+bool Graph::has_edge(NodeId a, NodeId b) const {
+  check_node(a);
+  check_node(b);
+  const auto& adj = adjacency_[a];
+  return std::any_of(adj.begin(), adj.end(),
+                     [b](const Edge& e) { return e.to == b; });
+}
+
+std::span<const Edge> Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adjacency_[v];
+}
+
+std::size_t Graph::degree(NodeId v) const {
+  check_node(v);
+  return adjacency_[v].size();
+}
+
+bool Graph::is_connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<bool> seen(adjacency_.size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const Edge& e : adjacency_[v]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+}  // namespace cdn::topology

@@ -1,0 +1,52 @@
+// Undirected graph with adjacency lists — the network substrate on which the
+// CDN is laid out.  Edge weights default to 1 so that shortest paths measure
+// hop counts, the paper's distance metric C(i, j).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cdn::topology {
+
+using NodeId = std::uint32_t;
+
+/// One directed half of an undirected edge.
+struct Edge {
+  NodeId to = 0;
+  double weight = 1.0;
+};
+
+/// Simple undirected weighted graph.  Nodes are dense integers [0, n).
+class Graph {
+ public:
+  /// Creates a graph with `nodes` isolated vertices.
+  explicit Graph(std::size_t nodes);
+
+  /// Adds an undirected edge {a, b} with positive weight.  Parallel edges
+  /// are rejected; self-loops are rejected.
+  void add_edge(NodeId a, NodeId b, double weight = 1.0);
+
+  /// True if the undirected edge {a, b} exists.
+  bool has_edge(NodeId a, NodeId b) const;
+
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  /// Neighbors of v with weights.
+  std::span<const Edge> neighbors(NodeId v) const;
+
+  std::size_t degree(NodeId v) const;
+
+  /// True if every node is reachable from node 0 (or the graph is empty).
+  bool is_connected() const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace cdn::topology

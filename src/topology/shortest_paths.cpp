@@ -1,0 +1,81 @@
+#include "src/topology/shortest_paths.h"
+
+#include <queue>
+#include <utility>
+
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+
+namespace cdn::topology {
+
+std::vector<std::uint32_t> bfs_hops(const Graph& graph, NodeId source) {
+  CDN_EXPECT(source < graph.node_count(), "BFS source out of range");
+  std::vector<std::uint32_t> dist(graph.node_count(), kUnreachableHops);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop();
+    for (const Edge& e : graph.neighbors(v)) {
+      if (dist[e.to] == kUnreachableHops) {
+        dist[e.to] = dist[v] + 1;
+        frontier.push(e.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> dijkstra(const Graph& graph, NodeId source) {
+  CDN_EXPECT(source < graph.node_count(), "Dijkstra source out of range");
+  std::vector<double> dist(graph.node_count(), kUnreachableDistance);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;  // stale entry
+    for (const Edge& e : graph.neighbors(v)) {
+      const double nd = d + e.weight;
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return dist;
+}
+
+HopMatrix::HopMatrix(const Graph& graph, std::span<const NodeId> sources)
+    : sources_(sources.begin(), sources.end()), nodes_(graph.node_count()) {
+  for (NodeId s : sources_) {
+    CDN_EXPECT(s < nodes_, "HopMatrix source out of range");
+  }
+  rows_.resize(sources_.size() * nodes_);
+  util::parallel_for(0, sources_.size(), [&](std::size_t s) {
+    const auto dist = bfs_hops(graph, sources_[s]);
+    std::copy(dist.begin(), dist.end(), rows_.begin() + static_cast<std::ptrdiff_t>(s * nodes_));
+  });
+}
+
+std::uint32_t HopMatrix::hops(std::size_t source_index, NodeId node) const {
+  CDN_EXPECT(source_index < sources_.size(), "source index out of range");
+  CDN_EXPECT(node < nodes_, "node out of range");
+  return rows_[source_index * nodes_ + node];
+}
+
+double HopMatrix::cost(std::size_t source_index, NodeId node) const {
+  const std::uint32_t h = hops(source_index, node);
+  return h == kUnreachableHops ? kUnreachableDistance
+                               : static_cast<double>(h);
+}
+
+NodeId HopMatrix::source_node(std::size_t source_index) const {
+  CDN_EXPECT(source_index < sources_.size(), "source index out of range");
+  return sources_[source_index];
+}
+
+}  // namespace cdn::topology

@@ -1,0 +1,62 @@
+// Single-source and multi-source shortest paths.
+//
+// The paper computes C(i, j) — the hop count of the shortest path — from each
+// CDN server to every other server and primary site with Dijkstra's
+// algorithm.  For unit weights we use BFS, which is equivalent and faster;
+// Dijkstra remains available for weighted topologies.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "src/topology/graph.h"
+
+namespace cdn::topology {
+
+/// Sentinel hop count for unreachable nodes.
+inline constexpr std::uint32_t kUnreachableHops =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Sentinel distance for unreachable nodes (weighted).
+inline constexpr double kUnreachableDistance =
+    std::numeric_limits<double>::infinity();
+
+/// BFS hop counts from `source` to every node.
+std::vector<std::uint32_t> bfs_hops(const Graph& graph, NodeId source);
+
+/// Dijkstra weighted distances from `source` to every node.
+std::vector<double> dijkstra(const Graph& graph, NodeId source);
+
+/// Hop-count distance matrix from a fixed set of source nodes to all nodes.
+/// Row s corresponds to sources[s].  Construction parallelises across
+/// sources via the shared thread pool.
+class HopMatrix {
+ public:
+  HopMatrix() = default;
+
+  /// Computes BFS rows for every source.  Requires all sources in range.
+  HopMatrix(const Graph& graph, std::span<const NodeId> sources);
+
+  /// Hops from sources[source_index] to `node`.
+  std::uint32_t hops(std::size_t source_index, NodeId node) const;
+
+  /// Hops as double (kUnreachableDistance if unreachable).
+  double cost(std::size_t source_index, NodeId node) const;
+
+  std::size_t source_count() const noexcept { return sources_.size(); }
+  std::size_t node_count() const noexcept { return nodes_; }
+  std::span<const NodeId> sources() const noexcept { return sources_; }
+
+  /// The graph node backing row `source_index`.
+  NodeId source_node(std::size_t source_index) const;
+
+ private:
+  std::vector<NodeId> sources_;
+  std::size_t nodes_ = 0;
+  std::vector<std::uint32_t> rows_;  // sources x nodes, row-major
+};
+
+}  // namespace cdn::topology

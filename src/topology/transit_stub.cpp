@@ -1,0 +1,134 @@
+#include "src/topology/transit_stub.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "src/util/error.h"
+
+namespace cdn::topology {
+
+namespace {
+
+/// Connects `nodes` into a random spanning tree (random attachment order),
+/// then adds each remaining pair as an edge with probability `extra_prob`.
+void build_connected_random_subgraph(Graph& graph,
+                                     std::span<const NodeId> nodes,
+                                     double extra_prob, util::Rng& rng) {
+  if (nodes.size() <= 1) return;
+  // Random permutation; node k attaches to a uniformly chosen predecessor.
+  std::vector<NodeId> order(nodes.begin(), nodes.end());
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform_index(i)]);
+  }
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const std::size_t parent = rng.uniform_index(k);
+    graph.add_edge(order[k], order[parent]);
+  }
+  for (std::size_t a = 0; a < nodes.size(); ++a) {
+    for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+      if (!graph.has_edge(nodes[a], nodes[b]) && rng.bernoulli(extra_prob)) {
+        graph.add_edge(nodes[a], nodes[b]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+TransitStubTopology generate_transit_stub(const TransitStubParams& params,
+                                          util::Rng& rng) {
+  CDN_EXPECT(params.transit_domains >= 1, "need at least one transit domain");
+  CDN_EXPECT(params.transit_nodes_per_domain >= 1,
+             "need at least one transit node per domain");
+  CDN_EXPECT(params.stub_domains_per_transit_node >= 1,
+             "need at least one stub domain per transit node");
+  CDN_EXPECT(params.nodes_per_stub_domain >= 1,
+             "need at least one node per stub domain");
+  for (double p : {params.transit_edge_prob, params.stub_edge_prob,
+                   params.extra_transit_link_prob}) {
+    CDN_EXPECT(p >= 0.0 && p <= 1.0, "probabilities must be in [0, 1]");
+  }
+
+  TransitStubTopology topo;
+  topo.params = params;
+  topo.graph = Graph(params.total_nodes());
+
+  // --- Transit nodes come first in the id space, grouped by domain. ---
+  NodeId next = 0;
+  std::vector<std::vector<NodeId>> transit_by_domain(params.transit_domains);
+  for (std::uint32_t d = 0; d < params.transit_domains; ++d) {
+    for (std::uint32_t t = 0; t < params.transit_nodes_per_domain; ++t) {
+      transit_by_domain[d].push_back(next);
+      topo.transit_nodes.push_back(next);
+      ++next;
+    }
+    build_connected_random_subgraph(topo.graph, transit_by_domain[d],
+                                    params.transit_edge_prob, rng);
+  }
+
+  // --- Inter-domain links: random tree over domains + extras. ---
+  auto random_node_of_domain = [&](std::uint32_t d) {
+    const auto& nodes = transit_by_domain[d];
+    return nodes[rng.uniform_index(nodes.size())];
+  };
+  for (std::uint32_t d = 1; d < params.transit_domains; ++d) {
+    const auto other = static_cast<std::uint32_t>(rng.uniform_index(d));
+    topo.graph.add_edge(random_node_of_domain(d), random_node_of_domain(other));
+  }
+  for (std::uint32_t a = 0; a < params.transit_domains; ++a) {
+    for (std::uint32_t b = a + 1; b < params.transit_domains; ++b) {
+      if (rng.bernoulli(params.extra_transit_link_prob)) {
+        const NodeId na = random_node_of_domain(a);
+        const NodeId nb = random_node_of_domain(b);
+        if (!topo.graph.has_edge(na, nb)) topo.graph.add_edge(na, nb);
+      }
+    }
+  }
+
+  // --- Stub domains hang off each transit node. ---
+  for (NodeId transit : topo.transit_nodes) {
+    for (std::uint32_t s = 0; s < params.stub_domains_per_transit_node; ++s) {
+      StubDomain stub;
+      stub.transit_attachment = transit;
+      for (std::uint32_t k = 0; k < params.nodes_per_stub_domain; ++k) {
+        stub.nodes.push_back(next++);
+      }
+      build_connected_random_subgraph(topo.graph, stub.nodes,
+                                      params.stub_edge_prob, rng);
+      const NodeId gateway = stub.nodes[rng.uniform_index(stub.nodes.size())];
+      topo.graph.add_edge(gateway, transit);
+      topo.stub_domains.push_back(std::move(stub));
+    }
+  }
+
+  CDN_CHECK(next == params.total_nodes(), "node id accounting mismatch");
+  CDN_CHECK(topo.graph.is_connected(),
+            "transit-stub construction must yield a connected graph");
+  return topo;
+}
+
+std::vector<NodeId> place_in_stub_domains(const TransitStubTopology& topo,
+                                          std::size_t count, util::Rng& rng,
+                                          bool distinct_nodes) {
+  CDN_EXPECT(!topo.stub_domains.empty(), "topology has no stub domains");
+  if (distinct_nodes) {
+    std::size_t stub_nodes = 0;
+    for (const auto& d : topo.stub_domains) stub_nodes += d.nodes.size();
+    CDN_EXPECT(count <= stub_nodes,
+               "more distinct placements requested than stub nodes exist");
+  }
+  std::vector<NodeId> placed;
+  placed.reserve(count);
+  std::unordered_set<NodeId> used;
+  while (placed.size() < count) {
+    const auto& domain =
+        topo.stub_domains[rng.uniform_index(topo.stub_domains.size())];
+    const NodeId node = domain.nodes[rng.uniform_index(domain.nodes.size())];
+    if (distinct_nodes && !used.insert(node).second) continue;
+    placed.push_back(node);
+  }
+  return placed;
+}
+
+}  // namespace cdn::topology

@@ -1,0 +1,80 @@
+// GT-ITM-flavoured transit-stub topology generator.
+//
+// The paper generates "a random transit-stub graph with a total of 1560
+// nodes" using the GT-ITM tool and places each CDN server and primary site
+// inside a randomly selected stub domain.  GT-ITM itself is an external C
+// program; this module reimplements its structural model (documented
+// substitution, see DESIGN.md):
+//
+//   * T transit domains, each a connected random graph of Nt transit nodes;
+//   * transit domains interconnected by a random tree plus extra edges;
+//   * each transit node owns S stub domains, each a connected random graph
+//     of Ns stub nodes, attached to its transit node by one edge (plus
+//     optional extra stub-to-transit edges);
+//
+// Connectivity within a domain is guaranteed by seeding each domain with a
+// random spanning tree before sprinkling extra edges — so the generated
+// graph is always connected, matching GT-ITM's usable outputs.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/graph.h"
+#include "src/util/rng.h"
+
+namespace cdn::topology {
+
+/// Parameters of the transit-stub generator.  Defaults reconstruct the
+/// paper's 1560-node graph: 4 transit domains x 6 transit nodes, 4 stub
+/// domains per transit node, 16 nodes per stub domain:
+/// 24 + 24*4*16 = 1560 nodes.
+struct TransitStubParams {
+  std::uint32_t transit_domains = 4;
+  std::uint32_t transit_nodes_per_domain = 6;
+  std::uint32_t stub_domains_per_transit_node = 4;
+  std::uint32_t nodes_per_stub_domain = 16;
+
+  /// Probability of each extra (non-spanning-tree) edge inside a transit
+  /// domain / stub domain, and of extra transit-to-transit domain links.
+  double transit_edge_prob = 0.6;
+  double stub_edge_prob = 0.3;
+  double extra_transit_link_prob = 0.3;
+
+  std::uint32_t total_nodes() const {
+    const std::uint32_t transit = transit_domains * transit_nodes_per_domain;
+    return transit + transit * stub_domains_per_transit_node *
+                         nodes_per_stub_domain;
+  }
+};
+
+/// One stub domain: the list of its node ids and its attachment transit node.
+struct StubDomain {
+  std::vector<NodeId> nodes;
+  NodeId transit_attachment = 0;
+};
+
+/// A generated transit-stub topology.
+struct TransitStubTopology {
+  Graph graph{0};
+  std::vector<NodeId> transit_nodes;
+  std::vector<StubDomain> stub_domains;
+  TransitStubParams params;
+};
+
+/// Generates a connected transit-stub topology.  Deterministic given `rng`
+/// state.  Requires all counts >= 1 and probabilities in [0, 1].
+TransitStubTopology generate_transit_stub(const TransitStubParams& params,
+                                          util::Rng& rng);
+
+/// Draws `count` node placements, each inside a randomly selected stub
+/// domain (uniform over domains, then uniform over the domain's nodes) —
+/// exactly the paper's placement rule for servers and primary sites.  When
+/// `distinct_nodes` is true the same graph node is never returned twice
+/// (requires count <= total stub nodes).
+std::vector<NodeId> place_in_stub_domains(const TransitStubTopology& topo,
+                                          std::size_t count, util::Rng& rng,
+                                          bool distinct_nodes = true);
+
+}  // namespace cdn::topology

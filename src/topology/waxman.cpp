@@ -1,0 +1,51 @@
+#include "src/topology/waxman.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace cdn::topology {
+
+WaxmanTopology generate_waxman(const WaxmanParams& params, util::Rng& rng) {
+  CDN_EXPECT(params.nodes >= 1, "need at least one node");
+  CDN_EXPECT(params.alpha > 0.0 && params.alpha <= 1.0,
+             "alpha must be in (0, 1]");
+  CDN_EXPECT(params.beta > 0.0 && params.beta <= 1.0,
+             "beta must be in (0, 1]");
+
+  WaxmanTopology topo;
+  topo.params = params;
+  topo.graph = Graph(params.nodes);
+  topo.coordinates.reserve(params.nodes);
+  for (std::uint32_t v = 0; v < params.nodes; ++v) {
+    topo.coordinates.emplace_back(rng.uniform(), rng.uniform());
+  }
+
+  const double d_max = std::sqrt(2.0);  // unit-square diameter
+  auto distance = [&](NodeId a, NodeId b) {
+    const double dx = topo.coordinates[a].first - topo.coordinates[b].first;
+    const double dy = topo.coordinates[a].second - topo.coordinates[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  // Connectivity backbone: random spanning tree with uniform attachment.
+  for (std::uint32_t v = 1; v < params.nodes; ++v) {
+    const auto parent = static_cast<NodeId>(rng.uniform_index(v));
+    topo.graph.add_edge(v, parent);
+  }
+
+  // Waxman edges on top.
+  for (std::uint32_t a = 0; a < params.nodes; ++a) {
+    for (std::uint32_t b = a + 1; b < params.nodes; ++b) {
+      if (topo.graph.has_edge(a, b)) continue;
+      const double p =
+          params.alpha * std::exp(-distance(a, b) / (params.beta * d_max));
+      if (rng.bernoulli(p)) topo.graph.add_edge(a, b);
+    }
+  }
+
+  CDN_CHECK(topo.graph.is_connected(), "Waxman graph must be connected");
+  return topo;
+}
+
+}  // namespace cdn::topology

@@ -1,0 +1,39 @@
+// Waxman random-graph generator — the other classic Internet-topology model
+// of the GT-ITM era, used here for topology-sensitivity studies (the paper
+// evaluates on transit-stub only).
+//
+// Nodes are scattered uniformly in the unit square; an edge {u, v} exists
+// with probability alpha * exp(-d(u,v) / (beta * d_max)).  A random spanning
+// tree is superimposed so the returned graph is always connected (matching
+// how GT-ITM outputs are post-processed for routing experiments).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/topology/graph.h"
+#include "src/util/rng.h"
+
+namespace cdn::topology {
+
+struct WaxmanParams {
+  std::uint32_t nodes = 1560;
+  /// Edge-density knob (higher = more edges).
+  double alpha = 0.12;
+  /// Locality knob (lower = only short edges survive).
+  double beta = 0.15;
+};
+
+struct WaxmanTopology {
+  Graph graph{0};
+  /// Node coordinates in the unit square (index = node id).
+  std::vector<std::pair<double, double>> coordinates;
+  WaxmanParams params;
+};
+
+/// Generates a connected Waxman graph.  Requires nodes >= 1, alpha/beta in
+/// (0, 1].
+WaxmanTopology generate_waxman(const WaxmanParams& params, util::Rng& rng);
+
+}  // namespace cdn::topology

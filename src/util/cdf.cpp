@@ -1,0 +1,106 @@
+#include "src/util/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/error.h"
+#include "src/util/stats.h"
+
+namespace cdn::util {
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::evaluate(double x) const {
+  CDN_EXPECT(!samples_.empty(), "CDF of empty sample");
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  CDN_EXPECT(!samples_.empty(), "quantile of empty sample");
+  ensure_sorted();
+  return quantile_sorted(samples_, q);
+}
+
+std::vector<CdfPoint> EmpiricalCdf::grid(std::size_t points) const {
+  CDN_EXPECT(points >= 2, "CDF grid needs at least 2 points");
+  CDN_EXPECT(!samples_.empty(), "CDF of empty sample");
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  std::vector<CdfPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back({x, evaluate(x)});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> EmpiricalCdf::at(std::span<const double> xs) const {
+  std::vector<CdfPoint> out;
+  out.reserve(xs.size());
+  for (double x : xs) out.push_back({x, evaluate(x)});
+  return out;
+}
+
+double EmpiricalCdf::mean() const {
+  CDN_EXPECT(!samples_.empty(), "mean of empty sample");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::min() const {
+  CDN_EXPECT(!samples_.empty(), "min of empty sample");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  CDN_EXPECT(!samples_.empty(), "max of empty sample");
+  ensure_sorted();
+  return samples_.back();
+}
+
+void EmpiricalCdf::merge(const EmpiricalCdf& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_ = false;
+}
+
+std::string format_cdf_table(std::span<const std::string> names,
+                             std::span<const std::vector<CdfPoint>> curves) {
+  CDN_EXPECT(names.size() == curves.size(),
+             "one name per curve is required");
+  CDN_EXPECT(!curves.empty(), "no curves to format");
+  const std::size_t rows = curves[0].size();
+  for (const auto& c : curves) {
+    CDN_EXPECT(c.size() == rows, "curves must share a grid");
+  }
+  std::ostringstream os;
+  os << std::setw(12) << "x";
+  for (const auto& n : names) os << std::setw(14) << n;
+  os << '\n';
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << std::setw(12) << std::fixed << std::setprecision(2)
+       << curves[0][r].x;
+    for (const auto& c : curves) {
+      os << std::setw(14) << std::fixed << std::setprecision(4) << c[r].f;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cdn::util

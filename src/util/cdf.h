@@ -1,0 +1,70 @@
+// Empirical CDF construction — Figures 3–5 of the paper are response-time
+// CDFs, so this is the primary reporting primitive.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cdn::util {
+
+/// One evaluated point of an empirical CDF: F(x) = fraction of samples <= x.
+struct CdfPoint {
+  double x = 0.0;
+  double f = 0.0;
+};
+
+/// Accumulates raw samples and evaluates the empirical CDF at chosen grids.
+/// Storage is the raw sample vector; for the simulation scales in this repo
+/// (tens of millions of doubles at most) this is cheaper and more precise
+/// than a fixed-bin histogram.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  /// F(x): fraction of samples <= x.  O(log n) after the first call
+  /// (lazy sort).  Requires at least one sample.
+  double evaluate(double x) const;
+
+  /// Inverse CDF (quantile).  Requires at least one sample, q in [0,1].
+  double quantile(double q) const;
+
+  /// Evaluates the CDF on an evenly spaced grid of `points` x-values
+  /// spanning [min, max].  Requires points >= 2 and a non-empty sample.
+  std::vector<CdfPoint> grid(std::size_t points) const;
+
+  /// Evaluates the CDF at caller-chosen x-values (need not be sorted).
+  std::vector<CdfPoint> at(std::span<const double> xs) const;
+
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Merges another CDF's samples into this one.
+  void merge(const EmpiricalCdf& other);
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Renders one or more named CDFs on a shared grid as an aligned text table —
+/// the textual equivalent of the paper's figure panels.
+std::string format_cdf_table(
+    std::span<const std::string> names,
+    std::span<const std::vector<CdfPoint>> curves);
+
+}  // namespace cdn::util

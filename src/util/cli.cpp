@@ -1,0 +1,108 @@
+#include "src/util/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace cdn::util {
+
+CliParser::CliParser(std::string program_summary)
+    : summary_(std::move(program_summary)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  CDN_EXPECT(!name.empty() && name[0] != '-',
+             "flag names are registered without dashes");
+  CDN_EXPECT(!values_.contains(name), "duplicate flag: " + name);
+  specs_.push_back({name, help, default_value});
+  values_[name] = default_value;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const auto it = values_.find(arg);
+    if (it == values_.end()) {
+      std::cerr << "unknown flag --" << arg << "\n\n" << usage();
+      return false;
+    }
+    if (!has_value) {
+      // `--flag value` when the next token is not a flag; bare `--flag`
+      // otherwise (boolean shorthand).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second = value;
+  }
+  return true;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const auto it = values_.find(name);
+  CDN_EXPECT(it != values_.end(), "unregistered flag: " + name);
+  return it->second;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  CDN_EXPECT(end != v.c_str() && *end == '\0',
+             "flag --" + name + " expects a number, got '" + v + "'");
+  return parsed;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  CDN_EXPECT(end != v.c_str() && *end == '\0',
+             "flag --" + name + " expects an integer, got '" + v + "'");
+  return parsed;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no" || v.empty()) return false;
+  CDN_EXPECT(false, "flag --" + name + " expects a boolean, got '" + v + "'");
+  return false;
+}
+
+std::string CliParser::usage() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nflags:\n";
+  for (const auto& spec : specs_) {
+    os << "  --" << spec.name;
+    if (!spec.default_value.empty()) {
+      os << " (default: " << spec.default_value << ")";
+    }
+    os << "\n      " << spec.help << '\n';
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace cdn::util

@@ -1,0 +1,60 @@
+// Minimal command-line flag parsing for the CLI driver and examples.
+//
+// Supports --key=value, --key value, and bare --flag booleans.  Unknown
+// flags are an error (catches typos in experiment scripts); positional
+// arguments are collected in order.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cdn::util {
+
+/// One registered flag's description, for --help output.
+struct FlagSpec {
+  std::string name;
+  std::string help;
+  std::string default_value;
+};
+
+/// Declarative flag registry + parser.
+class CliParser {
+ public:
+  /// `program_summary` is printed at the top of --help.
+  explicit CliParser(std::string program_summary);
+
+  /// Registers a flag with a default value (all flags are strings
+  /// internally; typed getters convert on access).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv.  Returns false (after printing usage) on --help or on a
+  /// parse error; the caller should exit.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed access.  Throws PreconditionError on unknown flag names or
+  /// malformed numeric values.
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Rendered usage text.
+  std::string usage() const;
+
+ private:
+  std::string summary_;
+  std::vector<FlagSpec> specs_;                 // declaration order
+  std::map<std::string, std::string> values_;   // current values
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cdn::util

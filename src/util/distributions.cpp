@@ -1,0 +1,82 @@
+#include "src/util/distributions.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace cdn::util {
+
+double NormalSampler::sample(Rng& rng, double mean, double stddev) {
+  CDN_EXPECT(stddev >= 0.0, "normal stddev must be non-negative");
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u, v, s;
+  do {
+    u = rng.uniform(-1.0, 1.0);
+    v = rng.uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return mean + stddev * (u * factor);
+}
+
+TruncatedNormal::TruncatedNormal(double mean, double stddev, double lo,
+                                 double hi)
+    : mean_(mean), stddev_(stddev), lo_(lo), hi_(hi) {
+  CDN_EXPECT(stddev > 0.0, "truncated normal stddev must be positive");
+  CDN_EXPECT(lo < hi, "truncated normal requires lo < hi");
+  // Rejection sampling needs non-negligible mass inside [lo, hi]; require the
+  // interval to intersect mean +/- 6 sigma.
+  CDN_EXPECT(hi > mean - 6.0 * stddev && lo < mean + 6.0 * stddev,
+             "truncation interval carries negligible probability mass");
+}
+
+double TruncatedNormal::sample(Rng& rng) {
+  for (;;) {
+    const double x = normal_.sample(rng, mean_, stddev_);
+    if (x >= lo_ && x <= hi_) return x;
+  }
+}
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  CDN_EXPECT(sigma >= 0.0, "lognormal sigma must be non-negative");
+}
+
+double Lognormal::sample(Rng& rng) {
+  return std::exp(normal_.sample(rng, mu_, sigma_));
+}
+
+double Lognormal::mean() const noexcept {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+BoundedPareto::BoundedPareto(double alpha, double lo, double hi)
+    : alpha_(alpha), lo_(lo), hi_(hi) {
+  CDN_EXPECT(alpha > 0.0, "Pareto shape must be positive");
+  CDN_EXPECT(lo > 0.0 && lo < hi, "Pareto bounds must satisfy 0 < lo < hi");
+  lo_pow_ = std::pow(lo_, alpha_);
+  hi_pow_ = std::pow(hi_, alpha_);
+}
+
+double BoundedPareto::sample(Rng& rng) {
+  // Inverse-CDF of the bounded Pareto.
+  const double u = rng.uniform();
+  const double denom = 1.0 - u * (1.0 - lo_pow_ / hi_pow_);
+  return lo_ / std::pow(denom, 1.0 / alpha_);
+}
+
+double BoundedPareto::mean() const noexcept {
+  if (alpha_ == 1.0) {
+    return std::log(hi_ / lo_) / (1.0 / lo_ - 1.0 / hi_);
+  }
+  const double num = alpha_ / (alpha_ - 1.0) *
+                     (std::pow(lo_, 1.0 - alpha_) - std::pow(hi_, 1.0 - alpha_));
+  const double den = std::pow(lo_, -alpha_) - std::pow(hi_, -alpha_);
+  return num / den;
+}
+
+}  // namespace cdn::util

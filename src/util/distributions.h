@@ -1,0 +1,87 @@
+// Continuous distributions used by the SURGE-like workload generator and the
+// site-popularity model of Section 5.1 of the paper.
+
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace cdn::util {
+
+/// Standard normal variate (Marsaglia polar method; caches the spare value).
+class NormalSampler {
+ public:
+  NormalSampler() = default;
+
+  /// Draws N(mean, stddev).  Requires stddev >= 0.
+  double sample(Rng& rng, double mean, double stddev);
+
+ private:
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Normal distribution truncated to [lo, hi] by rejection.  The paper limits
+/// per-server site popularity to mu +/- 3 sigma, where rejection is cheap
+/// (acceptance probability ~99.7%).
+class TruncatedNormal {
+ public:
+  /// Requires stddev > 0 and lo < hi with non-empty overlap around the mean.
+  TruncatedNormal(double mean, double stddev, double lo, double hi);
+
+  double sample(Rng& rng);
+
+  double mean() const noexcept { return mean_; }
+  double stddev() const noexcept { return stddev_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+ private:
+  double mean_, stddev_, lo_, hi_;
+  NormalSampler normal_;
+};
+
+/// Lognormal distribution parameterised by the underlying normal's
+/// (mu, sigma) — SURGE's model for the body of web object sizes.
+class Lognormal {
+ public:
+  /// Requires sigma >= 0.
+  Lognormal(double mu, double sigma);
+
+  double sample(Rng& rng);
+
+  /// E[X] = exp(mu + sigma^2/2).
+  double mean() const noexcept;
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+ private:
+  double mu_, sigma_;
+  NormalSampler normal_;
+};
+
+/// Bounded Pareto distribution on [lo, hi] with shape alpha — SURGE's model
+/// for the heavy tail of web object sizes.  Bounding keeps synthetic site
+/// sizes finite-variance and experiment-to-experiment comparable.
+class BoundedPareto {
+ public:
+  /// Requires alpha > 0 and 0 < lo < hi.
+  BoundedPareto(double alpha, double lo, double hi);
+
+  double sample(Rng& rng);
+
+  /// Exact mean of the bounded distribution.
+  double mean() const noexcept;
+
+  double alpha() const noexcept { return alpha_; }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+ private:
+  double alpha_, lo_, hi_;
+  double lo_pow_, hi_pow_;  // lo^alpha, hi^alpha cached for inversion
+};
+
+}  // namespace cdn::util

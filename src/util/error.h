@@ -1,0 +1,75 @@
+// Error handling primitives for hybridcdn.
+//
+// The library follows the C++ Core Guidelines convention of throwing on
+// precondition violations in API boundaries (I.5/I.6 via CDN_EXPECT) and
+// aborting on internal invariant corruption in debug builds (CDN_DCHECK).
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cdn {
+
+/// Exception thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when an internal invariant fails at runtime in a way
+/// that cannot be attributed to caller input (e.g. numeric breakdown).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+
+/// Validate a documented precondition on caller input; throws
+/// cdn::PreconditionError when violated. Always on, also in release builds:
+/// all uses are O(1) checks at API boundaries.
+#define CDN_EXPECT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::cdn::detail::throw_precondition(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                      \
+  } while (0)
+
+/// Validate an internal invariant; throws cdn::InternalError when violated.
+#define CDN_CHECK(cond, msg)                                           \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::cdn::detail::throw_internal(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                  \
+  } while (0)
+
+#ifndef NDEBUG
+/// Debug-only invariant check for hot paths (compiled out in release).
+#define CDN_DCHECK(cond, msg) CDN_CHECK(cond, msg)
+#else
+#define CDN_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#endif
+
+}  // namespace cdn

@@ -1,0 +1,117 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of the library (topology generation, workload
+// synthesis, trace simulation) consume cdn::util::Rng so that every
+// experiment is reproducible from a single 64-bit seed.  The generator is
+// xoshiro256**, seeded through SplitMix64 as recommended by its authors;
+// it is an order of magnitude faster than std::mt19937_64 and passes BigCrush.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace cdn::util {
+
+/// SplitMix64 step; used for seeding and for cheap stateless hashing of
+/// (seed, stream-id) pairs into independent generator states.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies std::uniform_random_bit_generator so it
+/// can also drive <random> distributions where convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Constructs a generator from a seed; distinct seeds give independent
+  /// streams for all practical purposes (seeded via SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    reseed(seed);
+  }
+
+  /// Re-initialises the state from `seed`.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent sub-stream generator, e.g. one per server or per
+  /// site, so that parallel components do not share state.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t mix = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    return Rng(splitmix64(mix));
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).  Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n).  Requires n > 0.  Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    CDN_DCHECK(n > 0, "uniform_index requires n > 0");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    CDN_EXPECT(lo <= hi, "uniform_int requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_index(span));
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace cdn::util

@@ -1,0 +1,80 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace cdn::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile_sorted(std::span<const double> sorted_values, double q) {
+  CDN_EXPECT(!sorted_values.empty(), "quantile of empty sample");
+  CDN_EXPECT(q >= 0.0 && q <= 1.0, "quantile level must be in [0, 1]");
+  const double pos = q * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_values[lo] + frac * (sorted_values[hi] - sorted_values[lo]);
+}
+
+std::vector<double> quantiles(std::span<const double> values,
+                              std::span<const double> qs) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(sorted, q));
+  return out;
+}
+
+double mean_relative_error(std::span<const double> reference,
+                           std::span<const double> estimate) {
+  CDN_EXPECT(reference.size() == estimate.size(),
+             "series must have equal length");
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i] == 0.0) continue;
+    acc += std::abs(estimate[i] - reference[i]) / std::abs(reference[i]);
+    ++counted;
+  }
+  return counted ? acc / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace cdn::util

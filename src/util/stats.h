@@ -1,0 +1,52 @@
+// Streaming summary statistics and percentile utilities.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cdn::util {
+
+/// Welford streaming accumulator: mean / variance / min / max in O(1) space.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel reduction support).
+  void merge(const RunningStats& other) noexcept;
+
+  std::uint64_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Quantile of a sample by linear interpolation between order statistics
+/// (type-7, the numpy/R default).  `sorted_values` must be ascending and
+/// non-empty; q in [0, 1].
+double quantile_sorted(std::span<const double> sorted_values, double q);
+
+/// Convenience: copies, sorts, and evaluates several quantiles at once.
+std::vector<double> quantiles(std::span<const double> values,
+                              std::span<const double> qs);
+
+/// Mean absolute relative error between two equally-sized series, ignoring
+/// entries whose reference value is 0.  Used for model-vs-simulation checks
+/// (Figure 6 reports < 7%).
+double mean_relative_error(std::span<const double> reference,
+                           std::span<const double> estimate);
+
+}  // namespace cdn::util

@@ -1,0 +1,41 @@
+// Aligned plain-text tables and CSV emission for benchmark reports.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cdn::util {
+
+/// Column-aligned text table builder.  All benchmark binaries print their
+/// paper-figure data through this so the output is uniform and diffable.
+class TextTable {
+ public:
+  /// Sets the header row and fixes the column count.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for mixed string/double rows.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Renders with padded columns and a rule under the header.
+  std::string str() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table rows).
+std::string format_double(double v, int precision = 4);
+
+}  // namespace cdn::util

@@ -1,0 +1,97 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+
+namespace cdn::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  CDN_EXPECT(task != nullptr, "null task");
+  {
+    std::unique_lock lock(mu_);
+    CDN_EXPECT(!stop_, "submit after shutdown");
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.thread_count();
+  if (workers <= 1 || n <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, (n + grain - 1) / grain);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for(ThreadPool::shared(), begin, end, body, grain);
+}
+
+}  // namespace cdn::util

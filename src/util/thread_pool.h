@@ -1,0 +1,67 @@
+// Minimal work-stealing-free thread pool plus a static-partition parallel_for.
+//
+// The hybrid greedy algorithm evaluates O(M*N) candidate replicas per
+// iteration with identical per-candidate cost, so a static partition over a
+// fixed pool (the OpenMP `parallel for schedule(static)` idiom) is the right
+// shape; no dynamic load balancing is needed.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cdn::util {
+
+/// Fixed-size thread pool executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding tasks and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw; exceptions terminate.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Process-wide shared pool (lazily constructed, hardware concurrency).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(i) for i in [begin, end) across the pool with a static
+/// partition; blocks until complete.  Falls back to the calling thread when
+/// the range is small or the pool has a single worker.
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// parallel_for over the shared pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace cdn::util

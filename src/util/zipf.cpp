@@ -1,0 +1,101 @@
+#include "src/util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/error.h"
+
+namespace cdn::util {
+
+ZipfDistribution::ZipfDistribution(std::size_t size, double theta)
+    : theta_(theta) {
+  CDN_EXPECT(size >= 1, "Zipf distribution needs at least one rank");
+  CDN_EXPECT(theta >= 0.0, "Zipf exponent must be non-negative");
+  pmf_.resize(size);
+  cdf_.resize(size);
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= size; ++k) {
+    const double w = std::pow(static_cast<double>(k), -theta);
+    pmf_[k - 1] = w;
+    norm += w;
+  }
+  alpha_ = 1.0 / norm;
+  double acc = 0.0;
+  for (std::size_t k = 0; k < size; ++k) {
+    pmf_[k] *= alpha_;
+    acc += pmf_[k];
+    cdf_[k] = acc;
+  }
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  CDN_EXPECT(k >= 1 && k <= pmf_.size(), "Zipf rank out of range");
+  return pmf_[k - 1];
+}
+
+double ZipfDistribution::cdf(std::size_t k) const {
+  CDN_EXPECT(k >= 1 && k <= cdf_.size(), "Zipf rank out of range");
+  return cdf_[k - 1];
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+  CDN_EXPECT(!weights.empty(), "alias sampler needs at least one weight");
+  const std::size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    CDN_EXPECT(w >= 0.0, "alias sampler weights must be non-negative");
+    total += w;
+  }
+  CDN_EXPECT(total > 0.0, "alias sampler needs positive total weight");
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // rounding leftovers
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+  CDN_DCHECK(!prob_.empty(), "sampling from empty alias table");
+  const std::size_t bucket = rng.uniform_index(prob_.size());
+  return rng.uniform() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasSampler::probability(std::size_t i) const {
+  CDN_EXPECT(i < normalized_.size(), "alias index out of range");
+  return normalized_[i];
+}
+
+}  // namespace cdn::util

@@ -1,0 +1,76 @@
+// Zipf-like distribution over object ranks, and a generic O(1) alias-method
+// sampler for arbitrary finite discrete distributions.
+//
+// The paper models per-site object popularity as Zipf-like with parameter
+// theta: P(rank k) = alpha / k^theta, alpha = 1 / sum_{k=1..L} k^-theta.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cdn::util {
+
+/// Zipf-like distribution over ranks 1..size with exponent theta >= 0.
+/// theta = 0 degenerates to uniform; theta = 1 is classic Zipf.
+class ZipfDistribution {
+ public:
+  /// Requires size >= 1 and theta >= 0.
+  ZipfDistribution(std::size_t size, double theta);
+
+  /// Probability of rank k (1-based).  Requires 1 <= k <= size().
+  double pmf(std::size_t k) const;
+
+  /// Cumulative probability of ranks 1..k.  Requires 1 <= k <= size().
+  double cdf(std::size_t k) const;
+
+  /// Normalisation constant alpha = 1 / sum k^-theta.
+  double alpha() const noexcept { return alpha_; }
+
+  double theta() const noexcept { return theta_; }
+  std::size_t size() const noexcept { return pmf_.size(); }
+
+  /// Draws a rank in [1, size] by inverse-CDF binary search, O(log size).
+  std::size_t sample(Rng& rng) const;
+
+  /// Read-only view of the pmf, index 0 == rank 1.
+  std::span<const double> probabilities() const noexcept { return pmf_; }
+
+ private:
+  double theta_;
+  double alpha_;
+  std::vector<double> pmf_;
+  std::vector<double> cdf_;
+};
+
+/// Walker alias method: O(n) construction, O(1) sampling from any finite
+/// discrete distribution.  Used for the simulator's (server, site) request
+/// mixture, which is sampled hundreds of millions of times.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds the table from non-negative weights (need not be normalised).
+  /// Requires at least one strictly positive weight.
+  explicit AliasSampler(std::span<const double> weights);
+
+  /// Draws an index in [0, size()).
+  std::size_t sample(Rng& rng) const;
+
+  /// Normalised probability of index i (recomputed from stored weights).
+  double probability(std::size_t i) const;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+  bool empty() const noexcept { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;           // threshold within each bucket
+  std::vector<std::uint32_t> alias_;   // alternative outcome per bucket
+  std::vector<double> normalized_;     // exact probabilities, for inspection
+};
+
+}  // namespace cdn::util

@@ -1,0 +1,107 @@
+#include "src/workload/demand.h"
+
+#include <numeric>
+
+#include "src/util/distributions.h"
+#include "src/util/error.h"
+
+namespace cdn::workload {
+
+DemandMatrix::DemandMatrix(std::size_t servers, std::size_t sites)
+    : servers_(servers),
+      sites_(sites),
+      values_(servers * sites, 0.0),
+      row_totals_(servers, 0.0),
+      col_totals_(sites, 0.0) {}
+
+DemandMatrix DemandMatrix::generate(const SiteCatalog& catalog,
+                                    std::size_t server_count,
+                                    double total_requests, util::Rng& rng) {
+  CDN_EXPECT(server_count >= 1, "need at least one server");
+  CDN_EXPECT(total_requests > 0.0, "total request volume must be positive");
+
+  const std::size_t sites = catalog.site_count();
+  DemandMatrix dm(server_count, sites);
+
+  double weight_sum = 0.0;
+  for (SiteId j = 0; j < sites; ++j) weight_sum += catalog.volume_weight(j);
+
+  const double n = static_cast<double>(server_count);
+  const double mu = 1.0 / n;
+  const double sigma = 1.0 / (4.0 * n);
+  util::TruncatedNormal share(mu, sigma, mu - 3.0 * sigma, mu + 3.0 * sigma);
+
+  std::vector<double> shares(server_count);
+  for (SiteId j = 0; j < sites; ++j) {
+    const double site_volume =
+        total_requests * catalog.volume_weight(j) / weight_sum;
+    double share_sum = 0.0;
+    for (std::size_t i = 0; i < server_count; ++i) {
+      shares[i] = share.sample(rng);
+      share_sum += shares[i];
+    }
+    for (std::size_t i = 0; i < server_count; ++i) {
+      dm.values_[i * sites + j] = site_volume * shares[i] / share_sum;
+    }
+  }
+  dm.finalize();
+  return dm;
+}
+
+DemandMatrix DemandMatrix::from_values(std::size_t server_count,
+                                       std::size_t site_count,
+                                       std::span<const double> values) {
+  CDN_EXPECT(server_count >= 1 && site_count >= 1,
+             "demand matrix must be non-empty");
+  CDN_EXPECT(values.size() == server_count * site_count,
+             "value count must equal servers x sites");
+  DemandMatrix dm(server_count, site_count);
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    CDN_EXPECT(values[k] >= 0.0, "request counts must be non-negative");
+    dm.values_[k] = values[k];
+  }
+  dm.finalize();
+  return dm;
+}
+
+void DemandMatrix::finalize() {
+  total_ = 0.0;
+  for (std::size_t i = 0; i < servers_; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < sites_; ++j) {
+      const double v = values_[i * sites_ + j];
+      row += v;
+      col_totals_[j] += v;
+    }
+    row_totals_[i] = row;
+    total_ += row;
+  }
+}
+
+double DemandMatrix::requests(ServerId server, SiteId site) const {
+  CDN_EXPECT(server < servers_, "server id out of range");
+  CDN_EXPECT(site < sites_, "site id out of range");
+  return values_[static_cast<std::size_t>(server) * sites_ + site];
+}
+
+double DemandMatrix::server_total(ServerId server) const {
+  CDN_EXPECT(server < servers_, "server id out of range");
+  return row_totals_[server];
+}
+
+double DemandMatrix::site_total(SiteId site) const {
+  CDN_EXPECT(site < sites_, "site id out of range");
+  return col_totals_[site];
+}
+
+double DemandMatrix::site_popularity(ServerId server, SiteId site) const {
+  const double row = server_total(server);
+  return row > 0.0 ? requests(server, site) / row : 0.0;
+}
+
+std::span<const double> DemandMatrix::row(ServerId server) const {
+  CDN_EXPECT(server < servers_, "server id out of range");
+  return {values_.data() + static_cast<std::size_t>(server) * sites_, sites_};
+}
+
+}  // namespace cdn::workload

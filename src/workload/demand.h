@@ -1,0 +1,73 @@
+// The demand matrix r_j^(i): expected request counts per (server, site).
+//
+// Section 5.1: "the popularity of each site O_j at server S^(i) followed a
+// normal distribution with mean mu = 1/N and standard deviation
+// sigma = 1/(4N) ... limited to the interval mu +/- 3 sigma".  A site's
+// total volume comes from its popularity class; the truncated normal shares
+// it across the N servers.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/workload/site_catalog.h"
+
+namespace cdn::workload {
+
+using ServerId = std::uint32_t;
+
+/// Dense N x M matrix of expected request counts.
+class DemandMatrix {
+ public:
+  /// Builds the matrix: site j's volume is
+  /// total_requests * weight_j / sum(weights), split across servers by the
+  /// paper's truncated normal.  Requires server_count >= 1.
+  static DemandMatrix generate(const SiteCatalog& catalog,
+                               std::size_t server_count,
+                               double total_requests, util::Rng& rng);
+
+  /// Builds a matrix directly from explicit values (tests, custom studies).
+  /// `values` is row-major server x site; all entries must be >= 0.
+  static DemandMatrix from_values(std::size_t server_count,
+                                  std::size_t site_count,
+                                  std::span<const double> values);
+
+  std::size_t server_count() const noexcept { return servers_; }
+  std::size_t site_count() const noexcept { return sites_; }
+
+  /// Expected requests from server i's client population for site j.
+  double requests(ServerId server, SiteId site) const;
+
+  /// Total requests entering server i (its row sum).
+  double server_total(ServerId server) const;
+
+  /// Total requests for site j across servers (its column sum).
+  double site_total(SiteId site) const;
+
+  double total() const noexcept { return total_; }
+
+  /// The site popularity p_j^(i) = r_j^(i) / sum_k r_k^(i) — the quantity
+  /// fed to the LRU model.
+  double site_popularity(ServerId server, SiteId site) const;
+
+  /// Row view for server i (length site_count()).
+  std::span<const double> row(ServerId server) const;
+
+ private:
+  DemandMatrix(std::size_t servers, std::size_t sites);
+
+  void finalize();
+
+  std::size_t servers_ = 0;
+  std::size_t sites_ = 0;
+  std::vector<double> values_;        // row-major
+  std::vector<double> row_totals_;
+  std::vector<double> col_totals_;
+  double total_ = 0.0;
+};
+
+}  // namespace cdn::workload

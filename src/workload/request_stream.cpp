@@ -1,0 +1,49 @@
+#include "src/workload/request_stream.h"
+
+#include "src/util/error.h"
+
+namespace cdn::workload {
+
+RequestStream::RequestStream(const SiteCatalog& catalog,
+                             const DemandMatrix& demand, std::uint64_t seed,
+                             double locality, std::size_t locality_window)
+    : catalog_(&catalog),
+      sites_(demand.site_count()),
+      rng_(seed),
+      locality_(locality),
+      locality_window_(locality_window),
+      recent_(demand.server_count()) {
+  CDN_EXPECT(catalog.site_count() == demand.site_count(),
+             "catalog and demand matrix disagree on site count");
+  CDN_EXPECT(locality >= 0.0 && locality < 1.0, "locality must be in [0, 1)");
+  CDN_EXPECT(locality == 0.0 || locality_window >= 1,
+             "locality window must be positive when locality > 0");
+  std::vector<double> weights;
+  weights.reserve(demand.server_count() * sites_);
+  for (ServerId i = 0; i < demand.server_count(); ++i) {
+    const auto row = demand.row(i);
+    weights.insert(weights.end(), row.begin(), row.end());
+  }
+  cell_sampler_ = util::AliasSampler(weights);
+}
+
+Request RequestStream::next() {
+  const std::size_t cell = cell_sampler_.sample(rng_);
+  Request req;
+  req.server = static_cast<ServerId>(cell / sites_);
+  req.site = static_cast<SiteId>(cell % sites_);
+  req.rank = static_cast<std::uint32_t>(
+      catalog_->object_popularity().sample(rng_));
+
+  if (locality_ > 0.0) {
+    auto& window = recent_[req.server];
+    if (!window.empty() && rng_.bernoulli(locality_)) {
+      req = window[rng_.uniform_index(window.size())];
+    }
+    window.push_back(req);
+    if (window.size() > locality_window_) window.pop_front();
+  }
+  return req;
+}
+
+}  // namespace cdn::workload

@@ -1,0 +1,55 @@
+// Streaming synthetic request generation for the trace-driven simulator.
+//
+// The reference stream is i.i.d.: each request independently picks a
+// (server, site) cell proportional to the demand matrix and an object rank
+// from the site's Zipf law — the independence assumption underlying the
+// paper's analytical model (Section 3.2).  An optional temporal-locality
+// knob re-references a recent request at the same server with probability
+// `locality`, for sensitivity studies beyond the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+#include "src/workload/demand.h"
+#include "src/workload/site_catalog.h"
+
+namespace cdn::workload {
+
+/// One HTTP request as seen by the CDN: which first-hop server received it,
+/// which site and which object (by popularity rank) it asks for.
+struct Request {
+  ServerId server = 0;
+  SiteId site = 0;
+  std::uint32_t rank = 1;  // 1-based within-site popularity rank
+};
+
+/// Infinite request stream.  Deterministic given the seed.
+class RequestStream {
+ public:
+  /// `locality` in [0, 1): probability that a request repeats one of the
+  /// last `locality_window` requests at the same server (0 = pure i.i.d.).
+  RequestStream(const SiteCatalog& catalog, const DemandMatrix& demand,
+                std::uint64_t seed, double locality = 0.0,
+                std::size_t locality_window = 256);
+
+  /// Generates the next request.
+  Request next();
+
+  const SiteCatalog& catalog() const noexcept { return *catalog_; }
+
+ private:
+  const SiteCatalog* catalog_;
+  std::size_t sites_;
+  util::Rng rng_;
+  util::AliasSampler cell_sampler_;  // over server*site cells
+  double locality_;
+  std::size_t locality_window_;
+  std::vector<std::deque<Request>> recent_;  // per server
+};
+
+}  // namespace cdn::workload

@@ -1,0 +1,114 @@
+#include "src/workload/site_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/distributions.h"
+#include "src/util/error.h"
+
+namespace cdn::workload {
+
+std::vector<PopularityClass> default_popularity_classes() {
+  return {{50, 1.0, "low"}, {100, 4.0, "medium"}, {50, 16.0, "high"}};
+}
+
+SiteCatalog SiteCatalog::generate(const SurgeParams& params,
+                                  std::span<const PopularityClass> classes,
+                                  util::Rng& rng) {
+  params.validate();
+  CDN_EXPECT(!classes.empty(), "need at least one popularity class");
+  std::size_t num_sites = 0;
+  for (const auto& c : classes) {
+    CDN_EXPECT(c.volume_weight > 0.0, "class volume weight must be positive");
+    num_sites += c.site_count;
+  }
+  CDN_EXPECT(num_sites >= 1, "need at least one site");
+
+  SiteCatalog catalog(
+      util::ZipfDistribution(params.objects_per_site, params.zipf_theta));
+  const std::size_t L = params.objects_per_site;
+  catalog.object_bytes_.reserve(num_sites * L);
+  catalog.site_bytes_.reserve(num_sites);
+  catalog.volume_weights_.reserve(num_sites);
+  catalog.class_labels_.reserve(num_sites);
+
+  util::Lognormal body(params.body_lognormal_mu, params.body_lognormal_sigma);
+  util::BoundedPareto tail(params.tail_pareto_alpha,
+                           params.tail_pareto_min_bytes,
+                           params.tail_pareto_max_bytes);
+
+  for (const auto& cls : classes) {
+    for (std::size_t s = 0; s < cls.site_count; ++s) {
+      std::uint64_t site_total = 0;
+      for (std::size_t k = 0; k < L; ++k) {
+        const double raw = rng.bernoulli(params.tail_fraction)
+                               ? tail.sample(rng)
+                               : body.sample(rng);
+        const auto bytes = static_cast<std::uint64_t>(
+            std::max(params.min_object_bytes, raw));
+        catalog.object_bytes_.push_back(bytes);
+        site_total += bytes;
+      }
+      catalog.site_bytes_.push_back(site_total);
+      catalog.total_bytes_ += site_total;
+      catalog.volume_weights_.push_back(cls.volume_weight);
+      catalog.class_labels_.push_back(cls.label);
+    }
+  }
+  catalog.uncacheable_.assign(num_sites, 0.0);
+  catalog.mean_object_bytes_ =
+      static_cast<double>(catalog.total_bytes_) /
+      static_cast<double>(num_sites * L);
+  return catalog;
+}
+
+void SiteCatalog::check_site(SiteId site) const {
+  CDN_EXPECT(site < site_bytes_.size(), "site id out of range");
+}
+
+std::uint64_t SiteCatalog::object_bytes(SiteId site, std::size_t rank) const {
+  check_site(site);
+  CDN_EXPECT(rank >= 1 && rank <= objects_per_site(),
+             "object rank out of range");
+  return object_bytes_[site * objects_per_site() + (rank - 1)];
+}
+
+std::uint64_t SiteCatalog::site_bytes(SiteId site) const {
+  check_site(site);
+  return site_bytes_[site];
+}
+
+double SiteCatalog::volume_weight(SiteId site) const {
+  check_site(site);
+  return volume_weights_[site];
+}
+
+const char* SiteCatalog::class_label(SiteId site) const {
+  check_site(site);
+  return class_labels_[site];
+}
+
+double SiteCatalog::uncacheable_fraction(SiteId site) const {
+  check_site(site);
+  return uncacheable_[site];
+}
+
+void SiteCatalog::set_uncacheable_fraction(double lambda) {
+  CDN_EXPECT(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0, 1]");
+  std::fill(uncacheable_.begin(), uncacheable_.end(), lambda);
+}
+
+void SiteCatalog::set_uncacheable_fraction(SiteId site, double lambda) {
+  check_site(site);
+  CDN_EXPECT(lambda >= 0.0 && lambda <= 1.0, "lambda must be in [0, 1]");
+  uncacheable_[site] = lambda;
+}
+
+ObjectId SiteCatalog::object_id(SiteId site, std::size_t rank) const {
+  check_site(site);
+  CDN_EXPECT(rank >= 1 && rank <= objects_per_site(),
+             "object rank out of range");
+  return static_cast<ObjectId>(site) * objects_per_site() + (rank - 1);
+}
+
+}  // namespace cdn::workload

@@ -1,0 +1,67 @@
+// SURGE-like workload parameterisation (Section 5.1 "Datasets").
+//
+// The paper generates one synthetic SURGE workload per hosted web site, with
+// identical theta (Zipf exponent) and L (objects per site) everywhere, and
+// three site-popularity classes: 50 low-, 100 medium-, and 50 high-
+// popularity sites.  We reproduce SURGE's distributional skeleton: object
+// sizes drawn from a lognormal body with a bounded-Pareto heavy tail, and
+// object popularity within a site following a Zipf-like law.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace cdn::workload {
+
+/// Distributional parameters of one synthetic site's object population.
+/// Defaults are the canonical SURGE fits (Barford & Crovella, SIGMETRICS'98):
+/// lognormal(9.357, 1.318) body, Pareto(alpha = 1.1) tail.
+struct SurgeParams {
+  std::size_t objects_per_site = 1000;
+  double zipf_theta = 1.0;
+
+  double body_lognormal_mu = 9.357;
+  double body_lognormal_sigma = 1.318;
+  /// Fraction of objects drawn from the heavy tail instead of the body.
+  double tail_fraction = 0.07;
+  double tail_pareto_alpha = 1.1;
+  double tail_pareto_min_bytes = 133e3;
+  /// Tail bound keeps synthetic site sizes finite-variance (documented
+  /// substitution: SURGE's unbounded tail, truncated at 50 MB).
+  double tail_pareto_max_bytes = 50e6;
+
+  /// Minimum object size in bytes (HTTP response floor).
+  double min_object_bytes = 64.0;
+
+  void validate() const {
+    CDN_EXPECT(objects_per_site >= 1, "need at least one object per site");
+    CDN_EXPECT(zipf_theta >= 0.0, "zipf theta must be non-negative");
+    CDN_EXPECT(tail_fraction >= 0.0 && tail_fraction <= 1.0,
+               "tail fraction must be in [0, 1]");
+    CDN_EXPECT(body_lognormal_sigma >= 0.0, "lognormal sigma must be >= 0");
+    CDN_EXPECT(tail_pareto_alpha > 0.0, "pareto alpha must be positive");
+    CDN_EXPECT(tail_pareto_min_bytes > 0.0 &&
+                   tail_pareto_min_bytes < tail_pareto_max_bytes,
+               "pareto bounds must satisfy 0 < min < max");
+    CDN_EXPECT(min_object_bytes > 0.0, "object size floor must be positive");
+  }
+};
+
+/// One site-popularity class: how many sites and their relative request
+/// volume (requests per site in this class, relative to a low-traffic site).
+struct PopularityClass {
+  std::size_t site_count = 0;
+  double volume_weight = 1.0;
+  const char* label = "";
+};
+
+/// The paper's mixture: 50 low-, 100 medium-, 50 high-popularity sites.
+/// Volume weights 1 : 4 : 16 give the "busy site" skew motivating the work;
+/// they are configurable through this struct.
+std::vector<PopularityClass> default_popularity_classes();
+
+}  // namespace cdn::workload

@@ -1,0 +1,136 @@
+#include "src/workload/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace cdn::workload {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'D', 'N', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+RecordedTrace RecordedTrace::record(RequestStream& stream,
+                                    std::size_t count) {
+  RecordedTrace trace;
+  trace.requests_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.requests_.push_back(stream.next());
+  }
+  return trace;
+}
+
+void RecordedTrace::save_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CDN_EXPECT(out.good(), "cannot open trace file for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const std::uint64_t count = requests_.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const Request& r : requests_) {
+    const std::uint32_t fields[3] = {r.server, r.site, r.rank};
+    out.write(reinterpret_cast<const char*>(fields), sizeof(fields));
+    checksum = fnv1a(fields, sizeof(fields), checksum);
+  }
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  CDN_CHECK(out.good(), "short write while saving trace: " + path);
+}
+
+RecordedTrace RecordedTrace::load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CDN_EXPECT(in.good(), "cannot open trace file: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  CDN_EXPECT(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+             "not a hybridcdn trace file: " + path);
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  CDN_EXPECT(in.good() && version == kVersion,
+             "unsupported trace version in " + path);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  CDN_EXPECT(in.good(), "truncated trace header: " + path);
+
+  RecordedTrace trace;
+  trace.requests_.resize(count);
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t fields[3];
+    in.read(reinterpret_cast<char*>(fields), sizeof(fields));
+    CDN_EXPECT(in.good(), "truncated trace payload: " + path);
+    checksum = fnv1a(fields, sizeof(fields), checksum);
+    trace.requests_[i] = {fields[0], fields[1], fields[2]};
+  }
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  CDN_EXPECT(in.good() && stored == checksum,
+             "trace checksum mismatch (corrupt file?): " + path);
+  return trace;
+}
+
+void RecordedTrace::save_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  CDN_EXPECT(out.good(), "cannot open trace file for writing: " + path);
+  out << "server,site,rank\n";
+  for (const Request& r : requests_) {
+    out << r.server << ',' << r.site << ',' << r.rank << '\n';
+  }
+  CDN_CHECK(out.good(), "short write while saving trace: " + path);
+}
+
+RecordedTrace RecordedTrace::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  CDN_EXPECT(in.good(), "cannot open trace file: " + path);
+  std::string line;
+  CDN_EXPECT(static_cast<bool>(std::getline(in, line)) &&
+                 line == "server,site,rank",
+             "unexpected CSV trace header in " + path);
+  RecordedTrace trace;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream row(line);
+    std::string field;
+    std::uint32_t values[3];
+    for (int f = 0; f < 3; ++f) {
+      CDN_EXPECT(static_cast<bool>(std::getline(row, field, ',')),
+                 "malformed CSV trace at line " + std::to_string(line_no));
+      values[f] = static_cast<std::uint32_t>(std::stoul(field));
+    }
+    trace.requests_.push_back({values[0], values[1], values[2]});
+  }
+  return trace;
+}
+
+void RecordedTrace::validate(std::size_t server_count, std::size_t site_count,
+                             std::size_t objects_per_site) const {
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const Request& r = requests_[i];
+    CDN_EXPECT(r.server < server_count,
+               "trace record " + std::to_string(i) + ": server out of range");
+    CDN_EXPECT(r.site < site_count,
+               "trace record " + std::to_string(i) + ": site out of range");
+    CDN_EXPECT(r.rank >= 1 && r.rank <= objects_per_site,
+               "trace record " + std::to_string(i) + ": rank out of range");
+  }
+}
+
+}  // namespace cdn::workload

@@ -1,0 +1,53 @@
+// Request-trace recording, (de)serialisation and replay.
+//
+// The paper's evaluation is "trace-driven" over synthetic SURGE traces
+// because "no CDN log files exist in the public domain".  This module makes
+// the trace a first-class artefact: record a synthetic stream once, save it
+// (compact binary format with a checksummed header, or CSV for inspection),
+// and replay the identical trace against different placements or policies —
+// or load a real CDN log converted to the same schema.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/workload/request_stream.h"
+
+namespace cdn::workload {
+
+/// An in-memory request trace.
+class RecordedTrace {
+ public:
+  RecordedTrace() = default;
+
+  /// Materialises `count` requests from a live stream.
+  static RecordedTrace record(RequestStream& stream, std::size_t count);
+
+  /// Binary round-trip.  The format is:
+  ///   magic "CDNTRACE" | u32 version | u64 count | count x (u32,u32,u32)
+  /// followed by a FNV-1a checksum of the payload.
+  void save_binary(const std::string& path) const;
+  static RecordedTrace load_binary(const std::string& path);
+
+  /// CSV round-trip (header "server,site,rank").
+  void save_csv(const std::string& path) const;
+  static RecordedTrace load_csv(const std::string& path);
+
+  void append(const Request& r) { requests_.push_back(r); }
+  std::size_t size() const noexcept { return requests_.size(); }
+  bool empty() const noexcept { return requests_.empty(); }
+  const Request& operator[](std::size_t i) const { return requests_[i]; }
+  const std::vector<Request>& requests() const noexcept { return requests_; }
+
+  /// Validates every record against catalogue/demand dimensions; throws
+  /// PreconditionError on out-of-range servers, sites, or ranks.
+  void validate(std::size_t server_count, std::size_t site_count,
+                std::size_t objects_per_site) const;
+
+ private:
+  std::vector<Request> requests_;
+};
+
+}  // namespace cdn::workload

@@ -1,0 +1,190 @@
+// Behavioural tests distinguishing FIFO, LFU, CLOCK and delayed-LRU from
+// plain LRU, plus factory round-trips.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/cache_factory.h"
+#include "src/cache/clock_cache.h"
+#include "src/cache/delayed_lru_cache.h"
+#include "src/cache/fifo_cache.h"
+#include "src/cache/lfu_cache.h"
+#include "src/cache/lru_cache.h"
+#include "src/util/error.h"
+
+namespace {
+
+using namespace cdn::cache;
+
+TEST(FifoCacheTest, HitDoesNotRefreshPosition) {
+  FifoCache cache(30);
+  cache.admit(1, 10);
+  cache.admit(2, 10);
+  cache.admit(3, 10);
+  EXPECT_TRUE(cache.lookup(1));  // FIFO: no recency effect
+  cache.admit(4, 10);            // evicts 1 anyway (oldest admission)
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(FifoCacheTest, EvictsInAdmissionOrder) {
+  FifoCache cache(20);
+  cache.admit(1, 10);
+  cache.admit(2, 10);
+  cache.admit(3, 10);  // evicts 1
+  cache.admit(4, 10);  // evicts 2
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(LfuCacheTest, EvictsLowestFrequency) {
+  LfuCache cache(30);
+  cache.admit(1, 10);
+  cache.admit(2, 10);
+  cache.admit(3, 10);
+  cache.lookup(1);  // freq(1)=2
+  cache.lookup(1);  // freq(1)=3
+  cache.lookup(3);  // freq(3)=2
+  cache.admit(4, 10);  // evicts 2 (freq 1)
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(LfuCacheTest, TiesBreakLeastRecent) {
+  LfuCache cache(30);
+  cache.admit(1, 10);
+  cache.admit(2, 10);
+  cache.admit(3, 10);
+  cache.lookup(1);     // 1 most recently touched within freq bucket... then
+  cache.lookup(2);     // bump both 1 and 2 to freq 2; 3 stays freq 1
+  cache.admit(4, 10);  // evicts 3 (lowest freq)
+  EXPECT_FALSE(cache.contains(3));
+}
+
+TEST(LfuCacheTest, FrequencyAccessor) {
+  LfuCache cache(30);
+  cache.admit(1, 10);
+  EXPECT_EQ(cache.frequency(1), 1u);
+  cache.lookup(1);
+  cache.lookup(1);
+  EXPECT_EQ(cache.frequency(1), 3u);
+  EXPECT_EQ(cache.frequency(99), 0u);
+}
+
+TEST(LfuCacheTest, FrequencyResetsOnReAdmission) {
+  // "In-cache" LFU: eviction wipes the count.
+  LfuCache cache(10);
+  cache.admit(1, 10);
+  cache.lookup(1);
+  cache.lookup(1);
+  cache.admit(2, 10);  // evicts 1 despite high frequency? No: 2 can't fit
+                       // without evicting the only (and highest-freq) entry.
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  cache.admit(1, 10);  // re-admitted: frequency starts over at 1
+  EXPECT_EQ(cache.frequency(1), 1u);
+}
+
+TEST(ClockCacheTest, SecondChanceProtectsReferenced) {
+  ClockCache cache(30);
+  cache.admit(1, 10);
+  cache.admit(2, 10);
+  cache.admit(3, 10);
+  cache.lookup(1);     // sets 1's reference bit
+  cache.admit(4, 10);  // hand clears 1's bit, evicts 2 or 3 (unreferenced)
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.object_count(), 3u);
+}
+
+TEST(ClockCacheTest, AllReferencedDegradesToSweep) {
+  ClockCache cache(20);
+  cache.admit(1, 10);
+  cache.admit(2, 10);
+  cache.lookup(1);
+  cache.lookup(2);
+  cache.admit(3, 10);  // full sweep clears all bits, then evicts someone
+  EXPECT_EQ(cache.object_count(), 2u);
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(ClockCacheTest, EraseHandSafety) {
+  ClockCache cache(30);
+  cache.admit(1, 10);
+  cache.admit(2, 10);
+  cache.admit(3, 10);
+  EXPECT_TRUE(cache.erase(2));
+  cache.admit(4, 10);
+  cache.admit(5, 10);  // forces eviction with hand having moved
+  EXPECT_EQ(cache.object_count(), 3u);
+  cache.clear();
+  EXPECT_EQ(cache.object_count(), 0u);
+  cache.admit(7, 10);
+  EXPECT_TRUE(cache.contains(7));
+}
+
+TEST(DelayedLruTest, AdmitsOnlyAfterThresholdMisses) {
+  DelayedLruCache cache(100, /*admission_threshold=*/2);
+  EXPECT_FALSE(cache.access(1, 10));  // 1st miss: counted, not admitted
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_FALSE(cache.access(1, 10));  // 2nd miss: admitted
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.access(1, 10));   // now a hit
+}
+
+TEST(DelayedLruTest, ThresholdOneIsPlainLru) {
+  DelayedLruCache cache(100, 1);
+  EXPECT_FALSE(cache.access(1, 10));
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(DelayedLruTest, OneHitWondersStayOut) {
+  DelayedLruCache delayed(40, 2);
+  // Stream of unique keys: none is ever admitted, cache stays empty.
+  for (ObjectKey k = 0; k < 100; ++k) delayed.access(k, 10);
+  EXPECT_EQ(delayed.object_count(), 0u);
+}
+
+TEST(DelayedLruTest, GhostDirectoryIsBounded) {
+  DelayedLruCache cache(100, 3, /*ghost_entries=*/8);
+  for (ObjectKey k = 0; k < 100; ++k) cache.access(k, 10);
+  EXPECT_LE(cache.ghost_size(), 8u);
+}
+
+TEST(DelayedLruTest, GhostEvictionForgetsCounts) {
+  DelayedLruCache cache(100, 2, /*ghost_entries=*/2);
+  cache.access(1, 10);  // ghost: {1:1}
+  cache.access(2, 10);  // ghost: {2:1, 1:1}
+  cache.access(3, 10);  // ghost full: drops 1
+  cache.access(1, 10);  // counts as first miss again
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(CacheFactoryTest, NamesRoundTrip) {
+  for (PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kFifo, PolicyKind::kLfu,
+        PolicyKind::kClock, PolicyKind::kDelayedLru}) {
+    EXPECT_EQ(parse_policy(policy_name(kind)), kind);
+  }
+  EXPECT_THROW(parse_policy("bogus"), cdn::PreconditionError);
+}
+
+TEST(CacheFactoryTest, MakesWorkingCaches) {
+  for (PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kFifo, PolicyKind::kLfu,
+        PolicyKind::kClock, PolicyKind::kDelayedLru}) {
+    auto cache = make_cache(kind, 100);
+    ASSERT_NE(cache, nullptr) << policy_name(kind);
+    EXPECT_EQ(cache->capacity_bytes(), 100u);
+    cache->access(1, 10);
+    cache->access(1, 10);
+    // delayed-lru needs a second miss before admission; all others hit.
+    if (kind != PolicyKind::kDelayedLru) {
+      EXPECT_TRUE(cache->contains(1)) << policy_name(kind);
+    }
+  }
+}
+
+}  // namespace

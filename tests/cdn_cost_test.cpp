@@ -1,0 +1,103 @@
+// Unit tests for the aggregate cost D of Section 3.1.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cdn/cost.h"
+#include "src/util/error.h"
+#include "src/workload/demand.h"
+
+namespace {
+
+using cdn::sys::cost_per_request;
+using cdn::sys::DistanceOracle;
+using cdn::sys::NearestReplicaIndex;
+using cdn::sys::ReplicaPlacement;
+using cdn::sys::total_remote_cost;
+using cdn::workload::DemandMatrix;
+
+struct Fixture {
+  // 2 servers, 2 sites; primaries 3 hops from server 0, 2 from server 1.
+  DistanceOracle distances{2, 2, {0, 1, 1, 0}, {3, 3, 2, 2}};
+  ReplicaPlacement placement{std::vector<std::uint64_t>{100, 100},
+                             std::vector<std::uint64_t>{10, 20}};
+  DemandMatrix demand = DemandMatrix::from_values(
+      2, 2, std::vector<double>{100, 50, 200, 25});
+};
+
+TEST(CostTest, AllFromPrimaries) {
+  Fixture f;
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  // D = (100+50)*3 + (200+25)*2 = 450 + 450 = 900.
+  EXPECT_DOUBLE_EQ(total_remote_cost(f.demand, sn), 900.0);
+  EXPECT_DOUBLE_EQ(cost_per_request(f.demand, sn), 900.0 / 375.0);
+}
+
+TEST(CostTest, LocalReplicaRemovesTerm) {
+  Fixture f;
+  f.placement.add(0, 0);
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  // Server 0 site 0 local (0); server 1 now reaches site 0 via server 0 at
+  // cost 1 < primary 2.  D = 0 + 50*3 + 200*1 + 25*2 = 400.
+  EXPECT_DOUBLE_EQ(total_remote_cost(f.demand, sn), 400.0);
+}
+
+TEST(CostTest, HitRatiosScaleMissTraffic) {
+  Fixture f;
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  // 50% cache hit everywhere halves the cost.
+  const auto half = [](cdn::sys::ServerIndex, cdn::sys::SiteIndex) {
+    return 0.5;
+  };
+  EXPECT_DOUBLE_EQ(total_remote_cost(f.demand, sn, half), 450.0);
+}
+
+TEST(CostTest, PerSiteHitRatios) {
+  Fixture f;
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  // Site 0 fully cached, site 1 not: D = 0 + 50*3 + 0 + 25*2 = 200.
+  const auto fn = [](cdn::sys::ServerIndex, cdn::sys::SiteIndex j) {
+    return j == 0 ? 1.0 : 0.0;
+  };
+  EXPECT_DOUBLE_EQ(total_remote_cost(f.demand, sn, fn), 200.0);
+}
+
+TEST(CostTest, FullReplicationIsZeroCost) {
+  Fixture f;
+  for (cdn::sys::ServerIndex i = 0; i < 2; ++i) {
+    for (cdn::sys::SiteIndex j = 0; j < 2; ++j) f.placement.add(i, j);
+  }
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  EXPECT_DOUBLE_EQ(total_remote_cost(f.demand, sn), 0.0);
+}
+
+TEST(CostTest, HitRatioIgnoredWhereReplicated) {
+  Fixture f;
+  f.placement.add(0, 0);
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  // Even a crazy hit function cannot change zero-cost local cells.
+  const auto weird = [](cdn::sys::ServerIndex, cdn::sys::SiteIndex) {
+    return -5.0;  // deliberately out of range: must only scale remote cells
+  };
+  const double d = total_remote_cost(f.demand, sn, weird);
+  // Remote cells scaled by (1 - (-5)) = 6: (50*3 + 200*1 + 25*2)*6.
+  EXPECT_DOUBLE_EQ(d, 6.0 * 400.0);
+}
+
+TEST(CostTest, RejectsDimensionMismatch) {
+  Fixture f;
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  const auto other = DemandMatrix::from_values(1, 2, std::vector<double>{1, 2});
+  EXPECT_THROW(total_remote_cost(other, sn), cdn::PreconditionError);
+}
+
+TEST(CostTest, CostPerRequestRequiresTraffic) {
+  Fixture f;
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  const auto zero = DemandMatrix::from_values(2, 2,
+                                              std::vector<double>{0, 0, 0, 0});
+  EXPECT_THROW(cost_per_request(zero, sn), cdn::PreconditionError);
+}
+
+}  // namespace

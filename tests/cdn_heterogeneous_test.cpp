@@ -1,0 +1,95 @@
+// Tests for heterogeneous server capacities — the model and algorithms
+// accept per-server budgets even though the paper evaluates homogeneous
+// servers ("we consider the case of homogeneous servers").
+
+#include <gtest/gtest.h>
+
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/sim/simulator.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using namespace cdn;
+using cdn::test::TestSystem;
+
+/// Rebuilds the fixture's system with explicit per-server budgets.
+sys::CdnSystem heterogeneous_system(const TestSystem& t,
+                                    std::vector<std::uint64_t> storage) {
+  return sys::CdnSystem(*t.catalog, *t.demand, *t.distances,
+                        std::move(storage));
+}
+
+TEST(HeterogeneousTest, ExplicitBudgetsAreHonoured) {
+  const auto t = TestSystem::make();
+  const std::uint64_t total = t.catalog->total_bytes();
+  const std::vector<std::uint64_t> storage{total / 4, total / 20, total / 20,
+                                           total / 100};
+  const auto system = heterogeneous_system(t, storage);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(system.server_storage(static_cast<sys::ServerIndex>(i)),
+              storage[i]);
+  }
+}
+
+TEST(HeterogeneousTest, BigServerAttractsMoreReplicas) {
+  const auto t = TestSystem::make();
+  const std::uint64_t total = t.catalog->total_bytes();
+  // Server 0 has 20x the budget of the others.
+  const std::vector<std::uint64_t> storage{total / 5, total / 100,
+                                           total / 100, total / 100};
+  const auto system = heterogeneous_system(t, storage);
+  const auto result = placement::greedy_global(system);
+  std::size_t big = 0, small = 0;
+  for (std::size_t j = 0; j < system.site_count(); ++j) {
+    const auto site = static_cast<sys::SiteIndex>(j);
+    big += result.placement.is_replicated(0, site);
+    small += result.placement.is_replicated(1, site);
+  }
+  EXPECT_GT(big, small);
+}
+
+TEST(HeterogeneousTest, HybridStillBeatsReplication) {
+  const auto t = TestSystem::make();
+  const std::uint64_t total = t.catalog->total_bytes();
+  const std::vector<std::uint64_t> storage{total / 8, total / 16, total / 32,
+                                           total / 64};
+  const auto system = heterogeneous_system(t, storage);
+  const auto hybrid = placement::hybrid_greedy(system);
+  const auto repl = placement::greedy_global(system);
+  EXPECT_LE(hybrid.predicted_total_cost, repl.predicted_total_cost);
+
+  sim::SimulationConfig cfg;
+  cfg.total_requests = 500'000;
+  cfg.seed = 77;
+  const auto hybrid_report = sim::simulate(system, hybrid, cfg);
+  const auto repl_report = sim::simulate(system, repl, cfg);
+  EXPECT_LT(hybrid_report.mean_latency_ms, repl_report.mean_latency_ms);
+}
+
+TEST(HeterogeneousTest, ZeroBudgetServerGetsNothing) {
+  const auto t = TestSystem::make();
+  const std::uint64_t total = t.catalog->total_bytes();
+  const std::vector<std::uint64_t> storage{total / 10, 0, total / 10,
+                                           total / 10};
+  const auto system = heterogeneous_system(t, storage);
+  const auto result = placement::hybrid_greedy(system);
+  for (std::size_t j = 0; j < system.site_count(); ++j) {
+    EXPECT_FALSE(
+        result.placement.is_replicated(1, static_cast<sys::SiteIndex>(j)));
+  }
+  EXPECT_EQ(result.cache_bytes(1), 0u);
+  // And its modelled hit ratios are zero (no cache space at all).
+  for (std::size_t j = 0; j < system.site_count(); ++j) {
+    EXPECT_DOUBLE_EQ(result.hit(1, static_cast<sys::SiteIndex>(j)), 0.0);
+  }
+}
+
+TEST(HeterogeneousTest, BudgetVectorLengthValidated) {
+  const auto t = TestSystem::make();
+  EXPECT_THROW(heterogeneous_system(t, {100, 100}), cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Unit tests for the SN_j^(i) nearest-replica index.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cdn/nearest_replica.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::sys::DistanceOracle;
+using cdn::sys::NearestReplicaIndex;
+using cdn::sys::ReplicaPlacement;
+
+// 3 servers in a line (0 -1- 1 -1- 2, so C(0,2) = 2); one site whose
+// primary is 5 hops from server 0, 4 from server 1, 3 from server 2.
+struct Fixture {
+  DistanceOracle distances{3,
+                           1,
+                           {0, 1, 2,
+                            1, 0, 1,
+                            2, 1, 0},
+                           {5, 4, 3}};
+  ReplicaPlacement placement{std::vector<std::uint64_t>{100, 100, 100},
+                             std::vector<std::uint64_t>{10}};
+};
+
+TEST(NearestReplicaTest, InitialSnIsPrimary) {
+  Fixture f;
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  for (cdn::sys::ServerIndex i = 0; i < 3; ++i) {
+    EXPECT_TRUE(sn.nearest(i, 0).at_primary);
+  }
+  EXPECT_DOUBLE_EQ(sn.cost(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(sn.cost(2, 0), 3.0);
+}
+
+TEST(NearestReplicaTest, ReplicaBeatsPrimaryWhenCloser) {
+  Fixture f;
+  f.placement.add(1, 0);
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  // Server 0: replica at server 1 costs 1 < primary 5.
+  EXPECT_FALSE(sn.nearest(0, 0).at_primary);
+  EXPECT_EQ(sn.nearest(0, 0).server, 1u);
+  EXPECT_DOUBLE_EQ(sn.cost(0, 0), 1.0);
+  // Holder itself: zero.
+  EXPECT_DOUBLE_EQ(sn.cost(1, 0), 0.0);
+  // Server 2: replica costs 1 < primary 3.
+  EXPECT_DOUBLE_EQ(sn.cost(2, 0), 1.0);
+}
+
+TEST(NearestReplicaTest, PrimaryRetainedWhenCloserThanReplica) {
+  Fixture f;
+  f.placement.add(0, 0);
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  // Server 2: replica at 0 costs 2, primary costs 3 -> replica wins; but
+  // for a primary at distance 1 it would win.  Rebuild with closer primary.
+  EXPECT_DOUBLE_EQ(sn.cost(2, 0), 2.0);
+
+  const DistanceOracle close_primary(3, 1,
+                                     {0, 1, 2, 1, 0, 1, 2, 1, 0},
+                                     {5, 4, 1});
+  const NearestReplicaIndex sn2(close_primary, f.placement);
+  EXPECT_TRUE(sn2.nearest(2, 0).at_primary);
+  EXPECT_DOUBLE_EQ(sn2.cost(2, 0), 1.0);
+}
+
+TEST(NearestReplicaTest, OnReplicaAddedMatchesRebuild) {
+  Fixture f;
+  NearestReplicaIndex incremental(f.distances, f.placement);
+  f.placement.add(2, 0);
+  incremental.on_replica_added(2, 0);
+  const NearestReplicaIndex rebuilt(f.distances, f.placement);
+  for (cdn::sys::ServerIndex i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(incremental.cost(i, 0), rebuilt.cost(i, 0)) << i;
+    EXPECT_EQ(incremental.nearest(i, 0).at_primary,
+              rebuilt.nearest(i, 0).at_primary)
+        << i;
+  }
+}
+
+TEST(NearestReplicaTest, HolderAlwaysCostsZero) {
+  Fixture f;
+  NearestReplicaIndex sn(f.distances, f.placement);
+  f.placement.add(0, 0);
+  sn.on_replica_added(0, 0);
+  EXPECT_DOUBLE_EQ(sn.cost(0, 0), 0.0);
+  EXPECT_FALSE(sn.nearest(0, 0).at_primary);
+  EXPECT_EQ(sn.nearest(0, 0).server, 0u);
+}
+
+TEST(NearestReplicaTest, SecondFartherReplicaChangesNothing) {
+  Fixture f;
+  NearestReplicaIndex sn(f.distances, f.placement);
+  f.placement.add(1, 0);
+  sn.on_replica_added(1, 0);
+  const double before = sn.cost(0, 0);
+  f.placement.add(2, 0);  // farther from server 0 than server 1 is
+  sn.on_replica_added(2, 0);
+  EXPECT_DOUBLE_EQ(sn.cost(0, 0), before);
+  EXPECT_EQ(sn.nearest(0, 0).server, 1u);
+}
+
+TEST(NearestReplicaTest, CostsNeverIncreaseAsReplicasAppear) {
+  Fixture f;
+  NearestReplicaIndex sn(f.distances, f.placement);
+  std::vector<double> prev;
+  for (cdn::sys::ServerIndex i = 0; i < 3; ++i) prev.push_back(sn.cost(i, 0));
+  for (cdn::sys::ServerIndex holder = 0; holder < 3; ++holder) {
+    f.placement.add(holder, 0);
+    sn.on_replica_added(holder, 0);
+    for (cdn::sys::ServerIndex i = 0; i < 3; ++i) {
+      EXPECT_LE(sn.cost(i, 0), prev[i]);
+      prev[i] = sn.cost(i, 0);
+    }
+  }
+  // Everyone replicates: all costs zero.
+  for (cdn::sys::ServerIndex i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(sn.cost(i, 0), 0.0);
+  }
+}
+
+TEST(NearestReplicaTest, RejectsDimensionMismatch) {
+  Fixture f;
+  const ReplicaPlacement other{std::vector<std::uint64_t>{100},
+                               std::vector<std::uint64_t>{10}};
+  EXPECT_THROW(NearestReplicaIndex(f.distances, other),
+               cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,141 @@
+// Unit tests for the replication matrix with storage accounting, and the
+// distance oracle.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cdn/distance_oracle.h"
+#include "src/cdn/replication.h"
+#include "src/topology/shortest_paths.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::sys::DistanceOracle;
+using cdn::sys::ReplicaPlacement;
+
+ReplicaPlacement small_placement() {
+  const std::vector<std::uint64_t> storage{100, 50};
+  const std::vector<std::uint64_t> sites{40, 30, 60};
+  return ReplicaPlacement(storage, sites);
+}
+
+TEST(ReplicaPlacementTest, StartsEmpty) {
+  const auto p = small_placement();
+  EXPECT_EQ(p.server_count(), 2u);
+  EXPECT_EQ(p.site_count(), 3u);
+  EXPECT_EQ(p.replica_count(), 0u);
+  EXPECT_EQ(p.used_bytes(0), 0u);
+  EXPECT_EQ(p.free_bytes(0), 100u);
+  EXPECT_FALSE(p.is_replicated(0, 0));
+}
+
+TEST(ReplicaPlacementTest, AddTracksBytes) {
+  auto p = small_placement();
+  p.add(0, 0);
+  EXPECT_TRUE(p.is_replicated(0, 0));
+  EXPECT_EQ(p.used_bytes(0), 40u);
+  EXPECT_EQ(p.free_bytes(0), 60u);
+  EXPECT_EQ(p.replica_count(), 1u);
+  EXPECT_EQ(p.replicas_of_site(0), 1u);
+}
+
+TEST(ReplicaPlacementTest, CapacityConstraintEnforced) {
+  auto p = small_placement();
+  p.add(1, 0);                     // 40 of 50
+  EXPECT_FALSE(p.can_add(1, 1));   // 30 > 10 left
+  EXPECT_THROW(p.add(1, 1), cdn::PreconditionError);
+  EXPECT_FALSE(p.can_add(1, 0));   // duplicate
+  EXPECT_THROW(p.add(1, 0), cdn::PreconditionError);
+}
+
+TEST(ReplicaPlacementTest, ExactFitAllowed) {
+  auto p = small_placement();
+  p.add(0, 0);  // 40
+  p.add(0, 2);  // 60 -> exactly 100
+  EXPECT_EQ(p.free_bytes(0), 0u);
+  EXPECT_FALSE(p.can_add(0, 1));
+}
+
+TEST(ReplicaPlacementTest, RemoveRestoresSpace) {
+  auto p = small_placement();
+  p.add(0, 0);
+  p.remove(0, 0);
+  EXPECT_FALSE(p.is_replicated(0, 0));
+  EXPECT_EQ(p.used_bytes(0), 0u);
+  EXPECT_EQ(p.replica_count(), 0u);
+  EXPECT_THROW(p.remove(0, 0), cdn::PreconditionError);
+}
+
+TEST(ReplicaPlacementTest, ReplicatorsListsHolders) {
+  auto p = small_placement();
+  p.add(0, 1);
+  p.add(1, 1);
+  const auto holders = p.replicators(1);
+  ASSERT_EQ(holders.size(), 2u);
+  EXPECT_EQ(holders[0], 0u);
+  EXPECT_EQ(holders[1], 1u);
+  EXPECT_TRUE(p.replicators(0).empty());
+}
+
+TEST(ReplicaPlacementTest, RejectsInvalidConstruction) {
+  const std::vector<std::uint64_t> storage{100};
+  const std::vector<std::uint64_t> empty;
+  const std::vector<std::uint64_t> zero_site{0};
+  EXPECT_THROW(ReplicaPlacement(empty, storage), cdn::PreconditionError);
+  EXPECT_THROW(ReplicaPlacement(storage, empty), cdn::PreconditionError);
+  EXPECT_THROW(ReplicaPlacement(storage, zero_site), cdn::PreconditionError);
+}
+
+TEST(DistanceOracleTest, TableAccessors) {
+  // 2 servers, 2 sites.
+  const std::vector<double> ss{0, 3, 3, 0};
+  const std::vector<double> sp{1, 4, 2, 5};
+  const DistanceOracle d(2, 2, ss, sp);
+  EXPECT_DOUBLE_EQ(d.server_to_server(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d.server_to_server(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d.server_to_primary(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d.server_to_primary(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d.max_cost(), 5.0);
+}
+
+TEST(DistanceOracleTest, RejectsBadTables) {
+  const std::vector<double> bad_diag{1, 3, 3, 0};
+  const std::vector<double> sp{1, 4, 2, 5};
+  EXPECT_THROW(DistanceOracle(2, 2, bad_diag, sp), cdn::PreconditionError);
+  const std::vector<double> ss{0, 3, 3, 0};
+  const std::vector<double> short_sp{1};
+  EXPECT_THROW(DistanceOracle(2, 2, ss, short_sp), cdn::PreconditionError);
+  const std::vector<double> neg{0, -1, -1, 0};
+  EXPECT_THROW(DistanceOracle(2, 2, neg, sp), cdn::PreconditionError);
+}
+
+TEST(DistanceOracleTest, FromTopologyMatchesBfs) {
+  // Path graph 0-1-2-3; servers at nodes 0 and 2, primaries at 1 and 3.
+  cdn::topology::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const std::vector<cdn::topology::NodeId> servers{0, 2};
+  const cdn::topology::HopMatrix hops(g, servers);
+  const std::vector<cdn::topology::NodeId> primaries{1, 3};
+  const auto d = DistanceOracle::from_topology(hops, primaries);
+  EXPECT_DOUBLE_EQ(d.server_to_server(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d.server_to_server(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d.server_to_primary(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.server_to_primary(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d.server_to_primary(1, 1), 1.0);
+}
+
+TEST(DistanceOracleTest, FromTopologyRejectsDisconnected) {
+  cdn::topology::Graph g(3);
+  g.add_edge(0, 1);  // node 2 unreachable
+  const std::vector<cdn::topology::NodeId> servers{0, 1};
+  const cdn::topology::HopMatrix hops(g, servers);
+  const std::vector<cdn::topology::NodeId> primaries{2};
+  EXPECT_THROW(DistanceOracle::from_topology(hops, primaries),
+               cdn::PreconditionError);
+}
+
+}  // namespace

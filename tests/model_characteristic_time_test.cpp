@@ -1,0 +1,160 @@
+// Unit tests for Eq. 2: the characteristic time K and the top-B cumulative
+// probability p_B.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/model/characteristic_time.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::model::characteristic_time_closed_form;
+using cdn::model::characteristic_time_exact;
+using cdn::model::top_b_cumulative_probability;
+using cdn::util::ZipfDistribution;
+
+TEST(CharacteristicTimeTest, EmptyBufferIsZero) {
+  EXPECT_DOUBLE_EQ(characteristic_time_exact(0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(characteristic_time_closed_form(0, 0.5), 0.0);
+}
+
+TEST(CharacteristicTimeTest, SingleSlotIsOne) {
+  EXPECT_DOUBLE_EQ(characteristic_time_exact(1, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(characteristic_time_closed_form(1, 0.5), 1.0);
+}
+
+TEST(CharacteristicTimeTest, ZeroPbGivesB) {
+  // With p_B = 0 every slot takes exactly one time step: K = B.
+  EXPECT_DOUBLE_EQ(characteristic_time_exact(100, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(characteristic_time_closed_form(100, 0.0), 100.0);
+}
+
+TEST(CharacteristicTimeTest, HandComputedSmallSum) {
+  // B = 3, p_B = 0.5: c = 0.25; K = 1/(1-0) + 1/(1-0.25) + 1/(1-0.5)
+  //                             = 1 + 4/3 + 2 = 13/3.
+  EXPECT_NEAR(characteristic_time_exact(3, 0.5), 13.0 / 3.0, 1e-12);
+}
+
+TEST(CharacteristicTimeTest, KGrowsWithPb) {
+  // Higher p_B means the object in front is passed over more often: K grows.
+  double prev = 0.0;
+  for (double pb : {0.0, 0.2, 0.5, 0.8, 0.95}) {
+    const double k = characteristic_time_exact(1000, pb);
+    EXPECT_GT(k, prev);
+    prev = k;
+  }
+}
+
+TEST(CharacteristicTimeTest, KAtLeastB) {
+  // Every position takes >= 1 slot, so K >= B always.
+  for (std::uint64_t b : {2ull, 10ull, 1000ull}) {
+    for (double pb : {0.1, 0.6, 0.9}) {
+      EXPECT_GE(characteristic_time_exact(b, pb), static_cast<double>(b));
+      EXPECT_GE(characteristic_time_closed_form(b, pb),
+                static_cast<double>(b) * 0.999);
+    }
+  }
+}
+
+TEST(CharacteristicTimeTest, RejectsPbOutOfRange) {
+  EXPECT_THROW(characteristic_time_exact(10, 1.0), cdn::PreconditionError);
+  EXPECT_THROW(characteristic_time_exact(10, -0.1), cdn::PreconditionError);
+  EXPECT_THROW(characteristic_time_closed_form(10, 1.0),
+               cdn::PreconditionError);
+}
+
+// The closed form must match the exact sum to a small relative error across
+// the (B, p_B) range the greedy algorithm visits.
+class ClosedFormAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ClosedFormAccuracyTest, MatchesExactSum) {
+  const auto [slots, pb] = GetParam();
+  const double exact = characteristic_time_exact(slots, pb);
+  const double closed = characteristic_time_closed_form(slots, pb);
+  EXPECT_NEAR(closed / exact, 1.0, 1e-3)
+      << "B=" << slots << " p_B=" << pb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClosedFormAccuracyTest,
+    ::testing::Combine(::testing::Values<std::uint64_t>(10, 100, 1000, 10000,
+                                                        100000),
+                       ::testing::Values(0.001, 0.1, 0.3, 0.5, 0.7, 0.9,
+                                         0.99)));
+
+TEST(TopBProbabilityTest, ZeroSlotsIsZero) {
+  ZipfDistribution zipf(10, 1.0);
+  const std::vector<double> weights{1.0};
+  EXPECT_DOUBLE_EQ(top_b_cumulative_probability(weights, zipf, 0), 0.0);
+}
+
+TEST(TopBProbabilityTest, AllObjectsFitIsOne) {
+  ZipfDistribution zipf(10, 1.0);
+  const std::vector<double> weights{0.6, 0.4};
+  EXPECT_DOUBLE_EQ(top_b_cumulative_probability(weights, zipf, 20), 1.0);
+  EXPECT_DOUBLE_EQ(top_b_cumulative_probability(weights, zipf, 1000), 1.0);
+}
+
+TEST(TopBProbabilityTest, SingleSiteMatchesZipfCdf) {
+  ZipfDistribution zipf(100, 1.0);
+  const std::vector<double> weights{1.0};
+  for (std::uint64_t b : {1ull, 5ull, 50ull}) {
+    EXPECT_NEAR(top_b_cumulative_probability(weights, zipf, b),
+                zipf.cdf(b), 1e-12);
+  }
+}
+
+TEST(TopBProbabilityTest, TwoSitesMergeInterleaves) {
+  // Sites with weights 0.7 / 0.3 over a 2-object Zipf(theta=1):
+  // q = {2/3, 1/3}.  Object probabilities: {0.4667, 0.2333} and {0.2, 0.1}.
+  // Top-2 = 0.4667 + 0.2333 = 0.7 (both from the heavy site).
+  ZipfDistribution zipf(2, 1.0);
+  const std::vector<double> weights{0.7, 0.3};
+  EXPECT_NEAR(top_b_cumulative_probability(weights, zipf, 2), 0.7, 1e-9);
+  // Top-3 adds the light site's head: 0.7 + 0.2 = 0.9.
+  EXPECT_NEAR(top_b_cumulative_probability(weights, zipf, 3), 0.9, 1e-9);
+}
+
+TEST(TopBProbabilityTest, ZeroWeightSitesContributeNothing) {
+  ZipfDistribution zipf(5, 1.0);
+  const std::vector<double> with_zero{0.0, 1.0, 0.0};
+  const std::vector<double> alone{1.0};
+  for (std::uint64_t b = 1; b <= 5; ++b) {
+    EXPECT_NEAR(top_b_cumulative_probability(with_zero, zipf, b),
+                top_b_cumulative_probability(alone, zipf, b), 1e-12);
+  }
+  // All-zero weights: nothing cacheable.
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(top_b_cumulative_probability(zeros, zipf, 3), 0.0);
+}
+
+TEST(TopBProbabilityTest, MonotoneInSlots) {
+  ZipfDistribution zipf(50, 0.8);
+  const std::vector<double> weights{0.5, 0.3, 0.2};
+  double prev = 0.0;
+  for (std::uint64_t b = 1; b <= 150; b += 7) {
+    const double p = top_b_cumulative_probability(weights, zipf, b);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(TopBProbabilityTest, StaysBelowOneWhenTruncated) {
+  ZipfDistribution zipf(1000, 1.0);
+  const std::vector<double> weights{0.25, 0.25, 0.25, 0.25};
+  const double p = top_b_cumulative_probability(weights, zipf, 100);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 1.0);
+}
+
+TEST(TopBProbabilityTest, RejectsNegativeWeights) {
+  ZipfDistribution zipf(5, 1.0);
+  const std::vector<double> weights{0.5, -0.5};
+  EXPECT_THROW(top_b_cumulative_probability(weights, zipf, 2),
+               cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Unit tests for Eq. 1 (the per-site LRU hit ratio) and the tabulated H(z)
+// evaluator.
+
+#include <gtest/gtest.h>
+
+#include "src/model/hit_ratio_curve.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::model::HitRatioCurve;
+using cdn::model::lru_hit_ratio_exact;
+using cdn::model::lru_hit_ratio_exponential;
+using cdn::util::ZipfDistribution;
+
+TEST(HitRatioExactTest, ZeroPopularityOrTimeIsZero) {
+  ZipfDistribution zipf(100, 1.0);
+  EXPECT_DOUBLE_EQ(lru_hit_ratio_exact(zipf, 0.0, 1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(lru_hit_ratio_exact(zipf, 0.5, 0.0), 0.0);
+}
+
+TEST(HitRatioExactTest, HugeKApproachesOne) {
+  ZipfDistribution zipf(100, 1.0);
+  EXPECT_NEAR(lru_hit_ratio_exact(zipf, 1.0, 1e9), 1.0, 1e-6);
+}
+
+TEST(HitRatioExactTest, SingleObjectSite) {
+  // L = 1: q_1 = 1, h = 1 - (1 - p)^K.
+  ZipfDistribution zipf(1, 1.0);
+  EXPECT_NEAR(lru_hit_ratio_exact(zipf, 0.3, 2.0),
+              1.0 - 0.7 * 0.7, 1e-12);
+  EXPECT_NEAR(lru_hit_ratio_exact(zipf, 1.0, 5.0), 1.0, 1e-12);
+}
+
+TEST(HitRatioExactTest, HandComputedTwoObjects) {
+  // L = 2, theta = 1: q = {2/3, 1/3}; p = 0.5, K = 1:
+  // h = (2/3)(1-(1-1/3)^1) + (1/3)(1-(1-1/6)^1) = (2/3)(1/3)+(1/3)(1/6).
+  ZipfDistribution zipf(2, 1.0);
+  const double expected = (2.0 / 3.0) * (1.0 / 3.0) + (1.0 / 3.0) / 6.0;
+  EXPECT_NEAR(lru_hit_ratio_exact(zipf, 0.5, 1.0), expected, 1e-12);
+}
+
+TEST(HitRatioExactTest, MonotoneInPopularityAndK) {
+  ZipfDistribution zipf(500, 1.0);
+  double prev = -1.0;
+  for (double p : {0.001, 0.01, 0.05, 0.2, 0.8}) {
+    const double h = lru_hit_ratio_exact(zipf, p, 100.0);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+  prev = -1.0;
+  for (double k : {1.0, 10.0, 100.0, 1e4, 1e6}) {
+    const double h = lru_hit_ratio_exact(zipf, 0.01, k);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(HitRatioExactTest, BoundedByOne) {
+  ZipfDistribution zipf(50, 1.4);
+  for (double p : {0.1, 0.5, 1.0}) {
+    for (double k : {1.0, 100.0, 1e8}) {
+      const double h = lru_hit_ratio_exact(zipf, p, k);
+      EXPECT_GE(h, 0.0);
+      EXPECT_LE(h, 1.0);
+    }
+  }
+}
+
+TEST(HitRatioExactTest, RejectsOutOfRangeArguments) {
+  ZipfDistribution zipf(10, 1.0);
+  EXPECT_THROW(lru_hit_ratio_exact(zipf, -0.1, 1.0), cdn::PreconditionError);
+  EXPECT_THROW(lru_hit_ratio_exact(zipf, 1.1, 1.0), cdn::PreconditionError);
+  EXPECT_THROW(lru_hit_ratio_exact(zipf, 0.5, -1.0), cdn::PreconditionError);
+}
+
+TEST(HitRatioExponentialTest, MatchesExactForSmallPq) {
+  // The exponential form drops the O((pq)^2) correction; for the site
+  // popularities that actually occur (p ~ 1/M scale) it must agree closely.
+  ZipfDistribution zipf(1000, 1.0);
+  for (double p : {0.001, 0.005, 0.02}) {
+    for (double k : {100.0, 1000.0, 20000.0}) {
+      const double exact = lru_hit_ratio_exact(zipf, p, k);
+      const double expo = lru_hit_ratio_exponential(zipf, p * k);
+      EXPECT_NEAR(expo, exact, 0.01 * std::max(exact, 1e-3))
+          << "p=" << p << " K=" << k;
+    }
+  }
+}
+
+TEST(HitRatioCurveTest, InterpolatesCloseToDirectEvaluation) {
+  ZipfDistribution zipf(1000, 1.0);
+  HitRatioCurve curve(zipf);
+  for (double z : {1e-3, 0.5, 3.7, 42.0, 777.0, 1e5, 4e7}) {
+    EXPECT_NEAR(curve.evaluate_z(z), lru_hit_ratio_exponential(zipf, z),
+                2e-3)
+        << "z=" << z;
+  }
+}
+
+TEST(HitRatioCurveTest, EvaluateCombinesPAndK) {
+  ZipfDistribution zipf(200, 1.0);
+  HitRatioCurve curve(zipf);
+  EXPECT_DOUBLE_EQ(curve.evaluate(0.01, 500.0), curve.evaluate_z(5.0));
+}
+
+TEST(HitRatioCurveTest, ZeroAndClampedEnds) {
+  ZipfDistribution zipf(100, 1.0);
+  HitRatioCurve curve(zipf, 256, 1e-3, 1e6);
+  EXPECT_DOUBLE_EQ(curve.evaluate_z(0.0), 0.0);
+  // Below z_min: linear through origin, positive.
+  const double tiny = curve.evaluate_z(1e-5);
+  EXPECT_GT(tiny, 0.0);
+  EXPECT_LT(tiny, curve.evaluate_z(1e-3));
+  // Above z_max: clamped.
+  EXPECT_DOUBLE_EQ(curve.evaluate_z(1e9), curve.evaluate_z(1e6));
+}
+
+TEST(HitRatioCurveTest, MonotoneInZ) {
+  ZipfDistribution zipf(300, 0.8);
+  HitRatioCurve curve(zipf);
+  double prev = -1.0;
+  for (double z = 1e-4; z < 1e8; z *= 3.0) {
+    const double h = curve.evaluate_z(z);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+TEST(HitRatioCurveTest, RejectsBadGrid) {
+  ZipfDistribution zipf(10, 1.0);
+  EXPECT_THROW(HitRatioCurve(zipf, 1), cdn::PreconditionError);
+  EXPECT_THROW(HitRatioCurve(zipf, 16, 0.0, 1.0), cdn::PreconditionError);
+  EXPECT_THROW(HitRatioCurve(zipf, 16, 2.0, 1.0), cdn::PreconditionError);
+}
+
+// End-to-end accuracy of the fast path used inside the greedy: table +
+// exponential approximation vs exact Eq. 1, across the realistic operating
+// range of the paper's experiments.
+class FastPathAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FastPathAccuracyTest, TableVsExact) {
+  static const ZipfDistribution zipf(1000, 1.0);
+  static const HitRatioCurve curve(zipf);
+  const auto [p, k] = GetParam();
+  const double exact = lru_hit_ratio_exact(zipf, p, k);
+  const double fast = curve.evaluate(p, k);
+  // Absolute error bound of 0.01 in hit ratio (the paper's own table had
+  // granularity-limited accuracy too).
+  EXPECT_NEAR(fast, exact, 0.01) << "p=" << p << " K=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingRange, FastPathAccuracyTest,
+    ::testing::Combine(::testing::Values(1e-4, 1e-3, 5e-3, 0.02, 0.05),
+                       ::testing::Values(10.0, 100.0, 1e3, 1e4, 1e5)));
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Unit tests for fixed-split, pure caching, random and popularity baselines.
+
+#include <gtest/gtest.h>
+
+#include "src/cdn/cost.h"
+#include "src/placement/baselines.h"
+#include "src/placement/fixed_split.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using cdn::placement::fixed_split;
+using cdn::placement::greedy_global;
+using cdn::placement::hybrid_greedy;
+using cdn::placement::popularity_placement;
+using cdn::placement::pure_caching;
+using cdn::placement::random_placement;
+using cdn::test::TestSystem;
+using cdn::util::Rng;
+
+TEST(PureCachingTest, NoReplicasFullCache) {
+  const auto t = TestSystem::make();
+  const auto result = pure_caching(*t.system);
+  EXPECT_EQ(result.replicas_created, 0u);
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    const auto server = static_cast<cdn::sys::ServerIndex>(i);
+    EXPECT_EQ(result.cache_bytes(server), t.system->server_storage(server));
+  }
+  // Every unreplicated site has a positive modelled hit ratio.
+  for (double h : result.modeled_hit) {
+    EXPECT_GT(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+}
+
+TEST(PureCachingTest, CostBelowNoCacheAtAll) {
+  const auto t = TestSystem::make();
+  const auto result = pure_caching(*t.system);
+  // Without caches every request pays the primary distance.
+  cdn::sys::ReplicaPlacement empty(t.system->server_storage(),
+                                   t.system->site_bytes());
+  cdn::sys::NearestReplicaIndex sn(t.system->distances(), empty);
+  const double bare = cdn::sys::total_remote_cost(t.system->demand(), sn);
+  EXPECT_LT(result.predicted_total_cost, bare);
+}
+
+TEST(FixedSplitTest, ZeroCacheFractionMatchesGreedyReplicaSet) {
+  const auto t = TestSystem::make();
+  const auto split = fixed_split(*t.system, 0.0);
+  const auto greedy = greedy_global(*t.system);
+  EXPECT_EQ(split.replicas_created, greedy.replicas_created);
+  // But fixed-split still caches in the slack space.
+  EXPECT_TRUE(split.caching_enabled);
+}
+
+TEST(FixedSplitTest, FullCacheFractionMatchesPureCaching) {
+  const auto t = TestSystem::make();
+  const auto split = fixed_split(*t.system, 1.0);
+  EXPECT_EQ(split.replicas_created, 0u);
+  const auto cache = pure_caching(*t.system);
+  EXPECT_NEAR(split.predicted_total_cost, cache.predicted_total_cost,
+              0.02 * cache.predicted_total_cost);
+}
+
+TEST(FixedSplitTest, CacheShareIsRespected) {
+  const auto t = TestSystem::make();
+  const double f = 0.5;
+  const auto split = fixed_split(*t.system, f);
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    const auto server = static_cast<cdn::sys::ServerIndex>(i);
+    // Replicas were limited to (1-f) of storage, so at least f remains.
+    EXPECT_GE(split.cache_bytes(server),
+              static_cast<std::uint64_t>(
+                  f * static_cast<double>(t.system->server_storage(server))));
+  }
+}
+
+TEST(FixedSplitTest, HybridBeatsAdHocSplits) {
+  // Figure 5's claim at model level: the hybrid's predicted cost is at
+  // least as good as any fixed split.
+  const auto t = TestSystem::make();
+  const auto hybrid = hybrid_greedy(*t.system);
+  for (double f : {0.2, 0.4, 0.6, 0.8}) {
+    const auto split = fixed_split(*t.system, f);
+    EXPECT_LE(hybrid.predicted_total_cost,
+              split.predicted_total_cost * 1.001)
+        << "cache fraction " << f;
+  }
+}
+
+TEST(FixedSplitTest, RejectsOutOfRangeFraction) {
+  const auto t = TestSystem::make();
+  EXPECT_THROW(fixed_split(*t.system, -0.1), cdn::PreconditionError);
+  EXPECT_THROW(fixed_split(*t.system, 1.1), cdn::PreconditionError);
+}
+
+TEST(RandomPlacementTest, FillsStorageAndRespectsBudgets) {
+  const auto t = TestSystem::make();
+  Rng rng(5);
+  const auto result = random_placement(*t.system, rng);
+  EXPECT_GT(result.replicas_created, 0u);
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    const auto server = static_cast<cdn::sys::ServerIndex>(i);
+    EXPECT_LE(result.placement.used_bytes(server),
+              t.system->server_storage(server));
+  }
+}
+
+TEST(RandomPlacementTest, GreedyBeatsRandom) {
+  const auto t = TestSystem::make();
+  Rng rng(6);
+  const auto random = random_placement(*t.system, rng);
+  const auto hybrid = hybrid_greedy(*t.system);
+  EXPECT_LT(hybrid.predicted_total_cost, random.predicted_total_cost);
+}
+
+TEST(PopularityPlacementTest, ReplicatesHottestSites) {
+  const auto t = TestSystem::make();
+  const auto result = popularity_placement(*t.system);
+  EXPECT_GT(result.replicas_created, 0u);
+  // The single hottest site globally must be replicated at server 0.
+  std::size_t hottest = 0;
+  double best = -1.0;
+  for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+    const double v =
+        t.system->demand().site_total(static_cast<cdn::sys::SiteIndex>(j));
+    if (v > best) {
+      best = v;
+      hottest = j;
+    }
+  }
+  EXPECT_TRUE(result.placement.is_replicated(
+      0, static_cast<cdn::sys::SiteIndex>(hottest)));
+}
+
+TEST(PopularityPlacementTest, HybridBeatsPopularity) {
+  const auto t = TestSystem::make();
+  const auto pop = popularity_placement(*t.system);
+  const auto hybrid = hybrid_greedy(*t.system);
+  EXPECT_LE(hybrid.predicted_total_cost, pop.predicted_total_cost * 1.001);
+}
+
+}  // namespace

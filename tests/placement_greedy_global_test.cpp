@@ -1,0 +1,134 @@
+// Unit tests for the greedy-global replication baseline.
+
+#include <gtest/gtest.h>
+
+#include "src/cdn/cost.h"
+#include "src/placement/greedy_global.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using cdn::placement::greedy_global;
+using cdn::placement::greedy_global_with_budgets;
+using cdn::placement::GreedyGlobalOptions;
+using cdn::test::TestSystem;
+
+TEST(GreedyGlobalTest, CreatesReplicasAndReducesCost) {
+  const auto t = TestSystem::make();
+  const auto result = greedy_global(*t.system);
+  EXPECT_GT(result.replicas_created, 0u);
+  ASSERT_GE(result.cost_trajectory.size(), 2u);
+  EXPECT_LT(result.cost_trajectory.back(), result.cost_trajectory.front());
+}
+
+TEST(GreedyGlobalTest, CostTrajectoryIsMonotoneDecreasing) {
+  const auto t = TestSystem::make();
+  const auto result = greedy_global(*t.system);
+  for (std::size_t i = 1; i < result.cost_trajectory.size(); ++i) {
+    EXPECT_LE(result.cost_trajectory[i], result.cost_trajectory[i - 1])
+        << "iteration " << i;
+  }
+}
+
+TEST(GreedyGlobalTest, RespectsStorageBudgets) {
+  const auto t = TestSystem::make();
+  const auto result = greedy_global(*t.system);
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    const auto server = static_cast<cdn::sys::ServerIndex>(i);
+    EXPECT_LE(result.placement.used_bytes(server),
+              t.system->server_storage(server));
+  }
+}
+
+TEST(GreedyGlobalTest, PredictionMatchesRecomputedCost) {
+  const auto t = TestSystem::make();
+  const auto result = greedy_global(*t.system);
+  cdn::sys::NearestReplicaIndex rebuilt(t.system->distances(),
+                                        result.placement);
+  EXPECT_NEAR(result.predicted_total_cost,
+              cdn::sys::total_remote_cost(t.system->demand(), rebuilt),
+              1e-6);
+}
+
+TEST(GreedyGlobalTest, NoCachingFlag) {
+  const auto t = TestSystem::make();
+  const auto result = greedy_global(*t.system);
+  EXPECT_FALSE(result.caching_enabled);
+  EXPECT_EQ(result.cache_bytes(0), 0u);
+  for (double h : result.modeled_hit) EXPECT_DOUBLE_EQ(h, 0.0);
+}
+
+TEST(GreedyGlobalTest, MaxReplicasCapStops) {
+  const auto t = TestSystem::make();
+  GreedyGlobalOptions options;
+  options.max_replicas = 3;
+  const auto result = greedy_global(*t.system, options);
+  EXPECT_EQ(result.replicas_created, 3u);
+}
+
+TEST(GreedyGlobalTest, FirstReplicaIsTheHighestBenefit) {
+  // With symmetric primaries, the first replica must target a high-volume
+  // site (benefit ~ volume x distance).
+  const auto t = TestSystem::make();
+  GreedyGlobalOptions options;
+  options.max_replicas = 1;
+  const auto result = greedy_global(*t.system, options);
+  // Find the replicated site; it must be one of the "high" class (ids 6,7).
+  bool found_high = false;
+  for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+    for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+      if (result.placement.is_replicated(
+              static_cast<cdn::sys::ServerIndex>(i),
+              static_cast<cdn::sys::SiteIndex>(j))) {
+        found_high = std::string(t.catalog->class_label(
+                         static_cast<cdn::workload::SiteId>(j))) == "high";
+      }
+    }
+  }
+  EXPECT_TRUE(found_high);
+}
+
+TEST(GreedyGlobalTest, ZeroBudgetsCreateNothing) {
+  const auto t = TestSystem::make();
+  const std::vector<std::uint64_t> budgets(t.system->server_count(), 0);
+  const auto result = greedy_global_with_budgets(*t.system, budgets);
+  EXPECT_EQ(result.replicas_created, 0u);
+  EXPECT_DOUBLE_EQ(result.cost_trajectory.front(),
+                   result.cost_trajectory.back());
+}
+
+TEST(GreedyGlobalTest, BudgetsVectorMustMatchServerCount) {
+  const auto t = TestSystem::make();
+  const std::vector<std::uint64_t> wrong(2, 100);
+  EXPECT_THROW(greedy_global_with_budgets(*t.system, wrong),
+               cdn::PreconditionError);
+}
+
+TEST(GreedyGlobalTest, LargerStorageNeverWorsensFinalCost) {
+  const auto small = TestSystem::make(4, 6, 2, 100, 0.05);
+  const auto large = TestSystem::make(4, 6, 2, 100, 0.25);
+  const auto r_small = greedy_global(*small.system);
+  const auto r_large = greedy_global(*large.system);
+  EXPECT_LE(r_large.predicted_total_cost, r_small.predicted_total_cost);
+}
+
+TEST(GreedyGlobalTest, DeterministicAcrossRuns) {
+  const auto t = TestSystem::make();
+  const auto a = greedy_global(*t.system);
+  const auto b = greedy_global(*t.system);
+  EXPECT_EQ(a.replicas_created, b.replicas_created);
+  EXPECT_DOUBLE_EQ(a.predicted_total_cost, b.predicted_total_cost);
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+      EXPECT_EQ(a.placement.is_replicated(
+                    static_cast<cdn::sys::ServerIndex>(i),
+                    static_cast<cdn::sys::SiteIndex>(j)),
+                b.placement.is_replicated(
+                    static_cast<cdn::sys::ServerIndex>(i),
+                    static_cast<cdn::sys::SiteIndex>(j)));
+    }
+  }
+}
+
+}  // namespace

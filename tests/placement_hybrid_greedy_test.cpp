@@ -1,0 +1,152 @@
+// Unit tests for the hybrid greedy algorithm (Figure 2).
+
+#include <gtest/gtest.h>
+
+#include "src/cdn/cost.h"
+#include "src/placement/fixed_split.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/placement/model_support.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using cdn::model::PbMode;
+using cdn::placement::greedy_global;
+using cdn::placement::hybrid_greedy;
+using cdn::placement::HybridGreedyOptions;
+using cdn::placement::pure_caching;
+using cdn::test::TestSystem;
+
+TEST(HybridGreedyTest, PredictedCostBeatsBothStandalones) {
+  const auto t = TestSystem::make();
+  const auto hybrid = hybrid_greedy(*t.system);
+  const auto repl = greedy_global(*t.system);
+  const auto cache = pure_caching(*t.system);
+  EXPECT_LE(hybrid.predicted_total_cost, repl.predicted_total_cost);
+  EXPECT_LE(hybrid.predicted_total_cost, cache.predicted_total_cost);
+}
+
+TEST(HybridGreedyTest, CostTrajectoryDecreasesMonotonically) {
+  const auto t = TestSystem::make();
+  const auto result = hybrid_greedy(*t.system);
+  ASSERT_GE(result.cost_trajectory.size(), 1u);
+  for (std::size_t i = 1; i < result.cost_trajectory.size(); ++i) {
+    EXPECT_LE(result.cost_trajectory[i],
+              result.cost_trajectory[i - 1] + 1e-9)
+        << "iteration " << i;
+  }
+}
+
+TEST(HybridGreedyTest, StartsFromPureCachingCost) {
+  const auto t = TestSystem::make();
+  const auto hybrid = hybrid_greedy(*t.system);
+  const auto cache = pure_caching(*t.system);
+  EXPECT_NEAR(hybrid.cost_trajectory.front(), cache.predicted_total_cost,
+              1e-6 * cache.predicted_total_cost);
+}
+
+TEST(HybridGreedyTest, LeavesCacheSpace) {
+  // The hybrid's whole point: it should NOT fill all storage with replicas.
+  const auto t = TestSystem::make();
+  const auto result = hybrid_greedy(*t.system);
+  std::uint64_t total_cache = 0;
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    total_cache += result.cache_bytes(static_cast<cdn::sys::ServerIndex>(i));
+  }
+  EXPECT_GT(total_cache, 0u);
+  EXPECT_TRUE(result.caching_enabled);
+}
+
+TEST(HybridGreedyTest, CreatesFewerReplicasThanPureReplication) {
+  const auto t = TestSystem::make();
+  const auto hybrid = hybrid_greedy(*t.system);
+  const auto repl = greedy_global(*t.system);
+  EXPECT_LE(hybrid.replicas_created, repl.replicas_created);
+}
+
+TEST(HybridGreedyTest, ModeledHitsAreValidProbabilities) {
+  const auto t = TestSystem::make();
+  const auto result = hybrid_greedy(*t.system);
+  for (double h : result.modeled_hit) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+}
+
+TEST(HybridGreedyTest, ReplicatedSitesHaveZeroModeledHit) {
+  const auto t = TestSystem::make();
+  const auto result = hybrid_greedy(*t.system);
+  const std::size_t m = t.system->site_count();
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      if (result.placement.is_replicated(
+              static_cast<cdn::sys::ServerIndex>(i),
+              static_cast<cdn::sys::SiteIndex>(j))) {
+        EXPECT_DOUBLE_EQ(result.modeled_hit[i * m + j], 0.0);
+      }
+    }
+  }
+}
+
+TEST(HybridGreedyTest, RespectsStorageBudgets) {
+  const auto t = TestSystem::make();
+  const auto result = hybrid_greedy(*t.system);
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    const auto server = static_cast<cdn::sys::ServerIndex>(i);
+    EXPECT_LE(result.placement.used_bytes(server),
+              t.system->server_storage(server));
+  }
+}
+
+TEST(HybridGreedyTest, MaxReplicasCap) {
+  const auto t = TestSystem::make();
+  HybridGreedyOptions options;
+  options.max_replicas = 2;
+  const auto result = hybrid_greedy(*t.system, options);
+  EXPECT_LE(result.replicas_created, 2u);
+}
+
+TEST(HybridGreedyTest, PbModesAgreeClosely) {
+  // The paper's observation: computing p_B once at init gives the same
+  // result as recomputing each iteration.  Verify the predicted costs agree
+  // within a few percent (they need not be bit-identical).
+  const auto t = TestSystem::make();
+  HybridGreedyOptions at_init{.pb_mode = PbMode::kAtInit};
+  HybridGreedyOptions per_iter{.pb_mode = PbMode::kPerIteration};
+  const auto a = hybrid_greedy(*t.system, at_init);
+  const auto b = hybrid_greedy(*t.system, per_iter);
+  EXPECT_NEAR(a.predicted_total_cost / b.predicted_total_cost, 1.0, 0.05);
+}
+
+TEST(HybridGreedyTest, DeterministicAcrossRuns) {
+  const auto t = TestSystem::make();
+  const auto a = hybrid_greedy(*t.system);
+  const auto b = hybrid_greedy(*t.system);
+  EXPECT_EQ(a.replicas_created, b.replicas_created);
+  EXPECT_DOUBLE_EQ(a.predicted_total_cost, b.predicted_total_cost);
+}
+
+TEST(HybridGreedyTest, TinyStorageDegeneratesToPureCaching) {
+  // Storage too small for any site replica: the hybrid must create nothing
+  // and match pure caching exactly.
+  const auto t = TestSystem::make(4, 6, 2, 100, 0.001);
+  const auto hybrid = hybrid_greedy(*t.system);
+  EXPECT_EQ(hybrid.replicas_created, 0u);
+  const auto cache = pure_caching(*t.system);
+  EXPECT_NEAR(hybrid.predicted_total_cost, cache.predicted_total_cost,
+              1e-6 * cache.predicted_total_cost);
+}
+
+TEST(HybridGreedyTest, DistantPrimariesGetMoreReplicas) {
+  // When primaries are far away, redirection is expensive and the hybrid
+  // should buy more replicas than when primaries are adjacent.
+  const auto near = TestSystem::make(4, 6, 2, 100, 0.15, /*primary_hops=*/1.0);
+  const auto far = TestSystem::make(4, 6, 2, 100, 0.15, /*primary_hops=*/20.0);
+  const auto r_near = hybrid_greedy(*near.system);
+  const auto r_far = hybrid_greedy(*far.system);
+  EXPECT_GE(r_far.replicas_created, r_near.replicas_created);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Unit tests for the read+update FAP objective ([19, 28]).
+
+#include <gtest/gtest.h>
+
+#include "src/placement/greedy_global.h"
+#include "src/placement/update_aware.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using namespace cdn;
+using cdn::test::TestSystem;
+
+TEST(UpdateAwareTest, ZeroRatesMatchGreedyGlobal) {
+  const auto t = TestSystem::make();
+  const auto plain = placement::greedy_global(*t.system);
+  const auto aware = placement::update_aware_greedy(*t.system, {});
+  EXPECT_EQ(aware.replicas_created, plain.replicas_created);
+  EXPECT_NEAR(aware.predicted_total_cost, plain.predicted_total_cost,
+              1e-6 * plain.predicted_total_cost);
+}
+
+TEST(UpdateAwareTest, UpdatesSuppressReplication) {
+  const auto t = TestSystem::make();
+  const auto plain = placement::update_aware_greedy(*t.system, {});
+  placement::UpdateAwareOptions writes;
+  // Update volume of 2x the read volume: most replicas stop paying off
+  // (each write must travel primary -> replica, each saved read only
+  // skips the shorter replica hop).
+  writes.update_rates.assign(t.system->site_count(), 0.0);
+  for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+    writes.update_rates[j] =
+        2.0 * t.system->demand().site_total(static_cast<sys::SiteIndex>(j));
+  }
+  const auto constrained =
+      placement::update_aware_greedy(*t.system, writes);
+  EXPECT_LT(constrained.replicas_created, plain.replicas_created);
+}
+
+TEST(UpdateAwareTest, ExtremeUpdateRateForbidsAllReplicas) {
+  const auto t = TestSystem::make();
+  placement::UpdateAwareOptions writes;
+  writes.update_rates.assign(t.system->site_count(), 1e12);
+  const auto result = placement::update_aware_greedy(*t.system, writes);
+  EXPECT_EQ(result.replicas_created, 0u);
+}
+
+TEST(UpdateAwareTest, PerSiteRatesAreSelective) {
+  // Make ONE hot site extremely write-heavy: it must lose its replicas
+  // while other sites keep theirs.
+  const auto t = TestSystem::make();
+  const auto plain = placement::greedy_global(*t.system);
+  sys::SiteIndex victim = 0;
+  for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+    if (plain.placement.replicas_of_site(static_cast<sys::SiteIndex>(j)) >
+        0) {
+      victim = static_cast<sys::SiteIndex>(j);
+      break;
+    }
+  }
+  placement::UpdateAwareOptions writes;
+  writes.update_rates.assign(t.system->site_count(), 0.0);
+  writes.update_rates[victim] = 1e12;
+  const auto result = placement::update_aware_greedy(*t.system, writes);
+  EXPECT_EQ(result.placement.replicas_of_site(victim), 0u);
+  EXPECT_GT(result.replicas_created, 0u);
+}
+
+TEST(UpdateAwareTest, PropagationCostFormula) {
+  const auto t = TestSystem::make();
+  sys::ReplicaPlacement placement(t.system->server_storage(),
+                                  t.system->site_bytes());
+  placement.add(0, 0);
+  placement.add(2, 0);
+  std::vector<double> rates(t.system->site_count(), 0.0);
+  rates[0] = 10.0;
+  const double expected =
+      10.0 * (t.system->distances().server_to_primary(0, 0) +
+              t.system->distances().server_to_primary(2, 0));
+  EXPECT_DOUBLE_EQ(
+      placement::update_propagation_cost(*t.system, placement, rates),
+      expected);
+}
+
+TEST(UpdateAwareTest, EmptyRatesMeanZeroCost) {
+  const auto t = TestSystem::make();
+  sys::ReplicaPlacement placement(t.system->server_storage(),
+                                  t.system->site_bytes());
+  placement.add(0, 0);
+  EXPECT_DOUBLE_EQ(
+      placement::update_propagation_cost(*t.system, placement, {}), 0.0);
+}
+
+TEST(UpdateAwareTest, RejectsBadRates) {
+  const auto t = TestSystem::make();
+  placement::UpdateAwareOptions wrong_len;
+  wrong_len.update_rates = {1.0, 2.0};
+  EXPECT_THROW(placement::update_aware_greedy(*t.system, wrong_len),
+               cdn::PreconditionError);
+  placement::UpdateAwareOptions negative;
+  negative.update_rates.assign(t.system->site_count(), -1.0);
+  EXPECT_THROW(placement::update_aware_greedy(*t.system, negative),
+               cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Unit tests for client populations, DNS first-hop mapping, and load-aware
+// server selection.
+
+#include <gtest/gtest.h>
+
+#include "src/core/scenario.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/redirect/client_population.h"
+#include "src/redirect/server_selection.h"
+#include "src/topology/shortest_paths.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using namespace cdn;
+using cdn::test::TestSystem;
+
+/// Path graph 0-1-2-3-4 with servers at nodes 0 and 4.
+struct LineFixture {
+  topology::Graph graph{5};
+  std::vector<topology::NodeId> servers{0, 4};
+
+  LineFixture() {
+    for (topology::NodeId v = 0; v + 1 < 5; ++v) graph.add_edge(v, v + 1);
+  }
+};
+
+TEST(ClientPopulationTest, NearestServerAssignment) {
+  LineFixture f;
+  const topology::HopMatrix hops(f.graph, f.servers);
+  const redirect::ClientPopulation clients(hops);
+  EXPECT_EQ(clients.first_hop(1), 0u);  // 1 hop to server 0, 3 to server 4
+  EXPECT_EQ(clients.first_hop(3), 1u);
+  // Node 2 is equidistant: deterministic tie-break to the lower index.
+  EXPECT_EQ(clients.first_hop(2), 0u);
+}
+
+TEST(ClientPopulationTest, DefaultWeightsExcludeServers) {
+  LineFixture f;
+  const topology::HopMatrix hops(f.graph, f.servers);
+  const redirect::ClientPopulation clients(hops);
+  EXPECT_DOUBLE_EQ(clients.weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(clients.weight(4), 0.0);
+  // Remaining three nodes share the mass equally.
+  EXPECT_NEAR(clients.weight(1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(clients.server_share(0) + clients.server_share(1), 1.0, 1e-12);
+  EXPECT_NEAR(clients.server_share(0), 2.0 / 3.0, 1e-12);  // nodes 1 and 2
+}
+
+TEST(ClientPopulationTest, MeanAccessHops) {
+  LineFixture f;
+  const topology::HopMatrix hops(f.graph, f.servers);
+  const redirect::ClientPopulation clients(hops);
+  // Nodes 1, 2, 3 at distances 1, 2, 1 from their first hops.
+  EXPECT_NEAR(clients.mean_access_hops(), (1.0 + 2.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(ClientPopulationTest, CustomWeightsShiftShares) {
+  LineFixture f;
+  const topology::HopMatrix hops(f.graph, f.servers);
+  std::vector<double> weights{0.0, 0.0, 0.0, 10.0, 0.0};  // all mass at 3
+  const redirect::ClientPopulation clients(hops, std::move(weights));
+  EXPECT_DOUBLE_EQ(clients.server_share(1), 1.0);
+  EXPECT_DOUBLE_EQ(clients.server_share(0), 0.0);
+}
+
+TEST(ClientPopulationTest, DerivedDemandFollowsShares) {
+  LineFixture f;
+  const topology::HopMatrix hops(f.graph, f.servers);
+  const redirect::ClientPopulation clients(hops);
+
+  workload::SurgeParams params;
+  params.objects_per_site = 20;
+  const std::vector<workload::PopularityClass> classes{{4, 1.0, "x"}};
+  util::Rng rng(1);
+  const auto catalog =
+      workload::SiteCatalog::generate(params, classes, rng);
+  const auto demand =
+      clients.derive_demand(catalog, 9000.0, rng, /*jitter=*/0.0);
+  EXPECT_NEAR(demand.total(), 9000.0, 1e-6);
+  // Server 0 owns 2/3 of the clients.
+  EXPECT_NEAR(demand.server_total(0), 6000.0, 1e-6);
+  EXPECT_NEAR(demand.server_total(1), 3000.0, 1e-6);
+}
+
+TEST(ClientPopulationTest, RejectsBadInput) {
+  LineFixture f;
+  const topology::HopMatrix hops(f.graph, f.servers);
+  EXPECT_THROW(
+      redirect::ClientPopulation(hops, std::vector<double>{1.0, 2.0}),
+      cdn::PreconditionError);
+  EXPECT_THROW(redirect::ClientPopulation(
+                   hops, std::vector<double>{0, 0, 0, 0, 0}),
+               cdn::PreconditionError);
+  EXPECT_THROW(redirect::ClientPopulation(
+                   hops, std::vector<double>{1, 1, -1, 1, 1}),
+               cdn::PreconditionError);
+}
+
+TEST(ClientPopulationScenarioTest, ScenarioDemandModelWorksEndToEnd) {
+  core::ScenarioConfig cfg;
+  cfg.topology = {.transit_domains = 2,
+                  .transit_nodes_per_domain = 2,
+                  .stub_domains_per_transit_node = 2,
+                  .nodes_per_stub_domain = 8};
+  cfg.server_count = 5;
+  cfg.surge.objects_per_site = 100;
+  cfg.classes = {{4, 1.0, "low"}, {2, 8.0, "high"}};
+  cfg.demand_model = core::DemandModel::kClientPopulation;
+  cfg.seed = 5;
+  const core::Scenario scenario(cfg);
+  EXPECT_NEAR(scenario.demand().total(), cfg.demand_total, 1e-6);
+  // Demand shares are topology-driven, hence uneven across servers.
+  double lo = 1e18, hi = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const double s =
+        scenario.demand().server_total(static_cast<workload::ServerId>(i));
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_GT(hi, lo * 1.05);
+}
+
+TEST(ServerSelectionTest, NearestPolicyMatchesNearestIndexCosts) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::greedy_global(*t.system);
+  redirect::SelectionParams params;
+  params.policy = redirect::SelectionPolicy::kNearest;
+  const auto sel = redirect::assign_miss_traffic(*t.system, placement, params);
+  // Network hops of the nearest rule == the model's cost per *redirected*
+  // request; cross-check through total cost.
+  double redirected = 0.0, cost = 0.0;
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      const auto site = static_cast<sys::SiteIndex>(j);
+      if (placement.placement.is_replicated(server, site)) continue;
+      const double f = t.system->demand().requests(server, site);
+      redirected += f;
+      cost += f * placement.nearest.cost(server, site);
+    }
+  }
+  EXPECT_NEAR(sel.mean_network_hops, cost / redirected, 1e-9);
+}
+
+TEST(ServerSelectionTest, LoadAwareReducesPeakUtilization) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::greedy_global(*t.system);
+  redirect::SelectionParams nearest;
+  nearest.policy = redirect::SelectionPolicy::kNearest;
+  redirect::SelectionParams aware;
+  aware.policy = redirect::SelectionPolicy::kLoadAware;
+  const auto a = redirect::assign_miss_traffic(*t.system, placement, nearest);
+  const auto b = redirect::assign_miss_traffic(*t.system, placement, aware);
+  EXPECT_LE(b.max_server_utilization, a.max_server_utilization + 1e-9);
+  // Balancing may pay some extra network distance.
+  EXPECT_GE(b.mean_network_hops, a.mean_network_hops - 1e-9);
+}
+
+TEST(ServerSelectionTest, FlowConservation) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::hybrid_greedy(*t.system);
+  const auto sel = redirect::assign_miss_traffic(*t.system, placement);
+  double assigned = 0.0;
+  for (double f : sel.server_flow) assigned += f;
+  for (double f : sel.primary_flow) assigned += f;
+  double expected = 0.0;
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      const auto site = static_cast<sys::SiteIndex>(j);
+      if (placement.placement.is_replicated(server, site)) continue;
+      expected += t.system->demand().requests(server, site) *
+                  (1.0 - placement.hit(server, site));
+    }
+  }
+  EXPECT_NEAR(assigned, expected, 1e-6 * expected);
+}
+
+TEST(ServerSelectionTest, TightCapacitySpreadsLoad) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::greedy_global(*t.system);
+  redirect::SelectionParams tight;
+  tight.policy = redirect::SelectionPolicy::kLoadAware;
+  // Deliberately tight fleet: capacity ~ mean load.
+  const auto nearest = redirect::assign_miss_traffic(
+      *t.system, placement,
+      {.policy = redirect::SelectionPolicy::kNearest});
+  double total = 0.0;
+  for (double f : nearest.server_flow) total += f;
+  tight.server_capacity = 1.2 * total / static_cast<double>(
+                                             t.system->server_count());
+  tight.primary_capacity = tight.server_capacity * 4;
+  const auto spread =
+      redirect::assign_miss_traffic(*t.system, placement, tight);
+  EXPECT_LT(spread.max_server_utilization, 1.0);
+}
+
+TEST(ServerSelectionTest, RejectsBadParams) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::greedy_global(*t.system);
+  redirect::SelectionParams bad;
+  bad.iterations = 0;
+  EXPECT_THROW(redirect::assign_miss_traffic(*t.system, placement, bad),
+               cdn::PreconditionError);
+  bad = {};
+  bad.queue_weight = -1.0;
+  EXPECT_THROW(redirect::assign_miss_traffic(*t.system, placement, bad),
+               cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Unit tests for the cache-consistency substrate (Section 3.3 mechanisms).
+
+#include <gtest/gtest.h>
+
+#include "src/placement/fixed_split.h"
+#include "src/placement/greedy_global.h"
+#include "src/sim/consistency_sim.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using namespace cdn;
+using cdn::test::TestSystem;
+
+TEST(ModificationProcessTest, DeterministicReplay) {
+  sim::ModificationProcess a(100.0, 1000.0, 42);
+  sim::ModificationProcess b(100.0, 1000.0, 42);
+  for (workload::ObjectId obj : {1ull, 99ull, 123456ull}) {
+    for (double now : {50.0, 500.0, 5000.0, 50000.0}) {
+      EXPECT_DOUBLE_EQ(a.last_modification(obj, now),
+                       b.last_modification(obj, now));
+    }
+  }
+}
+
+TEST(ModificationProcessTest, LastModificationIsMonotoneAndBounded) {
+  sim::ModificationProcess proc(10.0, 100.0, 7);
+  double prev = -1.0;
+  for (double now = 0.0; now < 10000.0; now += 37.0) {
+    const double last = proc.last_modification(5, now);
+    EXPECT_LE(last, now);
+    EXPECT_GE(last, prev);
+    prev = last;
+  }
+}
+
+TEST(ModificationProcessTest, MeanIntervalInConfiguredRange) {
+  sim::ModificationProcess proc(3600.0, 86400.0, 11);
+  for (workload::ObjectId obj = 0; obj < 500; ++obj) {
+    const double m = proc.mean_interval(obj);
+    EXPECT_GE(m, 3600.0);
+    EXPECT_LE(m, 86400.0);
+  }
+}
+
+TEST(ModificationProcessTest, UpdateRateMatchesMeanInterval) {
+  sim::ModificationProcess proc(50.0, 50.0, 13);  // fixed mean 50
+  // Count updates in [0, T] by stepping through last_modification.
+  const double horizon = 100000.0;
+  int updates = 0;
+  double t = 0.0;
+  double last = 0.0;
+  while (t < horizon) {
+    const double lm = proc.last_modification(1, t);
+    if (lm > last) {
+      ++updates;
+      last = lm;
+    }
+    t += 10.0;
+  }
+  EXPECT_NEAR(static_cast<double>(updates), horizon / 50.0,
+              0.15 * horizon / 50.0);
+}
+
+TEST(ModificationProcessTest, RejectsBadIntervals) {
+  EXPECT_THROW(sim::ModificationProcess(0.0, 10.0, 1),
+               cdn::PreconditionError);
+  EXPECT_THROW(sim::ModificationProcess(20.0, 10.0, 1),
+               cdn::PreconditionError);
+}
+
+TEST(FreshnessTableTest, TracksFetchTimes) {
+  sim::FreshnessTable table;
+  EXPECT_LT(table.fetch_time(1), 0.0);  // -inf for unknown
+  table.on_fetch(1, 42.0);
+  EXPECT_DOUBLE_EQ(table.fetch_time(1), 42.0);
+  table.on_fetch(1, 50.0);
+  EXPECT_DOUBLE_EQ(table.fetch_time(1), 50.0);
+  table.erase(1);
+  EXPECT_LT(table.fetch_time(1), 0.0);
+}
+
+class ConsistencySimTest : public ::testing::Test {
+ protected:
+  static sim::SimulationConfig quick() {
+    sim::SimulationConfig cfg;
+    cfg.total_requests = 400'000;
+    cfg.seed = 23;
+    return cfg;
+  }
+};
+
+TEST_F(ConsistencySimTest, BernoulliDelegatesToBaseSimulator) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::pure_caching(*t.system);
+  sim::ConsistencyConfig cc;
+  cc.mode = sim::ConsistencyMode::kBernoulli;
+  const auto with = sim::simulate_with_consistency(*t.system, placement,
+                                                   quick(), cc);
+  const auto base = sim::simulate(*t.system, placement, quick());
+  EXPECT_DOUBLE_EQ(with.base.mean_latency_ms, base.mean_latency_ms);
+  EXPECT_EQ(with.stale_served, 0u);
+}
+
+TEST_F(ConsistencySimTest, InvalidationNeverServesStale) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::pure_caching(*t.system);
+  sim::ConsistencyConfig cc;
+  cc.mode = sim::ConsistencyMode::kInvalidation;
+  cc.min_mean_update_interval = 100.0;  // very churny objects
+  cc.max_mean_update_interval = 1000.0;
+  const auto report = sim::simulate_with_consistency(*t.system, placement,
+                                                     quick(), cc);
+  EXPECT_EQ(report.stale_served, 0u);
+  EXPECT_GT(report.invalidation_misses, 0u);
+}
+
+TEST_F(ConsistencySimTest, TtlServesStaleUnderChurn) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::pure_caching(*t.system);
+  sim::ConsistencyConfig cc;
+  cc.mode = sim::ConsistencyMode::kTtl;
+  cc.ttl = 1e6;  // effectively never revalidate
+  cc.min_mean_update_interval = 100.0;
+  cc.max_mean_update_interval = 1000.0;
+  const auto report = sim::simulate_with_consistency(*t.system, placement,
+                                                     quick(), cc);
+  EXPECT_GT(report.stale_served, 0u);
+  EXPECT_GT(report.stale_ratio(), 0.0);
+}
+
+TEST_F(ConsistencySimTest, ShortTtlEliminatesStalenessButCostsLatency) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::pure_caching(*t.system);
+  sim::ConsistencyConfig lazy;
+  lazy.mode = sim::ConsistencyMode::kTtl;
+  lazy.ttl = 1e7;
+  lazy.min_mean_update_interval = 200.0;
+  lazy.max_mean_update_interval = 2000.0;
+  sim::ConsistencyConfig eager = lazy;
+  eager.ttl = 10.0;  // ~1k requests of freshness at 0.01 s/request
+  const auto lazy_report =
+      sim::simulate_with_consistency(*t.system, placement, quick(), lazy);
+  const auto eager_report =
+      sim::simulate_with_consistency(*t.system, placement, quick(), eager);
+  EXPECT_LT(eager_report.stale_ratio(), lazy_report.stale_ratio());
+  EXPECT_GT(eager_report.validations, lazy_report.validations);
+  EXPECT_GT(eager_report.base.mean_latency_ms,
+            lazy_report.base.mean_latency_ms);
+}
+
+TEST_F(ConsistencySimTest, SlowUpdatesMakeStrongConsistencyCheap) {
+  // [22]: modification intervals of 1-24h make the stale probability tiny;
+  // invalidation misses should be rare relative to total requests.
+  const auto t = TestSystem::make();
+  const auto placement = placement::pure_caching(*t.system);
+  sim::ConsistencyConfig cc;
+  cc.mode = sim::ConsistencyMode::kInvalidation;  // defaults: 1h..24h
+  const auto report = sim::simulate_with_consistency(*t.system, placement,
+                                                     quick(), cc);
+  EXPECT_LT(static_cast<double>(report.invalidation_misses) /
+                static_cast<double>(report.base.measured_requests),
+            0.02);
+}
+
+TEST_F(ConsistencySimTest, ReplicatedSitesUnaffectedByChurn) {
+  // 100%-storage replication: everything local regardless of updates.
+  const auto t = TestSystem::make(2, 2, 1, 50, 1.0);
+  const auto placement = placement::greedy_global(*t.system);
+  sim::ConsistencyConfig cc;
+  cc.mode = sim::ConsistencyMode::kInvalidation;
+  cc.min_mean_update_interval = 10.0;
+  cc.max_mean_update_interval = 20.0;
+  const auto report = sim::simulate_with_consistency(*t.system, placement,
+                                                     quick(), cc);
+  EXPECT_DOUBLE_EQ(report.base.local_ratio, 1.0);
+  EXPECT_EQ(report.invalidation_misses, 0u);
+}
+
+TEST_F(ConsistencySimTest, RejectsBadConfig) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::pure_caching(*t.system);
+  sim::ConsistencyConfig cc;
+  cc.mode = sim::ConsistencyMode::kTtl;
+  cc.ttl = 0.0;
+  EXPECT_THROW(
+      sim::simulate_with_consistency(*t.system, placement, quick(), cc),
+      cdn::PreconditionError);
+  cc = {};
+  cc.mode = sim::ConsistencyMode::kTtl;
+  cc.seconds_per_request = 0.0;
+  EXPECT_THROW(
+      sim::simulate_with_consistency(*t.system, placement, quick(), cc),
+      cdn::PreconditionError);
+}
+
+}  // namespace

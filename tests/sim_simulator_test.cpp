@@ -1,0 +1,172 @@
+// Unit tests for the trace-driven simulator.
+
+#include <gtest/gtest.h>
+
+#include "src/placement/fixed_split.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/sim/simulator.h"
+#include "src/util/error.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using cdn::placement::greedy_global;
+using cdn::placement::hybrid_greedy;
+using cdn::placement::pure_caching;
+using cdn::sim::simulate;
+using cdn::sim::SimulationConfig;
+using cdn::sim::StalenessMode;
+using cdn::test::TestSystem;
+
+SimulationConfig quick_sim(std::uint64_t requests = 200'000) {
+  SimulationConfig sc;
+  sc.total_requests = requests;
+  sc.warmup_fraction = 0.3;
+  sc.seed = 17;
+  return sc;
+}
+
+TEST(SimulatorTest, CountsAddUp) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  const auto report = simulate(*t.system, placement, quick_sim());
+  EXPECT_EQ(report.total_requests, 200'000u);
+  EXPECT_EQ(report.measured_requests, 140'000u);
+  EXPECT_EQ(report.latency_cdf.count(), report.measured_requests);
+}
+
+TEST(SimulatorTest, LatencyFloorIsFirstHop) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  auto cfg = quick_sim();
+  cfg.latency.first_hop_ms = 2.0;
+  const auto report = simulate(*t.system, placement, cfg);
+  EXPECT_GE(report.latency_cdf.min(), 2.0);
+}
+
+TEST(SimulatorTest, PureReplicationHasNoCacheActivity) {
+  const auto t = TestSystem::make();
+  const auto placement = greedy_global(*t.system);
+  const auto report = simulate(*t.system, placement, quick_sim());
+  EXPECT_DOUBLE_EQ(report.cache_hit_ratio, 0.0);
+  for (const auto& s : report.server_cache_stats) {
+    EXPECT_EQ(s.hits(), 0u);
+  }
+}
+
+TEST(SimulatorTest, CachingProducesHits) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  const auto report = simulate(*t.system, placement, quick_sim());
+  EXPECT_GT(report.cache_hit_ratio, 0.05);
+  EXPECT_GT(report.local_ratio, 0.05);
+}
+
+TEST(SimulatorTest, MeasuredCostTracksModelPrediction) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  const auto report = simulate(*t.system, placement, quick_sim(2'000'000));
+  EXPECT_NEAR(report.mean_cost_hops /
+                  placement.predicted_cost_per_request,
+              1.0, 0.10);
+}
+
+TEST(SimulatorTest, DeterministicForSameSeed) {
+  const auto t = TestSystem::make();
+  const auto placement = hybrid_greedy(*t.system);
+  const auto a = simulate(*t.system, placement, quick_sim());
+  const auto b = simulate(*t.system, placement, quick_sim());
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_DOUBLE_EQ(a.mean_cost_hops, b.mean_cost_hops);
+}
+
+TEST(SimulatorTest, DifferentSeedsGiveCloseButNotIdenticalResults) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  auto cfg1 = quick_sim(500'000);
+  auto cfg2 = cfg1;
+  cfg2.seed = 991;
+  const auto a = simulate(*t.system, placement, cfg1);
+  const auto b = simulate(*t.system, placement, cfg2);
+  EXPECT_NE(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_NEAR(a.mean_latency_ms / b.mean_latency_ms, 1.0, 0.05);
+}
+
+TEST(SimulatorTest, LambdaRefreshModeAddsRemoteTraffic) {
+  auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  const auto clean = simulate(*t.system, placement, quick_sim(500'000));
+  t.catalog->set_uncacheable_fraction(0.2);
+  auto cfg = quick_sim(500'000);
+  cfg.staleness = StalenessMode::kRefresh;
+  const auto stale = simulate(*t.system, placement, cfg);
+  EXPECT_GT(stale.mean_cost_hops, clean.mean_cost_hops);
+  EXPECT_LT(stale.local_ratio, clean.local_ratio);
+  t.catalog->set_uncacheable_fraction(0.0);
+}
+
+TEST(SimulatorTest, UncacheableModeAlsoHurtsButDiffersFromRefresh) {
+  auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  t.catalog->set_uncacheable_fraction(0.2);
+  auto refresh_cfg = quick_sim(500'000);
+  refresh_cfg.staleness = StalenessMode::kRefresh;
+  auto bypass_cfg = quick_sim(500'000);
+  bypass_cfg.staleness = StalenessMode::kUncacheable;
+  const auto refresh = simulate(*t.system, placement, refresh_cfg);
+  const auto bypass = simulate(*t.system, placement, bypass_cfg);
+  // Both modes redirect flagged requests; they differ in what stays cached,
+  // so the hit ratios should not be identical.
+  EXPECT_GT(refresh.mean_cost_hops, 0.0);
+  EXPECT_GT(bypass.mean_cost_hops, 0.0);
+  EXPECT_NE(refresh.cache_hit_ratio, bypass.cache_hit_ratio);
+  t.catalog->set_uncacheable_fraction(0.0);
+}
+
+TEST(SimulatorTest, ReplicatedSitesServeFlaggedRequestsLocally) {
+  // Full replication of everything: even lambda = 1 keeps service local.
+  auto t = TestSystem::make(2, 2, 1, 50, 1.0);  // storage = 100% of bytes
+  t.catalog->set_uncacheable_fraction(1.0);
+  const auto placement = greedy_global(*t.system);
+  // Greedy with 100% storage replicates every site everywhere.
+  ASSERT_EQ(placement.replicas_created,
+            t.system->server_count() * t.system->site_count());
+  const auto report = simulate(*t.system, placement, quick_sim());
+  EXPECT_DOUBLE_EQ(report.local_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(report.mean_cost_hops, 0.0);
+}
+
+TEST(SimulatorTest, CachePolicyIsConfigurable) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  auto cfg = quick_sim(500'000);
+  cfg.policy = cdn::cache::PolicyKind::kLfu;
+  const auto lfu = simulate(*t.system, placement, cfg);
+  cfg.policy = cdn::cache::PolicyKind::kLru;
+  const auto lru = simulate(*t.system, placement, cfg);
+  EXPECT_GT(lfu.cache_hit_ratio, 0.0);
+  EXPECT_NE(lfu.cache_hit_ratio, lru.cache_hit_ratio);
+}
+
+TEST(SimulatorTest, WarmupShrinksMeasuredWindow) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  auto cfg = quick_sim();
+  cfg.warmup_fraction = 0.9;
+  const auto report = simulate(*t.system, placement, cfg);
+  EXPECT_EQ(report.measured_requests, 20'000u);
+}
+
+TEST(SimulatorTest, RejectsBadConfig) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  auto cfg = quick_sim();
+  cfg.total_requests = 0;
+  EXPECT_THROW(simulate(*t.system, placement, cfg), cdn::PreconditionError);
+  cfg = quick_sim();
+  cfg.warmup_fraction = 1.0;
+  EXPECT_THROW(simulate(*t.system, placement, cfg), cdn::PreconditionError);
+}
+
+}  // namespace

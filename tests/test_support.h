@@ -1,0 +1,64 @@
+// Shared fixture: a small, fully deterministic CdnSystem for placement and
+// simulator tests.  Owns all components (mirrors core::Scenario without the
+// random topology).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/cdn/system.h"
+#include "src/util/rng.h"
+#include "src/workload/demand.h"
+#include "src/workload/site_catalog.h"
+
+namespace cdn::test {
+
+/// A line of `servers` servers (C(i,k) = |i-k|), primaries `primary_hops`
+/// away from every server, SURGE-like sites in two popularity classes.
+struct TestSystem {
+  std::unique_ptr<workload::SiteCatalog> catalog;
+  std::unique_ptr<workload::DemandMatrix> demand;
+  std::unique_ptr<sys::DistanceOracle> distances;
+  std::unique_ptr<sys::CdnSystem> system;
+
+  static TestSystem make(std::size_t servers = 4, std::size_t low_sites = 6,
+                         std::size_t high_sites = 2,
+                         std::size_t objects_per_site = 100,
+                         double storage_fraction = 0.15,
+                         double primary_hops = 6.0, std::uint64_t seed = 11) {
+    TestSystem t;
+    workload::SurgeParams params;
+    params.objects_per_site = objects_per_site;
+    const std::vector<workload::PopularityClass> classes{
+        {low_sites, 1.0, "low"}, {high_sites, 8.0, "high"}};
+    util::Rng rng(seed);
+    t.catalog = std::make_unique<workload::SiteCatalog>(
+        workload::SiteCatalog::generate(params, classes, rng));
+
+    util::Rng demand_rng(seed + 1);
+    t.demand = std::make_unique<workload::DemandMatrix>(
+        workload::DemandMatrix::generate(*t.catalog, servers, 1e6,
+                                         demand_rng));
+
+    const std::size_t sites = t.catalog->site_count();
+    std::vector<double> ss(servers * servers);
+    for (std::size_t i = 0; i < servers; ++i) {
+      for (std::size_t k = 0; k < servers; ++k) {
+        ss[i * servers + k] =
+            static_cast<double>(i > k ? i - k : k - i);
+      }
+    }
+    std::vector<double> sp(servers * sites, primary_hops);
+    t.distances = std::make_unique<sys::DistanceOracle>(
+        static_cast<std::size_t>(servers), sites, std::move(ss),
+        std::move(sp));
+
+    t.system = std::make_unique<sys::CdnSystem>(*t.catalog, *t.demand,
+                                                *t.distances,
+                                                storage_fraction);
+    return t;
+  }
+};
+
+}  // namespace cdn::test

@@ -1,0 +1,82 @@
+// Unit tests for the undirected graph substrate.
+
+#include <gtest/gtest.h>
+
+#include "src/topology/graph.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::topology::Graph;
+
+TEST(GraphTest, StartsWithIsolatedNodes) {
+  Graph g(4);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  for (cdn::topology::NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(g.degree(v), 0u);
+  }
+}
+
+TEST(GraphTest, AddEdgeIsUndirected) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 1u);
+  EXPECT_DOUBLE_EQ(g.neighbors(0)[0].weight, 2.5);
+}
+
+TEST(GraphTest, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), cdn::PreconditionError);
+}
+
+TEST(GraphTest, RejectsParallelEdge) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), cdn::PreconditionError);
+  EXPECT_THROW(g.add_edge(1, 0), cdn::PreconditionError);
+}
+
+TEST(GraphTest, RejectsNonPositiveWeight) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), cdn::PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), cdn::PreconditionError);
+}
+
+TEST(GraphTest, RejectsOutOfRangeNodes) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), cdn::PreconditionError);
+  EXPECT_THROW(g.has_edge(2, 0), cdn::PreconditionError);
+  EXPECT_THROW(g.neighbors(5), cdn::PreconditionError);
+}
+
+TEST(GraphTest, ConnectivityDetection) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GraphTest, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(Graph(0).is_connected());
+  EXPECT_TRUE(Graph(1).is_connected());
+}
+
+TEST(GraphTest, StarGraphDegrees) {
+  Graph g(5);
+  for (cdn::topology::NodeId leaf = 1; leaf < 5; ++leaf) {
+    g.add_edge(0, leaf);
+  }
+  EXPECT_EQ(g.degree(0), 4u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+}  // namespace

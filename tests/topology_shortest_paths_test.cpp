@@ -1,0 +1,140 @@
+// Unit tests for BFS hop counts, Dijkstra, and the HopMatrix.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/topology/shortest_paths.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::topology::bfs_hops;
+using cdn::topology::dijkstra;
+using cdn::topology::Graph;
+using cdn::topology::HopMatrix;
+using cdn::topology::kUnreachableDistance;
+using cdn::topology::kUnreachableHops;
+using cdn::topology::NodeId;
+
+/// Path 0-1-2-3 plus chord 0-3.
+Graph diamond() {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  return g;
+}
+
+TEST(BfsTest, PathGraphDistances) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = bfs_hops(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(BfsTest, ChordShortensPath) {
+  const auto d = bfs_hops(diamond(), 0);
+  EXPECT_EQ(d[3], 1u);  // via the chord, not the 3-hop path
+  EXPECT_EQ(d[2], 2u);
+}
+
+TEST(BfsTest, UnreachableIsSentinel) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_hops(g, 0);
+  EXPECT_EQ(d[2], kUnreachableHops);
+}
+
+TEST(BfsTest, SourceOutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(bfs_hops(g, 2), cdn::PreconditionError);
+}
+
+TEST(DijkstraTest, WeightedShortestPathDiffersFromHops) {
+  // 0-1 (10.0) vs 0-2-1 (1.0 + 1.0): Dijkstra must pick the 2-hop route.
+  Graph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 1, 1.0);
+  const auto d = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+  EXPECT_DOUBLE_EQ(d[2], 1.0);
+  const auto hops = bfs_hops(g, 0);
+  EXPECT_EQ(hops[1], 1u);  // hop metric ignores weights
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  Graph g(2);
+  const auto d = dijkstra(g, 0);
+  EXPECT_EQ(d[1], kUnreachableDistance);
+}
+
+TEST(DijkstraTest, MatchesBfsOnUnitWeights) {
+  const Graph g = diamond();
+  const auto w = dijkstra(g, 1);
+  const auto h = bfs_hops(g, 1);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_DOUBLE_EQ(w[v], static_cast<double>(h[v]));
+  }
+}
+
+TEST(HopMatrixTest, RowsMatchBfs) {
+  const Graph g = diamond();
+  const std::vector<NodeId> sources{0, 2};
+  HopMatrix hm(g, sources);
+  EXPECT_EQ(hm.source_count(), 2u);
+  EXPECT_EQ(hm.node_count(), 4u);
+  const auto d0 = bfs_hops(g, 0);
+  const auto d2 = bfs_hops(g, 2);
+  for (NodeId v = 0; v < 4; ++v) {
+    EXPECT_EQ(hm.hops(0, v), d0[v]);
+    EXPECT_EQ(hm.hops(1, v), d2[v]);
+  }
+}
+
+TEST(HopMatrixTest, CostConvertsSentinel) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const std::vector<NodeId> sources{0};
+  HopMatrix hm(g, sources);
+  EXPECT_DOUBLE_EQ(hm.cost(0, 1), 1.0);
+  EXPECT_EQ(hm.cost(0, 2), kUnreachableDistance);
+}
+
+TEST(HopMatrixTest, SourceNodeAccessor) {
+  const Graph g = diamond();
+  const std::vector<NodeId> sources{3, 1};
+  HopMatrix hm(g, sources);
+  EXPECT_EQ(hm.source_node(0), 3u);
+  EXPECT_EQ(hm.source_node(1), 1u);
+  EXPECT_THROW(hm.source_node(2), cdn::PreconditionError);
+}
+
+TEST(HopMatrixTest, ManySourcesParallelConstruction) {
+  // A ring of 64 nodes, all of them sources: distance i->j is the ring
+  // distance; exercises the parallel BFS fan-out.
+  const std::size_t n = 64;
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  std::vector<NodeId> sources(n);
+  for (NodeId v = 0; v < n; ++v) sources[v] = v;
+  HopMatrix hm(g, sources);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      const auto direct = static_cast<std::uint32_t>((j - i + n) % n);
+      const std::uint32_t expected = std::min(direct, static_cast<std::uint32_t>(n) - direct);
+      EXPECT_EQ(hm.hops(i, j), expected);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,195 @@
+// Unit and property tests for the transit-stub topology generator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "src/topology/transit_stub.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::topology::generate_transit_stub;
+using cdn::topology::NodeId;
+using cdn::topology::place_in_stub_domains;
+using cdn::topology::TransitStubParams;
+using cdn::topology::TransitStubTopology;
+using cdn::util::Rng;
+
+TEST(TransitStubTest, DefaultParamsGivePaperNodeCount) {
+  // 4 transit domains x 6 nodes + 24 transit nodes x 4 stubs x 16 nodes
+  // = 24 + 1536 = 1560 — the paper's graph size.
+  EXPECT_EQ(TransitStubParams{}.total_nodes(), 1560u);
+}
+
+TEST(TransitStubTest, GeneratedGraphIsConnected) {
+  Rng rng(1);
+  const auto topo = generate_transit_stub(TransitStubParams{}, rng);
+  EXPECT_EQ(topo.graph.node_count(), 1560u);
+  EXPECT_TRUE(topo.graph.is_connected());
+}
+
+TEST(TransitStubTest, StructuralCounts) {
+  TransitStubParams p{.transit_domains = 3,
+                      .transit_nodes_per_domain = 2,
+                      .stub_domains_per_transit_node = 2,
+                      .nodes_per_stub_domain = 5};
+  Rng rng(2);
+  const auto topo = generate_transit_stub(p, rng);
+  EXPECT_EQ(topo.transit_nodes.size(), 6u);
+  EXPECT_EQ(topo.stub_domains.size(), 12u);
+  for (const auto& stub : topo.stub_domains) {
+    EXPECT_EQ(stub.nodes.size(), 5u);
+  }
+  EXPECT_EQ(topo.graph.node_count(), p.total_nodes());
+}
+
+TEST(TransitStubTest, StubDomainsPartitionNonTransitNodes) {
+  TransitStubParams p{.transit_domains = 2,
+                      .transit_nodes_per_domain = 2,
+                      .stub_domains_per_transit_node = 3,
+                      .nodes_per_stub_domain = 4};
+  Rng rng(3);
+  const auto topo = generate_transit_stub(p, rng);
+  std::set<NodeId> seen(topo.transit_nodes.begin(), topo.transit_nodes.end());
+  for (const auto& stub : topo.stub_domains) {
+    for (NodeId v : stub.nodes) {
+      EXPECT_TRUE(seen.insert(v).second) << "node in two domains: " << v;
+    }
+  }
+  EXPECT_EQ(seen.size(), p.total_nodes());
+}
+
+TEST(TransitStubTest, EveryStubDomainAttachesToItsTransitNode) {
+  Rng rng(4);
+  TransitStubParams p{.transit_domains = 2,
+                      .transit_nodes_per_domain = 3,
+                      .stub_domains_per_transit_node = 2,
+                      .nodes_per_stub_domain = 6};
+  const auto topo = generate_transit_stub(p, rng);
+  for (const auto& stub : topo.stub_domains) {
+    bool attached = false;
+    for (NodeId v : stub.nodes) {
+      if (topo.graph.has_edge(v, stub.transit_attachment)) {
+        attached = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(attached);
+  }
+}
+
+TEST(TransitStubTest, DeterministicGivenRngState) {
+  Rng a(5), b(5);
+  const auto t1 = generate_transit_stub(TransitStubParams{}, a);
+  const auto t2 = generate_transit_stub(TransitStubParams{}, b);
+  EXPECT_EQ(t1.graph.edge_count(), t2.graph.edge_count());
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_EQ(t1.graph.degree(v), t2.graph.degree(v));
+  }
+}
+
+TEST(TransitStubTest, ZeroExtraEdgesGivesTreeLikeDomains) {
+  TransitStubParams p{.transit_domains = 1,
+                      .transit_nodes_per_domain = 8,
+                      .stub_domains_per_transit_node = 1,
+                      .nodes_per_stub_domain = 8,
+                      .transit_edge_prob = 0.0,
+                      .stub_edge_prob = 0.0,
+                      .extra_transit_link_prob = 0.0};
+  Rng rng(6);
+  const auto topo = generate_transit_stub(p, rng);
+  // Pure spanning trees everywhere: edges = (8-1) transit + 8*[(8-1) stub
+  // + 1 gateway] = 7 + 64 = 71; always connected.
+  EXPECT_EQ(topo.graph.edge_count(), 71u);
+  EXPECT_TRUE(topo.graph.is_connected());
+}
+
+TEST(TransitStubTest, RejectsInvalidParams) {
+  Rng rng(7);
+  TransitStubParams p;
+  p.transit_domains = 0;
+  EXPECT_THROW(generate_transit_stub(p, rng), cdn::PreconditionError);
+  p = TransitStubParams{};
+  p.stub_edge_prob = 1.5;
+  EXPECT_THROW(generate_transit_stub(p, rng), cdn::PreconditionError);
+}
+
+TEST(PlacementTest, DistinctNodesAreDistinct) {
+  Rng rng(8);
+  const auto topo = generate_transit_stub(TransitStubParams{}, rng);
+  const auto placed = place_in_stub_domains(topo, 250, rng, true);
+  std::unordered_set<NodeId> unique(placed.begin(), placed.end());
+  EXPECT_EQ(unique.size(), 250u);
+}
+
+TEST(PlacementTest, PlacementsAreStubNodes) {
+  Rng rng(9);
+  TransitStubParams p{.transit_domains = 2,
+                      .transit_nodes_per_domain = 2,
+                      .stub_domains_per_transit_node = 2,
+                      .nodes_per_stub_domain = 8};
+  const auto topo = generate_transit_stub(p, rng);
+  std::unordered_set<NodeId> stub_nodes;
+  for (const auto& d : topo.stub_domains) {
+    stub_nodes.insert(d.nodes.begin(), d.nodes.end());
+  }
+  const auto placed = place_in_stub_domains(topo, 20, rng, true);
+  for (NodeId v : placed) {
+    EXPECT_TRUE(stub_nodes.contains(v));
+  }
+}
+
+TEST(PlacementTest, NonDistinctAllowsRepeats) {
+  Rng rng(10);
+  TransitStubParams p{.transit_domains = 1,
+                      .transit_nodes_per_domain = 1,
+                      .stub_domains_per_transit_node = 1,
+                      .nodes_per_stub_domain = 2};
+  const auto topo = generate_transit_stub(p, rng);
+  // 2 stub nodes but 10 placements: must succeed with repetition.
+  const auto placed = place_in_stub_domains(topo, 10, rng, false);
+  EXPECT_EQ(placed.size(), 10u);
+}
+
+TEST(PlacementTest, TooManyDistinctRequestsThrow) {
+  Rng rng(11);
+  TransitStubParams p{.transit_domains = 1,
+                      .transit_nodes_per_domain = 1,
+                      .stub_domains_per_transit_node = 1,
+                      .nodes_per_stub_domain = 2};
+  const auto topo = generate_transit_stub(p, rng);
+  EXPECT_THROW(place_in_stub_domains(topo, 3, rng, true),
+               cdn::PreconditionError);
+}
+
+// Property sweep: connectivity across generator shapes.
+class TransitStubPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TransitStubPropertyTest, AlwaysConnected) {
+  const auto [td, tn, sd, sn] = GetParam();
+  TransitStubParams p{.transit_domains = static_cast<std::uint32_t>(td),
+                      .transit_nodes_per_domain =
+                          static_cast<std::uint32_t>(tn),
+                      .stub_domains_per_transit_node =
+                          static_cast<std::uint32_t>(sd),
+                      .nodes_per_stub_domain = static_cast<std::uint32_t>(sn)};
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(seed);
+    const auto topo = generate_transit_stub(p, rng);
+    EXPECT_TRUE(topo.graph.is_connected())
+        << "seed " << seed << " shape " << td << "/" << tn << "/" << sd << "/"
+        << sn;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TransitStubPropertyTest,
+                         ::testing::Values(std::tuple{1, 1, 1, 1},
+                                           std::tuple{1, 4, 2, 3},
+                                           std::tuple{2, 1, 1, 5},
+                                           std::tuple{3, 3, 3, 3},
+                                           std::tuple{5, 2, 4, 8}));
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Unit tests for the Waxman random-graph generator.
+
+#include <gtest/gtest.h>
+
+#include "src/topology/shortest_paths.h"
+#include "src/topology/waxman.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::topology::generate_waxman;
+using cdn::topology::WaxmanParams;
+using cdn::util::Rng;
+
+TEST(WaxmanTest, GeneratesRequestedNodeCount) {
+  Rng rng(1);
+  const auto topo = generate_waxman({.nodes = 300}, rng);
+  EXPECT_EQ(topo.graph.node_count(), 300u);
+  EXPECT_EQ(topo.coordinates.size(), 300u);
+}
+
+TEST(WaxmanTest, AlwaysConnected) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const auto topo =
+        generate_waxman({.nodes = 200, .alpha = 0.05, .beta = 0.05}, rng);
+    EXPECT_TRUE(topo.graph.is_connected()) << "seed " << seed;
+  }
+}
+
+TEST(WaxmanTest, CoordinatesInUnitSquare) {
+  Rng rng(2);
+  const auto topo = generate_waxman({.nodes = 100}, rng);
+  for (const auto& [x, y] : topo.coordinates) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    EXPECT_GE(y, 0.0);
+    EXPECT_LT(y, 1.0);
+  }
+}
+
+TEST(WaxmanTest, HigherAlphaGivesMoreEdges) {
+  Rng r1(3), r2(3);
+  const auto sparse =
+      generate_waxman({.nodes = 200, .alpha = 0.05, .beta = 0.2}, r1);
+  const auto dense =
+      generate_waxman({.nodes = 200, .alpha = 0.4, .beta = 0.2}, r2);
+  EXPECT_GT(dense.graph.edge_count(), sparse.graph.edge_count());
+}
+
+TEST(WaxmanTest, SpanningTreeFloorOnEdges) {
+  Rng rng(4);
+  const auto topo =
+      generate_waxman({.nodes = 50, .alpha = 1e-9, .beta = 1e-9}, rng);
+  // With negligible Waxman probability only the backbone tree remains.
+  EXPECT_EQ(topo.graph.edge_count(), 49u);
+}
+
+TEST(WaxmanTest, DeterministicGivenRngState) {
+  Rng a(5), b(5);
+  const auto t1 = generate_waxman({.nodes = 150}, a);
+  const auto t2 = generate_waxman({.nodes = 150}, b);
+  EXPECT_EQ(t1.graph.edge_count(), t2.graph.edge_count());
+  EXPECT_EQ(t1.coordinates, t2.coordinates);
+}
+
+TEST(WaxmanTest, UsableForShortestPaths) {
+  Rng rng(6);
+  const auto topo = generate_waxman({.nodes = 400}, rng);
+  const auto dist = cdn::topology::bfs_hops(topo.graph, 0);
+  for (std::uint32_t d : dist) {
+    EXPECT_NE(d, cdn::topology::kUnreachableHops);
+  }
+}
+
+TEST(WaxmanTest, RejectsBadParams) {
+  Rng rng(7);
+  EXPECT_THROW(generate_waxman({.nodes = 0}, rng), cdn::PreconditionError);
+  EXPECT_THROW(generate_waxman({.nodes = 10, .alpha = 0.0}, rng),
+               cdn::PreconditionError);
+  EXPECT_THROW(generate_waxman({.nodes = 10, .alpha = 0.5, .beta = 1.5}, rng),
+               cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Unit tests for the empirical CDF used to render Figures 3-5.
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/util/cdf.h"
+
+namespace {
+
+using cdn::util::CdfPoint;
+using cdn::util::EmpiricalCdf;
+using cdn::util::format_cdf_table;
+
+EmpiricalCdf make_cdf(std::initializer_list<double> xs) {
+  EmpiricalCdf cdf;
+  for (double x : xs) cdf.add(x);
+  return cdf;
+}
+
+TEST(EmpiricalCdfTest, EvaluateCountsInclusive) {
+  const auto cdf = make_cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(1.0), 0.25);   // <= is inclusive
+  EXPECT_DOUBLE_EQ(cdf.evaluate(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(99.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, DuplicatesStackUp) {
+  const auto cdf = make_cdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.evaluate(2.0), 0.75);
+}
+
+TEST(EmpiricalCdfTest, QuantileInverts) {
+  const auto cdf = make_cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+}
+
+TEST(EmpiricalCdfTest, MeanMinMax) {
+  const auto cdf = make_cdf({1.0, 2.0, 6.0});
+  EXPECT_DOUBLE_EQ(cdf.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 6.0);
+}
+
+TEST(EmpiricalCdfTest, GridSpansRangeAndIsMonotone) {
+  auto cdf = make_cdf({});
+  for (int i = 0; i < 1000; ++i) cdf.add(static_cast<double>(i % 37));
+  const auto grid = cdf.grid(11);
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front().x, cdf.min());
+  EXPECT_DOUBLE_EQ(grid.back().x, cdf.max());
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_LE(grid[i - 1].f, grid[i].f);
+  }
+  EXPECT_DOUBLE_EQ(grid.back().f, 1.0);
+}
+
+TEST(EmpiricalCdfTest, AtEvaluatesArbitraryPoints) {
+  const auto cdf = make_cdf({1.0, 3.0});
+  const std::vector<double> xs{0.0, 2.0, 4.0};
+  const auto pts = cdf.at(xs);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].f, 0.0);
+  EXPECT_DOUBLE_EQ(pts[1].f, 0.5);
+  EXPECT_DOUBLE_EQ(pts[2].f, 1.0);
+}
+
+TEST(EmpiricalCdfTest, AddAfterEvaluateResorts) {
+  auto cdf = make_cdf({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(cdf.evaluate(1.5), 0.5);
+  cdf.add(0.0);  // invalidates the lazy sort
+  EXPECT_DOUBLE_EQ(cdf.evaluate(1.5), 2.0 / 3.0);
+}
+
+TEST(EmpiricalCdfTest, MergeCombinesSamples) {
+  auto a = make_cdf({1.0, 2.0});
+  const auto b = make_cdf({3.0, 4.0});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.evaluate(2.5), 0.5);
+}
+
+TEST(EmpiricalCdfTest, EmptyThrows) {
+  const EmpiricalCdf cdf;
+  EXPECT_THROW(cdf.evaluate(1.0), cdn::PreconditionError);
+  EXPECT_THROW(cdf.quantile(0.5), cdn::PreconditionError);
+  EXPECT_THROW(cdf.mean(), cdn::PreconditionError);
+}
+
+TEST(FormatCdfTableTest, AlignsNamesAndRows) {
+  const auto a = make_cdf({1.0, 2.0}).grid(3);
+  const auto b = make_cdf({1.0, 3.0}).grid(3);
+  const std::vector<std::string> names{"alpha", "beta"};
+  const std::vector<std::vector<CdfPoint>> curves{a, b};
+  const std::string table = format_cdf_table(names, curves);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  // Header + 3 grid rows.
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);
+}
+
+TEST(FormatCdfTableTest, RejectsMismatchedInput) {
+  const auto a = make_cdf({1.0, 2.0}).grid(3);
+  const auto b = make_cdf({1.0, 3.0}).grid(4);
+  const std::vector<std::string> names{"a", "b"};
+  const std::vector<std::vector<CdfPoint>> curves{a, b};
+  EXPECT_THROW(format_cdf_table(names, curves), cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,122 @@
+// Unit tests for the CLI flag parser.
+
+#include <gtest/gtest.h>
+
+#include "src/util/cli.h"
+#include "src/util/error.h"
+
+namespace {
+
+using cdn::util::CliParser;
+
+CliParser make_parser() {
+  CliParser cli("test tool");
+  cli.add_flag("alpha", "1.5", "a double");
+  cli.add_flag("count", "10", "an int");
+  cli.add_flag("name", "abc", "a string");
+  cli.add_flag("verbose", "false", "a bool");
+  return cli;
+}
+
+TEST(CliParserTest, DefaultsApplyWithoutArgs) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha"), 1.5);
+  EXPECT_EQ(cli.get_int("count"), 10);
+  EXPECT_EQ(cli.get_string("name"), "abc");
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(CliParserTest, EqualsSyntax) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "--alpha=2.25", "--name=xyz"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha"), 2.25);
+  EXPECT_EQ(cli.get_string("name"), "xyz");
+}
+
+TEST(CliParserTest, SpaceSyntax) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "--count", "42"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(CliParserTest, BareFlagIsTrue) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliParserTest, BareFlagFollowedByAnotherFlag) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "--verbose", "--count", "7"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_EQ(cli.get_int("count"), 7);
+}
+
+TEST(CliParserTest, PositionalArgumentsCollected) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "input.txt", "--count=1", "more"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "more");
+}
+
+TEST(CliParserTest, UnknownFlagFailsParse) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "--bogus=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParserTest, HelpStopsParsing) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParserTest, MalformedNumbersThrowOnAccess) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "--alpha=not-a-number", "--count=1.5"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_THROW(cli.get_double("alpha"), cdn::PreconditionError);
+  EXPECT_THROW(cli.get_int("count"), cdn::PreconditionError);
+}
+
+TEST(CliParserTest, BoolSpellings) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool", "--verbose=yes"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  auto cli2 = make_parser();
+  const char* argv2[] = {"tool", "--verbose=0"};
+  ASSERT_TRUE(cli2.parse(2, argv2));
+  EXPECT_FALSE(cli2.get_bool("verbose"));
+}
+
+TEST(CliParserTest, UnregisteredAccessThrows) {
+  auto cli = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW(cli.get_string("nope"), cdn::PreconditionError);
+}
+
+TEST(CliParserTest, DuplicateRegistrationThrows) {
+  CliParser cli("x");
+  cli.add_flag("a", "1", "first");
+  EXPECT_THROW(cli.add_flag("a", "2", "again"), cdn::PreconditionError);
+}
+
+TEST(CliParserTest, UsageMentionsAllFlags) {
+  const auto cli = make_parser();
+  const auto text = cli.usage();
+  for (const char* flag : {"--alpha", "--count", "--name", "--verbose"}) {
+    EXPECT_NE(text.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+// Unit tests for the continuous distributions behind the SURGE workload.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/distributions.h"
+#include "src/util/stats.h"
+
+namespace {
+
+using cdn::util::BoundedPareto;
+using cdn::util::Lognormal;
+using cdn::util::NormalSampler;
+using cdn::util::Rng;
+using cdn::util::RunningStats;
+using cdn::util::TruncatedNormal;
+
+TEST(NormalSamplerTest, MeanAndStddevConverge) {
+  Rng rng(1);
+  NormalSampler normal;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(normal.sample(rng, 3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 3.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.03);
+}
+
+TEST(NormalSamplerTest, RejectsNegativeStddev) {
+  Rng rng(2);
+  NormalSampler normal;
+  EXPECT_THROW(normal.sample(rng, 0.0, -1.0), cdn::PreconditionError);
+}
+
+TEST(NormalSamplerTest, ZeroStddevIsDegenerate) {
+  Rng rng(3);
+  NormalSampler normal;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(normal.sample(rng, 5.0, 0.0), 5.0);
+  }
+}
+
+TEST(TruncatedNormalTest, SamplesStayInBounds) {
+  // The paper's site-popularity distribution: N(1/N, 1/4N) on mu +/- 3sigma.
+  const double n = 50.0;
+  const double mu = 1.0 / n;
+  const double sigma = 1.0 / (4.0 * n);
+  TruncatedNormal dist(mu, sigma, mu - 3 * sigma, mu + 3 * sigma);
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = dist.sample(rng);
+    EXPECT_GE(x, mu - 3 * sigma);
+    EXPECT_LE(x, mu + 3 * sigma);
+  }
+}
+
+TEST(TruncatedNormalTest, MeanUnaffectedBySymmetricTruncation) {
+  TruncatedNormal dist(10.0, 2.0, 4.0, 16.0);
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(dist.sample(rng));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+}
+
+TEST(TruncatedNormalTest, RejectsEmptyInterval) {
+  EXPECT_THROW(TruncatedNormal(0.0, 1.0, 2.0, 1.0), cdn::PreconditionError);
+}
+
+TEST(TruncatedNormalTest, RejectsNegligibleMassInterval) {
+  EXPECT_THROW(TruncatedNormal(0.0, 1.0, 50.0, 60.0), cdn::PreconditionError);
+}
+
+TEST(LognormalTest, MeanMatchesClosedForm) {
+  Lognormal dist(2.0, 0.5);
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 300000; ++i) stats.add(dist.sample(rng));
+  EXPECT_NEAR(stats.mean() / dist.mean(), 1.0, 0.02);
+}
+
+TEST(LognormalTest, SamplesArePositive) {
+  Lognormal dist(9.357, 1.318);  // SURGE body parameters
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(dist.sample(rng), 0.0);
+  }
+}
+
+TEST(LognormalTest, MedianIsExpMu) {
+  Lognormal dist(3.0, 1.0);
+  Rng rng(8);
+  int below = 0;
+  const int n = 100000;
+  const double median = std::exp(3.0);
+  for (int i = 0; i < n; ++i) {
+    if (dist.sample(rng) < median) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(BoundedParetoTest, SamplesStayInBounds) {
+  BoundedPareto dist(1.1, 133e3, 50e6);  // SURGE tail parameters
+  Rng rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = dist.sample(rng);
+    EXPECT_GE(x, 133e3);
+    EXPECT_LE(x, 50e6);
+  }
+}
+
+TEST(BoundedParetoTest, MeanMatchesClosedForm) {
+  BoundedPareto dist(1.5, 1.0, 1000.0);
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 500000; ++i) stats.add(dist.sample(rng));
+  EXPECT_NEAR(stats.mean() / dist.mean(), 1.0, 0.02);
+}
+
+TEST(BoundedParetoTest, Alpha1MeanClosedForm) {
+  // alpha == 1 takes the logarithmic branch of mean().
+  BoundedPareto dist(1.0, 1.0, 100.0);
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 500000; ++i) stats.add(dist.sample(rng));
+  EXPECT_NEAR(stats.mean() / dist.mean(), 1.0, 0.02);
+}
+
+TEST(BoundedParetoTest, HeavierShapeGivesSmallerMean) {
+  // Larger alpha concentrates mass near the minimum.
+  BoundedPareto light(0.8, 1.0, 1e6);
+  BoundedPareto heavy(2.5, 1.0, 1e6);
+  EXPECT_GT(light.mean(), heavy.mean());
+}
+
+TEST(BoundedParetoTest, RejectsBadParameters) {
+  EXPECT_THROW(BoundedPareto(0.0, 1.0, 2.0), cdn::PreconditionError);
+  EXPECT_THROW(BoundedPareto(1.0, -1.0, 2.0), cdn::PreconditionError);
+  EXPECT_THROW(BoundedPareto(1.0, 3.0, 2.0), cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Unit tests for the xoshiro256** RNG wrapper.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace {
+
+using cdn::util::Rng;
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(77);
+  const auto first = a();
+  a.reseed(77);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 7.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversFullRange) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(RngTest, UniformIndexIsUnbiasedForSmallN) {
+  Rng rng(9);
+  std::array<int, 3> counts{};
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(3)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 3.0, 0.005);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(10);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedBounds) {
+  Rng rng(11);
+  EXPECT_THROW(rng.uniform_int(3, 2), cdn::PreconditionError);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerateProbabilities) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng base(42);
+  Rng s1 = base.fork(1);
+  Rng s2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s1() == s2()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng base1(42);
+  Rng base2(42);
+  Rng f1 = base1.fork(9);
+  Rng f2 = base2.fork(9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(f1(), f2());
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(1);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and not crash
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(RngTest, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 reference implementation with
+  // state 0: first output must be 0xE220A8397B1DCDAF.
+  std::uint64_t state = 0;
+  EXPECT_EQ(cdn::util::splitmix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(cdn::util::splitmix64(state), 0x6E789E6AA1B965F4ULL);
+}
+
+}  // namespace

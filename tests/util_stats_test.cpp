@@ -1,0 +1,132 @@
+// Unit tests for streaming statistics and quantile helpers.
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace {
+
+using cdn::util::mean_relative_error;
+using cdn::util::quantile_sorted;
+using cdn::util::quantiles;
+using cdn::util::RunningStats;
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  RunningStats whole, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.37 * i - 20.0;
+    whole.add(x);
+    (i < 37 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: unchanged
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a_copy);  // empty lhs: becomes rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(QuantileTest, MedianOfOddSample) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.75), 7.5);
+}
+
+TEST(QuantileTest, ExtremesAreMinAndMax) {
+  const std::vector<double> v{3.0, 7.0, 11.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 11.0);
+}
+
+TEST(QuantileTest, RejectsBadInput) {
+  const std::vector<double> empty;
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(quantile_sorted(empty, 0.5), cdn::PreconditionError);
+  EXPECT_THROW(quantile_sorted(v, -0.1), cdn::PreconditionError);
+  EXPECT_THROW(quantile_sorted(v, 1.1), cdn::PreconditionError);
+}
+
+TEST(QuantileTest, QuantilesSortsInput) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  const std::vector<double> qs{0.0, 0.5, 1.0};
+  const auto out = quantiles(v, qs);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 5.0);
+}
+
+TEST(MeanRelativeErrorTest, ZeroForIdenticalSeries) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_relative_error(a, a), 0.0);
+}
+
+TEST(MeanRelativeErrorTest, KnownValue) {
+  const std::vector<double> ref{2.0, 4.0};
+  const std::vector<double> est{1.0, 5.0};  // 50% and 25% errors
+  EXPECT_DOUBLE_EQ(mean_relative_error(ref, est), 0.375);
+}
+
+TEST(MeanRelativeErrorTest, IgnoresZeroReference) {
+  const std::vector<double> ref{0.0, 4.0};
+  const std::vector<double> est{7.0, 5.0};
+  EXPECT_DOUBLE_EQ(mean_relative_error(ref, est), 0.25);
+}
+
+TEST(MeanRelativeErrorTest, RejectsLengthMismatch) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW(mean_relative_error(a, b), cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Unit tests for the text/CSV table renderer.
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+#include <string>
+
+#include "src/util/table.h"
+
+namespace {
+
+using cdn::util::format_double;
+using cdn::util::TextTable;
+
+TEST(TextTableTest, HeaderAndRowCount) {
+  TextTable t({"a", "b"});
+  EXPECT_EQ(t.columns(), 2u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TextTableTest, StrContainsAllCells) {
+  TextTable t({"name", "value"});
+  t.add_row({"latency", "12.5"});
+  t.add_row({"hops", "3"});
+  const std::string s = t.str();
+  for (const char* needle : {"name", "value", "latency", "12.5", "hops"}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(TextTableTest, ColumnsAlignToWidestCell) {
+  TextTable t({"x", "y"});
+  t.add_row({"longvalue", "1"});
+  const std::string s = t.str();
+  // Three lines: header, rule, row; all equal length.
+  const auto first = s.find('\n');
+  const auto second = s.find('\n', first + 1);
+  const auto third = s.find('\n', second + 1);
+  EXPECT_EQ(first, second - first - 1);
+  EXPECT_EQ(first, third - second - 1);
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), cdn::PreconditionError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), cdn::PreconditionError);
+}
+
+TEST(TextTableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), cdn::PreconditionError);
+}
+
+TEST(TextTableTest, AddRowValuesFormatsDoubles) {
+  TextTable t({"a", "b"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvQuotesSpecialCharacters) {
+  TextTable t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTableTest, CsvPlainFieldsUnquoted) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(FormatDoubleTest, RespectsPrecision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Unit tests for the thread pool and parallel_for.
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace {
+
+using cdn::util::parallel_for;
+using cdn::util::ThreadPool;
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor joins
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ThreadCountMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPoolTest, RejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), cdn::PreconditionError);
+}
+
+TEST(ParallelForTest, CoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  parallel_for(pool, 0, touched.size(),
+               [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, NonZeroBeginOffset) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  parallel_for(pool, 10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), std::size_t{145});  // 10 + ... + 19
+}
+
+TEST(ParallelForTest, MatchesSequentialReduction) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<double> data(n);
+  std::iota(data.begin(), data.end(), 0.0);
+  std::vector<double> out(n);
+  parallel_for(pool, 0, n, [&](std::size_t i) { out[i] = data[i] * 2.0; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(out[i], 2.0 * data[i]);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> touched(8, 0);
+  parallel_for(pool, 0, touched.size(),
+               [&](std::size_t i) { touched[i] = 1; },
+               /*grain=*/100);
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ParallelForTest, SharedPoolOverloadWorks) {
+  std::vector<std::atomic<int>> touched(64);
+  parallel_for(0, touched.size(),
+               [&](std::size_t i) { touched[i].fetch_add(1); });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, NestedSubmissionDoesNotDeadlock) {
+  // parallel_for from within a pool task must not deadlock the shared pool
+  // (tasks submit to the same queue but wait_idle is only called outside).
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 0, 4, [&](std::size_t) {
+    for (int i = 0; i < 8; ++i) counter.fetch_add(1);
+  });
+  EXPECT_EQ(counter.load(), 32);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Unit and property tests for the Zipf-like distribution and alias sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/zipf.h"
+
+namespace {
+
+using cdn::util::AliasSampler;
+using cdn::util::Rng;
+using cdn::util::ZipfDistribution;
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(1000, 1.0);
+  double sum = 0.0;
+  for (std::size_t k = 1; k <= zipf.size(); ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfTest, PmfIsDecreasing) {
+  ZipfDistribution zipf(500, 0.8);
+  for (std::size_t k = 2; k <= zipf.size(); ++k) {
+    EXPECT_LE(zipf.pmf(k), zipf.pmf(k - 1));
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfDistribution zipf(10, 0.0);
+  for (std::size_t k = 1; k <= 10; ++k) {
+    EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, ClassicZipfRatios) {
+  // theta = 1: pmf(k) = pmf(1) / k.
+  ZipfDistribution zipf(100, 1.0);
+  for (std::size_t k : {2, 5, 50}) {
+    EXPECT_NEAR(zipf.pmf(k), zipf.pmf(1) / static_cast<double>(k), 1e-12);
+  }
+}
+
+TEST(ZipfTest, AlphaIsInverseHarmonicSum) {
+  const std::size_t L = 200;
+  const double theta = 1.0;
+  ZipfDistribution zipf(L, theta);
+  double harmonic = 0.0;
+  for (std::size_t k = 1; k <= L; ++k) {
+    harmonic += std::pow(static_cast<double>(k), -theta);
+  }
+  EXPECT_NEAR(zipf.alpha(), 1.0 / harmonic, 1e-12);
+}
+
+TEST(ZipfTest, CdfIsMonotoneEndsAtOne) {
+  ZipfDistribution zipf(128, 1.2);
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= zipf.size(); ++k) {
+    EXPECT_GE(zipf.cdf(k), prev);
+    prev = zipf.cdf(k);
+  }
+  EXPECT_DOUBLE_EQ(zipf.cdf(zipf.size()), 1.0);
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  ZipfDistribution zipf(50, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(51, 0);
+  const int n = 500000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k : {1, 2, 10, 50}) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.005)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, SingleRankAlwaysSamplesOne) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.sample(rng), 1u);
+  EXPECT_DOUBLE_EQ(zipf.pmf(1), 1.0);
+}
+
+TEST(ZipfTest, RejectsInvalidParameters) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), cdn::PreconditionError);
+  EXPECT_THROW(ZipfDistribution(10, -0.1), cdn::PreconditionError);
+  ZipfDistribution zipf(10, 1.0);
+  EXPECT_THROW(zipf.pmf(0), cdn::PreconditionError);
+  EXPECT_THROW(zipf.pmf(11), cdn::PreconditionError);
+}
+
+// Property sweep: normalisation and monotonicity across (L, theta).
+class ZipfPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(ZipfPropertyTest, NormalisedAndMonotone) {
+  const auto [size, theta] = GetParam();
+  ZipfDistribution zipf(size, theta);
+  double sum = 0.0;
+  for (std::size_t k = 1; k <= size; ++k) {
+    sum += zipf.pmf(k);
+    if (k > 1) {
+      EXPECT_LE(zipf.pmf(k), zipf.pmf(k - 1));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZipfPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 10, 1000, 20000),
+                       ::testing::Values(0.0, 0.4, 0.8, 1.0, 1.4)));
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  const std::vector<double> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, weights[i] / 10.0, 0.005);
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  const std::vector<double> weights{0.0, 1.0, 0.0, 1.0};
+  AliasSampler sampler(weights);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto s = sampler.sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, SingleOutcome) {
+  const std::vector<double> weights{5.0};
+  AliasSampler sampler(weights);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ProbabilityAccessorNormalises) {
+  const std::vector<double> weights{2.0, 6.0};
+  AliasSampler sampler(weights);
+  EXPECT_DOUBLE_EQ(sampler.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.probability(1), 0.75);
+}
+
+TEST(AliasSamplerTest, RejectsInvalidWeights) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), cdn::PreconditionError);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}),
+               cdn::PreconditionError);
+  EXPECT_THROW(AliasSampler(std::vector<double>{1.0, -1.0}),
+               cdn::PreconditionError);
+}
+
+TEST(AliasSamplerTest, LargeSkewedTable) {
+  // Zipf-shaped weights over 10k outcomes: head frequency must match.
+  std::vector<double> weights(10000);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  AliasSampler sampler(weights);
+  Rng rng(8);
+  int head = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.sample(rng) == 0) ++head;
+  }
+  EXPECT_NEAR(static_cast<double>(head) / n, sampler.probability(0), 0.005);
+}
+
+}  // namespace

@@ -1,0 +1,136 @@
+// Unit tests for the demand matrix r_j^(i).
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/workload/demand.h"
+
+namespace {
+
+using cdn::util::Rng;
+using cdn::workload::DemandMatrix;
+using cdn::workload::PopularityClass;
+using cdn::workload::SiteCatalog;
+using cdn::workload::SurgeParams;
+
+SiteCatalog catalog_with_classes() {
+  SurgeParams params;
+  params.objects_per_site = 20;
+  const std::vector<PopularityClass> classes{{4, 1.0, "low"},
+                                             {2, 10.0, "high"}};
+  Rng rng(1);
+  return SiteCatalog::generate(params, classes, rng);
+}
+
+TEST(DemandMatrixTest, TotalsAddUp) {
+  const auto catalog = catalog_with_classes();
+  Rng rng(2);
+  const auto dm = DemandMatrix::generate(catalog, 10, 1e6, rng);
+  EXPECT_EQ(dm.server_count(), 10u);
+  EXPECT_EQ(dm.site_count(), 6u);
+  EXPECT_NEAR(dm.total(), 1e6, 1e-6);
+  double rows = 0.0, cols = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) rows += dm.server_total(static_cast<cdn::workload::ServerId>(i));
+  for (std::size_t j = 0; j < 6; ++j) cols += dm.site_total(static_cast<cdn::workload::SiteId>(j));
+  EXPECT_NEAR(rows, 1e6, 1e-6);
+  EXPECT_NEAR(cols, 1e6, 1e-6);
+}
+
+TEST(DemandMatrixTest, SiteVolumesFollowClassWeights) {
+  const auto catalog = catalog_with_classes();
+  Rng rng(3);
+  const auto dm = DemandMatrix::generate(catalog, 8, 1e6, rng);
+  // Class weights 1:10 over 4+2 sites -> each low site gets 1e6/24, each
+  // high site 1e7/24 (exact: the truncated normal only splits a site's
+  // volume across servers).
+  for (cdn::workload::SiteId j = 0; j < 4; ++j) {
+    EXPECT_NEAR(dm.site_total(j), 1e6 / 24.0, 1e-6);
+  }
+  for (cdn::workload::SiteId j = 4; j < 6; ++j) {
+    EXPECT_NEAR(dm.site_total(j), 1e7 / 24.0, 1e-6);
+  }
+}
+
+TEST(DemandMatrixTest, ServerSharesAreBalancedWithinTruncation) {
+  // Shares come from N(1/N, 1/4N) truncated to mu +/- 3sigma and are then
+  // normalised: every server's share of a site lies in a band around 1/N.
+  const auto catalog = catalog_with_classes();
+  Rng rng(4);
+  const std::size_t n = 20;
+  const auto dm = DemandMatrix::generate(catalog, n, 1e6, rng);
+  for (cdn::workload::SiteId j = 0; j < dm.site_count(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double share =
+          dm.requests(static_cast<cdn::workload::ServerId>(i), j) /
+          dm.site_total(j);
+      // mu = 0.05, sigma = 0.0125, raw range [0.0125, 0.0875]; allow slack
+      // for the post-truncation normalisation.
+      EXPECT_GT(share, 0.005);
+      EXPECT_LT(share, 0.12);
+    }
+  }
+}
+
+TEST(DemandMatrixTest, SitePopularitySumsToOnePerServer) {
+  const auto catalog = catalog_with_classes();
+  Rng rng(5);
+  const auto dm = DemandMatrix::generate(catalog, 5, 1e5, rng);
+  for (std::size_t i = 0; i < 5; ++i) {
+    double sum = 0.0;
+    for (cdn::workload::SiteId j = 0; j < dm.site_count(); ++j) {
+      sum += dm.site_popularity(static_cast<cdn::workload::ServerId>(i), j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(DemandMatrixTest, RowViewMatchesRequests) {
+  const auto catalog = catalog_with_classes();
+  Rng rng(6);
+  const auto dm = DemandMatrix::generate(catalog, 4, 1e5, rng);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto row = dm.row(static_cast<cdn::workload::ServerId>(i));
+    ASSERT_EQ(row.size(), dm.site_count());
+    for (cdn::workload::SiteId j = 0; j < dm.site_count(); ++j) {
+      EXPECT_DOUBLE_EQ(row[j],
+                       dm.requests(static_cast<cdn::workload::ServerId>(i), j));
+    }
+  }
+}
+
+TEST(DemandMatrixTest, FromValuesRoundTrips) {
+  const std::vector<double> values{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const auto dm = DemandMatrix::from_values(2, 3, values);
+  EXPECT_DOUBLE_EQ(dm.requests(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(dm.requests(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(dm.server_total(0), 6.0);
+  EXPECT_DOUBLE_EQ(dm.server_total(1), 15.0);
+  EXPECT_DOUBLE_EQ(dm.site_total(1), 7.0);
+  EXPECT_DOUBLE_EQ(dm.total(), 21.0);
+}
+
+TEST(DemandMatrixTest, ZeroRowGivesZeroPopularity) {
+  const std::vector<double> values{0.0, 0.0, 1.0, 1.0};
+  const auto dm = DemandMatrix::from_values(2, 2, values);
+  EXPECT_DOUBLE_EQ(dm.site_popularity(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(dm.site_popularity(1, 0), 0.5);
+}
+
+TEST(DemandMatrixTest, RejectsInvalidInput) {
+  const auto catalog = catalog_with_classes();
+  Rng rng(7);
+  EXPECT_THROW(DemandMatrix::generate(catalog, 0, 1e6, rng),
+               cdn::PreconditionError);
+  EXPECT_THROW(DemandMatrix::generate(catalog, 4, 0.0, rng),
+               cdn::PreconditionError);
+  EXPECT_THROW(DemandMatrix::from_values(2, 2, std::vector<double>{1.0}),
+               cdn::PreconditionError);
+  EXPECT_THROW(
+      DemandMatrix::from_values(1, 2, std::vector<double>{1.0, -2.0}),
+      cdn::PreconditionError);
+  const auto dm = DemandMatrix::from_values(1, 1, std::vector<double>{1.0});
+  EXPECT_THROW(dm.requests(1, 0), cdn::PreconditionError);
+  EXPECT_THROW(dm.requests(0, 1), cdn::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Unit tests for the SURGE-like site catalogue.
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+#include "src/workload/site_catalog.h"
+
+namespace {
+
+using cdn::util::Rng;
+using cdn::workload::default_popularity_classes;
+using cdn::workload::PopularityClass;
+using cdn::workload::SiteCatalog;
+using cdn::workload::SurgeParams;
+
+SiteCatalog small_catalog(std::uint64_t seed = 1) {
+  SurgeParams params;
+  params.objects_per_site = 50;
+  const std::vector<PopularityClass> classes{{3, 1.0, "low"},
+                                             {2, 4.0, "high"}};
+  Rng rng(seed);
+  return SiteCatalog::generate(params, classes, rng);
+}
+
+TEST(SiteCatalogTest, CountsMatchClasses) {
+  const auto catalog = small_catalog();
+  EXPECT_EQ(catalog.site_count(), 5u);
+  EXPECT_EQ(catalog.objects_per_site(), 50u);
+}
+
+TEST(SiteCatalogTest, DefaultClassesMatchPaper) {
+  const auto classes = default_popularity_classes();
+  ASSERT_EQ(classes.size(), 3u);
+  EXPECT_EQ(classes[0].site_count, 50u);   // low
+  EXPECT_EQ(classes[1].site_count, 100u);  // medium
+  EXPECT_EQ(classes[2].site_count, 50u);   // high
+  EXPECT_LT(classes[0].volume_weight, classes[1].volume_weight);
+  EXPECT_LT(classes[1].volume_weight, classes[2].volume_weight);
+}
+
+TEST(SiteCatalogTest, SiteBytesIsSumOfObjects) {
+  const auto catalog = small_catalog();
+  for (cdn::workload::SiteId s = 0; s < catalog.site_count(); ++s) {
+    std::uint64_t sum = 0;
+    for (std::size_t k = 1; k <= catalog.objects_per_site(); ++k) {
+      sum += catalog.object_bytes(s, k);
+    }
+    EXPECT_EQ(sum, catalog.site_bytes(s));
+  }
+}
+
+TEST(SiteCatalogTest, TotalBytesIsSumOfSites) {
+  const auto catalog = small_catalog();
+  std::uint64_t sum = 0;
+  for (cdn::workload::SiteId s = 0; s < catalog.site_count(); ++s) {
+    sum += catalog.site_bytes(s);
+  }
+  EXPECT_EQ(sum, catalog.total_bytes());
+}
+
+TEST(SiteCatalogTest, MeanObjectBytesConsistent) {
+  const auto catalog = small_catalog();
+  const double expected =
+      static_cast<double>(catalog.total_bytes()) /
+      static_cast<double>(catalog.site_count() * catalog.objects_per_site());
+  EXPECT_DOUBLE_EQ(catalog.mean_object_bytes(), expected);
+}
+
+TEST(SiteCatalogTest, ObjectSizesRespectFloor) {
+  SurgeParams params;
+  params.objects_per_site = 100;
+  params.min_object_bytes = 512.0;
+  const std::vector<PopularityClass> classes{{2, 1.0, "x"}};
+  Rng rng(2);
+  const auto catalog = SiteCatalog::generate(params, classes, rng);
+  for (cdn::workload::SiteId s = 0; s < 2; ++s) {
+    for (std::size_t k = 1; k <= 100; ++k) {
+      EXPECT_GE(catalog.object_bytes(s, k), 512u);
+    }
+  }
+}
+
+TEST(SiteCatalogTest, VolumeWeightAndLabelFollowClassOrder) {
+  const auto catalog = small_catalog();
+  for (cdn::workload::SiteId s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(catalog.volume_weight(s), 1.0);
+    EXPECT_STREQ(catalog.class_label(s), "low");
+  }
+  for (cdn::workload::SiteId s = 3; s < 5; ++s) {
+    EXPECT_DOUBLE_EQ(catalog.volume_weight(s), 4.0);
+    EXPECT_STREQ(catalog.class_label(s), "high");
+  }
+}
+
+TEST(SiteCatalogTest, UncacheableFractionDefaultsToZeroAndIsSettable) {
+  auto catalog = small_catalog();
+  EXPECT_DOUBLE_EQ(catalog.uncacheable_fraction(0), 0.0);
+  catalog.set_uncacheable_fraction(0.1);
+  for (cdn::workload::SiteId s = 0; s < catalog.site_count(); ++s) {
+    EXPECT_DOUBLE_EQ(catalog.uncacheable_fraction(s), 0.1);
+  }
+  catalog.set_uncacheable_fraction(2, 0.5);
+  EXPECT_DOUBLE_EQ(catalog.uncacheable_fraction(2), 0.5);
+  EXPECT_DOUBLE_EQ(catalog.uncacheable_fraction(1), 0.1);
+}
+
+TEST(SiteCatalogTest, ObjectIdsAreGloballyUnique) {
+  const auto catalog = small_catalog();
+  std::set<cdn::workload::ObjectId> ids;
+  for (cdn::workload::SiteId s = 0; s < catalog.site_count(); ++s) {
+    for (std::size_t k = 1; k <= catalog.objects_per_site(); ++k) {
+      EXPECT_TRUE(ids.insert(catalog.object_id(s, k)).second);
+    }
+  }
+  EXPECT_EQ(ids.size(),
+            catalog.site_count() * catalog.objects_per_site());
+}
+
+TEST(SiteCatalogTest, SharedZipfLaw) {
+  const auto catalog = small_catalog();
+  EXPECT_EQ(catalog.object_popularity().size(), 50u);
+  EXPECT_DOUBLE_EQ(catalog.object_popularity().theta(), 1.0);
+}
+
+TEST(SiteCatalogTest, TailFractionRaisesMeanSize) {
+  SurgeParams no_tail;
+  no_tail.objects_per_site = 400;
+  no_tail.tail_fraction = 0.0;
+  SurgeParams heavy_tail = no_tail;
+  heavy_tail.tail_fraction = 0.3;
+  const std::vector<PopularityClass> classes{{5, 1.0, "x"}};
+  Rng r1(3), r2(3);
+  const auto thin = SiteCatalog::generate(no_tail, classes, r1);
+  const auto fat = SiteCatalog::generate(heavy_tail, classes, r2);
+  EXPECT_GT(fat.mean_object_bytes(), thin.mean_object_bytes());
+}
+
+TEST(SiteCatalogTest, RejectsInvalidInputs) {
+  Rng rng(4);
+  SurgeParams params;
+  const std::vector<PopularityClass> empty;
+  EXPECT_THROW(SiteCatalog::generate(params, empty, rng),
+               cdn::PreconditionError);
+  const std::vector<PopularityClass> zero_weight{{2, 0.0, "x"}};
+  EXPECT_THROW(SiteCatalog::generate(params, zero_weight, rng),
+               cdn::PreconditionError);
+  params.tail_fraction = 1.5;
+  const std::vector<PopularityClass> ok{{1, 1.0, "x"}};
+  EXPECT_THROW(SiteCatalog::generate(params, ok, rng),
+               cdn::PreconditionError);
+  auto catalog = small_catalog();
+  EXPECT_THROW(catalog.object_bytes(99, 1), cdn::PreconditionError);
+  EXPECT_THROW(catalog.object_bytes(0, 0), cdn::PreconditionError);
+  EXPECT_THROW(catalog.set_uncacheable_fraction(-0.1),
+               cdn::PreconditionError);
+}
+
+}  // namespace
