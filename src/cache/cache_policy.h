@@ -61,8 +61,11 @@ class CachePolicy {
     return false;
   }
 
-  const CacheStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = CacheStats{}; }
+  /// Statistics of all accesses since construction or reset_stats().
+  /// Virtual so wrapper policies (delayed-LRU) can fold in the churn their
+  /// inner cache recorded.
+  virtual const CacheStats& stats() const noexcept { return stats_; }
+  virtual void reset_stats() noexcept { stats_.reset(); }
 
  protected:
   CacheStats stats_;

@@ -1,4 +1,4 @@
-// Hit/miss/byte counters shared by every cache policy.
+// Hit/miss/churn counters shared by every cache policy.
 
 #pragma once
 
@@ -7,7 +7,10 @@
 namespace cdn::cache {
 
 /// Streaming cache statistics.  Byte counters use the requested object's
-/// size, so byte_hit_ratio() weights large objects proportionally.
+/// size, so byte_hit_ratio() weights large objects proportionally.  Churn
+/// counters (admissions, evictions and the bytes they moved) quantify how
+/// hard the replacement policy is working — the write traffic a real proxy
+/// would pay, invisible in the hit ratio alone.
 class CacheStats {
  public:
   void record_hit(std::uint64_t bytes) noexcept {
@@ -18,12 +21,26 @@ class CacheStats {
     ++misses_;
     miss_bytes_ += bytes;
   }
-  void record_eviction() noexcept { ++evictions_; }
+  void record_admission(std::uint64_t bytes) noexcept {
+    ++admissions_;
+    admitted_bytes_ += bytes;
+  }
+  void record_eviction(std::uint64_t bytes) noexcept {
+    ++evictions_;
+    evicted_bytes_ += bytes;
+  }
 
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
   std::uint64_t accesses() const noexcept { return hits_ + misses_; }
+  std::uint64_t admissions() const noexcept { return admissions_; }
   std::uint64_t evictions() const noexcept { return evictions_; }
+  std::uint64_t admitted_bytes() const noexcept { return admitted_bytes_; }
+  std::uint64_t evicted_bytes() const noexcept { return evicted_bytes_; }
+  /// Total bytes the policy moved in and out of the cache.
+  std::uint64_t bytes_churned() const noexcept {
+    return admitted_bytes_ + evicted_bytes_;
+  }
 
   /// Request hit ratio — the h of the paper's model.  0 when no accesses.
   double hit_ratio() const noexcept {
@@ -39,12 +56,29 @@ class CacheStats {
                  : 0.0;
   }
 
+  /// Adds `other`'s counts (fleet-wide aggregation of per-server stats).
+  void merge(const CacheStats& other) noexcept {
+    hits_ += other.hits_;
+    misses_ += other.misses_;
+    hit_bytes_ += other.hit_bytes_;
+    miss_bytes_ += other.miss_bytes_;
+    admissions_ += other.admissions_;
+    evictions_ += other.evictions_;
+    admitted_bytes_ += other.admitted_bytes_;
+    evicted_bytes_ += other.evicted_bytes_;
+  }
+
+  void reset() noexcept { *this = CacheStats{}; }
+
  private:
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t hit_bytes_ = 0;
   std::uint64_t miss_bytes_ = 0;
+  std::uint64_t admissions_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t admitted_bytes_ = 0;
+  std::uint64_t evicted_bytes_ = 0;
 };
 
 }  // namespace cdn::cache

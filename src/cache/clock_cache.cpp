@@ -33,6 +33,7 @@ void ClockCache::admit(ObjectKey key, std::uint64_t bytes) {
   if (ring_.size() == 1) hand_ = it;
   index_.emplace(key, it);
   used_ += bytes;
+  stats_.record_admission(bytes);
 }
 
 bool ClockCache::erase(ObjectKey key) {
@@ -75,9 +76,9 @@ void ClockCache::evict_one() {
   if (hand_ == victim) hand_ = ring_.end();  // last element is going away
   used_ -= victim->bytes;
   index_.erase(victim->key);
+  stats_.record_eviction(victim->bytes);
   ring_.erase(victim);
   if (hand_ == ring_.end() && !ring_.empty()) hand_ = ring_.begin();
-  stats_.record_eviction();
 }
 
 }  // namespace cdn::cache

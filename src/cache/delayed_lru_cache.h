@@ -41,11 +41,26 @@ class DelayedLruCache final : public CachePolicy {
   std::uint32_t admission_threshold() const noexcept { return threshold_; }
   std::size_t ghost_size() const noexcept { return ghost_index_.size(); }
 
+  /// Hits/misses are recorded at this level (CachePolicy::access), but the
+  /// churn — admissions past the threshold, evictions — happens inside the
+  /// wrapped LRU, which records it into its own stats.  The override folds
+  /// both together so callers see one complete view.
+  const CacheStats& stats() const noexcept override {
+    merged_stats_ = stats_;
+    merged_stats_.merge(inner_.stats());
+    return merged_stats_;
+  }
+  void reset_stats() noexcept override {
+    stats_.reset();
+    inner_.reset_stats();
+  }
+
  private:
   void note_miss(ObjectKey key);
   bool ready_to_admit(ObjectKey key) const;
 
   LruCache inner_;
+  mutable CacheStats merged_stats_;  // scratch for the stats() override
   std::uint32_t threshold_;
   std::size_t ghost_capacity_;
   // Ghost directory: key -> seen-count, LRU-bounded.

@@ -16,6 +16,7 @@ void FifoCache::admit(ObjectKey key, std::uint64_t bytes) {
   queue_.push_front({key, bytes});
   index_.emplace(key, queue_.begin());
   used_ += bytes;
+  stats_.record_admission(bytes);
 }
 
 bool FifoCache::erase(ObjectKey key) {
@@ -45,8 +46,8 @@ void FifoCache::evict_one() {
   const Entry& victim = queue_.back();
   used_ -= victim.bytes;
   index_.erase(victim.key);
+  stats_.record_eviction(victim.bytes);
   queue_.pop_back();
-  stats_.record_eviction();
 }
 
 }  // namespace cdn::cache

@@ -40,6 +40,7 @@ void LfuCache::admit(ObjectKey key, std::uint64_t bytes) {
   bucket->second.push_front({key, bytes, 1});
   index_.emplace(key, Locator{bucket, bucket->second.begin()});
   used_ += bytes;
+  stats_.record_admission(bytes);
 }
 
 bool LfuCache::erase(ObjectKey key) {
@@ -79,9 +80,9 @@ void LfuCache::evict_one() {
   const Entry& victim = bucket.back();
   used_ -= victim.bytes;
   index_.erase(victim.key);
+  stats_.record_eviction(victim.bytes);
   bucket.pop_back();
   if (bucket.empty()) buckets_.erase(lowest);
-  stats_.record_eviction();
 }
 
 }  // namespace cdn::cache

@@ -20,6 +20,7 @@ void LruCache::admit(ObjectKey key, std::uint64_t bytes) {
   recency_.push_front({key, bytes});
   index_.emplace(key, recency_.begin());
   used_ += bytes;
+  stats_.record_admission(bytes);
 }
 
 bool LruCache::erase(ObjectKey key) {
@@ -59,8 +60,8 @@ void LruCache::evict_one() {
   const Entry& victim = recency_.back();
   used_ -= victim.bytes;
   index_.erase(victim.key);
+  stats_.record_eviction(victim.bytes);
   recency_.pop_back();
-  stats_.record_eviction();
 }
 
 }  // namespace cdn::cache

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/scoped_timer.h"
 #include "src/placement/baselines.h"
 #include "src/placement/fixed_split.h"
 #include "src/placement/greedy_global.h"
@@ -10,9 +11,13 @@
 
 namespace cdn::core {
 
-MechanismSpec replication_mechanism() {
-  return {"replication",
-          [](const sys::CdnSystem& s) { return placement::greedy_global(s); }};
+MechanismSpec replication_mechanism(obs::Registry* metrics) {
+  return {"replication", [metrics](const sys::CdnSystem& s) {
+            placement::GreedyGlobalOptions options;
+            options.metrics = metrics;
+            options.metrics_prefix = "placement/replication/";
+            return placement::greedy_global(s, options);
+          }};
 }
 
 MechanismSpec caching_mechanism() {
@@ -20,9 +25,13 @@ MechanismSpec caching_mechanism() {
           [](const sys::CdnSystem& s) { return placement::pure_caching(s); }};
 }
 
-MechanismSpec hybrid_mechanism() {
-  return {"hybrid",
-          [](const sys::CdnSystem& s) { return placement::hybrid_greedy(s); }};
+MechanismSpec hybrid_mechanism(obs::Registry* metrics) {
+  return {"hybrid", [metrics](const sys::CdnSystem& s) {
+            placement::HybridGreedyOptions options;
+            options.metrics = metrics;
+            options.metrics_prefix = "placement/hybrid/";
+            return placement::hybrid_greedy(s, options);
+          }};
 }
 
 MechanismSpec fixed_split_mechanism(double cache_fraction) {
@@ -47,15 +56,33 @@ MechanismSpec popularity_mechanism() {
 
 std::vector<MechanismRun> run_mechanisms(
     const Scenario& scenario, const std::vector<MechanismSpec>& mechanisms,
-    const sim::SimulationConfig& sim_config) {
+    const sim::SimulationConfig& sim_config, obs::Registry* metrics,
+    obs::TraceSink* trace) {
   CDN_EXPECT(!mechanisms.empty(), "no mechanisms to run");
   std::vector<MechanismRun> runs;
   runs.reserve(mechanisms.size());
   for (const auto& spec : mechanisms) {
+    sim::SimulationConfig cfg = sim_config;
+    obs::TimerStat* t_build = nullptr;
+    obs::TimerStat* t_simulate = nullptr;
+    if (metrics != nullptr) {
+      cfg.metrics = metrics;
+      cfg.metrics_prefix = "sim/" + spec.name + "/";
+      t_build = &metrics->timer("experiment/" + spec.name + "/build");
+      t_simulate = &metrics->timer("experiment/" + spec.name + "/simulate");
+    }
+    if (trace != nullptr) {
+      cfg.trace_sink = trace;
+      trace->begin_context(spec.name);
+    }
+    obs::ScopedTimer build_timer(t_build);
     MechanismRun run{.name = spec.name,
                      .placement = spec.build(scenario.system()),
                      .report = {}};
-    run.report = sim::simulate(scenario.system(), run.placement, sim_config);
+    build_timer.stop();
+    obs::ScopedTimer simulate_timer(t_simulate);
+    run.report = sim::simulate(scenario.system(), run.placement, cfg);
+    simulate_timer.stop();
     runs.push_back(std::move(run));
   }
   return runs;

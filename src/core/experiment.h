@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "src/core/scenario.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/placement/placement_result.h"
 #include "src/sim/simulator.h"
 #include "src/util/cdf.h"
@@ -22,10 +24,13 @@ struct MechanismSpec {
   std::function<placement::PlacementResult(const sys::CdnSystem&)> build;
 };
 
-/// Standard mechanisms of the paper's evaluation.
-MechanismSpec replication_mechanism();
+/// Standard mechanisms of the paper's evaluation.  Passing a registry makes
+/// the placement stage log its per-iteration records under
+/// "placement/<name>/" (mechanisms without tunable placement internals
+/// ignore it).
+MechanismSpec replication_mechanism(obs::Registry* metrics = nullptr);
 MechanismSpec caching_mechanism();
-MechanismSpec hybrid_mechanism();
+MechanismSpec hybrid_mechanism(obs::Registry* metrics = nullptr);
 /// Ad-hoc fixed split with the given cache share (0.2 / 0.8 in Figure 5).
 MechanismSpec fixed_split_mechanism(double cache_fraction);
 MechanismSpec random_mechanism(std::uint64_t seed);
@@ -40,9 +45,16 @@ struct MechanismRun {
 
 /// Runs every mechanism on the scenario with a shared simulation
 /// configuration (same seed => same request stream for all mechanisms).
+///
+/// When `metrics` is non-null it overrides sim_config.metrics and each
+/// mechanism's simulation logs under "sim/<name>/"; build/simulate wall
+/// times land under "experiment/<name>/".  When `trace` is non-null every
+/// mechanism's sampled request events are recorded into it, labelled with
+/// a per-mechanism context.
 std::vector<MechanismRun> run_mechanisms(
     const Scenario& scenario, const std::vector<MechanismSpec>& mechanisms,
-    const sim::SimulationConfig& sim_config);
+    const sim::SimulationConfig& sim_config, obs::Registry* metrics = nullptr,
+    obs::TraceSink* trace = nullptr);
 
 /// Summary table: mean / median / p90 / p99 latency, local ratio, measured
 /// hop cost, model-predicted hop cost, replica count.

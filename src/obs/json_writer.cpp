@@ -1,0 +1,143 @@
+#include "src/obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/error.h"
+
+namespace cdn::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  // %.17g round-trips every double; trim to the shortest form that still
+  // re-parses exactly so snapshots stay human-readable.
+  char buf[32];
+  for (const int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    CDN_EXPECT(out_.empty(), "only one top-level JSON value is allowed");
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    CDN_EXPECT(key_pending_, "object members need a key() first");
+    key_pending_ = false;
+    return;
+  }
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  CDN_EXPECT(!stack_.empty() && stack_.back() == Frame::kObject,
+             "end_object without matching begin_object");
+  CDN_EXPECT(!key_pending_, "dangling key at end_object");
+  out_ += '}';
+  stack_.pop_back();
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  CDN_EXPECT(!stack_.empty() && stack_.back() == Frame::kArray,
+             "end_array without matching begin_array");
+  out_ += ']';
+  stack_.pop_back();
+  needs_comma_.pop_back();
+}
+
+void JsonWriter::key(const std::string& name) {
+  CDN_EXPECT(!stack_.empty() && stack_.back() == Frame::kObject,
+             "key() is only valid inside an object");
+  CDN_EXPECT(!key_pending_, "two keys in a row");
+  if (needs_comma_.back()) out_ += ',';
+  needs_comma_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::value(const std::string& s) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(const char* s) { value(std::string(s)); }
+
+void JsonWriter::value(double v) {
+  before_value();
+  out_ += json_double(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ += "null";
+}
+
+const std::string& JsonWriter::str() const {
+  CDN_EXPECT(stack_.empty(), "unterminated JSON container");
+  return out_;
+}
+
+}  // namespace cdn::obs

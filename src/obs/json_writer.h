@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer for metric snapshots.
+//
+// The exporters only ever *write* JSON (there is nothing to parse back in
+// this codebase), so a small push-style writer beats a dependency: nesting
+// is tracked on a stack, commas are inserted automatically, doubles are
+// printed round-trippably, and NaN/Inf — which JSON cannot represent — are
+// emitted as null.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdn::obs {
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string json_escape(const std::string& s);
+
+/// Round-trippable JSON number rendering; NaN/Inf become "null".
+std::string json_double(double v);
+
+/// Push-style JSON document builder.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("hits"); w.value(std::uint64_t{3});
+///   w.key("ratio"); w.value(0.75);
+///   w.end_object();
+///   w.str();   // {"hits":3,"ratio":0.75}
+///
+/// Misuse (e.g. a key outside an object, unbalanced end_*) throws
+/// PreconditionError rather than emitting malformed output.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits `"name":` — must be inside an object, directly before a value.
+  void key(const std::string& name);
+
+  void value(const std::string& s);
+  void value(const char* s);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool b);
+  void null();
+
+  /// The finished document.  Throws if containers are still open.
+  const std::string& str() const;
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+  void before_value();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> needs_comma_;
+  bool key_pending_ = false;
+};
+
+}  // namespace cdn::obs

@@ -1,0 +1,156 @@
+// Metric primitives of the observability layer.
+//
+// Five shapes cover everything the simulator, the placement engines, and
+// the cache policies need to report:
+//
+//   Counter    monotonic event count (requests served, evictions, ...)
+//   Gauge      last-written scalar (final hit ratio, replicas created, ...)
+//   Histogram  fixed-boundary distribution + streaming moments (latency)
+//   Series     append-only numeric time series (per-window hit ratio,
+//              cost after each greedy iteration, ...)
+//   Table      named columns x rows of doubles — structured iteration logs
+//              (one row per committed replica with its benefit breakdown)
+//
+// plus TimerStat, the accumulation target of obs::ScopedTimer.  Histograms
+// and the streaming moments merge exactly (RunningStats-style parallel
+// reduction), so per-shard metric sets can be combined after a parallel
+// run.  None of the types lock: a metric instance belongs to one thread;
+// cross-thread aggregation goes through merge().
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace cdn::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  std::uint64_t value() const noexcept { return value_; }
+  void merge(const Counter& other) noexcept { value_ += other.value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written scalar.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-boundary histogram with exact streaming moments.
+///
+/// Ascending boundaries b_0 < ... < b_{K-1} define K+1 buckets:
+/// (-inf, b_0], (b_0, b_1], ..., (b_{K-1}, +inf).  Bucket counts answer
+/// "how many observations were <= b_i"; the embedded RunningStats keeps
+/// exact mean / variance / min / max regardless of bucket resolution.
+class Histogram {
+ public:
+  /// Boundaries must be strictly ascending and non-empty.
+  explicit Histogram(std::vector<double> boundaries);
+
+  void observe(double v) noexcept;
+
+  /// Exact merge; both histograms must share identical boundaries.
+  void merge(const Histogram& other);
+
+  const std::vector<double>& boundaries() const noexcept {
+    return boundaries_;
+  }
+  /// boundaries().size() + 1 entries; last bucket is the overflow.
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  std::uint64_t count() const noexcept { return moments_.count(); }
+  const util::RunningStats& moments() const noexcept { return moments_; }
+
+ private:
+  std::vector<double> boundaries_;
+  std::vector<std::uint64_t> buckets_;
+  util::RunningStats moments_;
+};
+
+/// Append-only numeric time series.
+class Series {
+ public:
+  void push(double v) { values_.push_back(v); }
+  const std::vector<double>& values() const noexcept { return values_; }
+  std::size_t size() const noexcept { return values_.size(); }
+  double sum() const noexcept;
+
+  /// Appends `other`'s values (shard concatenation).
+  void merge(const Series& other) {
+    values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Structured numeric log: fixed columns, one row per event.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  /// Row length must match the column count.
+  void add_row(std::vector<double> row);
+
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  const std::vector<std::vector<double>>& rows() const noexcept {
+    return rows_;
+  }
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Appends `other`'s rows; columns must match exactly.
+  void merge(const Table& other);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+/// Accumulated wall-clock of one named code region (see obs::ScopedTimer).
+class TimerStat {
+ public:
+  void record_ns(std::uint64_t ns) noexcept {
+    total_ns_ += ns;
+    per_call_ms_.add(static_cast<double>(ns) * 1e-6);
+  }
+
+  std::uint64_t count() const noexcept { return per_call_ms_.count(); }
+  std::uint64_t total_ns() const noexcept { return total_ns_; }
+  double total_seconds() const noexcept {
+    return static_cast<double>(total_ns_) * 1e-9;
+  }
+  /// Per-invocation latency moments in milliseconds.
+  const util::RunningStats& per_call_ms() const noexcept {
+    return per_call_ms_;
+  }
+
+  void merge(const TimerStat& other) noexcept {
+    total_ns_ += other.total_ns_;
+    per_call_ms_.merge(other.per_call_ms_);
+  }
+
+ private:
+  std::uint64_t total_ns_ = 0;
+  util::RunningStats per_call_ms_;
+};
+
+/// Default latency-histogram boundaries (ms) matching the simulator's
+/// 2 ms/hop model: first-hop hits land in the leftmost bucket, long
+/// redirects in the tail.
+std::vector<double> default_latency_bounds_ms();
+
+}  // namespace cdn::obs

@@ -1,0 +1,82 @@
+// The metric registry: named metrics + JSON snapshot export.
+//
+// A Registry is the single handle instrumented code receives (always as a
+// nullable pointer: `obs::Registry* metrics`).  The contract that keeps the
+// hot paths free:
+//
+//   * a null registry disables everything — instrumented code guards its
+//     entire metric block behind one `if (metrics)` pointer check;
+//   * metric lookup (`counter("x")`) is a map access and may allocate, so
+//     callers resolve their metrics ONCE before a loop and keep pointers;
+//   * recording on a resolved metric is a few arithmetic ops, no locks.
+//
+// The registry is not thread-safe.  Parallel runs give each shard its own
+// Registry and combine them afterwards with merge() (histograms, moments
+// and counters merge exactly; see obs/metrics.h).
+//
+// Naming convention: '/'-separated paths, subsystem first —
+// "sim/window/hit_ratio", "placement/hybrid/iterations",
+// "cache/evictions".  The JSON snapshot groups metrics by kind and sorts
+// by name, so snapshots diff cleanly across runs.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace cdn::obs {
+
+class Registry {
+ public:
+  /// Finds or creates the named metric.  References stay valid for the
+  /// registry's lifetime (node-based storage).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `boundaries` is used on first creation only; a later call with
+  /// different boundaries throws.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> boundaries);
+  Series& series(const std::string& name);
+  /// `columns` is used on first creation only; a later call with different
+  /// columns throws.
+  Table& table(const std::string& name, std::vector<std::string> columns);
+  TimerStat& timer(const std::string& name);
+
+  /// Lookup without creation; nullptr when absent.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+  const Series* find_series(const std::string& name) const;
+  const Table* find_table(const std::string& name) const;
+  const TimerStat* find_timer(const std::string& name) const;
+
+  /// Combines `other` into this registry: same-named counters add,
+  /// histograms/series/tables/timers merge per their own rules, gauges
+  /// take `other`'s value (last write wins).
+  void merge(const Registry& other);
+
+  std::size_t metric_count() const noexcept;
+
+  /// Serialises every metric into one JSON object:
+  ///   {"counters":{...},"gauges":{...},"histograms":{...},
+  ///    "series":{...},"tables":{...},"timers":{...}}
+  /// Histograms carry boundaries, bucket counts and moments; tables carry
+  /// their column names and rows.
+  std::string to_json() const;
+
+ private:
+  // std::map: deterministic (sorted) export order + stable references.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, Series> series_;
+  std::map<std::string, Table> tables_;
+  std::map<std::string, TimerStat> timers_;
+};
+
+/// Writes `registry.to_json()` to `path` (truncating).  Throws on I/O error.
+void write_json_file(const Registry& registry, const std::string& path);
+
+}  // namespace cdn::obs

@@ -1,0 +1,48 @@
+// RAII wall-clock probe for profiling hot phases.
+//
+//   obs::TimerStat* t = metrics ? &metrics->timer("sim/phase/run") : nullptr;
+//   {
+//     obs::ScopedTimer probe(t);
+//     ... the measured region ...
+//   }                                  // elapsed time lands in `t`
+//
+// A null target makes construction and destruction no-ops (the disabled
+// path never reads the clock), so instrumented code can create the probe
+// unconditionally.
+
+#pragma once
+
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace cdn::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat* target) noexcept : target_(target) {
+    if (target_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Records the elapsed time now instead of at scope exit.  Idempotent:
+  /// later calls (and the destructor) do nothing.
+  void stop() noexcept {
+    if (target_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    target_->record_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    target_ = nullptr;
+  }
+
+ private:
+  TimerStat* target_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cdn::obs

@@ -1,0 +1,68 @@
+#include "src/obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json_writer.h"
+#include "src/util/error.h"
+
+namespace cdn::obs {
+
+const char* to_string(EventCause cause) noexcept {
+  switch (cause) {
+    case EventCause::kReplica: return "replica";
+    case EventCause::kCacheHit: return "cache-hit";
+    case EventCause::kCacheMiss: return "cache-miss";
+    case EventCause::kStaleRefresh: return "stale-refresh";
+    case EventCause::kUncacheable: return "uncacheable";
+  }
+  return "unknown";
+}
+
+TraceSink::TraceSink(double sample_rate, std::uint64_t seed,
+                     std::size_t max_events)
+    : sample_rate_(sample_rate), max_events_(max_events), rng_(seed) {
+  CDN_EXPECT(sample_rate >= 0.0 && sample_rate <= 1.0,
+             "trace sample rate must be in [0, 1]");
+  CDN_EXPECT(max_events >= 1, "trace sink needs room for at least one event");
+  contexts_.push_back("");  // default context
+}
+
+void TraceSink::record(const TraceEvent& event) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+  event_context_.push_back(
+      static_cast<std::uint16_t>(contexts_.size() - 1));
+}
+
+std::uint16_t TraceSink::begin_context(const std::string& name) {
+  CDN_EXPECT(contexts_.size() < 0xffff, "too many trace contexts");
+  contexts_.push_back(name);
+  return static_cast<std::uint16_t>(contexts_.size() - 1);
+}
+
+std::string TraceSink::csv() const {
+  std::ostringstream out;
+  out << "context,t,server,site,rank,cause,served_by,measured,hops,"
+         "latency_ms\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    out << contexts_[event_context_[i]] << ',' << e.t << ',' << e.server
+        << ',' << e.site << ',' << e.rank << ',' << to_string(e.cause) << ','
+        << e.served_by << ',' << (e.measured ? 1 : 0) << ','
+        << json_double(e.hops) << ',' << json_double(e.latency_ms) << '\n';
+  }
+  return out.str();
+}
+
+void TraceSink::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  CDN_EXPECT(out.good(), "cannot open trace output file: " + path);
+  out << csv();
+  CDN_EXPECT(out.good(), "failed writing trace output file: " + path);
+}
+
+}  // namespace cdn::obs

@@ -1,0 +1,95 @@
+// Sampled structured event trace of the simulator's per-request decisions.
+//
+// Each recorded event captures one request's full path: which first-hop
+// server received it, what it asked for, why it was served where it was
+// (replica / cache hit / cache miss / stale refresh / uncacheable bypass),
+// which server ultimately served it, and what it cost.  Sampling is
+// deterministic given the seed — the same run always traces the same
+// requests — and the sink is bounded, so a 0.01 sample of a 5M-request run
+// cannot exhaust memory.
+//
+// The CSV export is the debugging surface for model-vs-simulation drift
+// (Figure 6): group events by server and window, compare observed hit
+// ratios against the model's h_j^(i) (see docs/OBSERVABILITY.md).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace cdn::obs {
+
+/// Why a request was served where it was.
+enum class EventCause : std::uint8_t {
+  kReplica,       // first-hop server replicates the site
+  kCacheHit,      // served from the first-hop proxy cache
+  kCacheMiss,     // redirected to the nearest copy, object admitted
+  kStaleRefresh,  // lambda-flagged under kRefresh: forced remote refresh
+  kUncacheable,   // lambda-flagged under kUncacheable: cache bypassed
+};
+
+const char* to_string(EventCause cause) noexcept;
+
+/// One sampled request.
+struct TraceEvent {
+  std::uint64_t t = 0;        // request index within the run
+  std::uint32_t server = 0;   // first-hop server
+  std::uint32_t site = 0;
+  std::uint32_t rank = 0;     // within-site popularity rank (1-based)
+  EventCause cause = EventCause::kCacheMiss;
+  std::int32_t served_by = -1;  // serving server; -1 = the site's primary
+  bool measured = false;        // false while inside the warm-up window
+  double hops = 0.0;            // redirection cost paid
+  double latency_ms = 0.0;
+};
+
+/// Bounded, sampled event sink.
+class TraceSink {
+ public:
+  /// `sample_rate` in [0, 1]; `max_events` caps retained events (further
+  /// sampled events are counted as dropped, not stored).
+  explicit TraceSink(double sample_rate, std::uint64_t seed = 0x0b5e9u,
+                     std::size_t max_events = 1'000'000);
+
+  /// One Bernoulli draw per request; true => the caller should build the
+  /// event and call record().  Must be called exactly once per request to
+  /// keep the sampled set deterministic.
+  bool should_sample() noexcept {
+    if (sample_rate_ >= 1.0) return true;
+    if (sample_rate_ <= 0.0) return false;
+    return rng_.bernoulli(sample_rate_);
+  }
+
+  void record(const TraceEvent& event);
+
+  /// Labels subsequently recorded events (e.g. the mechanism name when one
+  /// sink spans several simulation runs).  Returns the context id.
+  std::uint16_t begin_context(const std::string& name);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::uint64_t recorded() const noexcept { return events_.size(); }
+  /// Events sampled but not retained because max_events was reached.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  double sample_rate() const noexcept { return sample_rate_; }
+
+  /// CSV rendering: header +
+  /// context,t,server,site,rank,cause,served_by,measured,hops,latency_ms.
+  std::string csv() const;
+
+  /// Writes csv() to `path` (truncating).  Throws on I/O error.
+  void write_csv(const std::string& path) const;
+
+ private:
+  double sample_rate_;
+  std::size_t max_events_;
+  util::Rng rng_;
+  std::vector<std::string> contexts_;
+  std::vector<std::uint16_t> event_context_;  // parallel to events_
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cdn::obs

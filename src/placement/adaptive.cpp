@@ -1,5 +1,6 @@
 #include "src/placement/adaptive.h"
 
+#include "src/obs/scoped_timer.h"
 #include "src/placement/hybrid_greedy.h"
 #include "src/placement/model_support.h"
 #include "src/util/error.h"
@@ -54,6 +55,14 @@ AdaptiveOutcome adaptive_hybrid_replan(const sys::CdnSystem& system,
   const std::size_t previous_count = previous.placement.replica_count();
   std::size_t replicas_dropped = 0;
 
+  obs::Registry* const metrics = options.metrics;
+  const std::string& pfx = options.metrics_prefix;
+  obs::TimerStat* const t_drop =
+      metrics ? &metrics->timer(pfx + "phase/drop") : nullptr;
+  obs::TimerStat* const t_add =
+      metrics ? &metrics->timer(pfx + "phase/add") : nullptr;
+  obs::ScopedTimer drop_timer(t_drop);
+
   // --- Drop phase: evict replicas whose keep-benefit under the NEW demand
   // is clearly negative (beyond the hysteresis band). ---
   ModelContext context(system, model::PbMode::kPerIteration);
@@ -105,14 +114,20 @@ AdaptiveOutcome adaptive_hybrid_replan(const sys::CdnSystem& system,
     }
   }
 
+  drop_timer.stop();
+
   // --- Add phase: hybrid greedy seeded with the kept replicas, charging
   // new replicas their transfer cost. ---
+  obs::ScopedTimer add_timer(t_add);
   HybridGreedyOptions greedy;
   greedy.pb_mode = options.pb_mode;
   greedy.seed = &working;
   greedy.add_cost_per_byte = options.transfer_cost_per_byte;
+  greedy.metrics = metrics;
+  greedy.metrics_prefix = pfx + "hybrid/";
   AdaptiveOutcome outcome{.result = hybrid_greedy(system, greedy)};
   outcome.result.algorithm = "adaptive-hybrid";
+  add_timer.stop();
   outcome.replicas_dropped = replicas_dropped;
   outcome.replicas_kept = previous_count - replicas_dropped;
 
@@ -127,6 +142,17 @@ AdaptiveOutcome adaptive_hybrid_replan(const sys::CdnSystem& system,
         outcome.bytes_transferred += system.site_bytes()[j];
       }
     }
+  }
+
+  if (metrics != nullptr) {
+    metrics->gauge(pfx + "replicas_kept")
+        .set(static_cast<double>(outcome.replicas_kept));
+    metrics->gauge(pfx + "replicas_added")
+        .set(static_cast<double>(outcome.replicas_added));
+    metrics->gauge(pfx + "replicas_dropped")
+        .set(static_cast<double>(outcome.replicas_dropped));
+    metrics->gauge(pfx + "bytes_transferred")
+        .set(static_cast<double>(outcome.bytes_transferred));
   }
   return outcome;
 }

@@ -19,6 +19,7 @@
 
 #include "src/cdn/system.h"
 #include "src/model/server_cache_state.h"
+#include "src/obs/registry.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
@@ -34,6 +35,12 @@ struct AdaptiveOptions {
   double drop_hysteresis = 0.25;
 
   model::PbMode pb_mode = model::PbMode::kAtInit;
+
+  /// Metric sink (non-owning; null = no instrumentation).  Emits drop/add
+  /// phase timers and replica-churn gauges; the inner hybrid run logs under
+  /// "<metrics_prefix>hybrid/".
+  obs::Registry* metrics = nullptr;
+  std::string metrics_prefix = "placement/adaptive/";
 };
 
 /// Statistics of one replanning step.

@@ -1,8 +1,10 @@
 #include "src/placement/greedy_global.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/cdn/cost.h"
+#include "src/obs/scoped_timer.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
 
@@ -15,6 +17,7 @@ struct Candidate {
   sys::ServerIndex server = 0;
   sys::SiteIndex site = 0;
   bool valid = false;
+  std::uint64_t evaluated = 0;  // candidates this server considered
 };
 
 /// Benefit of replicating `site` at `server` under pure replication.
@@ -51,6 +54,20 @@ PlacementResult greedy_global_with_budgets(
   sys::ReplicaPlacement placement(replica_budgets, system.site_bytes());
   sys::NearestReplicaIndex nearest(system.distances(), placement);
 
+  obs::Registry* const metrics = options.metrics;
+  const std::string& pfx = options.metrics_prefix;
+  obs::TimerStat* const t_total =
+      metrics ? &metrics->timer(pfx + "phase/total") : nullptr;
+  obs::TimerStat* const t_eval =
+      metrics ? &metrics->timer(pfx + "phase/eval") : nullptr;
+  obs::Table* const iteration_log =
+      metrics ? &metrics->table(pfx + "iterations",
+                                {"iteration", "server", "site", "candidates",
+                                 "benefit", "bytes_committed", "cost_after",
+                                 "eval_ms"})
+              : nullptr;
+  obs::ScopedTimer total_timer(t_total);
+
   PlacementResult result{.algorithm = "greedy-global",
                          .placement = std::move(placement),
                          .nearest = std::move(nearest)};
@@ -58,36 +75,65 @@ PlacementResult greedy_global_with_budgets(
       sys::total_remote_cost(system.demand(), result.nearest));
 
   std::vector<Candidate> best_per_server(n);
+  std::uint64_t total_candidates = 0;
+  std::size_t iteration = 0;
   for (;;) {
     if (options.max_replicas != 0 &&
         result.placement.replica_count() >= options.max_replicas) {
       break;
     }
+    std::chrono::steady_clock::time_point eval_start;
+    if (t_eval != nullptr) eval_start = std::chrono::steady_clock::now();
     util::parallel_for(0, n, [&](std::size_t i) {
       const auto server = static_cast<sys::ServerIndex>(i);
       Candidate best;
+      std::uint64_t evaluated = 0;
       for (std::size_t j = 0; j < m; ++j) {
         const auto site = static_cast<sys::SiteIndex>(j);
         if (!result.placement.can_add(server, site)) continue;
+        ++evaluated;
         const double b = replication_benefit(system, result.placement,
                                              result.nearest, server, site);
         if (!best.valid || b > best.benefit) {
-          best = {b, server, site, true};
+          best = {b, server, site, true, 0};
         }
       }
+      best.evaluated = evaluated;
       best_per_server[i] = best;
     });
+    double eval_ms = 0.0;
+    if (t_eval != nullptr) {
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - eval_start)
+              .count());
+      t_eval->record_ns(ns);
+      eval_ms = static_cast<double>(ns) * 1e-6;
+    }
     Candidate winner;
+    std::uint64_t iteration_candidates = 0;
     for (const Candidate& c : best_per_server) {
+      iteration_candidates += c.evaluated;
       if (c.valid && (!winner.valid || c.benefit > winner.benefit)) {
         winner = c;
       }
     }
+    total_candidates += iteration_candidates;
     if (!winner.valid || winner.benefit <= 0.0) break;
     result.placement.add(winner.server, winner.site);
     result.nearest.on_replica_added(winner.server, winner.site);
     result.cost_trajectory.push_back(
         sys::total_remote_cost(system.demand(), result.nearest));
+    if (iteration_log != nullptr) {
+      iteration_log->add_row(
+          {static_cast<double>(iteration),
+           static_cast<double>(winner.server),
+           static_cast<double>(winner.site),
+           static_cast<double>(iteration_candidates), winner.benefit,
+           static_cast<double>(system.site_bytes()[winner.site]),
+           result.cost_trajectory.back(), eval_ms});
+    }
+    ++iteration;
   }
 
   result.modeled_hit.assign(n * m, 0.0);
@@ -96,6 +142,16 @@ PlacementResult greedy_global_with_budgets(
   result.predicted_cost_per_request =
       result.predicted_total_cost / system.demand().total();
   result.replicas_created = result.placement.replica_count();
+
+  if (metrics != nullptr) {
+    metrics->counter(pfx + "candidates_evaluated").add(total_candidates);
+    metrics->gauge(pfx + "replicas_created")
+        .set(static_cast<double>(result.replicas_created));
+    metrics->gauge(pfx + "predicted_cost_per_request")
+        .set(result.predicted_cost_per_request);
+    obs::Series& cost = metrics->series(pfx + "cost");
+    for (const double c : result.cost_trajectory) cost.push(c);
+  }
   return result;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "src/cdn/system.h"
+#include "src/obs/registry.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
@@ -21,6 +22,12 @@ struct GreedyGlobalOptions {
   /// Optional cap on replicas per run (0 = unlimited); used by tests and
   /// by the fixed-split scheme indirectly through storage budgets.
   std::size_t max_replicas = 0;
+
+  /// Metric sink (non-owning; null = no instrumentation).  Emits
+  /// "<metrics_prefix>iterations" (one row per committed replica), the
+  /// "<metrics_prefix>cost" series, and phase timers.
+  obs::Registry* metrics = nullptr;
+  std::string metrics_prefix = "placement/greedy_global/";
 };
 
 /// Runs greedy-global with each server's full storage budget available for

@@ -1,8 +1,10 @@
 #include "src/placement/hybrid_greedy.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/cdn/cost.h"
+#include "src/obs/scoped_timer.h"
 #include "src/placement/model_support.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
@@ -16,6 +18,7 @@ struct Candidate {
   sys::ServerIndex server = 0;
   sys::SiteIndex site = 0;
   bool valid = false;
+  std::uint64_t evaluated = 0;  // candidates this server considered
 };
 
 }  // namespace
@@ -64,11 +67,70 @@ double hybrid_candidate_benefit(const sys::CdnSystem& system,
   return b;
 }
 
+HybridBenefitParts hybrid_candidate_benefit_parts(
+    const sys::CdnSystem& system, const sys::ReplicaPlacement& placement,
+    const sys::NearestReplicaIndex& nearest,
+    const model::ServerCacheState& state, const std::vector<double>& hit,
+    sys::ServerIndex server, sys::SiteIndex site) {
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  const auto& demand = system.demand();
+  const auto& dist = system.distances();
+  const std::size_t i = server;
+  const std::size_t j = site;
+
+  HybridBenefitParts parts;
+  parts.local_gain = (1.0 - hit[i * m + j]) * demand.requests(server, site) *
+                     nearest.cost(server, site);
+
+  const auto what_if = state.what_if_replicate(static_cast<std::uint32_t>(j));
+  for (std::size_t k = 0; k < m; ++k) {
+    if (k == j || state.is_replicated(static_cast<std::uint32_t>(k))) {
+      continue;
+    }
+    const double c = nearest.cost(server, static_cast<sys::SiteIndex>(k));
+    if (c == 0.0) continue;
+    const double dh =
+        hit[i * m + k] - what_if.hit_ratio(static_cast<std::uint32_t>(k));
+    parts.cache_penalty +=
+        dh * demand.requests(server, static_cast<sys::SiteIndex>(k)) * c;
+  }
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto other = static_cast<sys::ServerIndex>(k);
+    if (other == server || placement.is_replicated(other, site)) continue;
+    const double delta =
+        nearest.cost(other, site) - dist.server_to_server(other, server);
+    if (delta > 0.0) {
+      parts.relative_gain +=
+          delta * (1.0 - hit[k * m + j]) * demand.requests(other, site);
+    }
+  }
+  return parts;
+}
+
 PlacementResult hybrid_greedy(const sys::CdnSystem& system,
                               const HybridGreedyOptions& options) {
   const std::size_t n = system.server_count();
   const std::size_t m = system.site_count();
   const auto& demand = system.demand();
+
+  obs::Registry* const metrics = options.metrics;
+  const std::string& pfx = options.metrics_prefix;
+  obs::TimerStat* const t_total =
+      metrics ? &metrics->timer(pfx + "phase/total") : nullptr;
+  obs::TimerStat* const t_eval =
+      metrics ? &metrics->timer(pfx + "phase/eval") : nullptr;
+  obs::TimerStat* const t_commit =
+      metrics ? &metrics->timer(pfx + "phase/commit") : nullptr;
+  obs::Table* const iteration_log =
+      metrics ? &metrics->table(
+                    pfx + "iterations",
+                    {"iteration", "server", "site", "candidates", "benefit",
+                     "local_gain", "relative_gain", "cache_penalty",
+                     "bytes_committed", "cost_after", "eval_ms"})
+              : nullptr;
+  obs::ScopedTimer total_timer(t_total);
 
   ModelContext context(system, options.pb_mode);
   std::vector<model::ServerCacheState> states = context.make_states();
@@ -106,54 +168,107 @@ PlacementResult hybrid_greedy(const sys::CdnSystem& system,
 
   const std::size_t seeded = result.placement.replica_count();
   std::vector<Candidate> best_per_server(n);
+  std::uint64_t total_candidates = 0;
+  std::size_t iteration = 0;
   for (;;) {
     if (options.max_replicas != 0 &&
         result.placement.replica_count() >= seeded + options.max_replicas) {
       break;
     }
+    std::chrono::steady_clock::time_point eval_start;
+    if (t_eval != nullptr) eval_start = std::chrono::steady_clock::now();
     util::parallel_for(0, n, [&](std::size_t i) {
       const auto server = static_cast<sys::ServerIndex>(i);
       Candidate best;
+      std::uint64_t evaluated = 0;
       for (std::size_t j = 0; j < m; ++j) {
         const auto site = static_cast<sys::SiteIndex>(j);
         if (!result.placement.can_add(server, site)) continue;
         CDN_DCHECK(states[i].can_fit(static_cast<std::uint32_t>(j)),
                    "placement and model state disagree on free space");
+        ++evaluated;
         const double b =
             hybrid_candidate_benefit(system, result.placement, result.nearest,
                                      states[i], hit, server, site) -
             options.add_cost_per_byte *
                 static_cast<double>(system.site_bytes()[j]);
         if (!best.valid || b > best.benefit) {
-          best = {b, server, site, true};
+          best = {b, server, site, true, 0};
         }
       }
+      best.evaluated = evaluated;
       best_per_server[i] = best;
     });
+    double eval_ms = 0.0;
+    if (t_eval != nullptr) {
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - eval_start)
+              .count());
+      t_eval->record_ns(ns);
+      eval_ms = static_cast<double>(ns) * 1e-6;
+    }
 
     Candidate winner;
+    std::uint64_t iteration_candidates = 0;
     for (const Candidate& c : best_per_server) {
+      iteration_candidates += c.evaluated;
       if (c.valid && (!winner.valid || c.benefit > winner.benefit)) {
         winner = c;
       }
     }
+    total_candidates += iteration_candidates;
     if (!winner.valid || winner.benefit <= 0.0) break;
 
-    // Lines 18-25: materialise the winner and update the books.
-    result.placement.add(winner.server, winner.site);
-    result.nearest.on_replica_added(winner.server, winner.site);
-    states[winner.server].replicate(winner.site);
-
-    // Refresh the winner server's modelled hit row; other rows are
-    // unchanged (their caches did not move).
-    for (std::size_t j = 0; j < m; ++j) {
-      hit[static_cast<std::size_t>(winner.server) * m + j] =
-          states[winner.server].hit_ratio(static_cast<std::uint32_t>(j));
+    // Benefit decomposition of the winner, against the pre-commit state
+    // (the same inputs the benefit above saw).
+    HybridBenefitParts parts;
+    if (iteration_log != nullptr) {
+      parts = hybrid_candidate_benefit_parts(
+          system, result.placement, result.nearest, states[winner.server],
+          hit, winner.server, winner.site);
     }
-    result.cost_trajectory.push_back(current_cost());
+
+    {
+      // Lines 18-25: materialise the winner and update the books.
+      obs::ScopedTimer commit_timer(t_commit);
+      result.placement.add(winner.server, winner.site);
+      result.nearest.on_replica_added(winner.server, winner.site);
+      states[winner.server].replicate(winner.site);
+
+      // Refresh the winner server's modelled hit row; other rows are
+      // unchanged (their caches did not move).
+      for (std::size_t j = 0; j < m; ++j) {
+        hit[static_cast<std::size_t>(winner.server) * m + j] =
+            states[winner.server].hit_ratio(static_cast<std::uint32_t>(j));
+      }
+      result.cost_trajectory.push_back(current_cost());
+    }
+
+    if (iteration_log != nullptr) {
+      iteration_log->add_row(
+          {static_cast<double>(iteration),
+           static_cast<double>(winner.server),
+           static_cast<double>(winner.site),
+           static_cast<double>(iteration_candidates), winner.benefit,
+           parts.local_gain, parts.relative_gain, parts.cache_penalty,
+           static_cast<double>(system.site_bytes()[winner.site]),
+           result.cost_trajectory.back(), eval_ms});
+    }
+    ++iteration;
   }
 
   finalize_result(system, states, result);
+
+  if (metrics != nullptr) {
+    metrics->counter(pfx + "candidates_evaluated").add(total_candidates);
+    metrics->gauge(pfx + "replicas_created")
+        .set(static_cast<double>(result.replicas_created));
+    metrics->gauge(pfx + "predicted_cost_per_request")
+        .set(result.predicted_cost_per_request);
+    obs::Series& cost = metrics->series(pfx + "cost");
+    for (const double c : result.cost_trajectory) cost.push(c);
+  }
   return result;
 }
 

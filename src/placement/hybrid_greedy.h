@@ -24,6 +24,7 @@
 
 #include "src/cdn/system.h"
 #include "src/model/server_cache_state.h"
+#include "src/obs/registry.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
@@ -45,6 +46,24 @@ struct HybridGreedyOptions {
   /// only when benefit > add_cost_per_byte * o_j (models the transfer cost
   /// of replica creation; 0 reproduces Figure 2 exactly).
   double add_cost_per_byte = 0.0;
+
+  /// Metric sink (non-owning; null = no instrumentation).  When set, the
+  /// run emits "<metrics_prefix>iterations" (one row per committed replica
+  /// with its benefit decomposition), the "<metrics_prefix>cost" series
+  /// (D after each replica), per-phase timers, and summary gauges.
+  obs::Registry* metrics = nullptr;
+  std::string metrics_prefix = "placement/hybrid/";
+};
+
+/// The three terms of a Figure-2 candidate benefit (see the header comment).
+/// total() reproduces hybrid_candidate_benefit exactly.
+struct HybridBenefitParts {
+  double local_gain = 0.0;     // line 9
+  double cache_penalty = 0.0;  // lines 10-13, as a positive magnitude
+  double relative_gain = 0.0;  // lines 14-17
+  double total() const noexcept {
+    return local_gain + relative_gain - cache_penalty;
+  }
 };
 
 /// Benefit of creating a replica of `site` at `server` — Figure 2 lines
@@ -58,6 +77,16 @@ double hybrid_candidate_benefit(const sys::CdnSystem& system,
                                 const model::ServerCacheState& state,
                                 const std::vector<double>& hit,
                                 sys::ServerIndex server, sys::SiteIndex site);
+
+/// Same computation with the three terms kept apart — the observability
+/// layer logs the decomposition of each committed replica, and ablations
+/// use it to see which term drives a decision.  Not used on the hot path
+/// (hybrid_candidate_benefit stays a single-accumulator loop).
+HybridBenefitParts hybrid_candidate_benefit_parts(
+    const sys::CdnSystem& system, const sys::ReplicaPlacement& placement,
+    const sys::NearestReplicaIndex& nearest,
+    const model::ServerCacheState& state, const std::vector<double>& hit,
+    sys::ServerIndex server, sys::SiteIndex site);
 
 /// Runs the hybrid algorithm on the system.  The result's modelled hit
 /// matrix describes the final cache allocation; predicted costs come from

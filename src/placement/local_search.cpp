@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "src/cdn/cost.h"
+#include "src/obs/scoped_timer.h"
 #include "src/placement/greedy_global.h"
 #include "src/util/error.h"
 
@@ -26,6 +27,18 @@ LocalSearchStats local_search_refine(const sys::CdnSystem& system,
              "minimum gain must be non-negative");
   const std::size_t n = system.server_count();
   const std::size_t m = system.site_count();
+
+  obs::Registry* const metrics = options.metrics;
+  const std::string& pfx = options.metrics_prefix;
+  obs::TimerStat* const t_total =
+      metrics ? &metrics->timer(pfx + "phase/total") : nullptr;
+  obs::Table* const swap_log =
+      metrics ? &metrics->table(pfx + "swaps",
+                                {"swap", "out_server", "out_site",
+                                 "in_server", "in_site", "cost_before",
+                                 "cost_after"})
+              : nullptr;
+  obs::ScopedTimer total_timer(t_total);
 
   LocalSearchStats stats;
   stats.initial_cost = replication_cost(system, result.placement);
@@ -77,6 +90,14 @@ LocalSearchStats local_search_refine(const sys::CdnSystem& system,
     }
     result.placement.remove(best_out_server, best_out_site);
     result.placement.add(best_in_server, best_in_site);
+    if (swap_log != nullptr) {
+      swap_log->add_row({static_cast<double>(stats.swaps_applied),
+                         static_cast<double>(best_out_server),
+                         static_cast<double>(best_out_site),
+                         static_cast<double>(best_in_server),
+                         static_cast<double>(best_in_site), current,
+                         best_cost});
+    }
     current = best_cost;
     ++stats.swaps_applied;
   }
@@ -88,6 +109,13 @@ LocalSearchStats local_search_refine(const sys::CdnSystem& system,
   result.replicas_created = result.placement.replica_count();
   result.cost_trajectory.push_back(current);
   stats.final_cost = current;
+
+  if (metrics != nullptr) {
+    metrics->gauge(pfx + "swaps_applied")
+        .set(static_cast<double>(stats.swaps_applied));
+    metrics->gauge(pfx + "initial_cost").set(stats.initial_cost);
+    metrics->gauge(pfx + "final_cost").set(stats.final_cost);
+  }
   return stats;
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/cdn/system.h"
+#include "src/obs/registry.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
@@ -24,6 +25,11 @@ struct LocalSearchOptions {
   /// A swap must improve the cost by more than this relative margin to be
   /// applied (guards against floating-point ping-pong).
   double min_relative_gain = 1e-9;
+
+  /// Metric sink (non-owning; null = no instrumentation).  Emits
+  /// "<metrics_prefix>swaps" (one row per applied swap) and a total timer.
+  obs::Registry* metrics = nullptr;
+  std::string metrics_prefix = "placement/local_search/";
 };
 
 struct LocalSearchStats {

@@ -1,10 +1,59 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "src/obs/scoped_timer.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
 #include "src/workload/request_stream.h"
 
 namespace cdn::sim {
+
+namespace {
+
+/// Measured-window accumulator, flushed into the registry's per-window
+/// series every measured/metrics_windows requests.
+struct WindowAccumulator {
+  std::uint64_t requests = 0;
+  std::uint64_t local = 0;
+  std::uint64_t eligible = 0;
+  std::uint64_t eligible_hits = 0;
+  double hops = 0.0;
+  double latency_ms = 0.0;
+};
+
+/// Resolved series pointers of the per-window time series (all null when
+/// metrics are disabled).
+struct WindowSeries {
+  obs::Series* requests = nullptr;
+  obs::Series* local = nullptr;
+  obs::Series* eligible = nullptr;
+  obs::Series* eligible_hits = nullptr;
+  obs::Series* hops = nullptr;
+  obs::Series* hit_ratio = nullptr;
+  obs::Series* local_ratio = nullptr;
+  obs::Series* mean_hops = nullptr;
+  obs::Series* mean_latency_ms = nullptr;
+
+  void flush(const WindowAccumulator& win) const {
+    const double n = static_cast<double>(win.requests);
+    requests->push(n);
+    local->push(static_cast<double>(win.local));
+    eligible->push(static_cast<double>(win.eligible));
+    eligible_hits->push(static_cast<double>(win.eligible_hits));
+    hops->push(win.hops);
+    hit_ratio->push(win.eligible ? static_cast<double>(win.eligible_hits) /
+                                       static_cast<double>(win.eligible)
+                                 : 0.0);
+    local_ratio->push(win.requests ? static_cast<double>(win.local) / n : 0.0);
+    mean_hops->push(win.requests ? win.hops / n : 0.0);
+    mean_latency_ms->push(win.requests ? win.latency_ms / n : 0.0);
+  }
+};
+
+}  // namespace
 
 SimulationReport simulate(const sys::CdnSystem& system,
                           const placement::PlacementResult& result,
@@ -15,6 +64,17 @@ SimulationReport simulate(const sys::CdnSystem& system,
 
   const auto& catalog = system.catalog();
   const std::size_t n = system.server_count();
+
+  obs::Registry* const metrics = config.metrics;
+  const std::string& prefix = config.metrics_prefix;
+  obs::TimerStat* const t_setup =
+      metrics ? &metrics->timer(prefix + "phase/setup") : nullptr;
+  obs::TimerStat* const t_run =
+      metrics ? &metrics->timer(prefix + "phase/run") : nullptr;
+  obs::TimerStat* const t_report =
+      metrics ? &metrics->timer(prefix + "phase/report") : nullptr;
+
+  obs::ScopedTimer setup_timer(t_setup);
 
   // One cache per server, sized by what the placement left free.
   std::vector<std::unique_ptr<cache::CachePolicy>> caches;
@@ -38,10 +98,67 @@ SimulationReport simulate(const sys::CdnSystem& system,
   }
   const std::uint64_t warmup = static_cast<std::uint64_t>(
       config.warmup_fraction * static_cast<double>(total));
+  const std::uint64_t measured_total = total - warmup;
+  CDN_CHECK(measured_total > 0, "warm-up consumed every request");
 
   SimulationReport report;
   report.total_requests = total;
-  report.latency_cdf.reserve(total - warmup);
+  report.latency_cdf.reserve(measured_total);
+
+  // --- Resolve every metric ONCE; the request loop only dereferences. ---
+  const bool instrumented = metrics != nullptr;
+  WindowSeries win_series;
+  obs::Counter* cause_counter[5] = {nullptr, nullptr, nullptr, nullptr,
+                                    nullptr};
+  std::vector<obs::Histogram*> server_latency;
+  std::uint64_t next_window_flush = total;  // sentinel: never inside the loop
+  std::uint64_t window_index = 0;
+  const std::size_t window_count =
+      instrumented
+          ? std::max<std::size_t>(
+                1, std::min<std::size_t>(config.metrics_windows,
+                                         measured_total))
+          : 0;
+  if (instrumented) {
+    win_series = {
+        &metrics->series(prefix + "window/requests"),
+        &metrics->series(prefix + "window/local"),
+        &metrics->series(prefix + "window/eligible"),
+        &metrics->series(prefix + "window/eligible_hits"),
+        &metrics->series(prefix + "window/hops"),
+        &metrics->series(prefix + "window/hit_ratio"),
+        &metrics->series(prefix + "window/local_ratio"),
+        &metrics->series(prefix + "window/mean_hops"),
+        &metrics->series(prefix + "window/mean_latency_ms")};
+    for (const auto cause :
+         {obs::EventCause::kReplica, obs::EventCause::kCacheHit,
+          obs::EventCause::kCacheMiss, obs::EventCause::kStaleRefresh,
+          obs::EventCause::kUncacheable}) {
+      cause_counter[static_cast<std::size_t>(cause)] = &metrics->counter(
+          prefix + "cause/" + obs::to_string(cause));
+    }
+    if (config.per_server_metrics) {
+      server_latency.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        server_latency[i] = &metrics->histogram(
+            prefix + "server/" + std::to_string(i) + "/latency_ms",
+            obs::default_latency_bounds_ms());
+      }
+    }
+    // Window w covers [warmup + w*M/W, warmup + (w+1)*M/W); the last
+    // boundary is exactly `total`, so every measured request lands in a
+    // window and the flushed series sum back to the aggregates.
+    next_window_flush = warmup + measured_total / window_count;
+  }
+  WindowAccumulator win;
+
+  obs::TraceSink* const trace_sink = config.trace_sink;
+  std::uint64_t next_progress = config.progress_every > 0
+                                    ? config.progress_every
+                                    : std::numeric_limits<std::uint64_t>::max();
+
+  setup_timer.stop();
+  obs::ScopedTimer run_timer(t_run);
 
   double hop_sum = 0.0;
   std::uint64_t local = 0;
@@ -63,6 +180,7 @@ SimulationReport simulate(const sys::CdnSystem& system,
     bool served_locally = false;
     bool cache_eligible = false;
     bool cache_hit = false;
+    auto cause = obs::EventCause::kReplica;
 
     if (result.placement.is_replicated(server, site)) {
       // Replicas are always consistent (the CDN pushes invalidations to
@@ -79,24 +197,29 @@ SimulationReport simulate(const sys::CdnSystem& system,
       if (flagged && config.staleness == StalenessMode::kUncacheable) {
         // Never cached; straight to the nearest copy.
         hops = redirect;
+        cause = obs::EventCause::kUncacheable;
       } else if (flagged) {
         // kRefresh: must touch the remote copy; the (re-)fetched object
         // stays cached with updated recency.
         cache.access(key, bytes);
         hops = redirect;
+        cause = obs::EventCause::kStaleRefresh;
       } else {
         cache_eligible = true;
         cache_hit = cache.access(key, bytes);
         if (cache_hit) {
           served_locally = true;
+          cause = obs::EventCause::kCacheHit;
         } else {
           hops = redirect;
+          cause = obs::EventCause::kCacheMiss;
         }
       }
     }
 
+    const double latency_ms = config.latency.latency_ms(hops);
     if (measured) {
-      report.latency_cdf.add(config.latency.latency_ms(hops));
+      report.latency_cdf.add(latency_ms);
       hop_sum += hops;
       if (served_locally) ++local;
       if (cache_eligible) {
@@ -104,10 +227,73 @@ SimulationReport simulate(const sys::CdnSystem& system,
         if (cache_hit) ++eligible_hits;
       }
     }
-  }
 
-  report.measured_requests = total - warmup;
-  CDN_CHECK(report.measured_requests > 0, "warm-up consumed every request");
+    if (instrumented) {
+      if (measured) {
+        cause_counter[static_cast<std::size_t>(cause)]->add();
+        if (!server_latency.empty()) {
+          server_latency[server]->observe(latency_ms);
+        }
+        ++win.requests;
+        win.hops += hops;
+        win.latency_ms += latency_ms;
+        if (served_locally) ++win.local;
+        if (cache_eligible) {
+          ++win.eligible;
+          if (cache_hit) ++win.eligible_hits;
+        }
+        if (t + 1 >= next_window_flush) {
+          win_series.flush(win);
+          win = WindowAccumulator{};
+          ++window_index;
+          next_window_flush =
+              warmup + (window_index + 1) * measured_total / window_count;
+        }
+      }
+    }
+
+    if (trace_sink != nullptr && trace_sink->should_sample()) {
+      obs::TraceEvent event;
+      event.t = t;
+      event.server = req.server;
+      event.site = req.site;
+      event.rank = req.rank;
+      event.cause = cause;
+      event.measured = measured;
+      event.hops = hops;
+      event.latency_ms = latency_ms;
+      if (served_locally) {
+        event.served_by = static_cast<std::int32_t>(req.server);
+      } else {
+        const sys::NearestCopy& copy = result.nearest.nearest(server, site);
+        event.served_by =
+            copy.at_primary ? -1 : static_cast<std::int32_t>(copy.server);
+      }
+      trace_sink->record(event);
+    }
+
+    if (t + 1 >= next_progress) {
+      next_progress += config.progress_every;
+      const double pct =
+          100.0 * static_cast<double>(t + 1) / static_cast<double>(total);
+      std::cerr << "sim: " << (t + 1) << "/" << total << " requests ("
+                << static_cast<int>(pct) << "%)"
+                << (measured && eligible
+                        ? ", hit_ratio=" +
+                              std::to_string(
+                                  static_cast<double>(eligible_hits) /
+                                  static_cast<double>(eligible))
+                        : std::string(t < warmup ? ", warming up" : ""))
+                << '\n';
+    }
+  }
+  // Flush a final partial window (rounding can leave the last flush short).
+  if (instrumented && win.requests > 0) win_series.flush(win);
+
+  run_timer.stop();
+  obs::ScopedTimer report_timer(t_report);
+
+  report.measured_requests = measured_total;
   const double measured = static_cast<double>(report.measured_requests);
   report.mean_latency_ms = report.latency_cdf.mean();
   report.mean_cost_hops = hop_sum / measured;
@@ -117,7 +303,35 @@ SimulationReport simulate(const sys::CdnSystem& system,
                      static_cast<double>(eligible)
                : 0.0;
   report.server_cache_stats.reserve(n);
-  for (const auto& c : caches) report.server_cache_stats.push_back(c->stats());
+  for (const auto& c : caches) {
+    report.server_cache_stats.push_back(c->stats());
+    report.cache_totals.merge(c->stats());
+  }
+
+  if (instrumented) {
+    metrics->counter(prefix + "requests_total").add(total);
+    metrics->counter(prefix + "requests_measured")
+        .add(report.measured_requests);
+    metrics->gauge(prefix + "cache_hit_ratio").set(report.cache_hit_ratio);
+    metrics->gauge(prefix + "local_ratio").set(report.local_ratio);
+    metrics->gauge(prefix + "mean_cost_hops").set(report.mean_cost_hops);
+    metrics->gauge(prefix + "mean_latency_ms").set(report.mean_latency_ms);
+    metrics->counter(prefix + "cache/hits").add(report.cache_totals.hits());
+    metrics->counter(prefix + "cache/misses")
+        .add(report.cache_totals.misses());
+    metrics->counter(prefix + "cache/admissions")
+        .add(report.cache_totals.admissions());
+    metrics->counter(prefix + "cache/evictions")
+        .add(report.cache_totals.evictions());
+    metrics->counter(prefix + "cache/bytes_churned")
+        .add(report.cache_totals.bytes_churned());
+    if (config.per_server_metrics) {
+      for (std::size_t i = 0; i < n; ++i) {
+        metrics->gauge(prefix + "server/" + std::to_string(i) + "/hit_ratio")
+            .set(report.server_cache_stats[i].hit_ratio());
+      }
+    }
+  }
   return report;
 }
 

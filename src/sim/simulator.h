@@ -16,6 +16,8 @@
 #include "src/cache/cache_factory.h"
 #include "src/cache/cache_stats.h"
 #include "src/cdn/system.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/placement/placement_result.h"
 #include "src/sim/latency_model.h"
 #include "src/util/cdf.h"
@@ -51,6 +53,27 @@ struct SimulationConfig {
   /// Temporal-locality knob of the request stream (0 = i.i.d., the model's
   /// assumption).
   double stream_locality = 0.0;
+
+  // --- Observability (all optional; see docs/OBSERVABILITY.md) ---
+
+  /// Metric sink (non-owning).  Null disables every metric below at the
+  /// cost of a single pointer check before the request loop.
+  obs::Registry* metrics = nullptr;
+  /// Prefix of every metric name this run emits, e.g. "sim/hybrid/".
+  std::string metrics_prefix = "sim/";
+  /// The measured stream is split into this many equal windows; per-window
+  /// hit-ratio / local-ratio / mean-hops series land in the registry.
+  std::size_t metrics_windows = 50;
+  /// Also keep one latency histogram per server ("server/<i>/latency_ms").
+  /// Adds N histograms to the snapshot — disable for very large fleets.
+  bool per_server_metrics = true;
+
+  /// Sampled per-request event sink (non-owning).  Null disables tracing.
+  obs::TraceSink* trace_sink = nullptr;
+
+  /// Emit a progress line to stderr every `progress_every` requests
+  /// (0 = off).  For interactive runs of hundreds of millions of requests.
+  std::uint64_t progress_every = 0;
 };
 
 struct SimulationReport {
@@ -72,6 +95,9 @@ struct SimulationReport {
 
   /// Final per-server cache statistics (measured window only).
   std::vector<cache::CacheStats> server_cache_stats;
+
+  /// All servers' cache statistics merged (measured window only).
+  cache::CacheStats cache_totals;
 };
 
 /// Runs the simulation of `result` (a placement plus its implied per-server

@@ -14,7 +14,12 @@ class RunningStats {
  public:
   void add(double x) noexcept;
 
-  /// Merges another accumulator (parallel reduction support).
+  /// Merges another accumulator (parallel reduction support; also used by
+  /// obs::Histogram/TimerStat merging).  Empty sides are identities: merging
+  /// an empty `other` is a no-op, merging INTO an empty accumulator copies
+  /// `other` wholesale, and merging two empties stays empty — in particular
+  /// min()/max() never pick up the 0.0 placeholder an empty accumulator
+  /// reports, so negative-only samples survive a merge chain intact.
   void merge(const RunningStats& other) noexcept;
 
   std::uint64_t count() const noexcept { return n_; }

@@ -1,0 +1,111 @@
+// Unit tests for the churn-extended cache statistics.
+
+#include <gtest/gtest.h>
+
+#include "src/cache/cache_factory.h"
+#include "src/cache/cache_stats.h"
+#include "src/cache/delayed_lru_cache.h"
+#include "src/cache/lru_cache.h"
+
+namespace {
+
+using cdn::cache::CacheStats;
+using cdn::cache::DelayedLruCache;
+using cdn::cache::LruCache;
+using cdn::cache::make_cache;
+using cdn::cache::PolicyKind;
+
+TEST(CacheStatsTest, RecordsChurnCounters) {
+  CacheStats s;
+  s.record_hit(10);
+  s.record_miss(20);
+  s.record_admission(20);
+  s.record_eviction(5);
+  EXPECT_EQ(s.admissions(), 1u);
+  EXPECT_EQ(s.evictions(), 1u);
+  EXPECT_EQ(s.admitted_bytes(), 20u);
+  EXPECT_EQ(s.evicted_bytes(), 5u);
+  EXPECT_EQ(s.bytes_churned(), 25u);
+  EXPECT_DOUBLE_EQ(s.hit_ratio(), 0.5);
+}
+
+TEST(CacheStatsTest, MergeAddsEveryCounter) {
+  CacheStats a, b;
+  a.record_admission(10);
+  a.record_eviction(4);
+  b.record_admission(6);
+  b.record_hit(1);
+  a.merge(b);
+  EXPECT_EQ(a.admissions(), 2u);
+  EXPECT_EQ(a.evictions(), 1u);
+  EXPECT_EQ(a.admitted_bytes(), 16u);
+  EXPECT_EQ(a.bytes_churned(), 20u);
+  EXPECT_EQ(a.hits(), 1u);
+}
+
+TEST(CacheStatsTest, ResetClearsEverything) {
+  CacheStats s;
+  s.record_hit(1);
+  s.record_admission(8);
+  s.record_eviction(8);
+  s.reset();
+  EXPECT_EQ(s.accesses(), 0u);
+  EXPECT_EQ(s.admissions(), 0u);
+  EXPECT_EQ(s.evictions(), 0u);
+  EXPECT_EQ(s.bytes_churned(), 0u);
+}
+
+TEST(CacheStatsTest, LruRecordsAdmissionsAndEvictionBytes) {
+  LruCache cache(30);
+  cache.access(1, 10);  // miss + admit
+  cache.access(2, 10);
+  cache.access(3, 10);
+  EXPECT_EQ(cache.stats().admissions(), 3u);
+  EXPECT_EQ(cache.stats().evictions(), 0u);
+  cache.access(4, 15);  // must evict keys 1 and 2 (20 bytes) to fit
+  EXPECT_EQ(cache.stats().admissions(), 4u);
+  EXPECT_EQ(cache.stats().evictions(), 2u);
+  EXPECT_EQ(cache.stats().evicted_bytes(), 20u);
+  EXPECT_EQ(cache.stats().admitted_bytes(), 45u);
+}
+
+TEST(CacheStatsTest, EveryPolicyCountsChurn) {
+  for (const auto kind :
+       {PolicyKind::kLru, PolicyKind::kFifo, PolicyKind::kLfu,
+        PolicyKind::kClock, PolicyKind::kDelayedLru}) {
+    const auto cache = make_cache(kind, 50);
+    // Hammer a working set larger than the capacity; every policy must
+    // admit and eventually evict.
+    for (int round = 0; round < 4; ++round) {
+      for (cdn::cache::ObjectKey k = 0; k < 10; ++k) {
+        cache->access(k, 10);
+      }
+    }
+    EXPECT_GT(cache->stats().admissions(), 0u)
+        << "policy " << static_cast<int>(kind);
+    EXPECT_GT(cache->stats().evictions(), 0u)
+        << "policy " << static_cast<int>(kind);
+    EXPECT_EQ(cache->stats().bytes_churned(),
+              cache->stats().admitted_bytes() +
+                  cache->stats().evicted_bytes());
+  }
+}
+
+TEST(CacheStatsTest, DelayedLruFoldsInnerChurnIntoOneView) {
+  DelayedLruCache cache(20, /*admission_threshold=*/2);
+  cache.access(1, 10);  // miss, not admitted yet (threshold 2)
+  EXPECT_EQ(cache.stats().admissions(), 0u);
+  cache.access(1, 10);  // second miss: admitted by the inner LRU
+  EXPECT_EQ(cache.stats().admissions(), 1u);
+  cache.access(1, 10);  // hit, recorded at the wrapper level
+  const CacheStats& merged = cache.stats();
+  EXPECT_EQ(merged.hits(), 1u);
+  EXPECT_EQ(merged.misses(), 2u);
+  EXPECT_EQ(merged.admitted_bytes(), 10u);
+
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().accesses(), 0u);
+  EXPECT_EQ(cache.stats().admissions(), 0u);
+}
+
+}  // namespace

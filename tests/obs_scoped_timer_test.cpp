@@ -1,0 +1,46 @@
+// Unit tests for the RAII wall-clock probe.
+
+#include <gtest/gtest.h>
+
+#include "src/obs/metrics.h"
+#include "src/obs/scoped_timer.h"
+
+namespace {
+
+using cdn::obs::ScopedTimer;
+using cdn::obs::TimerStat;
+
+TEST(ScopedTimerTest, NullTargetIsANoOp) {
+  ScopedTimer timer(nullptr);
+  timer.stop();  // must not crash or record anything anywhere
+}
+
+TEST(ScopedTimerTest, RecordsOnScopeExit) {
+  TimerStat stat;
+  {
+    ScopedTimer timer(&stat);
+  }
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_GE(stat.total_ns(), 0u);
+}
+
+TEST(ScopedTimerTest, StopIsIdempotent) {
+  TimerStat stat;
+  {
+    ScopedTimer timer(&stat);
+    timer.stop();
+    timer.stop();  // second stop: no extra sample
+  }                // destructor: no extra sample either
+  EXPECT_EQ(stat.count(), 1u);
+}
+
+TEST(ScopedTimerTest, SeparateProbesAccumulate) {
+  TimerStat stat;
+  for (int i = 0; i < 3; ++i) {
+    ScopedTimer timer(&stat);
+  }
+  EXPECT_EQ(stat.count(), 3u);
+  EXPECT_EQ(stat.per_call_ms().count(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Unit tests for the sampled event trace sink.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/obs/trace.h"
+
+namespace {
+
+using cdn::obs::EventCause;
+using cdn::obs::to_string;
+using cdn::obs::TraceEvent;
+using cdn::obs::TraceSink;
+
+TraceEvent make_event(std::uint64_t t) {
+  TraceEvent e;
+  e.t = t;
+  e.server = 3;
+  e.site = 7;
+  e.rank = 1;
+  e.cause = EventCause::kCacheHit;
+  e.served_by = 3;
+  e.measured = true;
+  e.hops = 0.0;
+  e.latency_ms = 2.0;
+  return e;
+}
+
+TEST(TraceSinkTest, RateOneSamplesEverything) {
+  TraceSink sink(1.0);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (sink.should_sample()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 100);
+}
+
+TEST(TraceSinkTest, RateZeroSamplesNothing) {
+  TraceSink sink(0.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(sink.should_sample());
+  }
+}
+
+TEST(TraceSinkTest, SamplingIsDeterministicForSameSeed) {
+  TraceSink a(0.3, 123), b(0.3, 123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.should_sample(), b.should_sample());
+  }
+}
+
+TEST(TraceSinkTest, CapCountsDroppedEvents) {
+  TraceSink sink(1.0, 1, /*max_events=*/3);
+  for (std::uint64_t t = 0; t < 10; ++t) sink.record(make_event(t));
+  EXPECT_EQ(sink.recorded(), 3u);
+  EXPECT_EQ(sink.dropped(), 7u);
+}
+
+TEST(TraceSinkTest, ContextsLabelSubsequentEvents) {
+  TraceSink sink(1.0);
+  sink.record(make_event(0));  // default (empty) context
+  sink.begin_context("hybrid");
+  sink.record(make_event(1));
+  const std::string csv = sink.csv();
+  std::stringstream ss(csv);
+  std::string line;
+  std::getline(ss, line);
+  EXPECT_EQ(line,
+            "context,t,server,site,rank,cause,served_by,measured,hops,"
+            "latency_ms");
+  std::getline(ss, line);
+  EXPECT_EQ(line.rfind(",0,3,7,1,cache-hit,3,1,", 0), 0u);  // empty context
+  std::getline(ss, line);
+  EXPECT_EQ(line.rfind("hybrid,1,", 0), 0u);
+}
+
+TEST(TraceSinkTest, CauseNamesAreStable) {
+  EXPECT_STREQ(to_string(EventCause::kReplica), "replica");
+  EXPECT_STREQ(to_string(EventCause::kCacheHit), "cache-hit");
+  EXPECT_STREQ(to_string(EventCause::kCacheMiss), "cache-miss");
+  EXPECT_STREQ(to_string(EventCause::kStaleRefresh), "stale-refresh");
+  EXPECT_STREQ(to_string(EventCause::kUncacheable), "uncacheable");
+}
+
+}  // namespace

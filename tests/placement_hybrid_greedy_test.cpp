@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "src/cdn/cost.h"
+#include "src/obs/registry.h"
 #include "src/placement/fixed_split.h"
 #include "src/placement/greedy_global.h"
 #include "src/placement/hybrid_greedy.h"
@@ -137,6 +141,61 @@ TEST(HybridGreedyTest, TinyStorageDegeneratesToPureCaching) {
   const auto cache = pure_caching(*t.system);
   EXPECT_NEAR(hybrid.predicted_total_cost, cache.predicted_total_cost,
               1e-6 * cache.predicted_total_cost);
+}
+
+TEST(HybridGreedyTest, MetricsDoNotChangeTheResult) {
+  const auto t = TestSystem::make();
+  const auto plain = hybrid_greedy(*t.system);
+  cdn::obs::Registry registry;
+  HybridGreedyOptions options;
+  options.metrics = &registry;
+  const auto instrumented = hybrid_greedy(*t.system, options);
+  EXPECT_EQ(plain.replicas_created, instrumented.replicas_created);
+  EXPECT_DOUBLE_EQ(plain.predicted_total_cost,
+                   instrumented.predicted_total_cost);
+}
+
+TEST(HybridGreedyTest, IterationLogDecomposesEachBenefit) {
+  const auto t = TestSystem::make();
+  cdn::obs::Registry registry;
+  HybridGreedyOptions options;
+  options.metrics = &registry;
+  const auto result = hybrid_greedy(*t.system, options);
+
+  const auto* log = registry.find_table("placement/hybrid/iterations");
+  ASSERT_NE(log, nullptr);
+  // One row per committed replica.
+  EXPECT_EQ(log->row_count(), result.replicas_created);
+  const auto& cols = log->columns();
+  const auto col = [&](const std::string& name) {
+    for (std::size_t c = 0; c < cols.size(); ++c) {
+      if (cols[c] == name) return c;
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return std::size_t{0};
+  };
+  const std::size_t benefit_col = col("benefit");
+  const std::size_t local_col = col("local_gain");
+  const std::size_t relative_col = col("relative_gain");
+  const std::size_t penalty_col = col("cache_penalty");
+  for (const auto& row : log->rows()) {
+    // hybrid_candidate_benefit_parts must reproduce the single-accumulator
+    // benefit: local + relative - penalty == benefit, up to rounding.
+    const double recomposed =
+        row[local_col] + row[relative_col] - row[penalty_col];
+    EXPECT_NEAR(recomposed, row[benefit_col],
+                1e-6 * std::max(1.0, std::abs(row[benefit_col])));
+    EXPECT_GT(row[benefit_col], 0.0);  // only positive benefits commit
+  }
+
+  // The cost series mirrors the trajectory (initial cost + one per commit).
+  const auto* cost = registry.find_series("placement/hybrid/cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_EQ(cost->size(), result.cost_trajectory.size());
+  const auto* evaluated =
+      registry.find_counter("placement/hybrid/candidates_evaluated");
+  ASSERT_NE(evaluated, nullptr);
+  EXPECT_GT(evaluated->value(), 0u);
 }
 
 TEST(HybridGreedyTest, DistantPrimariesGetMoreReplicas) {

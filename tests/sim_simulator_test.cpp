@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/placement/fixed_split.h"
 #include "src/placement/greedy_global.h"
 #include "src/placement/hybrid_greedy.h"
@@ -156,6 +158,133 @@ TEST(SimulatorTest, WarmupShrinksMeasuredWindow) {
   cfg.warmup_fraction = 0.9;
   const auto report = simulate(*t.system, placement, cfg);
   EXPECT_EQ(report.measured_requests, 20'000u);
+}
+
+TEST(SimulatorTest, InstrumentedRunMatchesUninstrumentedReport) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  const auto plain = simulate(*t.system, placement, quick_sim());
+  cdn::obs::Registry registry;
+  auto cfg = quick_sim();
+  cfg.metrics = &registry;
+  const auto instrumented = simulate(*t.system, placement, cfg);
+  EXPECT_DOUBLE_EQ(plain.mean_latency_ms, instrumented.mean_latency_ms);
+  EXPECT_DOUBLE_EQ(plain.mean_cost_hops, instrumented.mean_cost_hops);
+  EXPECT_DOUBLE_EQ(plain.cache_hit_ratio, instrumented.cache_hit_ratio);
+}
+
+TEST(SimulatorTest, WindowSeriesSumBackToAggregates) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  cdn::obs::Registry registry;
+  auto cfg = quick_sim();
+  cfg.metrics = &registry;
+  cfg.metrics_windows = 7;  // does not divide 140'000 evenly
+  const auto report = simulate(*t.system, placement, cfg);
+
+  const auto* requests = registry.find_series("sim/window/requests");
+  const auto* local = registry.find_series("sim/window/local");
+  const auto* eligible = registry.find_series("sim/window/eligible");
+  const auto* hits = registry.find_series("sim/window/eligible_hits");
+  const auto* hops = registry.find_series("sim/window/hops");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_NE(local, nullptr);
+  ASSERT_NE(eligible, nullptr);
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(hops, nullptr);
+  EXPECT_EQ(requests->size(), 7u);
+
+  EXPECT_DOUBLE_EQ(requests->sum(),
+                   static_cast<double>(report.measured_requests));
+  EXPECT_NEAR(local->sum(),
+              report.local_ratio * static_cast<double>(
+                                       report.measured_requests),
+              1e-6);
+  EXPECT_NEAR(hops->sum() / static_cast<double>(report.measured_requests),
+              report.mean_cost_hops, 1e-9);
+  ASSERT_GT(eligible->sum(), 0.0);
+  EXPECT_NEAR(hits->sum() / eligible->sum(), report.cache_hit_ratio, 1e-12);
+}
+
+TEST(SimulatorTest, CauseCountersSumToMeasuredRequests) {
+  const auto t = TestSystem::make();
+  const auto placement = hybrid_greedy(*t.system);
+  cdn::obs::Registry registry;
+  auto cfg = quick_sim();
+  cfg.metrics = &registry;
+  const auto report = simulate(*t.system, placement, cfg);
+
+  std::uint64_t causes = 0;
+  for (const char* name :
+       {"replica", "cache-hit", "cache-miss", "stale-refresh",
+        "uncacheable"}) {
+    const auto* c = registry.find_counter(std::string("sim/cause/") + name);
+    ASSERT_NE(c, nullptr) << name;
+    causes += c->value();
+  }
+  EXPECT_EQ(causes, report.measured_requests);
+  // A hybrid placement serves some requests from replicas and some from
+  // caches; both dominant causes must be present.
+  EXPECT_GT(registry.find_counter("sim/cause/replica")->value(), 0u);
+  EXPECT_GT(registry.find_counter("sim/cause/cache-hit")->value(), 0u);
+}
+
+TEST(SimulatorTest, PerServerHistogramsCoverEveryMeasuredRequest) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  cdn::obs::Registry registry;
+  auto cfg = quick_sim();
+  cfg.metrics = &registry;
+  const auto report = simulate(*t.system, placement, cfg);
+  std::uint64_t observed = 0;
+  for (std::size_t i = 0; i < t.system->server_count(); ++i) {
+    const auto* h = registry.find_histogram(
+        "sim/server/" + std::to_string(i) + "/latency_ms");
+    ASSERT_NE(h, nullptr);
+    observed += h->count();
+  }
+  EXPECT_EQ(observed, report.measured_requests);
+
+  cdn::obs::Registry lean;
+  cfg.metrics = &lean;
+  cfg.per_server_metrics = false;
+  simulate(*t.system, placement, cfg);
+  EXPECT_EQ(lean.find_histogram("sim/server/0/latency_ms"), nullptr);
+}
+
+TEST(SimulatorTest, FullRateTraceRecordsEveryRequest) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  cdn::obs::TraceSink sink(1.0, 7, /*max_events=*/300'000);
+  auto cfg = quick_sim();
+  cfg.trace_sink = &sink;
+  const auto report = simulate(*t.system, placement, cfg);
+  EXPECT_EQ(sink.recorded(), report.total_requests);
+  std::uint64_t measured = 0;
+  for (const auto& e : sink.events()) {
+    if (e.measured) ++measured;
+    if (e.cause == cdn::obs::EventCause::kCacheHit) {
+      EXPECT_EQ(e.served_by, static_cast<std::int32_t>(e.server));
+      EXPECT_DOUBLE_EQ(e.hops, 0.0);
+    }
+  }
+  EXPECT_EQ(measured, report.measured_requests);
+}
+
+TEST(SimulatorTest, CacheTotalsMergeServerStats) {
+  const auto t = TestSystem::make();
+  const auto placement = pure_caching(*t.system);
+  const auto report = simulate(*t.system, placement, quick_sim());
+  std::uint64_t hits = 0, evictions = 0, churned = 0;
+  for (const auto& s : report.server_cache_stats) {
+    hits += s.hits();
+    evictions += s.evictions();
+    churned += s.bytes_churned();
+  }
+  EXPECT_EQ(report.cache_totals.hits(), hits);
+  EXPECT_EQ(report.cache_totals.evictions(), evictions);
+  EXPECT_EQ(report.cache_totals.bytes_churned(), churned);
+  EXPECT_GT(report.cache_totals.admissions(), 0u);
 }
 
 TEST(SimulatorTest, RejectsBadConfig) {

@@ -71,6 +71,38 @@ TEST(RunningStatsTest, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, MergeWithEmptyDoesNotAbsorbZeroSentinel) {
+  // An empty accumulator reports min() = max() = 0.0 as a placeholder;
+  // merging must not let that 0.0 clamp a negative-only or positive-only
+  // sample range.
+  RunningStats negatives, empty;
+  negatives.add(-5.0);
+  negatives.add(-1.0);
+  negatives.merge(empty);
+  EXPECT_DOUBLE_EQ(negatives.min(), -5.0);
+  EXPECT_DOUBLE_EQ(negatives.max(), -1.0);  // 0.0 would betray the sentinel
+
+  RunningStats positives;
+  positives.add(2.0);
+  empty.merge(positives);  // empty lhs
+  EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 2.0);
+}
+
+TEST(RunningStatsTest, MergeBothEmptyStaysEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  // Still behaves like a fresh accumulator afterwards.
+  a.add(-3.0);
+  EXPECT_DOUBLE_EQ(a.min(), -3.0);
+  EXPECT_DOUBLE_EQ(a.max(), -3.0);
+}
+
 TEST(QuantileTest, MedianOfOddSample) {
   const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
   EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);

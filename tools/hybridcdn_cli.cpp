@@ -6,12 +6,17 @@
 //   hybridcdn_cli --mechanisms hybrid,caching,cache20 --requests 1000000
 //   hybridcdn_cli --servers 16 --low 12 --medium 24 --high 12 --csv
 //   hybridcdn_cli --theta 0.8 --policy lfu --cdf
+//   hybridcdn_cli --metrics-out m.json --trace-out t.csv --trace-sample 0.01
 
+#include <algorithm>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
 #include "src/core/hybridcdn.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 #include "src/util/cli.h"
 
 namespace {
@@ -20,17 +25,18 @@ using namespace cdn;
 
 /// Parses "hybrid,caching,cache20,..." into mechanism specs.
 std::vector<core::MechanismSpec> parse_mechanisms(const std::string& csv,
-                                                  std::uint64_t seed) {
+                                                  std::uint64_t seed,
+                                                  obs::Registry* metrics) {
   std::vector<core::MechanismSpec> specs;
   std::stringstream ss(csv);
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (item == "replication") {
-      specs.push_back(core::replication_mechanism());
+      specs.push_back(core::replication_mechanism(metrics));
     } else if (item == "caching") {
       specs.push_back(core::caching_mechanism());
     } else if (item == "hybrid") {
-      specs.push_back(core::hybrid_mechanism());
+      specs.push_back(core::hybrid_mechanism(metrics));
     } else if (item == "popularity") {
       specs.push_back(core::popularity_mechanism());
     } else if (item == "random") {
@@ -73,6 +79,18 @@ int main(int argc, char** argv) {
   cli.add_flag("sim-seed", "99", "request-stream seed");
   cli.add_flag("cdf", "false", "also print the response-time CDF table");
   cli.add_flag("csv", "false", "emit the summary as CSV instead of a table");
+  cli.add_flag("metrics-out", "",
+               "write the metrics registry to this JSON file");
+  cli.add_flag("trace-out", "",
+               "write the sampled per-request event trace to this CSV file");
+  cli.add_flag("trace-sample", "0.01",
+               "trace sampling rate in [0, 1] (1 = every measured request)");
+  cli.add_flag("trace-max", "1000000",
+               "cap on recorded trace events (excess is counted as dropped)");
+  cli.add_flag("windows", "50",
+               "per-window time-series buckets in the metrics output");
+  cli.add_flag("progress", "false",
+               "print simulation progress to stderr");
 
   if (!cli.parse(argc, argv)) return 1;
 
@@ -96,15 +114,40 @@ int main(int argc, char** argv) {
     sim.total_requests = static_cast<std::uint64_t>(cli.get_int("requests"));
     sim.policy = cache::parse_policy(cli.get_string("policy"));
     sim.seed = static_cast<std::uint64_t>(cli.get_int("sim-seed"));
+    sim.metrics_windows = static_cast<std::size_t>(cli.get_int("windows"));
+    if (cli.get_bool("progress")) {
+      sim.progress_every = std::max<std::uint64_t>(1, sim.total_requests / 20);
+    }
+
+    const std::string metrics_out = cli.get_string("metrics-out");
+    const std::string trace_out = cli.get_string("trace-out");
+    obs::Registry registry;
+    obs::Registry* const metrics = metrics_out.empty() ? nullptr : &registry;
+    std::optional<obs::TraceSink> sink;
+    if (!trace_out.empty()) {
+      sink.emplace(cli.get_double("trace-sample"), sim.seed,
+                   static_cast<std::size_t>(cli.get_int("trace-max")));
+    }
 
     const auto runs = core::run_mechanisms(
-        scenario, parse_mechanisms(cli.get_string("mechanisms"), cfg.seed),
-        sim);
+        scenario,
+        parse_mechanisms(cli.get_string("mechanisms"), cfg.seed, metrics),
+        sim, metrics, sink ? &*sink : nullptr);
 
     const auto table = core::summary_table(runs);
     std::cout << (cli.get_bool("csv") ? table.csv() : table.str());
     if (cli.get_bool("cdf")) {
       std::cout << "\nResponse-time CDF:\n" << core::cdf_table(runs);
+    }
+    if (metrics != nullptr) {
+      obs::write_json_file(registry, metrics_out);
+      std::cerr << "metrics: " << metrics_out << " (" << registry.metric_count()
+                << " metrics)\n";
+    }
+    if (sink) {
+      sink->write_csv(trace_out);
+      std::cerr << "trace: " << trace_out << " (" << sink->recorded()
+                << " events, " << sink->dropped() << " dropped)\n";
     }
     return 0;
   } catch (const std::exception& e) {
