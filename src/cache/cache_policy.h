@@ -61,6 +61,18 @@ class CachePolicy {
     return false;
   }
 
+  /// access() without the miss-side admission, for when the object cannot
+  /// be fetched (every remote copy is down): a hit still serves and both
+  /// outcomes still count in the statistics, but nothing enters the cache.
+  bool access_no_admit(ObjectKey key, std::uint64_t bytes) {
+    if (lookup(key)) {
+      stats_.record_hit(bytes);
+      return true;
+    }
+    stats_.record_miss(bytes);
+    return false;
+  }
+
   /// Statistics of all accesses since construction or reset_stats().
   /// Virtual so wrapper policies (delayed-LRU) can fold in the churn their
   /// inner cache recorded.

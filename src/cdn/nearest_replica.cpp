@@ -49,6 +49,26 @@ const NearestCopy& NearestReplicaIndex::nearest(ServerIndex server,
   return table_[static_cast<std::size_t>(server) * sites_ + site];
 }
 
+std::optional<NearestCopy> NearestReplicaIndex::nearest_live(
+    ServerIndex server, SiteIndex site, std::span<const ServerIndex> holders,
+    const std::vector<std::uint8_t>& server_up, bool origin_up) const {
+  CDN_EXPECT(server < servers_ && site < sites_, "index out of range");
+  CDN_EXPECT(server_up.size() == servers_,
+             "health mask length must equal the server count");
+  std::optional<NearestCopy> best;
+  if (origin_up) {
+    best = NearestCopy{true, 0, distances_->server_to_primary(server, site)};
+  }
+  for (const ServerIndex holder : holders) {
+    if (!server_up[holder]) continue;
+    const double c = distances_->server_to_server(server, holder);
+    if (!best || c < best->cost) {
+      best = NearestCopy{false, holder, c};
+    }
+  }
+  return best;
+}
+
 void NearestReplicaIndex::on_replica_added(ServerIndex holder,
                                            SiteIndex site) {
   CDN_EXPECT(holder < servers_ && site < sites_, "index out of range");

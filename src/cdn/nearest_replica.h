@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "src/cdn/distance_oracle.h"
@@ -37,6 +39,18 @@ class NearestReplicaIndex {
 
   /// Full nearest-copy record.
   const NearestCopy& nearest(ServerIndex server, SiteIndex site) const;
+
+  /// Health-masked lookup: the cheapest LIVE holder of `site` as seen from
+  /// `server`.  `holders` is the site's replicator list (ascending, as
+  /// returned by ReplicaPlacement::replicators); holders with
+  /// server_up[h] == 0 are skipped, and the primary origin only counts when
+  /// `origin_up`.  Returns nullopt when every copy is unreachable — the
+  /// request cannot be served at all.  Unlike nearest(), this scans the
+  /// holder list (O(|holders|)); it is the failover path, not the hot path.
+  std::optional<NearestCopy> nearest_live(
+      ServerIndex server, SiteIndex site,
+      std::span<const ServerIndex> holders,
+      const std::vector<std::uint8_t>& server_up, bool origin_up) const;
 
   /// Updates column `site` after `holder` gained a replica of it.
   void on_replica_added(ServerIndex holder, SiteIndex site);

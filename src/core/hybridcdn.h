@@ -33,6 +33,7 @@
 #include "src/cluster/cluster_sim.h"
 #include "src/core/experiment.h"
 #include "src/core/scenario.h"
+#include "src/fault/fault_schedule.h"
 #include "src/model/characteristic_time.h"
 #include "src/model/hit_ratio_curve.h"
 #include "src/model/server_cache_state.h"

@@ -15,6 +15,8 @@ const char* to_string(EventCause cause) noexcept {
     case EventCause::kCacheMiss: return "cache-miss";
     case EventCause::kStaleRefresh: return "stale-refresh";
     case EventCause::kUncacheable: return "uncacheable";
+    case EventCause::kFailover: return "failover";
+    case EventCause::kFailed: return "failed";
   }
   return "unknown";
 }

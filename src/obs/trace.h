@@ -29,7 +29,12 @@ enum class EventCause : std::uint8_t {
   kCacheMiss,     // redirected to the nearest copy, object admitted
   kStaleRefresh,  // lambda-flagged under kRefresh: forced remote refresh
   kUncacheable,   // lambda-flagged under kUncacheable: cache bypassed
+  kFailover,      // a dead first-hop or holder forced a re-route (faults)
+  kFailed,        // every copy holder was down; the request was lost
 };
+
+/// Number of EventCause values (sizes the simulator's counter arrays).
+inline constexpr std::size_t kEventCauseCount = 7;
 
 const char* to_string(EventCause cause) noexcept;
 
@@ -40,7 +45,9 @@ struct TraceEvent {
   std::uint32_t site = 0;
   std::uint32_t rank = 0;     // within-site popularity rank (1-based)
   EventCause cause = EventCause::kCacheMiss;
-  std::int32_t served_by = -1;  // serving server; -1 = the site's primary
+  /// Serving server; -1 = the site's primary origin, -2 = nobody (the
+  /// request failed because every holder was down).
+  std::int32_t served_by = -1;
   bool measured = false;        // false while inside the warm-up window
   double hops = 0.0;            // redirection cost paid
   double latency_ms = 0.0;

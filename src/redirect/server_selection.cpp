@@ -34,28 +34,54 @@ SelectionResult assign_miss_traffic(const sys::CdnSystem& system,
   const std::size_t n = system.server_count();
   const std::size_t m = system.site_count();
   const auto& dist = system.distances();
+  CDN_EXPECT(params.server_up == nullptr || params.server_up->size() == n,
+             "server health mask length must equal the server count");
+  CDN_EXPECT(params.origin_up == nullptr || params.origin_up->size() == m,
+             "origin health mask length must equal the site count");
+  const auto server_ok = [&](sys::ServerIndex i) {
+    return params.server_up == nullptr || (*params.server_up)[i] != 0;
+  };
+  const auto origin_ok = [&](sys::SiteIndex j) {
+    return params.origin_up == nullptr || (*params.origin_up)[j] != 0;
+  };
 
-  // Collect miss flows and per-site holder lists.
+  SelectionResult out;
+  out.server_flow.assign(n, 0.0);
+  out.primary_flow.assign(m, 0.0);
+
+  // Collect miss flows and per-site LIVE holder lists.
   std::vector<Flow> flows;
   std::vector<std::vector<sys::ServerIndex>> holders(m);
   for (std::size_t j = 0; j < m; ++j) {
-    holders[j] = result.placement.replicators(static_cast<sys::SiteIndex>(j));
+    for (const sys::ServerIndex h :
+         result.placement.replicators(static_cast<sys::SiteIndex>(j))) {
+      if (server_ok(h)) holders[j].push_back(h);
+    }
   }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < m; ++j) {
       const auto server = static_cast<sys::ServerIndex>(i);
       const auto site = static_cast<sys::SiteIndex>(j);
-      if (result.placement.is_replicated(server, site)) continue;
-      const double volume =
-          system.demand().requests(server, site) * (1.0 - result.hit(server, site));
+      double volume;
+      const bool source_dead = !server_ok(server);
+      if (source_dead) {
+        // Dead first-hop: its replicas and warm cache are unreachable, so
+        // the site's FULL demand at this server spills to other holders.
+        volume = system.demand().requests(server, site);
+      } else {
+        if (result.placement.is_replicated(server, site)) continue;
+        volume = system.demand().requests(server, site) *
+                 (1.0 - result.hit(server, site));
+      }
       if (volume <= 0.0) continue;
+      if (holders[j].empty() && !origin_ok(site)) {
+        out.unserved_flow += volume;  // no live copy anywhere
+        continue;
+      }
+      if (source_dead) out.failed_over_flow += volume;
       flows.push_back({server, site, volume});
     }
   }
-
-  SelectionResult out;
-  out.server_flow.assign(n, 0.0);
-  out.primary_flow.assign(m, 0.0);
 
   auto holder_cost = [&](const Flow& f, std::uint32_t holder) {
     return holder == Flow::kPrimary
@@ -64,11 +90,19 @@ SelectionResult assign_miss_traffic(const sys::CdnSystem& system,
                                        static_cast<sys::ServerIndex>(holder));
   };
 
-  // Pass 0: nearest-copy assignment (the paper's rule) — also the baseline
-  // from which auto-capacities are derived.
+  // Pass 0: nearest-LIVE-copy assignment (the paper's rule under a health
+  // mask) — also the baseline from which auto-capacities are derived.
   for (Flow& f : flows) {
-    std::uint32_t best = Flow::kPrimary;
-    double best_cost = holder_cost(f, Flow::kPrimary);
+    // The unserved check above guarantees at least one candidate exists.
+    std::uint32_t best;
+    double best_cost;
+    if (origin_ok(f.site)) {
+      best = Flow::kPrimary;
+      best_cost = holder_cost(f, Flow::kPrimary);
+    } else {
+      best = holders[f.site].front();
+      best_cost = holder_cost(f, best);
+    }
     for (const sys::ServerIndex h : holders[f.site]) {
       const double c = holder_cost(f, h);
       if (c < best_cost) {
@@ -84,18 +118,24 @@ SelectionResult assign_miss_traffic(const sys::CdnSystem& system,
     }
   }
 
+  // Auto capacity is clamped to a positive floor: a placement whose
+  // nearest-copy rule puts zero load on every server (or every primary)
+  // must not produce capacity 0 and rho = 0/0 below.
+  constexpr double kAutoCapacityFloor = 1.0;
   double server_capacity = params.server_capacity;
   double primary_capacity = params.primary_capacity;
   if (server_capacity <= 0.0) {
     const double peak =
         *std::max_element(out.server_flow.begin(), out.server_flow.end());
-    server_capacity = peak > 0.0 ? 1.5 * peak : 1.0;
+    server_capacity = std::max(1.5 * peak, kAutoCapacityFloor);
   }
   if (primary_capacity <= 0.0) {
     const double peak =
         *std::max_element(out.primary_flow.begin(), out.primary_flow.end());
-    primary_capacity = peak > 0.0 ? 1.5 * peak : 1.0;
+    primary_capacity = std::max(1.5 * peak, kAutoCapacityFloor);
   }
+  CDN_CHECK(server_capacity > 0.0 && primary_capacity > 0.0,
+            "selection capacities must be positive");
 
   if (params.policy == SelectionPolicy::kLoadAware) {
     for (std::size_t pass = 0; pass < params.iterations; ++pass) {

@@ -30,7 +30,9 @@ struct SelectionParams {
   SelectionPolicy policy = SelectionPolicy::kLoadAware;
   /// Service capacity per server, in the demand matrix's request unit.
   /// 0 = auto: 1.5x the load the nearest-copy rule would put on the most
-  /// loaded server (a mildly provisioned fleet).
+  /// loaded server (a mildly provisioned fleet), clamped to a positive
+  /// floor so a zero-load fleet cannot yield a zero capacity (and a
+  /// divide-by-zero utilisation).
   double server_capacity = 0.0;
   /// Capacity of each primary origin (they also serve misses).  0 = auto,
   /// same rule.
@@ -39,6 +41,14 @@ struct SelectionParams {
   double queue_weight = 2.0;
   /// Fixed-point iterations (each pass reassigns all flows).
   std::size_t iterations = 12;
+
+  /// Optional fleet health masks (non-owning; null = fully healthy).
+  /// `server_up` has length N (1 = up), `origin_up` length M.  Dead
+  /// servers are excluded as redirect holders, and the FULL demand of a
+  /// dead first-hop server becomes redirect flow (its warm cache is
+  /// unreachable, so even would-be hits spill to the next-best copy).
+  const std::vector<std::uint8_t>* server_up = nullptr;
+  const std::vector<std::uint8_t>* origin_up = nullptr;
 };
 
 /// Where each (server, site) miss flow is sent and what it costs.
@@ -53,6 +63,12 @@ struct SelectionResult {
   /// Assigned miss flow per server (length N) and per primary (length M).
   std::vector<double> server_flow;
   std::vector<double> primary_flow;
+
+  /// Flow that originated at a dead first-hop server and was spilled to
+  /// other holders (0 without a health mask).
+  double failed_over_flow = 0.0;
+  /// Flow with no live holder at all — the modelled availability gap.
+  double unserved_flow = 0.0;
 };
 
 /// Assigns every miss flow of `result` (placement + modelled hit ratios) to

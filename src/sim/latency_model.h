@@ -3,8 +3,15 @@
 // client-to-first-hop leg costs one hop, so requests satisfied at the first
 // hop server (replica hit or cache hit) take exactly first_hop_ms — the
 // leftmost step of the paper's CDF figures.
+//
+// The failure extension (docs/FAULTS.md): a request whose target is down
+// pays a detection timeout per failed connection attempt plus a linearly
+// growing backoff before the next try, then the redirect leg to the
+// nearest live copy.
 
 #pragma once
+
+#include <cstdint>
 
 namespace cdn::sim {
 
@@ -13,10 +20,30 @@ struct LatencyModel {
   /// Client -> first-hop-server leg.
   double first_hop_ms = 2.0;
 
+  /// Cost of detecting one dead target (connection timeout / health-probe
+  /// staleness) before the client retries elsewhere.
+  double retry_timeout_ms = 150.0;
+  /// Extra backoff before attempt k (1-based): k * retry_backoff_ms.
+  double retry_backoff_ms = 50.0;
+
   /// Response time of a request redirected over `hops` additional hops
   /// (0 for a local hit).
   double latency_ms(double hops) const noexcept {
     return first_hop_ms + ms_per_hop * hops;
+  }
+
+  /// Penalty of `attempts` failed connection attempts: each pays the
+  /// detection timeout, and attempt k adds k * retry_backoff_ms of backoff.
+  double retry_penalty_ms(std::uint32_t attempts) const noexcept {
+    const double a = static_cast<double>(attempts);
+    return a * retry_timeout_ms + retry_backoff_ms * a * (a + 1.0) / 2.0;
+  }
+
+  /// Response time of a request that failed `attempts` targets before
+  /// succeeding over `hops` redirect hops.
+  double failover_latency_ms(double hops, std::uint32_t attempts)
+      const noexcept {
+    return latency_ms(hops) + retry_penalty_ms(attempts);
   }
 };
 

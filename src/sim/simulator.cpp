@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 #include <limits>
+#include <optional>
 
 #include "src/obs/scoped_timer.h"
 #include "src/util/error.h"
@@ -22,10 +23,15 @@ struct WindowAccumulator {
   std::uint64_t eligible_hits = 0;
   double hops = 0.0;
   double latency_ms = 0.0;
+  // Degraded-mode extras (stay zero on a healthy run).
+  std::uint64_t failed = 0;
+  std::uint64_t failover = 0;
+  double degraded_latency_ms = 0.0;  // latency sum of failover requests
 };
 
 /// Resolved series pointers of the per-window time series (all null when
-/// metrics are disabled).
+/// metrics are disabled; the fault series are additionally null when no
+/// fault schedule is active, keeping healthy snapshots unchanged).
 struct WindowSeries {
   obs::Series* requests = nullptr;
   obs::Series* local = nullptr;
@@ -36,9 +42,16 @@ struct WindowSeries {
   obs::Series* local_ratio = nullptr;
   obs::Series* mean_hops = nullptr;
   obs::Series* mean_latency_ms = nullptr;
+  obs::Series* failed = nullptr;
+  obs::Series* failover = nullptr;
+  obs::Series* availability = nullptr;
+  obs::Series* degraded_mean_latency_ms = nullptr;
 
   void flush(const WindowAccumulator& win) const {
     const double n = static_cast<double>(win.requests);
+    // Failed requests never complete, so they are excluded from the mean
+    // latency (they are 0 on a healthy run, keeping the division intact).
+    const double completed = static_cast<double>(win.requests - win.failed);
     requests->push(n);
     local->push(static_cast<double>(win.local));
     eligible->push(static_cast<double>(win.eligible));
@@ -49,21 +62,44 @@ struct WindowSeries {
                                  : 0.0);
     local_ratio->push(win.requests ? static_cast<double>(win.local) / n : 0.0);
     mean_hops->push(win.requests ? win.hops / n : 0.0);
-    mean_latency_ms->push(win.requests ? win.latency_ms / n : 0.0);
+    mean_latency_ms->push(completed > 0.0 ? win.latency_ms / completed : 0.0);
+    if (failed != nullptr) {
+      failed->push(static_cast<double>(win.failed));
+      failover->push(static_cast<double>(win.failover));
+      availability->push(
+          win.requests ? 1.0 - static_cast<double>(win.failed) / n : 1.0);
+      degraded_mean_latency_ms->push(
+          win.failover ? win.degraded_latency_ms /
+                             static_cast<double>(win.failover)
+                       : 0.0);
+    }
   }
 };
 
 }  // namespace
 
+void SimulationConfig::validate() const {
+  CDN_EXPECT(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+             "warmup fraction must be in [0, 1)");
+  CDN_EXPECT(metrics_windows >= 1, "need at least one metrics window");
+  if (trace != nullptr) {
+    CDN_EXPECT(!trace->empty(), "cannot replay an empty trace");
+  } else {
+    CDN_EXPECT(total_requests > 0, "need at least one request");
+  }
+  CDN_EXPECT(slo_ms >= 0.0, "SLO threshold must be non-negative");
+  CDN_EXPECT(latency.retry_timeout_ms >= 0.0 && latency.retry_backoff_ms >= 0.0,
+             "retry latency penalties must be non-negative");
+}
+
 SimulationReport simulate(const sys::CdnSystem& system,
                           const placement::PlacementResult& result,
                           const SimulationConfig& config) {
-  CDN_EXPECT(config.total_requests > 0, "need at least one request");
-  CDN_EXPECT(config.warmup_fraction >= 0.0 && config.warmup_fraction < 1.0,
-             "warmup fraction must be in [0, 1)");
+  config.validate();
 
   const auto& catalog = system.catalog();
   const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
 
   obs::Registry* const metrics = config.metrics;
   const std::string& prefix = config.metrics_prefix;
@@ -91,7 +127,6 @@ SimulationReport simulate(const sys::CdnSystem& system,
 
   std::uint64_t total = config.total_requests;
   if (config.trace != nullptr) {
-    CDN_EXPECT(!config.trace->empty(), "cannot replay an empty trace");
     config.trace->validate(n, catalog.site_count(),
                            catalog.objects_per_site());
     total = config.trace->size();
@@ -101,6 +136,21 @@ SimulationReport simulate(const sys::CdnSystem& system,
   const std::uint64_t measured_total = total - warmup;
   CDN_CHECK(measured_total > 0, "warm-up consumed every request");
 
+  // --- Fault-injection state (inactive = the healthy fast path). ---
+  const bool faults_active = config.faults != nullptr && !config.faults->empty();
+  std::optional<fault::FaultTimeline> timeline;
+  std::vector<std::vector<sys::ServerIndex>> holders;
+  util::Rng surge_rng(config.seed ^ 0x9e3779b9u);
+  if (faults_active) {
+    timeline.emplace(*config.faults, n, m);
+    holders.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      holders[j] =
+          result.placement.replicators(static_cast<sys::SiteIndex>(j));
+    }
+  }
+  const bool slo_active = config.slo_ms > 0.0;
+
   SimulationReport report;
   report.total_requests = total;
   report.latency_cdf.reserve(measured_total);
@@ -108,8 +158,8 @@ SimulationReport simulate(const sys::CdnSystem& system,
   // --- Resolve every metric ONCE; the request loop only dereferences. ---
   const bool instrumented = metrics != nullptr;
   WindowSeries win_series;
-  obs::Counter* cause_counter[5] = {nullptr, nullptr, nullptr, nullptr,
-                                    nullptr};
+  obs::Counter* cause_counter[obs::kEventCauseCount] = {};
+  obs::Counter* c_retries = nullptr;
   std::vector<obs::Histogram*> server_latency;
   std::uint64_t next_window_flush = total;  // sentinel: never inside the loop
   std::uint64_t window_index = 0;
@@ -136,6 +186,22 @@ SimulationReport simulate(const sys::CdnSystem& system,
           obs::EventCause::kUncacheable}) {
       cause_counter[static_cast<std::size_t>(cause)] = &metrics->counter(
           prefix + "cause/" + obs::to_string(cause));
+    }
+    if (faults_active) {
+      // Fault metrics only exist when a schedule is active, so healthy
+      // snapshots stay byte-identical to the pre-fault simulator's.
+      for (const auto cause :
+           {obs::EventCause::kFailover, obs::EventCause::kFailed}) {
+        cause_counter[static_cast<std::size_t>(cause)] = &metrics->counter(
+            prefix + "cause/" + obs::to_string(cause));
+      }
+      c_retries = &metrics->counter(prefix + "fault/retries");
+      win_series.failed = &metrics->series(prefix + "window/failed");
+      win_series.failover = &metrics->series(prefix + "window/failover");
+      win_series.availability =
+          &metrics->series(prefix + "window/availability");
+      win_series.degraded_mean_latency_ms =
+          &metrics->series(prefix + "window/degraded_mean_latency_ms");
     }
     if (config.per_server_metrics) {
       server_latency.resize(n);
@@ -164,14 +230,39 @@ SimulationReport simulate(const sys::CdnSystem& system,
   std::uint64_t local = 0;
   std::uint64_t eligible = 0;
   std::uint64_t eligible_hits = 0;
+  std::uint64_t failed_total = 0;
+  std::uint64_t failover_total = 0;
+  std::uint64_t retries_total = 0;
+  std::uint64_t slo_violations = 0;
 
   for (std::uint64_t t = 0; t < total; ++t) {
     // Reset measured-window statistics exactly at the end of warm-up.
     if (t == warmup) {
       for (auto& c : caches) c->reset_stats();
     }
-    const workload::Request req =
+    if (faults_active && timeline->advance(t)) {
+      // A recovered server restarts with a COLD cache: whatever it held
+      // when it crashed is gone.  Its statistics survive (clear() keeps
+      // them) so fleet totals stay consistent.
+      for (const std::uint32_t s : timeline->just_recovered()) {
+        caches[s]->clear();
+        ++report.cold_restarts;
+      }
+    }
+    workload::Request req =
         config.trace != nullptr ? (*config.trace)[t] : stream.next();
+    if (faults_active && config.trace == nullptr &&
+        timeline->any_surge_active()) {
+      // Flash-crowd reshaping: accept a drawn request with probability
+      // proportional to its site's surge multiplier (rejection sampling
+      // against the current max), which samples site j with probability
+      // ∝ p_j * mult_j without touching the demand matrix.
+      const double bound = timeline->max_demand_multiplier();
+      while (surge_rng.uniform() * bound >
+             timeline->demand_multiplier(req.site)) {
+        req = stream.next();
+      }
+    }
     const auto server = static_cast<sys::ServerIndex>(req.server);
     const auto site = static_cast<sys::SiteIndex>(req.site);
     const bool measured = t >= warmup;
@@ -180,67 +271,172 @@ SimulationReport simulate(const sys::CdnSystem& system,
     bool served_locally = false;
     bool cache_eligible = false;
     bool cache_hit = false;
+    bool failed = false;
+    std::uint32_t attempts = 0;
     auto cause = obs::EventCause::kReplica;
+    // Where a redirected request actually landed (fault mode only; the
+    // healthy path derives it from the nearest index when tracing).
+    std::int32_t fault_served_by = -2;
 
-    if (result.placement.is_replicated(server, site)) {
+    // Cheapest live holder after a failed attempt on the precomputed
+    // target (or on the first-hop server itself).
+    const auto find_live = [&]() {
+      return result.nearest.nearest_live(server, site, holders[req.site],
+                                         timeline->server_up_mask(),
+                                         timeline->origin_up(req.site));
+    };
+    const bool first_hop_up = !faults_active || timeline->server_up(req.server);
+
+    if (first_hop_up && result.placement.is_replicated(server, site)) {
       // Replicas are always consistent (the CDN pushes invalidations to
       // them); even flagged requests are served locally.
       served_locally = true;
+    } else if (!first_hop_up) {
+      // First-hop crash: the client's connection times out and the
+      // redirector re-routes it to the nearest live copy.  The dead
+      // server's warm cache and its replicas are unreachable.
+      attempts = 1;
+      const auto live = find_live();
+      if (live) {
+        hops = live->cost;
+        cause = obs::EventCause::kFailover;
+        fault_served_by =
+            live->at_primary ? -1 : static_cast<std::int32_t>(live->server);
+      } else {
+        failed = true;
+        cause = obs::EventCause::kFailed;
+      }
     } else {
       const bool flagged =
           lambda_rng.bernoulli(catalog.uncacheable_fraction(req.site));
-      const double redirect = result.nearest.cost(server, site);
       cache::CachePolicy& cache = *caches[server];
       const cache::ObjectKey key = catalog.object_id(req.site, req.rank);
       const std::uint64_t bytes = catalog.object_bytes(req.site, req.rank);
 
-      if (flagged && config.staleness == StalenessMode::kUncacheable) {
-        // Never cached; straight to the nearest copy.
-        hops = redirect;
-        cause = obs::EventCause::kUncacheable;
-      } else if (flagged) {
-        // kRefresh: must touch the remote copy; the (re-)fetched object
-        // stays cached with updated recency.
-        cache.access(key, bytes);
-        hops = redirect;
-        cause = obs::EventCause::kStaleRefresh;
-      } else {
-        cache_eligible = true;
-        cache_hit = cache.access(key, bytes);
-        if (cache_hit) {
-          served_locally = true;
-          cause = obs::EventCause::kCacheHit;
-        } else {
+      if (!faults_active) {
+        const double redirect = result.nearest.cost(server, site);
+        if (flagged && config.staleness == StalenessMode::kUncacheable) {
+          // Never cached; straight to the nearest copy.
           hops = redirect;
-          cause = obs::EventCause::kCacheMiss;
+          cause = obs::EventCause::kUncacheable;
+        } else if (flagged) {
+          // kRefresh: must touch the remote copy; the (re-)fetched object
+          // stays cached with updated recency.
+          cache.access(key, bytes);
+          hops = redirect;
+          cause = obs::EventCause::kStaleRefresh;
+        } else {
+          cache_eligible = true;
+          cache_hit = cache.access(key, bytes);
+          if (cache_hit) {
+            served_locally = true;
+            cause = obs::EventCause::kCacheHit;
+          } else {
+            hops = redirect;
+            cause = obs::EventCause::kCacheMiss;
+          }
+        }
+      } else {
+        // Fault-aware redirection: the precomputed nearest copy may be
+        // dead; trying it costs one failed attempt before the
+        // health-masked re-route.  No live copy at all fails the request.
+        const auto resolve = [&]() -> std::optional<sys::NearestCopy> {
+          const sys::NearestCopy& pre = result.nearest.nearest(server, site);
+          const bool pre_live = pre.at_primary
+                                    ? timeline->origin_up(req.site)
+                                    : timeline->server_up(pre.server);
+          if (pre_live) return pre;
+          ++attempts;
+          return find_live();
+        };
+        const auto redirect_to =
+            [&](const std::optional<sys::NearestCopy>& live,
+                obs::EventCause healthy_cause) {
+              if (live) {
+                hops = live->cost;
+                cause = attempts > 0 ? obs::EventCause::kFailover
+                                     : healthy_cause;
+                fault_served_by = live->at_primary
+                                      ? -1
+                                      : static_cast<std::int32_t>(
+                                            live->server);
+              } else {
+                failed = true;
+                cause = obs::EventCause::kFailed;
+              }
+            };
+        if (flagged && config.staleness == StalenessMode::kUncacheable) {
+          redirect_to(resolve(), obs::EventCause::kUncacheable);
+        } else if (flagged) {
+          const auto live = resolve();
+          if (live) cache.access(key, bytes);  // refreshed copy stays cached
+          redirect_to(live, obs::EventCause::kStaleRefresh);
+        } else {
+          cache_eligible = true;
+          // A hit never leaves the server, so no liveness check; a miss
+          // only admits the object when a live source exists to fetch from.
+          cache_hit = cache.access_no_admit(key, bytes);
+          if (cache_hit) {
+            served_locally = true;
+            cause = obs::EventCause::kCacheHit;
+          } else {
+            const auto live = resolve();
+            if (live) cache.admit(key, bytes);
+            redirect_to(live, obs::EventCause::kCacheMiss);
+          }
         }
       }
     }
 
-    const double latency_ms = config.latency.latency_ms(hops);
+    double latency_ms;
+    if (!faults_active) {
+      latency_ms = config.latency.latency_ms(hops);
+    } else if (failed) {
+      // Time wasted before giving up; reported in the trace but excluded
+      // from the latency CDF (the request never completed).
+      latency_ms = config.latency.retry_penalty_ms(attempts);
+    } else {
+      latency_ms = config.latency.failover_latency_ms(
+          hops * timeline->latency_multiplier(req.server), attempts);
+    }
     if (measured) {
-      report.latency_cdf.add(latency_ms);
+      if (!failed) {
+        report.latency_cdf.add(latency_ms);
+      } else {
+        ++failed_total;
+      }
       hop_sum += hops;
       if (served_locally) ++local;
       if (cache_eligible) {
         ++eligible;
         if (cache_hit) ++eligible_hits;
       }
+      if (attempts > 0 && !failed) ++failover_total;
+      retries_total += attempts;
+      if (slo_active && (failed || latency_ms > config.slo_ms)) {
+        ++slo_violations;
+      }
     }
 
     if (instrumented) {
       if (measured) {
         cause_counter[static_cast<std::size_t>(cause)]->add();
-        if (!server_latency.empty()) {
+        if (c_retries != nullptr && attempts > 0) c_retries->add(attempts);
+        if (!server_latency.empty() && !failed) {
           server_latency[server]->observe(latency_ms);
         }
         ++win.requests;
         win.hops += hops;
-        win.latency_ms += latency_ms;
+        if (!failed) win.latency_ms += latency_ms;
         if (served_locally) ++win.local;
         if (cache_eligible) {
           ++win.eligible;
           if (cache_hit) ++win.eligible_hits;
+        }
+        if (failed) ++win.failed;
+        if (attempts > 0 && !failed) {
+          ++win.failover;
+          win.degraded_latency_ms += latency_ms;
         }
         if (t + 1 >= next_window_flush) {
           win_series.flush(win);
@@ -264,6 +460,8 @@ SimulationReport simulate(const sys::CdnSystem& system,
       event.latency_ms = latency_ms;
       if (served_locally) {
         event.served_by = static_cast<std::int32_t>(req.server);
+      } else if (faults_active) {
+        event.served_by = fault_served_by;  // -2 when the request failed
       } else {
         const sys::NearestCopy& copy = result.nearest.nearest(server, site);
         event.served_by =
@@ -295,13 +493,21 @@ SimulationReport simulate(const sys::CdnSystem& system,
 
   report.measured_requests = measured_total;
   const double measured = static_cast<double>(report.measured_requests);
-  report.mean_latency_ms = report.latency_cdf.mean();
+  report.mean_latency_ms =
+      report.latency_cdf.empty() ? 0.0 : report.latency_cdf.mean();
   report.mean_cost_hops = hop_sum / measured;
   report.local_ratio = static_cast<double>(local) / measured;
   report.cache_hit_ratio =
       eligible ? static_cast<double>(eligible_hits) /
                      static_cast<double>(eligible)
                : 0.0;
+  report.failed_requests = failed_total;
+  report.failover_requests = failover_total;
+  report.retry_attempts = retries_total;
+  report.availability = 1.0 - static_cast<double>(failed_total) / measured;
+  report.slo_violation_fraction =
+      slo_active ? static_cast<double>(slo_violations) / measured : 0.0;
+  if (faults_active) report.fault_transitions = timeline->transitions();
   report.server_cache_stats.reserve(n);
   for (const auto& c : caches) {
     report.server_cache_stats.push_back(c->stats());
@@ -325,6 +531,20 @@ SimulationReport simulate(const sys::CdnSystem& system,
         .add(report.cache_totals.evictions());
     metrics->counter(prefix + "cache/bytes_churned")
         .add(report.cache_totals.bytes_churned());
+    if (slo_active) {
+      metrics->gauge(prefix + "slo_violation_fraction")
+          .set(report.slo_violation_fraction);
+    }
+    if (faults_active) {
+      metrics->gauge(prefix + "availability").set(report.availability);
+      metrics->counter(prefix + "fault/failed").add(report.failed_requests);
+      metrics->counter(prefix + "fault/failover")
+          .add(report.failover_requests);
+      metrics->counter(prefix + "fault/cold_restarts")
+          .add(report.cold_restarts);
+      metrics->counter(prefix + "fault/transitions")
+          .add(report.fault_transitions);
+    }
     if (config.per_server_metrics) {
       for (std::size_t i = 0; i < n; ++i) {
         metrics->gauge(prefix + "server/" + std::to_string(i) + "/hit_ratio")

@@ -16,6 +16,7 @@
 #include "src/cache/cache_factory.h"
 #include "src/cache/cache_stats.h"
 #include "src/cdn/system.h"
+#include "src/fault/fault_schedule.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
 #include "src/placement/placement_result.h"
@@ -53,6 +54,23 @@ struct SimulationConfig {
   /// Temporal-locality knob of the request stream (0 = i.i.d., the model's
   /// assumption).
   double stream_locality = 0.0;
+
+  // --- Fault injection (see docs/FAULTS.md) ---
+
+  /// Fault schedule (non-owning).  Null or empty keeps the request loop
+  /// bit-identical to the healthy simulator.  With faults: requests whose
+  /// first-hop server is down fail over to the nearest live holder with a
+  /// retry/timeout penalty, requests whose every holder is down count as
+  /// failed, and a recovering server restarts with a cold cache.
+  const fault::FaultSchedule* faults = nullptr;
+  /// Response-time SLO in ms; measured requests slower than this — and
+  /// every failed request — count toward slo_violation_fraction.
+  /// 0 disables the metric.
+  double slo_ms = 0.0;
+
+  /// Throws PreconditionError on an invalid configuration; called by
+  /// simulate() before any work.
+  void validate() const;
 
   // --- Observability (all optional; see docs/OBSERVABILITY.md) ---
 
@@ -92,6 +110,26 @@ struct SimulationReport {
 
   std::uint64_t measured_requests = 0;
   std::uint64_t total_requests = 0;
+
+  // --- Degraded-mode accounting (all default on a healthy run) ---
+
+  /// Measured requests for which no live copy existed — they were lost.
+  /// Failed requests are excluded from latency_cdf (they never complete)
+  /// but still count in measured_requests.
+  std::uint64_t failed_requests = 0;
+  /// Measured requests re-routed around a dead first-hop or holder.
+  std::uint64_t failover_requests = 0;
+  /// Failed connection attempts paid by measured requests.
+  std::uint64_t retry_attempts = 0;
+  /// Server recoveries over the whole run; each wiped that server's cache.
+  std::uint64_t cold_restarts = 0;
+  /// Fault-schedule transitions applied over the whole run.
+  std::uint64_t fault_transitions = 0;
+  /// 1 - failed_requests / measured_requests.
+  double availability = 1.0;
+  /// Fraction of measured requests over slo_ms or failed (0 when the SLO
+  /// is disabled).
+  double slo_violation_fraction = 0.0;
 
   /// Final per-server cache statistics (measured window only).
   std::vector<cache::CacheStats> server_cache_stats;

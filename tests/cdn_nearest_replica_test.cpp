@@ -129,4 +129,55 @@ TEST(NearestReplicaTest, RejectsDimensionMismatch) {
                cdn::PreconditionError);
 }
 
+TEST(NearestReplicaTest, NearestLiveSkipsDeadHolders) {
+  Fixture f;
+  f.placement.add(1, 0);
+  f.placement.add(2, 0);
+  NearestReplicaIndex sn(f.distances, f.placement);
+  const auto holders = f.placement.replicators(0);
+
+  // All up: server 0's cheapest live copy is holder 1 (cost 1 < 2 < 5).
+  std::vector<std::uint8_t> up{1, 1, 1};
+  auto live = sn.nearest_live(0, 0, holders, up, true);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_FALSE(live->at_primary);
+  EXPECT_EQ(live->server, 1u);
+  EXPECT_DOUBLE_EQ(live->cost, 1.0);
+
+  // Holder 1 dead: fall through to holder 2 (cost 2, still < primary's 5).
+  up = {1, 0, 1};
+  live = sn.nearest_live(0, 0, holders, up, true);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_EQ(live->server, 2u);
+  EXPECT_DOUBLE_EQ(live->cost, 2.0);
+
+  // Both holders dead: only the primary remains.
+  up = {1, 0, 0};
+  live = sn.nearest_live(0, 0, holders, up, true);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_TRUE(live->at_primary);
+  EXPECT_DOUBLE_EQ(live->cost, 5.0);
+
+  // ... and with the origin down too, nothing can serve the request.
+  EXPECT_FALSE(sn.nearest_live(0, 0, holders, up, false).has_value());
+}
+
+TEST(NearestReplicaTest, NearestLivePrefersPrimaryWhenCheaper) {
+  Fixture f;
+  f.placement.add(0, 0);
+  NearestReplicaIndex sn(f.distances, f.placement);
+  const auto holders = f.placement.replicators(0);
+  const std::vector<std::uint8_t> up{1, 1, 1};
+  // Server 2: primary costs 3, the replica at server 0 costs 2 — but with
+  // that holder dead the primary wins again.
+  auto live = sn.nearest_live(2, 0, holders, up, true);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_FALSE(live->at_primary);
+  const std::vector<std::uint8_t> dead0{0, 1, 1};
+  live = sn.nearest_live(2, 0, holders, dead0, true);
+  ASSERT_TRUE(live.has_value());
+  EXPECT_TRUE(live->at_primary);
+  EXPECT_DOUBLE_EQ(live->cost, 3.0);
+}
+
 }  // namespace

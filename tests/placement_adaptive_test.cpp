@@ -135,4 +135,72 @@ TEST(AdaptiveTest, RejectsInvalidOptions) {
                cdn::PreconditionError);
 }
 
+TEST(AdaptiveTest, FailoverReplanLeavesDeadServersEmpty) {
+  const auto t = TestSystem::make();
+  const auto previous = placement::hybrid_greedy(*t.system);
+  std::vector<std::uint8_t> up(t.system->server_count(), 1);
+  up[0] = 0;
+  const auto outcome =
+      placement::failover_replan(*t.system, previous, up, {});
+  EXPECT_EQ(outcome.result.algorithm, "failover-replan");
+  for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+    EXPECT_FALSE(outcome.result.placement.is_replicated(
+        0, static_cast<sys::SiteIndex>(j)));
+  }
+  // Whatever server 0 held was stripped (counted as dropped).
+  const std::size_t was_on_dead = [&] {
+    std::size_t c = 0;
+    for (std::size_t j = 0; j < t.system->site_count(); ++j) {
+      c += previous.placement.is_replicated(
+          0, static_cast<sys::SiteIndex>(j));
+    }
+    return c;
+  }();
+  EXPECT_GE(outcome.replicas_dropped, was_on_dead);
+}
+
+TEST(AdaptiveTest, FailoverReplanRehomesLostReplicas) {
+  const auto t = TestSystem::make();
+  const auto previous = placement::hybrid_greedy(*t.system);
+  std::vector<std::uint8_t> up(t.system->server_count(), 1);
+  up[0] = 0;
+  const auto outcome =
+      placement::failover_replan(*t.system, previous, up, {});
+  // The survivors still replicate: total replicas stay positive, and
+  // every one of them sits on a live server.
+  EXPECT_GT(outcome.result.placement.replica_count(), 0u);
+  const auto rehomed = sim::simulate(
+      *t.system, outcome.result, [] {
+        sim::SimulationConfig sc;
+        sc.total_requests = 100'000;
+        sc.seed = 17;
+        return sc;
+      }());
+  EXPECT_GT(rehomed.measured_requests, 0u);
+}
+
+TEST(AdaptiveTest, FailoverReplanWithHealthyMaskIsPlainReplan) {
+  const auto t = TestSystem::make();
+  const auto previous = placement::hybrid_greedy(*t.system);
+  const std::vector<std::uint8_t> up(t.system->server_count(), 1);
+  const auto failover =
+      placement::failover_replan(*t.system, previous, up, {});
+  const auto plain =
+      placement::adaptive_hybrid_replan(*t.system, previous, {});
+  EXPECT_EQ(failover.result.algorithm, "failover-replan");
+  EXPECT_EQ(failover.result.placement.replica_count(),
+            plain.result.placement.replica_count());
+  EXPECT_EQ(failover.replicas_dropped, plain.replicas_dropped);
+}
+
+TEST(AdaptiveTest, FailoverReplanRejectsBadMask) {
+  const auto t = TestSystem::make();
+  const auto previous = placement::hybrid_greedy(*t.system);
+  const std::vector<std::uint8_t> short_mask(t.system->server_count() - 1,
+                                             1);
+  EXPECT_THROW(
+      placement::failover_replan(*t.system, previous, short_mask, {}),
+      cdn::PreconditionError);
+}
+
 }  // namespace

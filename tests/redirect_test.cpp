@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "src/core/scenario.h"
+#include "src/placement/fixed_split.h"
 #include "src/placement/greedy_global.h"
 #include "src/placement/hybrid_greedy.h"
 #include "src/redirect/client_population.h"
@@ -209,6 +212,88 @@ TEST(ServerSelectionTest, RejectsBadParams) {
   bad.queue_weight = -1.0;
   EXPECT_THROW(redirect::assign_miss_traffic(*t.system, placement, bad),
                cdn::PreconditionError);
+}
+
+TEST(ServerSelectionTest, RejectsWrongHealthMaskLengths) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::greedy_global(*t.system);
+  const std::vector<std::uint8_t> short_mask(t.system->server_count() - 1, 1);
+  redirect::SelectionParams p;
+  p.server_up = &short_mask;
+  EXPECT_THROW(redirect::assign_miss_traffic(*t.system, placement, p),
+               cdn::PreconditionError);
+  p = {};
+  const std::vector<std::uint8_t> short_origin(t.system->site_count() - 1, 1);
+  p.origin_up = &short_origin;
+  EXPECT_THROW(redirect::assign_miss_traffic(*t.system, placement, p),
+               cdn::PreconditionError);
+}
+
+TEST(ServerSelectionTest, DeadHolderReceivesNoFlow) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::greedy_global(*t.system);
+  std::vector<std::uint8_t> up(t.system->server_count(), 1);
+  up[1] = 0;
+  redirect::SelectionParams p;
+  p.server_up = &up;
+  const auto r = redirect::assign_miss_traffic(*t.system, placement, p);
+  EXPECT_DOUBLE_EQ(r.server_flow[1], 0.0);
+  // The dead server's own demand spilled somewhere — it shows up as
+  // failed-over flow, and (origins are all up) none of it is lost.
+  EXPECT_GT(r.failed_over_flow, 0.0);
+  EXPECT_DOUBLE_EQ(r.unserved_flow, 0.0);
+}
+
+TEST(ServerSelectionTest, HealthyMaskMatchesNoMask) {
+  const auto t = TestSystem::make();
+  const auto placement = placement::greedy_global(*t.system);
+  const std::vector<std::uint8_t> all_up(t.system->server_count(), 1);
+  const std::vector<std::uint8_t> origins_up(t.system->site_count(), 1);
+  redirect::SelectionParams masked;
+  masked.server_up = &all_up;
+  masked.origin_up = &origins_up;
+  const auto a = redirect::assign_miss_traffic(*t.system, placement, {});
+  const auto b = redirect::assign_miss_traffic(*t.system, placement, masked);
+  EXPECT_DOUBLE_EQ(a.mean_response_cost, b.mean_response_cost);
+  EXPECT_DOUBLE_EQ(a.mean_network_hops, b.mean_network_hops);
+  EXPECT_EQ(a.server_flow, b.server_flow);
+  EXPECT_DOUBLE_EQ(b.failed_over_flow, 0.0);
+  EXPECT_DOUBLE_EQ(b.unserved_flow, 0.0);
+}
+
+TEST(ServerSelectionTest, FlowWithNoLiveCopyIsUnserved) {
+  const auto t = TestSystem::make();
+  // Pure caching: no replica holders, so a dead origin with a dead
+  // first-hop server strands that server's demand.
+  const auto placement = placement::pure_caching(*t.system);
+  std::vector<std::uint8_t> up(t.system->server_count(), 1);
+  up[0] = 0;
+  std::vector<std::uint8_t> origins(t.system->site_count(), 1);
+  origins[2] = 0;
+  redirect::SelectionParams p;
+  p.server_up = &up;
+  p.origin_up = &origins;
+  const auto r = redirect::assign_miss_traffic(*t.system, placement, p);
+  EXPECT_GT(r.unserved_flow, 0.0);
+  // Live servers' misses on site 2 are also unserved (nowhere to go).
+  EXPECT_DOUBLE_EQ(r.primary_flow[2], 0.0);
+}
+
+TEST(ServerSelectionTest, AutoCapacityClampsToPositiveFloor) {
+  // Zero demand => the nearest-copy pass assigns zero flow everywhere and
+  // the auto capacity must fall back to its positive floor instead of 0
+  // (which would divide by zero in the utilisation report).
+  const auto t = TestSystem::make();
+  const auto placement = placement::greedy_global(*t.system);
+  const std::vector<double> zeros(
+      t.system->server_count() * t.system->site_count(), 0.0);
+  const auto no_demand = workload::DemandMatrix::from_values(
+      t.system->server_count(), t.system->site_count(), zeros);
+  const sys::CdnSystem quiet(*t.catalog, no_demand, *t.distances, 0.15);
+  const auto r = redirect::assign_miss_traffic(quiet, placement, {});
+  EXPECT_DOUBLE_EQ(r.max_server_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_server_utilization, 0.0);
+  EXPECT_FALSE(std::isnan(r.mean_response_cost));
 }
 
 }  // namespace

@@ -91,6 +91,16 @@ int main(int argc, char** argv) {
                "per-window time-series buckets in the metrics output");
   cli.add_flag("progress", "false",
                "print simulation progress to stderr");
+  cli.add_flag("fault-schedule", "",
+               "fault schedule file (docs/FAULTS.md); overrides --mtbf");
+  cli.add_flag("mtbf", "0",
+               "mean requests between server failures (0 = no random faults)");
+  cli.add_flag("mttr", "0",
+               "mean requests to repair a down server (0 = mtbf / 10)");
+  cli.add_flag("fault-seed", "7", "seed of the random fault schedule");
+  cli.add_flag("slo-ms", "0",
+               "response-time SLO in ms; failed or slower requests count as "
+               "violations (0 = off)");
 
   if (!cli.parse(argc, argv)) return 1;
 
@@ -118,6 +128,29 @@ int main(int argc, char** argv) {
     if (cli.get_bool("progress")) {
       sim.progress_every = std::max<std::uint64_t>(1, sim.total_requests / 20);
     }
+    sim.slo_ms = cli.get_double("slo-ms");
+
+    fault::FaultSchedule schedule;
+    const std::string fault_file = cli.get_string("fault-schedule");
+    const double mtbf = cli.get_double("mtbf");
+    if (!fault_file.empty()) {
+      schedule = fault::FaultSchedule::load(fault_file);
+    } else if (mtbf > 0.0) {
+      fault::RandomFaultParams fp;
+      fp.mtbf_requests = mtbf;
+      const double mttr = cli.get_double("mttr");
+      fp.mttr_requests = mttr > 0.0 ? mttr : mtbf / 10.0;
+      fp.seed = static_cast<std::uint64_t>(cli.get_int("fault-seed"));
+      schedule =
+          fault::FaultSchedule::random(scenario.system().server_count(),
+                                       scenario.system().site_count(),
+                                       sim.total_requests, fp);
+    }
+    if (!schedule.empty()) {
+      schedule.validate(scenario.system().server_count(),
+                        scenario.system().site_count());
+      sim.faults = &schedule;
+    }
 
     const std::string metrics_out = cli.get_string("metrics-out");
     const std::string trace_out = cli.get_string("trace-out");
@@ -136,6 +169,24 @@ int main(int argc, char** argv) {
 
     const auto table = core::summary_table(runs);
     std::cout << (cli.get_bool("csv") ? table.csv() : table.str());
+    if (sim.faults != nullptr || sim.slo_ms > 0.0) {
+      util::TextTable fault_table({"mechanism", "availability", "failed",
+                                   "failover", "retries", "cold_restarts",
+                                   "slo_violation"});
+      for (const auto& run : runs) {
+        const auto& r = run.report;
+        fault_table.add_row(
+            {run.name, util::format_double(r.availability, 6),
+             std::to_string(r.failed_requests),
+             std::to_string(r.failover_requests),
+             std::to_string(r.retry_attempts),
+             std::to_string(r.cold_restarts),
+             util::format_double(r.slo_violation_fraction, 6)});
+      }
+      std::cout << "\nDegraded-mode report:\n"
+                << (cli.get_bool("csv") ? fault_table.csv()
+                                        : fault_table.str());
+    }
     if (cli.get_bool("cdf")) {
       std::cout << "\nResponse-time CDF:\n" << core::cdf_table(runs);
     }
