@@ -32,11 +32,24 @@ inline core::ScenarioConfig paper_config(double storage_fraction,
 /// Simulation length used by the figure drivers.  5M requests keep each
 /// panel under ~10 s while leaving CDF noise well below the effects being
 /// measured; override with HYBRIDCDN_BENCH_REQUESTS.
+///
+/// Healthy panels run the parallel sharded engine on every hardware thread
+/// by default (fault panels auto-fall back to the sequential engine);
+/// HYBRIDCDN_BENCH_THREADS=1 restores the sequential reference,
+/// HYBRIDCDN_BENCH_SHARDS pins the shard count for reproducible parallel
+/// results across machines.
 inline sim::SimulationConfig paper_sim(std::uint64_t seed = 99) {
   sim::SimulationConfig sc;
   sc.total_requests = 5'000'000;
   if (const char* env = std::getenv("HYBRIDCDN_BENCH_REQUESTS")) {
     sc.total_requests = std::strtoull(env, nullptr, 10);
+  }
+  sc.threads = 0;  // all hardware threads
+  if (const char* env = std::getenv("HYBRIDCDN_BENCH_THREADS")) {
+    sc.threads = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("HYBRIDCDN_BENCH_SHARDS")) {
+    sc.shards = std::strtoull(env, nullptr, 10);
   }
   sc.warmup_fraction = 0.3;
   sc.seed = seed;

@@ -1,0 +1,301 @@
+#include "src/sim/shard_engine.h"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/scoped_timer.h"
+#include "src/sim/sim_internal.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+#include "src/util/zipf.h"
+#include "src/workload/request_stream.h"
+
+namespace cdn::sim {
+
+namespace {
+
+// Distinct salts keep the plan, per-shard stream and per-shard lambda RNG
+// substreams independent of each other for any (seed, shard).
+constexpr std::uint64_t kPlanSalt = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kStreamSalt = 0xbf58476d1ce4e5b9ull;
+constexpr std::uint64_t kLambdaSalt = 0x94d049bb133111ebull;
+
+/// Everything one shard produces; plain data merged on the main thread in
+/// shard-index order (obs::Registry is single-threaded by design, so no
+/// shard ever touches it).
+struct ShardResult {
+  std::uint64_t measured = 0;
+  double hop_sum = 0.0;
+  std::uint64_t local = 0;
+  std::uint64_t eligible = 0;
+  std::uint64_t eligible_hits = 0;
+  std::uint64_t slo_violations = 0;
+  util::LatencyDistribution latency;  // sketch mode
+  std::array<std::uint64_t, obs::kEventCauseCount> causes{};
+  std::vector<detail::WindowAccumulator> windows;  // size = window count
+  std::vector<cache::CacheStats> cache_stats;      // per owned server
+  std::vector<obs::Histogram> server_latency;      // per owned server
+};
+
+}  // namespace
+
+std::size_t resolve_shard_count(std::size_t configured, std::size_t threads,
+                                std::size_t server_count) {
+  const std::size_t want = configured != 0 ? configured : 4 * threads;
+  return std::max<std::size_t>(1, std::min(want, server_count));
+}
+
+ShardPlan plan_shards(const workload::DemandMatrix& demand,
+                      std::uint64_t total, std::size_t shards,
+                      std::uint64_t seed) {
+  CDN_EXPECT(shards >= 1 && shards <= demand.server_count(),
+             "shard count must be in [1, server count]");
+  ShardPlan plan;
+  plan.servers.resize(shards);
+  plan.requests.assign(shards, 0);
+  std::vector<double> mass(shards, 0.0);
+  for (std::size_t i = 0; i < demand.server_count(); ++i) {
+    const std::size_t s = i % shards;
+    plan.servers[s].push_back(static_cast<workload::ServerId>(i));
+    for (const double d : demand.row(static_cast<workload::ServerId>(i))) {
+      mass[s] += d;
+    }
+  }
+  // Exact multinomial split: `total` categorical draws over the shard
+  // masses.  O(total) with an alias table — a percent or two of the run —
+  // and deterministic in (seed, shards) alone.
+  util::AliasSampler sampler(mass);
+  util::Rng rng(detail::substream_seed(seed, 0, kPlanSalt));
+  for (std::uint64_t t = 0; t < total; ++t) {
+    ++plan.requests[sampler.sample(rng)];
+  }
+  return plan;
+}
+
+SimulationReport simulate_parallel(const sys::CdnSystem& system,
+                                   const placement::PlacementResult& result,
+                                   const SimulationConfig& config,
+                                   std::size_t threads) {
+  const auto& catalog = system.catalog();
+  const std::size_t n = system.server_count();
+
+  obs::Registry* const metrics = config.metrics;
+  const std::string& prefix = config.metrics_prefix;
+  obs::TimerStat* const t_setup =
+      metrics ? &metrics->timer(prefix + "phase/setup") : nullptr;
+  obs::TimerStat* const t_run =
+      metrics ? &metrics->timer(prefix + "phase/run") : nullptr;
+  obs::TimerStat* const t_report =
+      metrics ? &metrics->timer(prefix + "phase/report") : nullptr;
+
+  obs::ScopedTimer setup_timer(t_setup);
+
+  const std::size_t shards = resolve_shard_count(config.shards, threads, n);
+  const std::uint64_t total = config.total_requests;
+  const ShardPlan plan =
+      plan_shards(system.demand(), total, shards, config.seed);
+
+  // Per-shard warm-up mirrors the sequential engine's fraction; summing the
+  // per-shard measured counts gives the run's measured total.
+  std::vector<std::uint64_t> shard_warmup(shards, 0);
+  std::uint64_t measured_total = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_warmup[s] = static_cast<std::uint64_t>(
+        config.warmup_fraction * static_cast<double>(plan.requests[s]));
+    measured_total += plan.requests[s] - shard_warmup[s];
+  }
+  CDN_CHECK(measured_total > 0, "warm-up consumed every request");
+
+  const bool instrumented = metrics != nullptr;
+  const bool slo_active = config.slo_ms > 0.0;
+  // Same window count rule as the sequential engine; every shard uses the
+  // same count so window indices align in the merge.
+  const std::size_t window_count =
+      instrumented ? std::max<std::size_t>(
+                         1, std::min<std::size_t>(config.metrics_windows,
+                                                  measured_total))
+                   : 0;
+  const bool per_server = instrumented && config.per_server_metrics;
+
+  std::vector<ShardResult> results(shards);
+
+  setup_timer.stop();
+  obs::ScopedTimer run_timer(t_run);
+
+  const auto run_shard = [&](std::size_t s) {
+    const std::uint64_t shard_total = plan.requests[s];
+    if (shard_total == 0) return;  // zero-demand shard: nothing to simulate
+    const std::vector<workload::ServerId>& owned = plan.servers[s];
+    ShardResult& out = results[s];
+    out.latency.use_sketch(config.latency_sketch_error);
+    if (window_count > 0) out.windows.resize(window_count);
+    if (per_server) {
+      out.server_latency.reserve(owned.size());
+      for (std::size_t l = 0; l < owned.size(); ++l) {
+        out.server_latency.emplace_back(obs::default_latency_bounds_ms());
+      }
+    }
+
+    std::vector<std::unique_ptr<cache::CachePolicy>> caches;
+    caches.reserve(owned.size());
+    for (const workload::ServerId server : owned) {
+      caches.push_back(cache::make_cache(
+          config.policy,
+          result.cache_bytes(static_cast<sys::ServerIndex>(server))));
+    }
+    // The shard stream samples the conditional cell distribution given
+    // "first hop in this shard" — together with the multinomial split this
+    // reproduces the full i.i.d. stream's law exactly.
+    workload::RequestStream stream(
+        catalog, system.demand(),
+        detail::substream_seed(config.seed, s, kStreamSalt),
+        config.stream_locality, 256, owned);
+    util::Rng lambda_rng(detail::substream_seed(config.seed, s, kLambdaSalt));
+
+    const std::uint64_t warmup = shard_warmup[s];
+    const std::uint64_t measured = shard_total - warmup;
+    for (std::uint64_t t = 0; t < shard_total; ++t) {
+      if (t == warmup) {
+        for (auto& c : caches) c->reset_stats();
+      }
+      const workload::Request req = stream.next();
+      // Round-robin ownership makes the local cache index a division.
+      cache::CachePolicy& cache = *caches[req.server / shards];
+      const detail::HealthyOutcome o = detail::healthy_step(
+          catalog, result, cache, lambda_rng, req, config.staleness);
+      if (t < warmup) continue;
+
+      const double latency_ms = config.latency.latency_ms(o.hops);
+      out.latency.add(latency_ms);
+      out.hop_sum += o.hops;
+      if (o.served_locally) ++out.local;
+      if (o.cache_eligible) {
+        ++out.eligible;
+        if (o.cache_hit) ++out.eligible_hits;
+      }
+      if (slo_active && latency_ms > config.slo_ms) ++out.slo_violations;
+      ++out.causes[static_cast<std::size_t>(o.cause)];
+      if (window_count > 0) {
+        const std::uint64_t k = t - warmup;
+        detail::WindowAccumulator& win =
+            out.windows[static_cast<std::size_t>(k * window_count / measured)];
+        ++win.requests;
+        win.hops += o.hops;
+        win.latency_ms += latency_ms;
+        if (o.served_locally) ++win.local;
+        if (o.cache_eligible) {
+          ++win.eligible;
+          if (o.cache_hit) ++win.eligible_hits;
+        }
+      }
+      if (per_server) {
+        out.server_latency[req.server / shards].observe(latency_ms);
+      }
+    }
+    out.measured = measured;
+    out.cache_stats.reserve(owned.size());
+    for (const auto& c : caches) out.cache_stats.push_back(c->stats());
+  };
+
+  {
+    // A dedicated pool sized to the run; shards >> threads gives the static
+    // partition slack to balance uneven shard masses.
+    util::ThreadPool pool(std::min(threads, shards));
+    util::parallel_for(pool, 0, shards, run_shard);
+  }
+
+  run_timer.stop();
+  obs::ScopedTimer report_timer(t_report);
+
+  // --- Deterministic merge, fixed shard-index order 0..S-1. ---
+  SimulationReport report;
+  report.total_requests = total;
+  report.shards_used = shards;
+  report.latency_cdf.use_sketch(config.latency_sketch_error);
+
+  double hop_sum = 0.0;
+  std::uint64_t local = 0;
+  std::uint64_t eligible = 0;
+  std::uint64_t eligible_hits = 0;
+  std::uint64_t slo_violations = 0;
+  std::array<std::uint64_t, obs::kEventCauseCount> causes{};
+  std::vector<detail::WindowAccumulator> windows(window_count);
+  report.server_cache_stats.resize(n);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const ShardResult& r = results[s];
+    if (plan.requests[s] == 0) continue;
+    report.measured_requests += r.measured;
+    report.latency_cdf.merge(r.latency);
+    hop_sum += r.hop_sum;
+    local += r.local;
+    eligible += r.eligible;
+    eligible_hits += r.eligible_hits;
+    slo_violations += r.slo_violations;
+    for (std::size_t c = 0; c < causes.size(); ++c) causes[c] += r.causes[c];
+    for (std::size_t w = 0; w < window_count; ++w) windows[w] += r.windows[w];
+    for (std::size_t l = 0; l < plan.servers[s].size(); ++l) {
+      report.server_cache_stats[plan.servers[s][l]] = r.cache_stats[l];
+    }
+  }
+  // Fleet totals in global server order, matching the sequential engine.
+  for (const cache::CacheStats& stats : report.server_cache_stats) {
+    report.cache_totals.merge(stats);
+  }
+
+  const double measured = static_cast<double>(report.measured_requests);
+  report.mean_latency_ms =
+      report.latency_cdf.empty() ? 0.0 : report.latency_cdf.mean();
+  report.mean_cost_hops = hop_sum / measured;
+  report.local_ratio = static_cast<double>(local) / measured;
+  report.cache_hit_ratio =
+      eligible ? static_cast<double>(eligible_hits) /
+                     static_cast<double>(eligible)
+               : 0.0;
+  report.slo_violation_fraction =
+      slo_active ? static_cast<double>(slo_violations) / measured : 0.0;
+
+  if (instrumented) {
+    detail::WindowSeries win_series;
+    win_series.resolve(*metrics, prefix);
+    for (const detail::WindowAccumulator& win : windows) {
+      if (win.requests > 0) win_series.flush(win);
+    }
+    for (const auto cause :
+         {obs::EventCause::kReplica, obs::EventCause::kCacheHit,
+          obs::EventCause::kCacheMiss, obs::EventCause::kStaleRefresh,
+          obs::EventCause::kUncacheable}) {
+      metrics->counter(prefix + "cause/" + obs::to_string(cause))
+          .add(causes[static_cast<std::size_t>(cause)]);
+    }
+    if (per_server) {
+      // Global server order, one histogram per server even when its shard
+      // saw no traffic — the same snapshot layout as the sequential engine.
+      for (std::size_t i = 0; i < n; ++i) {
+        obs::Histogram& h = metrics->histogram(
+            prefix + "server/" + std::to_string(i) + "/latency_ms",
+            obs::default_latency_bounds_ms());
+        const std::size_t s = i % shards;
+        if (plan.requests[s] > 0) {
+          h.merge(results[s].server_latency[i / shards]);
+        }
+      }
+    }
+    metrics->gauge(prefix + "parallel/threads")
+        .set(static_cast<double>(threads));
+    metrics->gauge(prefix + "parallel/shards")
+        .set(static_cast<double>(shards));
+    for (std::size_t s = 0; s < shards; ++s) {
+      metrics->counter(prefix + "shard/" + std::to_string(s) + "/requests")
+          .add(plan.requests[s]);
+    }
+    detail::publish_summary_metrics(*metrics, prefix, config, report,
+                                    slo_active, /*faults_active=*/false);
+  }
+  return report;
+}
+
+}  // namespace cdn::sim

@@ -1,82 +1,17 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
-#include <iostream>
 #include <limits>
 #include <optional>
 
 #include "src/obs/scoped_timer.h"
+#include "src/sim/shard_engine.h"
+#include "src/sim/sim_internal.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
 #include "src/workload/request_stream.h"
 
 namespace cdn::sim {
-
-namespace {
-
-/// Measured-window accumulator, flushed into the registry's per-window
-/// series every measured/metrics_windows requests.
-struct WindowAccumulator {
-  std::uint64_t requests = 0;
-  std::uint64_t local = 0;
-  std::uint64_t eligible = 0;
-  std::uint64_t eligible_hits = 0;
-  double hops = 0.0;
-  double latency_ms = 0.0;
-  // Degraded-mode extras (stay zero on a healthy run).
-  std::uint64_t failed = 0;
-  std::uint64_t failover = 0;
-  double degraded_latency_ms = 0.0;  // latency sum of failover requests
-};
-
-/// Resolved series pointers of the per-window time series (all null when
-/// metrics are disabled; the fault series are additionally null when no
-/// fault schedule is active, keeping healthy snapshots unchanged).
-struct WindowSeries {
-  obs::Series* requests = nullptr;
-  obs::Series* local = nullptr;
-  obs::Series* eligible = nullptr;
-  obs::Series* eligible_hits = nullptr;
-  obs::Series* hops = nullptr;
-  obs::Series* hit_ratio = nullptr;
-  obs::Series* local_ratio = nullptr;
-  obs::Series* mean_hops = nullptr;
-  obs::Series* mean_latency_ms = nullptr;
-  obs::Series* failed = nullptr;
-  obs::Series* failover = nullptr;
-  obs::Series* availability = nullptr;
-  obs::Series* degraded_mean_latency_ms = nullptr;
-
-  void flush(const WindowAccumulator& win) const {
-    const double n = static_cast<double>(win.requests);
-    // Failed requests never complete, so they are excluded from the mean
-    // latency (they are 0 on a healthy run, keeping the division intact).
-    const double completed = static_cast<double>(win.requests - win.failed);
-    requests->push(n);
-    local->push(static_cast<double>(win.local));
-    eligible->push(static_cast<double>(win.eligible));
-    eligible_hits->push(static_cast<double>(win.eligible_hits));
-    hops->push(win.hops);
-    hit_ratio->push(win.eligible ? static_cast<double>(win.eligible_hits) /
-                                       static_cast<double>(win.eligible)
-                                 : 0.0);
-    local_ratio->push(win.requests ? static_cast<double>(win.local) / n : 0.0);
-    mean_hops->push(win.requests ? win.hops / n : 0.0);
-    mean_latency_ms->push(completed > 0.0 ? win.latency_ms / completed : 0.0);
-    if (failed != nullptr) {
-      failed->push(static_cast<double>(win.failed));
-      failover->push(static_cast<double>(win.failover));
-      availability->push(
-          win.requests ? 1.0 - static_cast<double>(win.failed) / n : 1.0);
-      degraded_mean_latency_ms->push(
-          win.failover ? win.degraded_latency_ms /
-                             static_cast<double>(win.failover)
-                       : 0.0);
-    }
-  }
-};
-
-}  // namespace
 
 void SimulationConfig::validate() const {
   CDN_EXPECT(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
@@ -90,12 +25,25 @@ void SimulationConfig::validate() const {
   CDN_EXPECT(slo_ms >= 0.0, "SLO threshold must be non-negative");
   CDN_EXPECT(latency.retry_timeout_ms >= 0.0 && latency.retry_backoff_ms >= 0.0,
              "retry latency penalties must be non-negative");
+  CDN_EXPECT(latency_sketch_error > 0.0 && latency_sketch_error < 1.0,
+             "latency sketch relative error must be in (0, 1)");
 }
 
 SimulationReport simulate(const sys::CdnSystem& system,
                           const placement::PlacementResult& result,
                           const SimulationConfig& config) {
   config.validate();
+
+  // Healthy synthetic runs may shard; a fault schedule, trace replay or a
+  // trace sink needs the global request clock and keeps the sequential
+  // reference engine below.
+  const bool faults_active =
+      config.faults != nullptr && !config.faults->empty();
+  const std::size_t threads = detail::resolve_threads(config.threads);
+  if (threads > 1 && config.trace == nullptr && !faults_active &&
+      config.trace_sink == nullptr) {
+    return simulate_parallel(system, result, config, threads);
+  }
 
   const auto& catalog = system.catalog();
   const std::size_t n = system.server_count();
@@ -137,7 +85,6 @@ SimulationReport simulate(const sys::CdnSystem& system,
   CDN_CHECK(measured_total > 0, "warm-up consumed every request");
 
   // --- Fault-injection state (inactive = the healthy fast path). ---
-  const bool faults_active = config.faults != nullptr && !config.faults->empty();
   std::optional<fault::FaultTimeline> timeline;
   std::vector<std::vector<sys::ServerIndex>> holders;
   util::Rng surge_rng(config.seed ^ 0x9e3779b9u);
@@ -157,7 +104,7 @@ SimulationReport simulate(const sys::CdnSystem& system,
 
   // --- Resolve every metric ONCE; the request loop only dereferences. ---
   const bool instrumented = metrics != nullptr;
-  WindowSeries win_series;
+  detail::WindowSeries win_series;
   obs::Counter* cause_counter[obs::kEventCauseCount] = {};
   obs::Counter* c_retries = nullptr;
   std::vector<obs::Histogram*> server_latency;
@@ -170,16 +117,7 @@ SimulationReport simulate(const sys::CdnSystem& system,
                                          measured_total))
           : 0;
   if (instrumented) {
-    win_series = {
-        &metrics->series(prefix + "window/requests"),
-        &metrics->series(prefix + "window/local"),
-        &metrics->series(prefix + "window/eligible"),
-        &metrics->series(prefix + "window/eligible_hits"),
-        &metrics->series(prefix + "window/hops"),
-        &metrics->series(prefix + "window/hit_ratio"),
-        &metrics->series(prefix + "window/local_ratio"),
-        &metrics->series(prefix + "window/mean_hops"),
-        &metrics->series(prefix + "window/mean_latency_ms")};
+    win_series.resolve(*metrics, prefix);
     for (const auto cause :
          {obs::EventCause::kReplica, obs::EventCause::kCacheHit,
           obs::EventCause::kCacheMiss, obs::EventCause::kStaleRefresh,
@@ -216,12 +154,13 @@ SimulationReport simulate(const sys::CdnSystem& system,
     // window and the flushed series sum back to the aggregates.
     next_window_flush = warmup + measured_total / window_count;
   }
-  WindowAccumulator win;
+  detail::WindowAccumulator win;
 
   obs::TraceSink* const trace_sink = config.trace_sink;
-  std::uint64_t next_progress = config.progress_every > 0
-                                    ? config.progress_every
-                                    : std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t next_progress =
+      config.progress_every > 0 && config.progress
+          ? config.progress_every
+          : std::numeric_limits<std::uint64_t>::max();
 
   setup_timer.stop();
   obs::ScopedTimer run_timer(t_run);
@@ -287,7 +226,16 @@ SimulationReport simulate(const sys::CdnSystem& system,
     };
     const bool first_hop_up = !faults_active || timeline->server_up(req.server);
 
-    if (first_hop_up && result.placement.is_replicated(server, site)) {
+    if (!faults_active) {
+      // Healthy fast path, shared with the parallel sharded engine.
+      const detail::HealthyOutcome o = detail::healthy_step(
+          catalog, result, *caches[server], lambda_rng, req, config.staleness);
+      hops = o.hops;
+      served_locally = o.served_locally;
+      cache_eligible = o.cache_eligible;
+      cache_hit = o.cache_hit;
+      cause = o.cause;
+    } else if (first_hop_up && result.placement.is_replicated(server, site)) {
       // Replicas are always consistent (the CDN pushes invalidations to
       // them); even flagged requests are served locally.
       served_locally = true;
@@ -313,77 +261,51 @@ SimulationReport simulate(const sys::CdnSystem& system,
       const cache::ObjectKey key = catalog.object_id(req.site, req.rank);
       const std::uint64_t bytes = catalog.object_bytes(req.site, req.rank);
 
-      if (!faults_active) {
-        const double redirect = result.nearest.cost(server, site);
-        if (flagged && config.staleness == StalenessMode::kUncacheable) {
-          // Never cached; straight to the nearest copy.
-          hops = redirect;
-          cause = obs::EventCause::kUncacheable;
-        } else if (flagged) {
-          // kRefresh: must touch the remote copy; the (re-)fetched object
-          // stays cached with updated recency.
-          cache.access(key, bytes);
-          hops = redirect;
-          cause = obs::EventCause::kStaleRefresh;
-        } else {
-          cache_eligible = true;
-          cache_hit = cache.access(key, bytes);
-          if (cache_hit) {
-            served_locally = true;
-            cause = obs::EventCause::kCacheHit;
-          } else {
-            hops = redirect;
-            cause = obs::EventCause::kCacheMiss;
-          }
-        }
+      // Fault-aware redirection: the precomputed nearest copy may be
+      // dead; trying it costs one failed attempt before the
+      // health-masked re-route.  No live copy at all fails the request.
+      const auto resolve = [&]() -> std::optional<sys::NearestCopy> {
+        const sys::NearestCopy& pre = result.nearest.nearest(server, site);
+        const bool pre_live = pre.at_primary
+                                  ? timeline->origin_up(req.site)
+                                  : timeline->server_up(pre.server);
+        if (pre_live) return pre;
+        ++attempts;
+        return find_live();
+      };
+      const auto redirect_to =
+          [&](const std::optional<sys::NearestCopy>& live,
+              obs::EventCause healthy_cause) {
+            if (live) {
+              hops = live->cost;
+              cause = attempts > 0 ? obs::EventCause::kFailover
+                                   : healthy_cause;
+              fault_served_by = live->at_primary
+                                    ? -1
+                                    : static_cast<std::int32_t>(live->server);
+            } else {
+              failed = true;
+              cause = obs::EventCause::kFailed;
+            }
+          };
+      if (flagged && config.staleness == StalenessMode::kUncacheable) {
+        redirect_to(resolve(), obs::EventCause::kUncacheable);
+      } else if (flagged) {
+        const auto live = resolve();
+        if (live) cache.access(key, bytes);  // refreshed copy stays cached
+        redirect_to(live, obs::EventCause::kStaleRefresh);
       } else {
-        // Fault-aware redirection: the precomputed nearest copy may be
-        // dead; trying it costs one failed attempt before the
-        // health-masked re-route.  No live copy at all fails the request.
-        const auto resolve = [&]() -> std::optional<sys::NearestCopy> {
-          const sys::NearestCopy& pre = result.nearest.nearest(server, site);
-          const bool pre_live = pre.at_primary
-                                    ? timeline->origin_up(req.site)
-                                    : timeline->server_up(pre.server);
-          if (pre_live) return pre;
-          ++attempts;
-          return find_live();
-        };
-        const auto redirect_to =
-            [&](const std::optional<sys::NearestCopy>& live,
-                obs::EventCause healthy_cause) {
-              if (live) {
-                hops = live->cost;
-                cause = attempts > 0 ? obs::EventCause::kFailover
-                                     : healthy_cause;
-                fault_served_by = live->at_primary
-                                      ? -1
-                                      : static_cast<std::int32_t>(
-                                            live->server);
-              } else {
-                failed = true;
-                cause = obs::EventCause::kFailed;
-              }
-            };
-        if (flagged && config.staleness == StalenessMode::kUncacheable) {
-          redirect_to(resolve(), obs::EventCause::kUncacheable);
-        } else if (flagged) {
-          const auto live = resolve();
-          if (live) cache.access(key, bytes);  // refreshed copy stays cached
-          redirect_to(live, obs::EventCause::kStaleRefresh);
+        cache_eligible = true;
+        // A hit never leaves the server, so no liveness check; a miss
+        // only admits the object when a live source exists to fetch from.
+        cache_hit = cache.access_no_admit(key, bytes);
+        if (cache_hit) {
+          served_locally = true;
+          cause = obs::EventCause::kCacheHit;
         } else {
-          cache_eligible = true;
-          // A hit never leaves the server, so no liveness check; a miss
-          // only admits the object when a live source exists to fetch from.
-          cache_hit = cache.access_no_admit(key, bytes);
-          if (cache_hit) {
-            served_locally = true;
-            cause = obs::EventCause::kCacheHit;
-          } else {
-            const auto live = resolve();
-            if (live) cache.admit(key, bytes);
-            redirect_to(live, obs::EventCause::kCacheMiss);
-          }
+          const auto live = resolve();
+          if (live) cache.admit(key, bytes);
+          redirect_to(live, obs::EventCause::kCacheMiss);
         }
       }
     }
@@ -440,7 +362,7 @@ SimulationReport simulate(const sys::CdnSystem& system,
         }
         if (t + 1 >= next_window_flush) {
           win_series.flush(win);
-          win = WindowAccumulator{};
+          win = detail::WindowAccumulator{};
           ++window_index;
           next_window_flush =
               warmup + (window_index + 1) * measured_total / window_count;
@@ -472,17 +394,16 @@ SimulationReport simulate(const sys::CdnSystem& system,
 
     if (t + 1 >= next_progress) {
       next_progress += config.progress_every;
-      const double pct =
-          100.0 * static_cast<double>(t + 1) / static_cast<double>(total);
-      std::cerr << "sim: " << (t + 1) << "/" << total << " requests ("
-                << static_cast<int>(pct) << "%)"
-                << (measured && eligible
-                        ? ", hit_ratio=" +
-                              std::to_string(
-                                  static_cast<double>(eligible_hits) /
-                                  static_cast<double>(eligible))
-                        : std::string(t < warmup ? ", warming up" : ""))
-                << '\n';
+      SimulationProgress p;
+      p.completed = t + 1;
+      p.total = total;
+      p.warming_up = t < warmup;
+      p.hit_ratio_known = measured && eligible > 0;
+      if (p.hit_ratio_known) {
+        p.hit_ratio = static_cast<double>(eligible_hits) /
+                      static_cast<double>(eligible);
+      }
+      config.progress(p);
     }
   }
   // Flush a final partial window (rounding can leave the last flush short).
@@ -515,42 +436,8 @@ SimulationReport simulate(const sys::CdnSystem& system,
   }
 
   if (instrumented) {
-    metrics->counter(prefix + "requests_total").add(total);
-    metrics->counter(prefix + "requests_measured")
-        .add(report.measured_requests);
-    metrics->gauge(prefix + "cache_hit_ratio").set(report.cache_hit_ratio);
-    metrics->gauge(prefix + "local_ratio").set(report.local_ratio);
-    metrics->gauge(prefix + "mean_cost_hops").set(report.mean_cost_hops);
-    metrics->gauge(prefix + "mean_latency_ms").set(report.mean_latency_ms);
-    metrics->counter(prefix + "cache/hits").add(report.cache_totals.hits());
-    metrics->counter(prefix + "cache/misses")
-        .add(report.cache_totals.misses());
-    metrics->counter(prefix + "cache/admissions")
-        .add(report.cache_totals.admissions());
-    metrics->counter(prefix + "cache/evictions")
-        .add(report.cache_totals.evictions());
-    metrics->counter(prefix + "cache/bytes_churned")
-        .add(report.cache_totals.bytes_churned());
-    if (slo_active) {
-      metrics->gauge(prefix + "slo_violation_fraction")
-          .set(report.slo_violation_fraction);
-    }
-    if (faults_active) {
-      metrics->gauge(prefix + "availability").set(report.availability);
-      metrics->counter(prefix + "fault/failed").add(report.failed_requests);
-      metrics->counter(prefix + "fault/failover")
-          .add(report.failover_requests);
-      metrics->counter(prefix + "fault/cold_restarts")
-          .add(report.cold_restarts);
-      metrics->counter(prefix + "fault/transitions")
-          .add(report.fault_transitions);
-    }
-    if (config.per_server_metrics) {
-      for (std::size_t i = 0; i < n; ++i) {
-        metrics->gauge(prefix + "server/" + std::to_string(i) + "/hit_ratio")
-            .set(report.server_cache_stats[i].hit_ratio());
-      }
-    }
+    detail::publish_summary_metrics(*metrics, prefix, config, report,
+                                    slo_active, faults_active);
   }
   return report;
 }

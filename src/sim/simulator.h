@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "src/placement/placement_result.h"
 #include "src/sim/latency_model.h"
 #include "src/util/cdf.h"
+#include "src/util/quantile_sketch.h"
 #include "src/workload/trace_io.h"
 
 namespace cdn::sim {
@@ -35,6 +37,16 @@ enum class StalenessMode {
   /// Uncacheable content (Section 3.3's cgi-bin case): flagged requests
   /// bypass the cache entirely and are never admitted.
   kUncacheable,
+};
+
+/// Progress snapshot handed to SimulationConfig::progress.
+struct SimulationProgress {
+  std::uint64_t completed = 0;
+  std::uint64_t total = 0;
+  bool warming_up = false;
+  /// Running measured hit ratio; meaningful only when hit_ratio_known.
+  double hit_ratio = 0.0;
+  bool hit_ratio_known = false;
 };
 
 struct SimulationConfig {
@@ -54,6 +66,23 @@ struct SimulationConfig {
   /// Temporal-locality knob of the request stream (0 = i.i.d., the model's
   /// assumption).
   double stream_locality = 0.0;
+
+  // --- Parallel sharded engine (see docs/PERFORMANCE.md) ---
+
+  /// Simulation worker threads.  1 (the default) runs the sequential
+  /// reference engine, bit-identical to the pre-parallel simulator; 0 uses
+  /// one thread per hardware thread.  Fault schedules, trace replay and
+  /// trace sinks need the global request clock, so they force the
+  /// sequential engine regardless of this knob.
+  std::size_t threads = 1;
+  /// First-hop shard count of the parallel engine.  0 = auto (4 threads'
+  /// worth of shards, capped at the server count).  The parallel report is
+  /// a deterministic function of (seed, shards) alone — the thread count
+  /// only changes the execution schedule, never a result bit.
+  std::size_t shards = 0;
+  /// Relative error bound of the parallel engine's bounded-memory latency
+  /// quantile sketch (the sequential engine keeps exact samples).
+  double latency_sketch_error = 0.005;
 
   // --- Fault injection (see docs/FAULTS.md) ---
 
@@ -89,14 +118,18 @@ struct SimulationConfig {
   /// Sampled per-request event sink (non-owning).  Null disables tracing.
   obs::TraceSink* trace_sink = nullptr;
 
-  /// Emit a progress line to stderr every `progress_every` requests
-  /// (0 = off).  For interactive runs of hundreds of millions of requests.
+  /// Invoke `progress` every `progress_every` requests (0 = off; sequential
+  /// engine only).  The callback owns the presentation — the simulator
+  /// itself never touches a stream, keeping <iostream> out of the hot TU.
   std::uint64_t progress_every = 0;
+  std::function<void(const SimulationProgress&)> progress;
 };
 
 struct SimulationReport {
-  /// Response-time samples of all measured requests.
-  util::EmpiricalCdf latency_cdf;
+  /// Response-time distribution of all measured requests: exact samples
+  /// from the sequential engine, a bounded-memory quantile sketch from the
+  /// parallel one (same query interface either way).
+  util::LatencyDistribution latency_cdf;
 
   double mean_latency_ms = 0.0;
   /// Average redirection cost in hops per measured request — comparable to
@@ -110,6 +143,8 @@ struct SimulationReport {
 
   std::uint64_t measured_requests = 0;
   std::uint64_t total_requests = 0;
+  /// Shards the engine ran (1 = sequential reference engine).
+  std::size_t shards_used = 1;
 
   // --- Degraded-mode accounting (all default on a healthy run) ---
 

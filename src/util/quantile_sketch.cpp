@@ -1,0 +1,163 @@
+#include "src/util/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace cdn::util {
+
+namespace {
+
+/// Values below this magnitude collapse into the shared zero bucket; a
+/// first-hop latency of exactly 0 ms is the only simulator value that
+/// lands there.
+constexpr double kMinTrackable = 1e-9;
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_error)
+    : alpha_(relative_error),
+      gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+      inv_log_gamma_(1.0 / std::log((1.0 + relative_error) /
+                                    (1.0 - relative_error))) {
+  CDN_EXPECT(relative_error > 0.0 && relative_error < 1.0,
+             "sketch relative error must be in (0, 1)");
+}
+
+std::int32_t QuantileSketch::bucket_index(double x) const {
+  return static_cast<std::int32_t>(std::ceil(std::log(x) * inv_log_gamma_));
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+  // Midpoint (in relative terms) of (gamma^{i-1}, gamma^i]: every sample in
+  // the bucket is within alpha of this representative.
+  return 2.0 * std::pow(gamma_, index) / (1.0 + gamma_);
+}
+
+void QuantileSketch::add(double x) {
+  CDN_DCHECK(x >= 0.0, "quantile sketch samples must be non-negative");
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  if (x < kMinTrackable) {
+    ++zero_count_;
+  } else {
+    ++buckets_[bucket_index(x)];
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  CDN_EXPECT(alpha_ == other.alpha_,
+             "cannot merge sketches with different error bounds");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
+double QuantileSketch::mean() const {
+  CDN_EXPECT(count_ > 0, "mean of empty sketch");
+  return sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::min() const {
+  CDN_EXPECT(count_ > 0, "min of empty sketch");
+  return min_;
+}
+
+double QuantileSketch::max() const {
+  CDN_EXPECT(count_ > 0, "max of empty sketch");
+  return max_;
+}
+
+double QuantileSketch::quantile(double q) const {
+  CDN_EXPECT(count_ > 0, "quantile of empty sketch");
+  CDN_EXPECT(q >= 0.0 && q <= 1.0, "quantile requires q in [0, 1]");
+  const double rank = q * static_cast<double>(count_ - 1);
+  double cum = static_cast<double>(zero_count_);
+  if (rank < cum) return std::clamp(0.0, min_, max_);
+  for (const auto& [index, n] : buckets_) {
+    cum += static_cast<double>(n);
+    if (rank < cum) return std::clamp(bucket_value(index), min_, max_);
+  }
+  return max_;
+}
+
+double QuantileSketch::evaluate(double x) const {
+  CDN_EXPECT(count_ > 0, "CDF of empty sketch");
+  if (x < min_) return 0.0;
+  if (x >= max_) return 1.0;
+  std::uint64_t cum = zero_count_;
+  if (x >= kMinTrackable) {
+    const std::int32_t limit = bucket_index(x);
+    for (const auto& [index, n] : buckets_) {
+      if (index > limit) break;
+      cum += n;
+    }
+  }
+  return std::min(1.0, static_cast<double>(cum) /
+                           static_cast<double>(count_));
+}
+
+std::vector<CdfPoint> QuantileSketch::grid(std::size_t points) const {
+  CDN_EXPECT(points >= 2, "CDF grid needs at least 2 points");
+  CDN_EXPECT(count_ > 0, "CDF of empty sketch");
+  std::vector<CdfPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = min_ + (max_ - min_) * static_cast<double>(i) /
+                                static_cast<double>(points - 1);
+    out.push_back({x, evaluate(x)});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> QuantileSketch::at(std::span<const double> xs) const {
+  std::vector<CdfPoint> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back({x, evaluate(x)});
+  return out;
+}
+
+void LatencyDistribution::use_sketch(double relative_error) {
+  CDN_EXPECT(exact_.empty() && sketch_.empty(),
+             "storage mode must be chosen before the first sample");
+  sketch_ = QuantileSketch(relative_error);
+  use_sketch_ = true;
+}
+
+void LatencyDistribution::merge(const LatencyDistribution& other) {
+  CDN_EXPECT(use_sketch_ == other.use_sketch_,
+             "cannot merge exact and sketched distributions");
+  if (use_sketch_) {
+    sketch_.merge(other.sketch_);
+  } else {
+    exact_.merge(other.exact_);
+  }
+}
+
+const EmpiricalCdf& LatencyDistribution::exact() const {
+  CDN_EXPECT(!use_sketch_, "distribution is sketched");
+  return exact_;
+}
+
+const QuantileSketch& LatencyDistribution::sketch() const {
+  CDN_EXPECT(use_sketch_, "distribution stores exact samples");
+  return sketch_;
+}
+
+}  // namespace cdn::util

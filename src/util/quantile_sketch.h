@@ -1,0 +1,150 @@
+// Bounded-memory quantile estimation for parallel simulation shards.
+//
+// QuantileSketch is a DDSketch-style log-bucketed summary: values land in
+// geometrically spaced buckets chosen so every reported quantile carries a
+// guaranteed relative error of at most `relative_error`.  Memory is bounded
+// by the number of occupied buckets (a few hundred for any latency range
+// this repo produces) instead of one double per sample, and two sketches
+// with the same error bound merge exactly — the primitive that lets the
+// sharded simulator combine per-shard latency distributions
+// deterministically without ever materialising the full sample vector.
+//
+// LatencyDistribution wraps the two storage strategies behind one query
+// interface: exact sample storage (EmpiricalCdf — the sequential
+// simulator's bit-identical reference path) or the sketch (parallel runs).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/util/cdf.h"
+
+namespace cdn::util {
+
+/// Log-bucketed quantile sketch with a relative-error guarantee:
+/// |quantile(q) - exact_quantile(q)| <= relative_error * exact_quantile(q)
+/// for every q, at O(log(max/min) / relative_error) memory.
+class QuantileSketch {
+ public:
+  /// `relative_error` (alpha) in (0, 1); buckets grow by
+  /// gamma = (1 + alpha) / (1 - alpha) per step.
+  explicit QuantileSketch(double relative_error = 0.005);
+
+  /// Adds one sample.  Requires x >= 0 (latencies never go negative);
+  /// values below the minimum trackable magnitude share one zero bucket.
+  void add(double x);
+
+  /// Exact merge; both sketches must share the same relative_error.
+  /// Deterministic: merging B into A equals having added B's samples to A.
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Exact (not sketched) streaming aggregates.
+  double sum() const noexcept { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Inverse CDF within the relative-error bound.  Requires at least one
+  /// sample and q in [0, 1].
+  double quantile(double q) const;
+
+  /// F(x): fraction of samples <= x (error confined to x's bucket).
+  double evaluate(double x) const;
+
+  /// Evaluates the CDF on an evenly spaced grid spanning [min, max]
+  /// (points >= 2) — same contract as EmpiricalCdf::grid.
+  std::vector<CdfPoint> grid(std::size_t points) const;
+
+  /// Evaluates the CDF at caller-chosen x-values.
+  std::vector<CdfPoint> at(std::span<const double> xs) const;
+
+  double relative_error() const noexcept { return alpha_; }
+  /// Occupied buckets — the sketch's actual memory footprint.
+  std::size_t bucket_count() const noexcept {
+    return buckets_.size() + (zero_count_ > 0 ? 1 : 0);
+  }
+
+ private:
+  std::int32_t bucket_index(double x) const;
+  double bucket_value(std::int32_t index) const;
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  // Sparse bucket index -> sample count; std::map keeps ascending order for
+  // deterministic quantile walks and merges.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t zero_count_ = 0;  // samples below the trackable minimum
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Response-time distribution of one simulation run.  Exact mode (the
+/// default) stores every sample like EmpiricalCdf and is what the
+/// sequential simulator reports — bit-identical to the pre-parallel
+/// engine.  Sketch mode (parallel runs) bounds memory and supports the
+/// deterministic shard merge.  The query surface is shared so reporting
+/// code never cares which engine produced the run.
+class LatencyDistribution {
+ public:
+  LatencyDistribution() = default;
+
+  /// Switches to sketch storage.  Must be called before the first add().
+  void use_sketch(double relative_error);
+  bool sketched() const noexcept { return use_sketch_; }
+
+  void reserve(std::size_t n) {
+    if (!use_sketch_) exact_.reserve(n);
+  }
+  void add(double x) {
+    if (use_sketch_) {
+      sketch_.add(x);
+    } else {
+      exact_.add(x);
+    }
+  }
+  /// Merges another distribution of the same mode.
+  void merge(const LatencyDistribution& other);
+
+  std::uint64_t count() const noexcept {
+    return use_sketch_ ? sketch_.count()
+                       : static_cast<std::uint64_t>(exact_.count());
+  }
+  bool empty() const noexcept {
+    return use_sketch_ ? sketch_.empty() : exact_.empty();
+  }
+  double mean() const { return use_sketch_ ? sketch_.mean() : exact_.mean(); }
+  double min() const { return use_sketch_ ? sketch_.min() : exact_.min(); }
+  double max() const { return use_sketch_ ? sketch_.max() : exact_.max(); }
+  double quantile(double q) const {
+    return use_sketch_ ? sketch_.quantile(q) : exact_.quantile(q);
+  }
+  double evaluate(double x) const {
+    return use_sketch_ ? sketch_.evaluate(x) : exact_.evaluate(x);
+  }
+  std::vector<CdfPoint> grid(std::size_t points) const {
+    return use_sketch_ ? sketch_.grid(points) : exact_.grid(points);
+  }
+  std::vector<CdfPoint> at(std::span<const double> xs) const {
+    return use_sketch_ ? sketch_.at(xs) : exact_.at(xs);
+  }
+
+  const EmpiricalCdf& exact() const;
+  const QuantileSketch& sketch() const;
+
+ private:
+  EmpiricalCdf exact_;
+  QuantileSketch sketch_;
+  bool use_sketch_ = false;
+};
+
+}  // namespace cdn::util

@@ -65,33 +65,4 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t grain) {
-  if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t workers = pool.thread_count();
-  if (workers <= 1 || n <= grain) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-  const std::size_t chunks = std::min(workers, (n + grain - 1) / grain);
-  const std::size_t chunk = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    });
-  }
-  pool.wait_idle();
-}
-
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t grain) {
-  parallel_for(ThreadPool::shared(), begin, end, body, grain);
-}
-
 }  // namespace cdn::util

@@ -1,18 +1,22 @@
-// Minimal work-stealing-free thread pool plus a static-partition parallel_for.
+// Minimal work-stealing-free thread pool plus static-partition parallel loops.
 //
 // The hybrid greedy algorithm evaluates O(M*N) candidate replicas per
 // iteration with identical per-candidate cost, so a static partition over a
 // fixed pool (the OpenMP `parallel for schedule(static)` idiom) is the right
-// shape; no dynamic load balancing is needed.
+// shape; no dynamic load balancing is needed.  The loop drivers are
+// templates: the body is invoked directly (inlinable), with type erasure
+// paid once per submitted chunk — never per index.
 
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace cdn::util {
@@ -52,16 +56,75 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+namespace detail {
+
+/// Static partition of [begin, end) into at most thread_count() chunks of at
+/// least `grain` indices; chunk_body(lo, hi) runs on the pool (or inline
+/// when the range is small or the pool has a single worker).  Blocks until
+/// every chunk has finished, so capturing chunk_body by reference is safe.
+template <typename ChunkBody>
+void parallel_chunks(ThreadPool& pool, std::size_t begin, std::size_t end,
+                     std::size_t grain, const ChunkBody& chunk_body) {
+  static_assert(
+      std::is_invocable_v<const ChunkBody&, std::size_t, std::size_t>,
+      "chunk body must be callable as body(lo, hi)");
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.thread_count();
+  if (workers <= 1 || n <= grain) {
+    chunk_body(begin, end);
+    return;
+  }
+  const std::size_t chunks = std::min(workers, (n + grain - 1) / grain);
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.submit([lo, hi, &chunk_body] { chunk_body(lo, hi); });
+  }
+  pool.wait_idle();
+}
+
+}  // namespace detail
+
 /// Runs body(i) for i in [begin, end) across the pool with a static
 /// partition; blocks until complete.  Falls back to the calling thread when
 /// the range is small or the pool has a single worker.
+template <typename Body>
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t grain = 1);
+                  const Body& body, std::size_t grain = 1) {
+  static_assert(std::is_invocable_v<const Body&, std::size_t>,
+                "loop body must be callable as body(i)");
+  detail::parallel_chunks(pool, begin, end, grain,
+                          [&body](std::size_t lo, std::size_t hi) {
+                            for (std::size_t i = lo; i < hi; ++i) body(i);
+                          });
+}
 
 /// parallel_for over the shared pool.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t grain = 1);
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  std::size_t grain = 1) {
+  parallel_for(ThreadPool::shared(), begin, end, body, grain);
+}
+
+/// Chunked variant: body(lo, hi) receives one contiguous sub-range per
+/// chunk, letting the caller hoist per-chunk state (accumulators, scratch
+/// buffers) out of the index loop.
+template <typename Body>
+void parallel_for_chunked(ThreadPool& pool, std::size_t begin,
+                          std::size_t end, const Body& body,
+                          std::size_t grain = 1) {
+  detail::parallel_chunks(pool, begin, end, grain, body);
+}
+
+/// parallel_for_chunked over the shared pool.
+template <typename Body>
+void parallel_for_chunked(std::size_t begin, std::size_t end, const Body& body,
+                          std::size_t grain = 1) {
+  detail::parallel_chunks(ThreadPool::shared(), begin, end, grain, body);
+}
 
 }  // namespace cdn::util

@@ -6,42 +6,69 @@ namespace cdn::workload {
 
 RequestStream::RequestStream(const SiteCatalog& catalog,
                              const DemandMatrix& demand, std::uint64_t seed,
-                             double locality, std::size_t locality_window)
+                             double locality, std::size_t locality_window,
+                             std::span<const ServerId> servers)
     : catalog_(&catalog),
       sites_(demand.site_count()),
       rng_(seed),
+      servers_(servers.begin(), servers.end()),
       locality_(locality),
-      locality_window_(locality_window),
-      recent_(demand.server_count()) {
+      locality_window_(locality_window) {
   CDN_EXPECT(catalog.site_count() == demand.site_count(),
              "catalog and demand matrix disagree on site count");
   CDN_EXPECT(locality >= 0.0 && locality < 1.0, "locality must be in [0, 1)");
   CDN_EXPECT(locality == 0.0 || locality_window >= 1,
              "locality window must be positive when locality > 0");
+  const std::size_t rows =
+      servers_.empty() ? demand.server_count() : servers_.size();
   std::vector<double> weights;
-  weights.reserve(demand.server_count() * sites_);
-  for (ServerId i = 0; i < demand.server_count(); ++i) {
-    const auto row = demand.row(i);
+  weights.reserve(rows * sites_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const ServerId server =
+        servers_.empty() ? static_cast<ServerId>(r) : servers_[r];
+    CDN_EXPECT(server < demand.server_count(),
+               "stream server subset exceeds the demand matrix");
+    const auto row = demand.row(server);
     weights.insert(weights.end(), row.begin(), row.end());
   }
   cell_sampler_ = util::AliasSampler(weights);
+  if (locality_ > 0.0) {
+    recent_.resize(rows * locality_window_);
+    recent_size_.assign(rows, 0);
+    recent_head_.assign(rows, 0);
+  }
 }
 
 Request RequestStream::next() {
   const std::size_t cell = cell_sampler_.sample(rng_);
+  const std::size_t row = cell / sites_;
   Request req;
-  req.server = static_cast<ServerId>(cell / sites_);
+  req.server =
+      servers_.empty() ? static_cast<ServerId>(row) : servers_[row];
   req.site = static_cast<SiteId>(cell % sites_);
   req.rank = static_cast<std::uint32_t>(
       catalog_->object_popularity().sample(rng_));
 
   if (locality_ > 0.0) {
-    auto& window = recent_[req.server];
-    if (!window.empty() && rng_.bernoulli(locality_)) {
-      req = window[rng_.uniform_index(window.size())];
+    // A repeat draws uniformly from the server's ring, oldest-first logical
+    // order — the exact semantics (and RNG consumption) of the previous
+    // deque-backed history.
+    Request* const ring = recent_.data() + row * locality_window_;
+    const std::uint32_t cap = static_cast<std::uint32_t>(locality_window_);
+    std::uint32_t& size = recent_size_[row];
+    std::uint32_t& head = recent_head_[row];
+    if (size > 0 && rng_.bernoulli(locality_)) {
+      const auto k =
+          static_cast<std::uint32_t>(rng_.uniform_index(size));
+      req = ring[(head + k) % cap];
     }
-    window.push_back(req);
-    if (window.size() > locality_window_) window.pop_front();
+    if (size < cap) {
+      ring[(head + size) % cap] = req;
+      ++size;
+    } else {
+      ring[head] = req;
+      head = (head + 1) % cap;
+    }
   }
   return req;
 }

@@ -6,11 +6,16 @@
 // paper's analytical model (Section 3.2).  An optional temporal-locality
 // knob re-references a recent request at the same server with probability
 // `locality`, for sensitivity studies beyond the paper.
+//
+// A stream may be restricted to a subset of first-hop servers: it then
+// samples cells from those servers' demand rows only (renormalised), which
+// is exactly the conditional distribution of the full stream given the
+// first hop — the decomposition the parallel sharded simulator relies on.
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <span>
 #include <vector>
 
 #include "src/util/rng.h"
@@ -33,9 +38,12 @@ class RequestStream {
  public:
   /// `locality` in [0, 1): probability that a request repeats one of the
   /// last `locality_window` requests at the same server (0 = pure i.i.d.).
+  /// A non-empty `servers` restricts the stream to those first-hop servers
+  /// (distinct ids < demand.server_count()); empty means all servers.
   RequestStream(const SiteCatalog& catalog, const DemandMatrix& demand,
                 std::uint64_t seed, double locality = 0.0,
-                std::size_t locality_window = 256);
+                std::size_t locality_window = 256,
+                std::span<const ServerId> servers = {});
 
   /// Generates the next request.
   Request next();
@@ -46,10 +54,15 @@ class RequestStream {
   const SiteCatalog* catalog_;
   std::size_t sites_;
   util::Rng rng_;
-  util::AliasSampler cell_sampler_;  // over server*site cells
+  util::AliasSampler cell_sampler_;  // over owned-server*site cells
+  std::vector<ServerId> servers_;    // owned subset; empty = all servers
   double locality_;
   std::size_t locality_window_;
-  std::vector<std::deque<Request>> recent_;  // per server
+  // Recent-request history as one fixed ring segment of `locality_window_`
+  // slots per owned server — no per-request allocation, unlike a deque.
+  std::vector<Request> recent_;
+  std::vector<std::uint32_t> recent_size_;
+  std::vector<std::uint32_t> recent_head_;
 };
 
 }  // namespace cdn::workload

@@ -1,0 +1,162 @@
+// Tests of the bounded-memory quantile sketch: relative-error guarantee
+// against the exact EmpiricalCdf, exact merge semantics, and the
+// LatencyDistribution mode switch.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/cdf.h"
+#include "src/util/error.h"
+#include "src/util/quantile_sketch.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using cdn::util::EmpiricalCdf;
+using cdn::util::LatencyDistribution;
+using cdn::util::QuantileSketch;
+
+TEST(QuantileSketchTest, ExactAggregates) {
+  QuantileSketch sketch(0.01);
+  EXPECT_TRUE(sketch.empty());
+  for (const double x : {2.0, 4.0, 6.0, 8.0, 10.0}) sketch.add(x);
+  EXPECT_EQ(sketch.count(), 5u);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 30.0);
+  EXPECT_DOUBLE_EQ(sketch.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(sketch.min(), 2.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 10.0);
+}
+
+TEST(QuantileSketchTest, QuantilesWithinRelativeErrorBound) {
+  const double alpha = 0.01;
+  QuantileSketch sketch(alpha);
+  EmpiricalCdf exact;
+  cdn::util::Rng rng(42);
+  for (int i = 0; i < 200'000; ++i) {
+    // Latency-shaped data: a point mass at the first hop plus a spread of
+    // redirect costs — the distribution the simulator actually produces.
+    const double x =
+        rng.bernoulli(0.4) ? 2.0 : 2.0 + 28.0 * rng.uniform();
+    sketch.add(x);
+    exact.add(x);
+  }
+  for (const double q :
+       {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}) {
+    const double truth = exact.quantile(q);
+    EXPECT_NEAR(sketch.quantile(q), truth, alpha * truth + 1e-9)
+        << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), exact.quantile(0.0));
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), exact.quantile(1.0));
+}
+
+TEST(QuantileSketchTest, BoundedMemory) {
+  QuantileSketch sketch(0.005);
+  cdn::util::Rng rng(7);
+  for (int i = 0; i < 1'000'000; ++i) {
+    sketch.add(2.0 + 100.0 * rng.uniform());
+  }
+  // One double per sample would be 8 MB; the sketch stays in the hundreds
+  // of buckets for any latency range this repo produces.
+  EXPECT_LT(sketch.bucket_count(), 2000u);
+}
+
+TEST(QuantileSketchTest, MergeEqualsCombinedAdds) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.01);
+  QuantileSketch combined(0.01);
+  cdn::util::Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = 1.0 + 50.0 * rng.uniform();
+    (i % 2 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  // Bucket counts merge exactly; the running sum differs only by float
+  // accumulation order.
+  EXPECT_NEAR(a.sum() / combined.sum(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketchTest, MergeRequiresSameErrorBound) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.02);
+  EXPECT_THROW(a.merge(b), cdn::PreconditionError);
+}
+
+TEST(QuantileSketchTest, EvaluateIsAMonotoneCdf) {
+  QuantileSketch sketch(0.01);
+  cdn::util::Rng rng(3);
+  for (int i = 0; i < 50'000; ++i) sketch.add(2.0 + 30.0 * rng.uniform());
+  EXPECT_DOUBLE_EQ(sketch.evaluate(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.evaluate(40.0), 1.0);
+  double prev = 0.0;
+  for (double x = 2.0; x <= 32.0; x += 0.5) {
+    const double f = sketch.evaluate(x);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(QuantileSketchTest, ZeroValuesShareTheZeroBucket) {
+  QuantileSketch sketch(0.01);
+  sketch.add(0.0);
+  sketch.add(0.0);
+  sketch.add(10.0);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.min(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(1.0), 10.0);
+}
+
+TEST(LatencyDistributionTest, ExactModeMatchesEmpiricalCdf) {
+  LatencyDistribution dist;
+  EmpiricalCdf exact;
+  cdn::util::Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = 2.0 + 20.0 * rng.uniform();
+    dist.add(x);
+    exact.add(x);
+  }
+  EXPECT_FALSE(dist.sketched());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    EXPECT_DOUBLE_EQ(dist.quantile(q), exact.quantile(q));
+  }
+  EXPECT_DOUBLE_EQ(dist.mean(), exact.mean());
+}
+
+TEST(LatencyDistributionTest, SketchModeSwitchBeforeFirstAdd) {
+  LatencyDistribution dist;
+  dist.use_sketch(0.01);
+  EXPECT_TRUE(dist.sketched());
+  dist.add(5.0);
+  EXPECT_EQ(dist.count(), 1u);
+  // Switching after samples exist is a precondition violation.
+  LatencyDistribution late;
+  late.add(1.0);
+  EXPECT_THROW(late.use_sketch(0.01), cdn::PreconditionError);
+}
+
+TEST(LatencyDistributionTest, MergeRequiresSameMode) {
+  LatencyDistribution exact_mode;
+  exact_mode.add(1.0);
+  LatencyDistribution sketch_mode;
+  sketch_mode.use_sketch(0.01);
+  sketch_mode.add(2.0);
+  EXPECT_THROW(exact_mode.merge(sketch_mode), cdn::PreconditionError);
+  LatencyDistribution other_sketch;
+  other_sketch.use_sketch(0.01);
+  other_sketch.add(3.0);
+  sketch_mode.merge(other_sketch);
+  EXPECT_EQ(sketch_mode.count(), 2u);
+}
+
+}  // namespace

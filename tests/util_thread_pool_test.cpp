@@ -101,6 +101,45 @@ TEST(ParallelForTest, SharedPoolOverloadWorks) {
   for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
 }
 
+TEST(ParallelForChunkedTest, ChunksTileTheRangeExactly) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(997);  // prime: uneven last chunk
+  std::atomic<int> chunks{0};
+  cdn::util::parallel_for_chunked(
+      pool, 0, touched.size(), [&](std::size_t lo, std::size_t hi) {
+        EXPECT_LT(lo, hi);
+        chunks.fetch_add(1);
+        for (std::size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+      });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+  EXPECT_GE(chunks.load(), 1);
+  EXPECT_LE(chunks.load(), 4);
+}
+
+TEST(ParallelForChunkedTest, GrainBoundsChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  cdn::util::parallel_for_chunked(
+      pool, 0, 100,
+      [&](std::size_t, std::size_t) { chunks.fetch_add(1); },
+      /*grain=*/50);
+  // 100 indices at grain 50 permit at most two chunks.
+  EXPECT_LE(chunks.load(), 2);
+}
+
+TEST(ParallelForChunkedTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  cdn::util::parallel_for_chunked(pool, 0, 10,
+                                  [&](std::size_t lo, std::size_t hi) {
+                                    for (std::size_t i = lo; i < hi; ++i) {
+                                      order.push_back(static_cast<int>(i));
+                                    }
+                                  });
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST(ParallelForTest, NestedSubmissionDoesNotDeadlock) {
   // parallel_for from within a pool task must not deadlock the shared pool
   // (tasks submit to the same queue but wait_idle is only called outside).

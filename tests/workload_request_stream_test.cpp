@@ -120,6 +120,58 @@ TEST(RequestStreamTest, RejectsInvalidConfig) {
                cdn::PreconditionError);
 }
 
+TEST(RequestStreamTest, SubsetStreamSamplesConditionalDistribution) {
+  // A stream restricted to server 0 must reproduce server 0's demand row,
+  // renormalised — the decomposition the sharded simulator relies on.
+  const auto f = Fixture::make();
+  const std::vector<cdn::workload::ServerId> subset{0};
+  RequestStream stream(f.catalog, f.demand, 21, 0.0, 256, subset);
+  std::vector<int> site_counts(3, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const Request r = stream.next();
+    ASSERT_EQ(r.server, 0u);
+    ++site_counts[r.site];
+  }
+  double row_total = 0.0;
+  for (const double d : f.demand.row(0)) row_total += d;
+  for (int j = 0; j < 3; ++j) {
+    const double expected = f.demand.requests(0, j) / row_total;
+    EXPECT_NEAR(static_cast<double>(site_counts[j]) / n, expected, 0.01)
+        << "site " << j;
+  }
+}
+
+TEST(RequestStreamTest, ExplicitFullSubsetMatchesDefaultStream) {
+  const auto f = Fixture::make();
+  const std::vector<cdn::workload::ServerId> all{0, 1};
+  RequestStream a(f.catalog, f.demand, 33, 0.4, 32);
+  RequestStream b(f.catalog, f.demand, 33, 0.4, 32, all);
+  for (int i = 0; i < 2000; ++i) {
+    const Request ra = a.next();
+    const Request rb = b.next();
+    EXPECT_EQ(ra.server, rb.server);
+    EXPECT_EQ(ra.site, rb.site);
+    EXPECT_EQ(ra.rank, rb.rank);
+  }
+}
+
+TEST(RequestStreamTest, SubsetStreamsWithLocalityStayOnOwnedServers) {
+  const auto f = Fixture::make();
+  const std::vector<cdn::workload::ServerId> subset{1};
+  RequestStream stream(f.catalog, f.demand, 5, 0.6, 16, subset);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(stream.next().server, 1u);
+  }
+}
+
+TEST(RequestStreamTest, RejectsOutOfRangeSubset) {
+  const auto f = Fixture::make();
+  const std::vector<cdn::workload::ServerId> bad{0, 7};
+  EXPECT_THROW(RequestStream(f.catalog, f.demand, 1, 0.0, 256, bad),
+               cdn::PreconditionError);
+}
+
 TEST(RequestStreamTest, RejectsMismatchedCatalogAndDemand) {
   const auto f = Fixture::make();
   const auto other_demand =

@@ -89,6 +89,12 @@ int main(int argc, char** argv) {
                "cap on recorded trace events (excess is counted as dropped)");
   cli.add_flag("windows", "50",
                "per-window time-series buckets in the metrics output");
+  cli.add_flag("threads", "1",
+               "simulation threads: 1 = sequential reference engine, "
+               "0 = all hardware threads, N = parallel sharded engine");
+  cli.add_flag("shards", "0",
+               "first-hop shards of the parallel engine (0 = auto); the "
+               "parallel result is deterministic in (sim-seed, shards)");
   cli.add_flag("progress", "false",
                "print simulation progress to stderr");
   cli.add_flag("fault-schedule", "",
@@ -125,8 +131,20 @@ int main(int argc, char** argv) {
     sim.policy = cache::parse_policy(cli.get_string("policy"));
     sim.seed = static_cast<std::uint64_t>(cli.get_int("sim-seed"));
     sim.metrics_windows = static_cast<std::size_t>(cli.get_int("windows"));
+    sim.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    sim.shards = static_cast<std::size_t>(cli.get_int("shards"));
     if (cli.get_bool("progress")) {
       sim.progress_every = std::max<std::uint64_t>(1, sim.total_requests / 20);
+      sim.progress = [](const sim::SimulationProgress& p) {
+        std::cerr << "sim: " << p.completed << "/" << p.total << " requests ("
+                  << static_cast<int>(100.0 * static_cast<double>(p.completed) /
+                                      static_cast<double>(p.total))
+                  << "%)"
+                  << (p.hit_ratio_known
+                          ? ", hit_ratio=" + std::to_string(p.hit_ratio)
+                          : std::string(p.warming_up ? ", warming up" : ""))
+                  << '\n';
+      };
     }
     sim.slo_ms = cli.get_double("slo-ms");
 
