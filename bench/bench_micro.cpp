@@ -10,6 +10,9 @@
 #include "src/core/scenario.h"
 #include "src/model/characteristic_time.h"
 #include "src/model/hit_ratio_curve.h"
+#include "src/obs/registry.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/placement/model_support.h"
 #include "src/sim/simulator.h"
 #include "src/topology/shortest_paths.h"
 #include "src/topology/transit_stub.h"
@@ -159,6 +162,89 @@ BENCHMARK(BM_SimulateRequests)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
+
+// One Figure-2 candidate-benefit evaluation, with and without the
+// precomputed miss-flow matrix (arg 1 = use the matrix).  The delta is the
+// restructuring win the incremental engine banks on for every evaluation.
+void BM_CandidateBenefit(benchmark::State& state) {
+  core::ScenarioConfig cfg;
+  cfg.server_count = 32;
+  cfg.classes = {{12, 1.0, "low"}, {4, 8.0, "high"}};
+  cfg.surge.objects_per_site = 100;
+  cfg.storage_fraction = 0.05;
+  cfg.seed = 2005;
+  const core::Scenario scenario(cfg);
+  const auto& system = scenario.system();
+
+  const placement::ModelContext context(system);
+  const auto states = context.make_states();
+  const auto hit = placement::modeled_hit_matrix(states);
+  const auto flow = placement::miss_flow_matrix(system, hit);
+  const sys::ReplicaPlacement placement(system.server_storage(),
+                                        system.site_bytes());
+  const sys::NearestReplicaIndex nearest(system.distances(), placement);
+  const bool use_flow = state.range(0) != 0;
+
+  std::vector<std::pair<sys::ServerIndex, sys::SiteIndex>> feasible;
+  for (sys::ServerIndex i = 0; i < system.server_count(); ++i) {
+    for (sys::SiteIndex j = 0; j < system.site_count(); ++j) {
+      if (placement.can_add(i, j)) feasible.emplace_back(i, j);
+    }
+  }
+
+  std::size_t next = 0;
+  for (auto _ : state) {
+    const auto [i, j] = feasible[next];
+    if (++next >= feasible.size()) next = 0;
+    const double b =
+        use_flow
+            ? placement::hybrid_candidate_benefit(system, placement, nearest,
+                                                  states[i], hit, flow.data(),
+                                                  i, j)
+            : placement::hybrid_candidate_benefit(system, placement, nearest,
+                                                  states[i], hit, i, j);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CandidateBenefit)
+    ->Arg(0)   // elementwise products recomputed per call
+    ->Arg(1);  // precomputed miss-flow matrix
+
+// Whole hybrid runs per engine; items = candidate evaluations, so
+// items_per_second compares evaluation throughput and iterations compares
+// wall-clock.  Arg 0 = engine (0 reference, 1 incremental).
+void BM_HybridGreedyIteration(benchmark::State& state) {
+  core::ScenarioConfig cfg;
+  cfg.server_count = 48;
+  cfg.classes = {{16, 1.0, "low"}, {8, 8.0, "high"}};
+  cfg.surge.objects_per_site = 100;
+  cfg.storage_fraction = 0.05;
+  cfg.seed = 2005;
+  const core::Scenario scenario(cfg);
+
+  const auto engine = state.range(0) == 0
+                          ? placement::PlacementEngine::kReference
+                          : placement::PlacementEngine::kIncremental;
+  std::int64_t candidates = 0;
+  for (auto _ : state) {
+    obs::Registry registry;
+    placement::HybridGreedyOptions options;
+    options.engine = engine;
+    options.metrics = &registry;
+    benchmark::DoNotOptimize(
+        placement::hybrid_greedy(scenario.system(), options));
+    if (const auto* c =
+            registry.find_counter("placement/hybrid/candidates_evaluated")) {
+      candidates += static_cast<std::int64_t>(c->value());
+    }
+  }
+  state.SetItemsProcessed(candidates);
+}
+BENCHMARK(BM_HybridGreedyIteration)
+    ->Arg(0)   // reference engine
+    ->Arg(1)   // incremental lazy-heap engine
+    ->Unit(benchmark::kMillisecond);
 
 void BM_QuantileSketchAdd(benchmark::State& state) {
   util::QuantileSketch sketch(0.005);

@@ -69,17 +69,20 @@ std::optional<NearestCopy> NearestReplicaIndex::nearest_live(
   return best;
 }
 
-void NearestReplicaIndex::on_replica_added(ServerIndex holder,
-                                           SiteIndex site) {
+std::vector<ServerIndex> NearestReplicaIndex::on_replica_added(
+    ServerIndex holder, SiteIndex site) {
   CDN_EXPECT(holder < servers_ && site < sites_, "index out of range");
+  std::vector<ServerIndex> changed;
   for (std::size_t i = 0; i < servers_; ++i) {
     const double c =
         distances_->server_to_server(static_cast<ServerIndex>(i), holder);
     NearestCopy& cell = table_[i * sites_ + site];
     if (c < cell.cost || (i == holder && c <= cell.cost)) {
       cell = {false, holder, c};
+      changed.push_back(static_cast<ServerIndex>(i));
     }
   }
+  return changed;
 }
 
 }  // namespace cdn::sys

@@ -52,8 +52,14 @@ class NearestReplicaIndex {
       std::span<const ServerIndex> holders,
       const std::vector<std::uint8_t>& server_up, bool origin_up) const;
 
-  /// Updates column `site` after `holder` gained a replica of it.
-  void on_replica_added(ServerIndex holder, SiteIndex site);
+  /// Updates column `site` after `holder` gained a replica of it.  Returns
+  /// the ascending list of servers whose (server, site) cell was modified —
+  /// i.e. the servers for which the new replica is now the nearest copy
+  /// (always including `holder` itself).  Incremental placement engines use
+  /// this to invalidate exactly the candidates whose redirection costs
+  /// changed; callers that maintain no caches may ignore the result.
+  std::vector<ServerIndex> on_replica_added(ServerIndex holder,
+                                            SiteIndex site);
 
   /// Rebuilds everything from `placement` (validation / after removals).
   void rebuild(const ReplicaPlacement& placement);

@@ -51,6 +51,25 @@ HitRatioCurve::HitRatioCurve(const util::ZipfDistribution& zipf,
   }
 }
 
+HitRatioCurve::HitRatioCurve(const HitRatioCurve& other)
+    : z_min_(other.z_min_),
+      z_max_(other.z_max_),
+      log_z_min_(other.log_z_min_),
+      inv_log_step_(other.inv_log_step_),
+      values_(other.values_) {}
+
+HitRatioCurve& HitRatioCurve::operator=(const HitRatioCurve& other) {
+  if (this != &other) {
+    z_min_ = other.z_min_;
+    z_max_ = other.z_max_;
+    log_z_min_ = other.log_z_min_;
+    inv_log_step_ = other.inv_log_step_;
+    values_ = other.values_;
+    clamped_.store(0, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 double HitRatioCurve::evaluate_z(double z) const {
   CDN_DCHECK(z >= 0.0, "z must be non-negative");
   if (z <= 0.0) return 0.0;
@@ -59,7 +78,10 @@ double HitRatioCurve::evaluate_z(double z) const {
     // the origin.
     return values_.front() * (z / z_min_);
   }
-  if (z >= z_max_) return values_.back();
+  if (z >= z_max_) {
+    clamped_.fetch_add(1, std::memory_order_relaxed);
+    return values_.back();
+  }
   const double pos = (std::log(z) - log_z_min_) * inv_log_step_;
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = lo + 1 < values_.size() ? lo + 1 : lo;

@@ -17,7 +17,9 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "src/util/zipf.h"
@@ -45,6 +47,11 @@ class HitRatioCurve {
                          std::size_t grid_points = 2048, double z_min = 1e-4,
                          double z_max = 1e8);
 
+  // Copies share the table but each gets a fresh clamp counter (the counter
+  // is diagnostic state, not part of the curve's value).
+  HitRatioCurve(const HitRatioCurve& other);
+  HitRatioCurve& operator=(const HitRatioCurve& other);
+
   /// H(K * p): the modelled LRU hit ratio for a site with popularity p at a
   /// server whose characteristic time is K.
   double evaluate(double p, double K) const { return evaluate_z(p * K); }
@@ -56,10 +63,20 @@ class HitRatioCurve {
   double z_min() const noexcept { return z_min_; }
   double z_max() const noexcept { return z_max_; }
 
+  /// How many evaluate_z() calls clamped above z_max_ (flat extrapolation
+  /// at values_.back()).  A non-zero count means the grid is silently
+  /// saturated and the table should be rebuilt with a larger z_max; the
+  /// placement engines export it as the obs counter "model/curve_clamped".
+  /// Thread-safe (relaxed atomic — callers only need an eventual count).
+  std::uint64_t clamped_evaluations() const noexcept {
+    return clamped_.load(std::memory_order_relaxed);
+  }
+
  private:
   double z_min_, z_max_;
   double log_z_min_, inv_log_step_;
   std::vector<double> values_;
+  mutable std::atomic<std::uint64_t> clamped_{0};
 };
 
 }  // namespace cdn::model

@@ -41,6 +41,8 @@ ServerCacheState::ServerCacheState(std::span<const double> site_rates,
     popularity_[j] = total > 0.0 ? rates_[j] / total : 0.0;
   }
   w_ = total > 0.0 ? 1.0 : 0.0;
+  whatif_k_memo_.assign(rates_.size(), 0.0);
+  whatif_memo_epoch_.assign(rates_.size(), 0);
 
   slots_ = static_cast<std::uint64_t>(static_cast<double>(cache_bytes_) /
                                       mean_object_bytes_);
@@ -96,10 +98,16 @@ ServerCacheState::WhatIf ServerCacheState::what_if_replicate(
   w.parent_ = this;
   w.replicating_ = site;
   w.w_new_ = std::max(0.0, w_ - popularity_[site]);
+  if (whatif_memo_epoch_[site] == epoch_) {
+    w.k_new_ = whatif_k_memo_[site];
+    return w;
+  }
   const std::uint64_t cache_new = cache_bytes_ - bytes_[site];
   const auto slots_new = static_cast<std::uint64_t>(
       static_cast<double>(cache_new) / mean_object_bytes_);
   w.k_new_ = characteristic_time_closed_form(slots_new, p_b_);
+  whatif_k_memo_[site] = w.k_new_;
+  whatif_memo_epoch_[site] = epoch_;
   return w;
 }
 
@@ -117,6 +125,7 @@ void ServerCacheState::replicate(std::uint32_t site) {
   replicated_[site] = true;
   cache_bytes_ -= bytes_[site];
   w_ = std::max(0.0, w_ - popularity_[site]);
+  ++epoch_;
   if (pb_mode_ == PbMode::kPerIteration) {
     refresh_pb();
   } else {
@@ -126,6 +135,7 @@ void ServerCacheState::replicate(std::uint32_t site) {
 
 void ServerCacheState::refresh_pb() {
   if (pb_mode_ != PbMode::kPerIteration) return;
+  ++epoch_;  // p_B feeds the memoized WhatIf solves
   slots_ = static_cast<std::uint64_t>(static_cast<double>(cache_bytes_) /
                                       mean_object_bytes_);
   if (w_ <= 0.0 || slots_ == 0) {

@@ -94,7 +94,20 @@ class ServerCacheState {
   };
 
   /// Requires !is_replicated(site) and can_fit(site).
+  ///
+  /// The characteristic-time solve behind each WhatIf is memoized in a
+  /// per-state scratch arena keyed on the replicated-set signature (an
+  /// epoch bumped by replicate()/refresh_pb()), so re-evaluating the same
+  /// candidate between commits that did not touch this server is a table
+  /// lookup instead of a digamma solve.  The memo makes this method
+  /// non-reentrant across threads for the SAME state object; the placement
+  /// engines honour that by partitioning candidate batches by server
+  /// (states of different servers are independent).
   WhatIf what_if_replicate(std::uint32_t site) const;
+
+  /// Monotone counter identifying the current replicated set (bumped by
+  /// every mutation); WhatIf memo entries from older epochs are dead.
+  std::uint64_t mutation_epoch() const noexcept { return epoch_; }
 
   /// Materialises the replica: shrinks the cache by o_j, removes site j
   /// from the cacheable set, updates B and K (and p_B in kPerIteration).
@@ -122,6 +135,13 @@ class ServerCacheState {
   double w_ = 1.0;   // unreplicated popularity mass
   double p_b_ = 0.0;
   double k_ = 0.0;
+
+  // WhatIf scratch arena: per-site memo of the hypothetical K, valid while
+  // memo_epoch_[site] == epoch_.  Mutable because what_if_replicate() is
+  // logically const; see its thread-safety note.
+  std::uint64_t epoch_ = 1;
+  mutable std::vector<double> whatif_k_memo_;
+  mutable std::vector<std::uint64_t> whatif_memo_epoch_;
 };
 
 }  // namespace cdn::model

@@ -19,6 +19,12 @@
 namespace cdn::placement {
 
 struct GreedyGlobalOptions {
+  /// Candidate-evaluation engine.  A commit of (i*, j*) only changes the
+  /// inputs of column-j* candidates (the benefit reads nothing outside its
+  /// own site column), so the incremental engine re-evaluates N candidates
+  /// per commit instead of N*M; byte-identical results (test-enforced).
+  PlacementEngine engine = PlacementEngine::kIncremental;
+
   /// Optional cap on replicas per run (0 = unlimited); used by tests and
   /// by the fixed-split scheme indirectly through storage budgets.
   std::size_t max_replicas = 0;

@@ -5,6 +5,7 @@
 
 #include "src/cdn/cost.h"
 #include "src/obs/scoped_timer.h"
+#include "src/placement/hybrid_internal.h"
 #include "src/placement/model_support.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
@@ -23,48 +24,135 @@ struct Candidate {
 
 }  // namespace
 
-double hybrid_candidate_benefit(const sys::CdnSystem& system,
-                                const sys::ReplicaPlacement& placement,
-                                const sys::NearestReplicaIndex& nearest,
-                                const model::ServerCacheState& state,
-                                const std::vector<double>& hit,
-                                sys::ServerIndex server,
-                                sys::SiteIndex site) {
+std::vector<double> miss_flow_matrix(const sys::CdnSystem& system,
+                                     const std::vector<double>& hit) {
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  std::vector<double> flow(n * m, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    refresh_miss_flow_row(system, hit, static_cast<sys::ServerIndex>(i), flow);
+  }
+  return flow;
+}
+
+void refresh_miss_flow_row(const sys::CdnSystem& system,
+                           const std::vector<double>& hit,
+                           sys::ServerIndex server,
+                           std::vector<double>& flow) {
+  const std::size_t m = system.site_count();
+  const auto& demand = system.demand();
+  const std::size_t i = server;
+  for (std::size_t j = 0; j < m; ++j) {
+    // Must stay the elementwise twin of the miss_flow == nullptr fallback in
+    // hybrid_candidate_benefit_parts: the engines rely on the two producing
+    // bit-identical doubles.
+    flow[i * m + j] = (1.0 - hit[i * m + j]) *
+                      demand.requests(server, static_cast<sys::SiteIndex>(j));
+  }
+}
+
+namespace detail {
+
+double hybrid_cache_penalty(const sys::CdnSystem& system,
+                            const sys::NearestReplicaIndex& nearest,
+                            const model::ServerCacheState& state,
+                            const std::vector<double>& hit,
+                            sys::ServerIndex server, sys::SiteIndex site,
+                            double* terms) {
+  const std::size_t m = system.site_count();
+  const auto& demand = system.demand();
+  const std::size_t i = server;
+  const std::size_t j = site;
+
+  // Cache penalty (lines 10-13): smaller buffer for everyone else.  Skipped
+  // sites contribute exactly +0.0, and no term or partial sum is ever -0.0
+  // (terms are dh*d*c with d, c >= 0 and IEEE cancellation yielding +0.0),
+  // so re-summing a captured `terms` array over ALL sites in ascending order
+  // reproduces this accumulation bit for bit.
+  double penalty = 0.0;
+  const auto what_if = state.what_if_replicate(static_cast<std::uint32_t>(j));
+  for (std::size_t k = 0; k < m; ++k) {
+    double term = 0.0;
+    if (k != j && !state.is_replicated(static_cast<std::uint32_t>(k))) {
+      const double c = nearest.cost(server, static_cast<sys::SiteIndex>(k));
+      if (c != 0.0) {
+        const double dh =
+            hit[i * m + k] - what_if.hit_ratio(static_cast<std::uint32_t>(k));
+        term = dh * demand.requests(server, static_cast<sys::SiteIndex>(k)) * c;
+        penalty += term;
+      }
+    }
+    if (terms != nullptr) terms[k] = term;
+  }
+  return penalty;
+}
+
+double hybrid_relative_gain(const sys::CdnSystem& system,
+                            const sys::ReplicaPlacement& placement,
+                            const sys::NearestReplicaIndex& nearest,
+                            const std::vector<double>& hit,
+                            const double* miss_flow, sys::ServerIndex server,
+                            sys::SiteIndex site) {
   const std::size_t n = system.server_count();
   const std::size_t m = system.site_count();
   const auto& demand = system.demand();
   const auto& dist = system.distances();
-  const std::size_t i = server;
   const std::size_t j = site;
 
-  // Local benefit (line 9): former misses for j become local.
-  double b = (1.0 - hit[i * m + j]) * demand.requests(server, site) *
-             nearest.cost(server, site);
-
-  // Cache penalty (lines 10-13): smaller buffer for everyone else.
-  const auto what_if = state.what_if_replicate(static_cast<std::uint32_t>(j));
-  for (std::size_t k = 0; k < m; ++k) {
-    if (k == j || state.is_replicated(static_cast<std::uint32_t>(k))) {
-      continue;
-    }
-    const double c = nearest.cost(server, static_cast<sys::SiteIndex>(k));
-    if (c == 0.0) continue;
-    const double dh =
-        hit[i * m + k] - what_if.hit_ratio(static_cast<std::uint32_t>(k));
-    b -= dh * demand.requests(server, static_cast<sys::SiteIndex>(k)) * c;
-  }
-
   // Relative benefit (lines 14-17): other servers' misses for j.
+  double gain = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
     const auto other = static_cast<sys::ServerIndex>(k);
     if (other == server || placement.is_replicated(other, site)) continue;
     const double delta =
         nearest.cost(other, site) - dist.server_to_server(other, server);
     if (delta > 0.0) {
-      b += delta * (1.0 - hit[k * m + j]) * demand.requests(other, site);
+      const double f =
+          miss_flow != nullptr
+              ? miss_flow[k * m + j]
+              : (1.0 - hit[k * m + j]) * demand.requests(other, site);
+      gain += delta * f;
     }
   }
-  return b;
+  return gain;
+}
+
+HybridBenefitParts hybrid_benefit_parts_capture(
+    const sys::CdnSystem& system, const sys::ReplicaPlacement& placement,
+    const sys::NearestReplicaIndex& nearest,
+    const model::ServerCacheState& state, const std::vector<double>& hit,
+    const double* miss_flow, sys::ServerIndex server, sys::SiteIndex site,
+    double* penalty_terms) {
+  const std::size_t m = system.site_count();
+  const std::size_t i = server;
+  const std::size_t j = site;
+
+  HybridBenefitParts parts;
+
+  // Local benefit (line 9): former misses for j become local.
+  const double local_flow =
+      miss_flow != nullptr
+          ? miss_flow[i * m + j]
+          : (1.0 - hit[i * m + j]) * system.demand().requests(server, site);
+  parts.local_gain = local_flow * nearest.cost(server, site);
+
+  parts.cache_penalty = hybrid_cache_penalty(system, nearest, state, hit,
+                                             server, site, penalty_terms);
+  parts.relative_gain = hybrid_relative_gain(system, placement, nearest, hit,
+                                             miss_flow, server, site);
+  return parts;
+}
+
+}  // namespace detail
+
+HybridBenefitParts hybrid_candidate_benefit_parts(
+    const sys::CdnSystem& system, const sys::ReplicaPlacement& placement,
+    const sys::NearestReplicaIndex& nearest,
+    const model::ServerCacheState& state, const std::vector<double>& hit,
+    const double* miss_flow, sys::ServerIndex server, sys::SiteIndex site) {
+  return detail::hybrid_benefit_parts_capture(system, placement, nearest,
+                                              state, hit, miss_flow, server,
+                                              site, nullptr);
 }
 
 HybridBenefitParts hybrid_candidate_benefit_parts(
@@ -72,45 +160,37 @@ HybridBenefitParts hybrid_candidate_benefit_parts(
     const sys::NearestReplicaIndex& nearest,
     const model::ServerCacheState& state, const std::vector<double>& hit,
     sys::ServerIndex server, sys::SiteIndex site) {
-  const std::size_t n = system.server_count();
-  const std::size_t m = system.site_count();
-  const auto& demand = system.demand();
-  const auto& dist = system.distances();
-  const std::size_t i = server;
-  const std::size_t j = site;
-
-  HybridBenefitParts parts;
-  parts.local_gain = (1.0 - hit[i * m + j]) * demand.requests(server, site) *
-                     nearest.cost(server, site);
-
-  const auto what_if = state.what_if_replicate(static_cast<std::uint32_t>(j));
-  for (std::size_t k = 0; k < m; ++k) {
-    if (k == j || state.is_replicated(static_cast<std::uint32_t>(k))) {
-      continue;
-    }
-    const double c = nearest.cost(server, static_cast<sys::SiteIndex>(k));
-    if (c == 0.0) continue;
-    const double dh =
-        hit[i * m + k] - what_if.hit_ratio(static_cast<std::uint32_t>(k));
-    parts.cache_penalty +=
-        dh * demand.requests(server, static_cast<sys::SiteIndex>(k)) * c;
-  }
-
-  for (std::size_t k = 0; k < n; ++k) {
-    const auto other = static_cast<sys::ServerIndex>(k);
-    if (other == server || placement.is_replicated(other, site)) continue;
-    const double delta =
-        nearest.cost(other, site) - dist.server_to_server(other, server);
-    if (delta > 0.0) {
-      parts.relative_gain +=
-          delta * (1.0 - hit[k * m + j]) * demand.requests(other, site);
-    }
-  }
-  return parts;
+  return hybrid_candidate_benefit_parts(system, placement, nearest, state, hit,
+                                        nullptr, server, site);
 }
 
-PlacementResult hybrid_greedy(const sys::CdnSystem& system,
-                              const HybridGreedyOptions& options) {
+double hybrid_candidate_benefit(const sys::CdnSystem& system,
+                                const sys::ReplicaPlacement& placement,
+                                const sys::NearestReplicaIndex& nearest,
+                                const model::ServerCacheState& state,
+                                const std::vector<double>& hit,
+                                const double* miss_flow,
+                                sys::ServerIndex server, sys::SiteIndex site) {
+  return hybrid_candidate_benefit_parts(system, placement, nearest, state, hit,
+                                        miss_flow, server, site)
+      .total();
+}
+
+double hybrid_candidate_benefit(const sys::CdnSystem& system,
+                                const sys::ReplicaPlacement& placement,
+                                const sys::NearestReplicaIndex& nearest,
+                                const model::ServerCacheState& state,
+                                const std::vector<double>& hit,
+                                sys::ServerIndex server,
+                                sys::SiteIndex site) {
+  return hybrid_candidate_benefit(system, placement, nearest, state, hit,
+                                  nullptr, server, site);
+}
+
+namespace detail {
+
+PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
+                                        const HybridGreedyOptions& options) {
   const std::size_t n = system.server_count();
   const std::size_t m = system.site_count();
   const auto& demand = system.demand();
@@ -137,21 +217,7 @@ PlacementResult hybrid_greedy(const sys::CdnSystem& system,
 
   sys::ReplicaPlacement placement(system.server_storage(),
                                   system.site_bytes());
-  if (options.seed != nullptr) {
-    CDN_EXPECT(options.seed->server_count() == n &&
-                   options.seed->site_count() == m,
-               "seed placement dimensions must match the system");
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < m; ++j) {
-        const auto server = static_cast<sys::ServerIndex>(i);
-        const auto site = static_cast<sys::SiteIndex>(j);
-        if (options.seed->is_replicated(server, site)) {
-          placement.add(server, site);
-          states[i].replicate(static_cast<std::uint32_t>(j));
-        }
-      }
-    }
-  }
+  apply_seed(system, options, placement, states);
   sys::NearestReplicaIndex nearest(system.distances(), placement);
 
   PlacementResult result{.algorithm = "hybrid-greedy",
@@ -161,6 +227,7 @@ PlacementResult hybrid_greedy(const sys::CdnSystem& system,
   // Current modelled hit ratios, refreshed once per iteration and shared by
   // every candidate evaluation (lines 2-5 of Figure 2 for the initial D).
   std::vector<double> hit = modeled_hit_matrix(states);
+  std::vector<double> flow = miss_flow_matrix(system, hit);
   auto current_cost = [&] {
     return sys::total_remote_cost(demand, result.nearest, hit_fn(hit, m));
   };
@@ -189,7 +256,8 @@ PlacementResult hybrid_greedy(const sys::CdnSystem& system,
         ++evaluated;
         const double b =
             hybrid_candidate_benefit(system, result.placement, result.nearest,
-                                     states[i], hit, server, site) -
+                                     states[i], hit, flow.data(), server,
+                                     site) -
             options.add_cost_per_byte *
                 static_cast<double>(system.site_bytes()[j]);
         if (!best.valid || b > best.benefit) {
@@ -226,7 +294,7 @@ PlacementResult hybrid_greedy(const sys::CdnSystem& system,
     if (iteration_log != nullptr) {
       parts = hybrid_candidate_benefit_parts(
           system, result.placement, result.nearest, states[winner.server],
-          hit, winner.server, winner.site);
+          hit, flow.data(), winner.server, winner.site);
     }
 
     {
@@ -242,6 +310,7 @@ PlacementResult hybrid_greedy(const sys::CdnSystem& system,
         hit[static_cast<std::size_t>(winner.server) * m + j] =
             states[winner.server].hit_ratio(static_cast<std::uint32_t>(j));
       }
+      refresh_miss_flow_row(system, hit, winner.server, flow);
       result.cost_trajectory.push_back(current_cost());
     }
 
@@ -262,6 +331,8 @@ PlacementResult hybrid_greedy(const sys::CdnSystem& system,
 
   if (metrics != nullptr) {
     metrics->counter(pfx + "candidates_evaluated").add(total_candidates);
+    metrics->counter("model/curve_clamped")
+        .add(context.curve().clamped_evaluations());
     metrics->gauge(pfx + "replicas_created")
         .set(static_cast<double>(result.replicas_created));
     metrics->gauge(pfx + "predicted_cost_per_request")
@@ -270,6 +341,20 @@ PlacementResult hybrid_greedy(const sys::CdnSystem& system,
     for (const double c : result.cost_trajectory) cost.push(c);
   }
   return result;
+}
+
+}  // namespace detail
+
+PlacementResult hybrid_greedy(const sys::CdnSystem& system,
+                              const HybridGreedyOptions& options) {
+  switch (options.engine) {
+    case PlacementEngine::kReference:
+      return detail::hybrid_greedy_reference(system, options);
+    case PlacementEngine::kIncremental:
+      return detail::hybrid_greedy_incremental(system, options);
+  }
+  CDN_EXPECT(false, "unknown placement engine");
+  return detail::hybrid_greedy_reference(system, options);
 }
 
 }  // namespace cdn::placement

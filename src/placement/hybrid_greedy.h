@@ -34,6 +34,13 @@ struct HybridGreedyOptions {
   /// once at initialisation; see DESIGN.md ablation A1).
   model::PbMode pb_mode = model::PbMode::kAtInit;
 
+  /// Candidate-evaluation engine.  kIncremental (default) runs the lazy
+  /// heap + sound-invalidation engine; kReference re-evaluates everything
+  /// every iteration.  The two are byte-identical in placement, cost
+  /// trajectory and commit order (test-enforced); kReference exists as the
+  /// oracle and the bench baseline.
+  PlacementEngine engine = PlacementEngine::kIncremental;
+
   /// Optional cap on replicas (0 = unlimited).
   std::size_t max_replicas = 0;
 
@@ -66,11 +73,47 @@ struct HybridBenefitParts {
   }
 };
 
-/// Benefit of creating a replica of `site` at `server` — Figure 2 lines
-/// 9-17: local gain + other-server relative gains - cache shrink penalty.
-/// `state` must be `server`'s model state and `hit` the N x M modelled hit
-/// matrix consistent with all servers' states.  Exposed for the adaptive
-/// replanner's keep/drop evaluation.
+/// The N x M miss-flow matrix F[i][j] = (1 - h_j^(i)) * r_j^(i): the demand
+/// a server still sends upstream for a site after its modelled cache hits.
+/// Local and relative gains are linear in these products, so the engines
+/// precompute the matrix once and refresh only the committed server's row
+/// per iteration (the row is the only one whose hit ratios move) instead of
+/// re-deriving every product inside each of the O(N*M) candidate
+/// evaluations.  Values are elementwise functions of (hit, demand), so a
+/// full rebuild and a row refresh are bitwise interchangeable.
+std::vector<double> miss_flow_matrix(const sys::CdnSystem& system,
+                                     const std::vector<double>& hit);
+
+/// Recomputes row `server` of `flow` from the current hit matrix.
+void refresh_miss_flow_row(const sys::CdnSystem& system,
+                           const std::vector<double>& hit,
+                           sys::ServerIndex server,
+                           std::vector<double>& flow);
+
+/// The canonical Figure-2 candidate evaluation (lines 9-17) with the three
+/// terms kept apart — the single source of truth every variant below is
+/// computed from.  `state` must be `server`'s model state, `hit` the N x M
+/// modelled hit matrix consistent with all servers' states, and `miss_flow`
+/// either null or miss_flow_matrix(system, hit) (the two are bitwise
+/// equivalent; the matrix just amortises the products across candidates).
+HybridBenefitParts hybrid_candidate_benefit_parts(
+    const sys::CdnSystem& system, const sys::ReplicaPlacement& placement,
+    const sys::NearestReplicaIndex& nearest,
+    const model::ServerCacheState& state, const std::vector<double>& hit,
+    const double* miss_flow, sys::ServerIndex server, sys::SiteIndex site);
+
+/// Convenience overload without a miss-flow matrix.
+HybridBenefitParts hybrid_candidate_benefit_parts(
+    const sys::CdnSystem& system, const sys::ReplicaPlacement& placement,
+    const sys::NearestReplicaIndex& nearest,
+    const model::ServerCacheState& state, const std::vector<double>& hit,
+    sys::ServerIndex server, sys::SiteIndex site);
+
+/// Benefit of creating a replica of `site` at `server`: local gain +
+/// other-server relative gains - cache shrink penalty.  Computed from
+/// hybrid_candidate_benefit_parts (it IS parts.total()), so the scalar and
+/// the decomposition cannot diverge.  Exposed for the adaptive replanner's
+/// keep/drop evaluation.
 double hybrid_candidate_benefit(const sys::CdnSystem& system,
                                 const sys::ReplicaPlacement& placement,
                                 const sys::NearestReplicaIndex& nearest,
@@ -78,15 +121,14 @@ double hybrid_candidate_benefit(const sys::CdnSystem& system,
                                 const std::vector<double>& hit,
                                 sys::ServerIndex server, sys::SiteIndex site);
 
-/// Same computation with the three terms kept apart — the observability
-/// layer logs the decomposition of each committed replica, and ablations
-/// use it to see which term drives a decision.  Not used on the hot path
-/// (hybrid_candidate_benefit stays a single-accumulator loop).
-HybridBenefitParts hybrid_candidate_benefit_parts(
-    const sys::CdnSystem& system, const sys::ReplicaPlacement& placement,
-    const sys::NearestReplicaIndex& nearest,
-    const model::ServerCacheState& state, const std::vector<double>& hit,
-    sys::ServerIndex server, sys::SiteIndex site);
+/// Hot-path variant taking the precomputed miss-flow matrix.
+double hybrid_candidate_benefit(const sys::CdnSystem& system,
+                                const sys::ReplicaPlacement& placement,
+                                const sys::NearestReplicaIndex& nearest,
+                                const model::ServerCacheState& state,
+                                const std::vector<double>& hit,
+                                const double* miss_flow,
+                                sys::ServerIndex server, sys::SiteIndex site);
 
 /// Runs the hybrid algorithm on the system.  The result's modelled hit
 /// matrix describes the final cache allocation; predicted costs come from

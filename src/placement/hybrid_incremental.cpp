@@ -1,0 +1,455 @@
+// The incremental lazy-heap engine behind HybridGreedyOptions::engine ==
+// kIncremental.
+//
+// The reference engine re-evaluates every feasible (server, site) candidate
+// on every iteration — Theta(N*M) evaluations of O(N + M) each per commit.
+// But a commit of (i*, j*) only changes the inputs of a small set of
+// candidates, and for most of them only ONE of the three benefit terms:
+//
+//   * every candidate at server i* — its cache state, hit row and remaining
+//     budget changed: FULL re-evaluation;
+//   * every candidate for site j* — relative gains reference column j* of
+//     the nearest index and the placement: FULL re-evaluation;
+//   * candidates at a server i != i* whose nearest-replica cost for j*
+//     changed (the ascending list NearestReplicaIndex::on_replica_added
+//     returns) — ONLY the cache-penalty sum is stale, and only its j* term
+//     (the penalty references C(i, SN_k^(i)) per site k, and a commit moves
+//     just column j* of the nearest index): PENALTY repair — recompute the
+//     j* term and re-sum the cached per-site terms in ascending order,
+//     which is bit-identical to a fresh accumulation because skipped terms
+//     contribute exactly +0.0 (see hybrid_cache_penalty);
+//   * candidates (i, j) whose relative gain references server i*'s changed
+//     miss flow for j: flow[i*][j] changed bitwise, j is unreplicated at i*,
+//     and C(i*, SN_j^(i*)) > C(i*, i) (the max(0, .) gate is open) — ONLY
+//     the relative-gain term is stale: RELATIVE repair — re-run the O(N)
+//     relative loop, reuse the cached local gain and penalty.
+//
+// The local gain of a repaired candidate never moves: it reads flow[i][j]
+// (row i* only changed -> full re-eval) and nearest.cost(i, j) (column j*
+// only changed -> full re-eval).  Repairs reuse exactly the term helpers
+// the canonical hybrid_candidate_benefit_parts is built from, so every
+// repaired double equals what a fresh evaluation would produce.
+//
+// Everything else keeps its cached benefit.  Cached values live in a lazy
+// max-heap ordered (benefit desc, server asc, site asc) — exactly the
+// reference's winner tie-break — with per-candidate version counters for
+// lazy deletion.  Invalidated candidates are re-evaluated in parallel
+// batches grouped by server (the WhatIf memo arena in ServerCacheState is
+// per-state mutable, so a state must stay single-threaded) using the same
+// canonical benefit function and the same miss-flow matrix as the reference,
+// so every evaluated double is bit-identical and the two engines produce
+// byte-identical placements, cost trajectories and commit orders.
+//
+// Feasibility is monotone (server budgets only shrink), so a candidate that
+// stops fitting is dead forever; deaths can only occur inside the
+// invalidated set (only server i*'s budget moved), where the batch
+// re-evaluation notices them.
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "src/cdn/cost.h"
+#include "src/obs/scoped_timer.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/placement/hybrid_internal.h"
+#include "src/placement/model_support.h"
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+
+namespace cdn::placement::detail {
+
+namespace {
+
+struct HeapEntry {
+  double benefit = 0.0;
+  sys::ServerIndex server = 0;
+  sys::SiteIndex site = 0;
+  std::uint32_t version = 0;
+};
+
+// std::push_heap comparator: "a is worse than b".  The max element is the
+// highest benefit, ties broken by lowest server then lowest site — the same
+// total order the reference's two-stage scan induces.
+struct WorseThan {
+  bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.benefit != b.benefit) return a.benefit < b.benefit;
+    if (a.server != b.server) return a.server > b.server;
+    return a.site > b.site;
+  }
+};
+
+}  // namespace
+
+PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
+                                          const HybridGreedyOptions& options) {
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  const auto& demand = system.demand();
+  const auto& dist = system.distances();
+
+  obs::Registry* const metrics = options.metrics;
+  const std::string& pfx = options.metrics_prefix;
+  obs::TimerStat* const t_total =
+      metrics ? &metrics->timer(pfx + "phase/total") : nullptr;
+  obs::TimerStat* const t_eval =
+      metrics ? &metrics->timer(pfx + "phase/eval") : nullptr;
+  obs::TimerStat* const t_commit =
+      metrics ? &metrics->timer(pfx + "phase/commit") : nullptr;
+  obs::Table* const iteration_log =
+      metrics ? &metrics->table(
+                    pfx + "iterations",
+                    {"iteration", "server", "site", "candidates", "benefit",
+                     "local_gain", "relative_gain", "cache_penalty",
+                     "bytes_committed", "cost_after", "eval_ms"})
+              : nullptr;
+  obs::Series* const inval_series =
+      metrics ? &metrics->series(pfx + "heap/invalidated_per_commit")
+              : nullptr;
+  obs::ScopedTimer total_timer(t_total);
+
+  ModelContext context(system, options.pb_mode);
+  std::vector<model::ServerCacheState> states = context.make_states();
+
+  sys::ReplicaPlacement placement(system.server_storage(),
+                                  system.site_bytes());
+  apply_seed(system, options, placement, states);
+  sys::NearestReplicaIndex nearest(system.distances(), placement);
+
+  PlacementResult result{.algorithm = "hybrid-greedy",
+                         .placement = std::move(placement),
+                         .nearest = std::move(nearest)};
+
+  std::vector<double> hit = modeled_hit_matrix(states);
+  std::vector<double> flow = miss_flow_matrix(system, hit);
+  auto current_cost = [&] {
+    return sys::total_remote_cost(demand, result.nearest, hit_fn(hit, m));
+  };
+  result.cost_trajectory.push_back(current_cost());
+
+  // Per-candidate books.  `val` caches the budget-adjusted benefit; an
+  // in-heap entry is live iff its version matches `version[idx]`; `dead`
+  // candidates (replicated or no longer fitting) never re-enter the heap.
+  std::vector<double> val(n * m, 0.0);
+  std::vector<std::uint32_t> version(n * m, 1);
+  std::vector<std::uint8_t> dead(n * m, 0);
+  std::vector<std::uint8_t> eval_ok(n * m, 0);
+  std::vector<std::uint32_t> mark_stamp(n * m, 0);
+  std::vector<std::uint8_t> mark_kind(n * m, 0);
+  std::vector<std::uint32_t> marked;
+  std::vector<double> old_flow(m, 0.0);
+  std::vector<HeapEntry> heap;
+  const WorseThan worse{};
+  const std::size_t compact_threshold = 2 * n * m + 1024;
+
+  // Cached benefit decomposition per candidate, kept current by full
+  // re-evaluations and component repairs.  The per-site penalty terms make
+  // a penalty repair O(M) additions instead of O(M) what-if model
+  // evaluations; the cache is skipped (repairs fall back to re-running the
+  // penalty loop) when N*M*M would not fit a sane memory budget.
+  constexpr std::uint8_t kRepairPenalty = 1;
+  constexpr std::uint8_t kRepairRelative = 2;
+  constexpr std::uint8_t kFull = 4;
+  std::vector<double> part_local(n * m, 0.0);
+  std::vector<double> part_penalty(n * m, 0.0);
+  std::vector<double> part_relative(n * m, 0.0);
+  const bool term_cache = n * m * m <= (std::size_t{1} << 24);
+  std::vector<double> pen_terms(term_cache ? n * m * m : 0, 0.0);
+
+  auto evaluate = [&](std::size_t idx) {
+    const auto server = static_cast<sys::ServerIndex>(idx / m);
+    const auto site = static_cast<sys::SiteIndex>(idx % m);
+    if (!result.placement.can_add(server, site)) {
+      eval_ok[idx] = 0;
+      return;
+    }
+    CDN_DCHECK(states[server].can_fit(static_cast<std::uint32_t>(site)),
+               "placement and model state disagree on free space");
+    eval_ok[idx] = 1;
+    const HybridBenefitParts parts = hybrid_benefit_parts_capture(
+        system, result.placement, result.nearest, states[server], hit,
+        flow.data(), server, site,
+        term_cache ? &pen_terms[idx * m] : nullptr);
+    part_local[idx] = parts.local_gain;
+    part_penalty[idx] = parts.cache_penalty;
+    part_relative[idx] = parts.relative_gain;
+    val[idx] = parts.total() - options.add_cost_per_byte *
+                                   static_cast<double>(system.site_bytes()[site]);
+  };
+
+  // Component repair: recompute only the stale term(s) of an alive
+  // candidate at an untouched server — its feasibility and the other terms
+  // are unchanged by construction (see the file comment).
+  auto repair = [&](std::size_t idx, std::uint8_t kind, sys::SiteIndex js) {
+    const auto server = static_cast<sys::ServerIndex>(idx / m);
+    const auto site = static_cast<sys::SiteIndex>(idx % m);
+    if ((kind & kRepairPenalty) != 0) {
+      if (term_cache) {
+        double* terms = &pen_terms[idx * m];
+        double term = 0.0;
+        if (js != site &&
+            !states[server].is_replicated(static_cast<std::uint32_t>(js))) {
+          const double c = result.nearest.cost(server, js);
+          if (c != 0.0) {
+            const double dh =
+                hit[static_cast<std::size_t>(server) * m + js] -
+                states[server]
+                    .what_if_replicate(static_cast<std::uint32_t>(site))
+                    .hit_ratio(static_cast<std::uint32_t>(js));
+            term = dh * system.demand().requests(server, js) * c;
+          }
+        }
+        terms[js] = term;
+        double penalty = 0.0;
+        for (std::size_t s = 0; s < m; ++s) penalty += terms[s];
+        part_penalty[idx] = penalty;
+      } else {
+        part_penalty[idx] = hybrid_cache_penalty(
+            system, result.nearest, states[server], hit, server, site,
+            nullptr);
+      }
+    }
+    if ((kind & kRepairRelative) != 0) {
+      part_relative[idx] =
+          hybrid_relative_gain(system, result.placement, result.nearest, hit,
+                               flow.data(), server, site);
+    }
+    HybridBenefitParts parts;
+    parts.local_gain = part_local[idx];
+    parts.cache_penalty = part_penalty[idx];
+    parts.relative_gain = part_relative[idx];
+    val[idx] = parts.total() - options.add_cost_per_byte *
+                                   static_cast<double>(system.site_bytes()[site]);
+  };
+
+  // Initial build: evaluate every candidate once (this is the one full
+  // sweep; afterwards only invalidated candidates are touched).
+  std::chrono::steady_clock::time_point eval_start;
+  if (t_eval != nullptr) eval_start = std::chrono::steady_clock::now();
+  util::parallel_for(0, n, [&](std::size_t i) {
+    for (std::size_t j = 0; j < m; ++j) evaluate(i * m + j);
+  });
+  std::uint64_t pending_candidates = 0;
+  heap.reserve(n * m);
+  for (std::size_t idx = 0; idx < n * m; ++idx) {
+    if (!eval_ok[idx]) {
+      dead[idx] = 1;
+      continue;
+    }
+    ++pending_candidates;
+    heap.push_back({val[idx], static_cast<sys::ServerIndex>(idx / m),
+                    static_cast<sys::SiteIndex>(idx % m), version[idx]});
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+  double pending_eval_ms = 0.0;
+  if (t_eval != nullptr) {
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - eval_start)
+            .count());
+    t_eval->record_ns(ns);
+    pending_eval_ms = static_cast<double>(ns) * 1e-6;
+  }
+
+  const std::size_t seeded = result.placement.replica_count();
+  std::uint64_t total_candidates = pending_candidates;
+  std::uint64_t reevaluations = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t stale_discarded = 0;
+  std::size_t peak_heap = heap.size();
+  std::uint32_t commit_id = 0;
+  std::size_t iteration = 0;
+
+  for (;;) {
+    if (options.max_replicas != 0 &&
+        result.placement.replica_count() >= seeded + options.max_replicas) {
+      break;
+    }
+    // Lazy deletion: discard entries whose candidate was re-evaluated or
+    // died since they were pushed.
+    while (!heap.empty()) {
+      const HeapEntry& top = heap.front();
+      const std::size_t idx =
+          static_cast<std::size_t>(top.server) * m + top.site;
+      if (top.version != version[idx]) {
+        std::pop_heap(heap.begin(), heap.end(), worse);
+        heap.pop_back();
+        ++stale_discarded;
+        continue;
+      }
+      break;
+    }
+    if (heap.empty()) break;
+    const HeapEntry winner = heap.front();
+    if (winner.benefit <= 0.0) break;
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    heap.pop_back();
+    const auto ws = winner.server;
+    const auto js = winner.site;
+    const std::size_t ws_row = static_cast<std::size_t>(ws) * m;
+
+    // Benefit decomposition of the winner, against the pre-commit state.
+    HybridBenefitParts parts;
+    if (iteration_log != nullptr) {
+      parts = hybrid_candidate_benefit_parts(system, result.placement,
+                                             result.nearest, states[ws], hit,
+                                             flow.data(), ws, js);
+    }
+
+    std::vector<sys::ServerIndex> changed_servers;
+    {
+      obs::ScopedTimer commit_timer(t_commit);
+      result.placement.add(ws, js);
+      changed_servers = result.nearest.on_replica_added(ws, js);
+      states[ws].replicate(js);
+      std::copy(flow.begin() + static_cast<std::ptrdiff_t>(ws_row),
+                flow.begin() + static_cast<std::ptrdiff_t>(ws_row + m),
+                old_flow.begin());
+      for (std::size_t j = 0; j < m; ++j) {
+        hit[ws_row + j] =
+            states[ws].hit_ratio(static_cast<std::uint32_t>(j));
+      }
+      refresh_miss_flow_row(system, hit, ws, flow);
+      result.cost_trajectory.push_back(current_cost());
+    }
+
+    if (iteration_log != nullptr) {
+      iteration_log->add_row(
+          {static_cast<double>(iteration), static_cast<double>(ws),
+           static_cast<double>(js), static_cast<double>(pending_candidates),
+           winner.benefit, parts.local_gain, parts.relative_gain,
+           parts.cache_penalty,
+           static_cast<double>(system.site_bytes()[js]),
+           result.cost_trajectory.back(), pending_eval_ms});
+    }
+    ++iteration;
+
+    // --- Invalidation: collect exactly the candidates whose inputs the
+    // commit changed, tagged with WHICH term went stale (see the file
+    // comment for the derivation).  kFull subsumes the repairs.
+    ++commit_id;
+    marked.clear();
+    auto mark = [&](std::size_t idx, std::uint8_t kind) {
+      if (dead[idx] != 0) return;
+      if (mark_stamp[idx] != commit_id) {
+        mark_stamp[idx] = commit_id;
+        mark_kind[idx] = kind;
+        marked.push_back(static_cast<std::uint32_t>(idx));
+        return;
+      }
+      mark_kind[idx] = static_cast<std::uint8_t>(mark_kind[idx] | kind);
+    };
+    for (std::size_t j = 0; j < m; ++j) mark(ws_row + j, kFull);
+    for (std::size_t i = 0; i < n; ++i) mark(i * m + js, kFull);
+    for (const sys::ServerIndex i : changed_servers) {
+      if (i == ws) continue;
+      const std::size_t row = static_cast<std::size_t>(i) * m;
+      for (std::size_t j = 0; j < m; ++j) mark(row + j, kRepairPenalty);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == js || old_flow[j] == flow[ws_row + j]) continue;
+      const auto site = static_cast<sys::SiteIndex>(j);
+      if (result.placement.is_replicated(ws, site)) continue;
+      const double c = result.nearest.cost(ws, site);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == ws) continue;
+        if (dist.server_to_server(ws, static_cast<sys::ServerIndex>(i)) < c) {
+          mark(i * m + j, kRepairRelative);
+        }
+      }
+    }
+    invalidations += marked.size();
+    if (inval_series != nullptr) {
+      inval_series->push(static_cast<double>(marked.size()));
+    }
+
+    // --- Batched re-evaluation / repair, parallel across servers, serial
+    // within a server (the WhatIf memo is per-state mutable).  Sorting makes
+    // the groups contiguous and the later heap pushes deterministic.
+    std::sort(marked.begin(), marked.end());
+    if (t_eval != nullptr) eval_start = std::chrono::steady_clock::now();
+    std::vector<std::pair<std::size_t, std::size_t>> groups;
+    for (std::size_t b = 0; b < marked.size();) {
+      const std::size_t server = marked[b] / m;
+      std::size_t e = b + 1;
+      while (e < marked.size() && marked[e] / m == server) ++e;
+      groups.emplace_back(b, e);
+      b = e;
+    }
+    util::parallel_for(0, groups.size(), [&](std::size_t g) {
+      for (std::size_t t = groups[g].first; t < groups[g].second; ++t) {
+        const std::uint32_t idx = marked[t];
+        if ((mark_kind[idx] & kFull) != 0) {
+          evaluate(idx);
+        } else {
+          repair(idx, mark_kind[idx], js);
+        }
+      }
+    });
+    std::uint64_t batch_alive = 0;
+    std::uint64_t batch_evals = 0;
+    std::uint64_t batch_repairs = 0;
+    for (const std::uint32_t idx : marked) {
+      ++version[idx];
+      if (!eval_ok[idx]) {
+        dead[idx] = 1;
+        continue;
+      }
+      if ((mark_kind[idx] & kFull) != 0) {
+        ++batch_evals;
+      } else {
+        ++batch_repairs;
+      }
+      ++batch_alive;
+      heap.push_back({val[idx], static_cast<sys::ServerIndex>(idx / m),
+                      static_cast<sys::SiteIndex>(idx % m), version[idx]});
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+    pending_candidates = batch_alive;
+    reevaluations += batch_evals;
+    repairs += batch_repairs;
+    total_candidates += batch_evals;
+    if (t_eval != nullptr) {
+      const auto ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - eval_start)
+              .count());
+      t_eval->record_ns(ns);
+      pending_eval_ms = static_cast<double>(ns) * 1e-6;
+    }
+    peak_heap = std::max(peak_heap, heap.size());
+
+    // Compact when lazy deletion has let stale entries pile up.
+    if (heap.size() > compact_threshold) {
+      std::erase_if(heap, [&](const HeapEntry& e) {
+        return e.version !=
+               version[static_cast<std::size_t>(e.server) * m + e.site];
+      });
+      std::make_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+
+  finalize_result(system, states, result);
+
+  if (metrics != nullptr) {
+    metrics->counter(pfx + "candidates_evaluated").add(total_candidates);
+    metrics->counter(pfx + "heap/reevaluations").add(reevaluations);
+    metrics->counter(pfx + "heap/repairs").add(repairs);
+    metrics->counter(pfx + "heap/invalidations").add(invalidations);
+    metrics->counter(pfx + "heap/stale_discarded").add(stale_discarded);
+    metrics->counter("model/curve_clamped")
+        .add(context.curve().clamped_evaluations());
+    metrics->gauge(pfx + "heap/peak_size")
+        .set(static_cast<double>(peak_heap));
+    metrics->gauge(pfx + "replicas_created")
+        .set(static_cast<double>(result.replicas_created));
+    metrics->gauge(pfx + "predicted_cost_per_request")
+        .set(result.predicted_cost_per_request);
+    obs::Series& cost = metrics->series(pfx + "cost");
+    for (const double c : result.cost_trajectory) cost.push(c);
+  }
+  return result;
+}
+
+}  // namespace cdn::placement::detail

@@ -1,0 +1,81 @@
+// Internal glue shared by the two hybrid-greedy engines (reference and
+// incremental).  Not part of the public placement API.
+
+#pragma once
+
+#include <vector>
+
+#include "src/model/server_cache_state.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/util/error.h"
+
+namespace cdn::placement::detail {
+
+/// The original Figure-2 loop: every feasible candidate re-evaluated every
+/// iteration.  Oracle for the incremental engine and the bench baseline.
+PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
+                                        const HybridGreedyOptions& options);
+
+/// Lazy-heap engine: candidates keep their cached benefits until a commit
+/// changes one of their inputs; only the invalidated set is re-evaluated.
+/// Byte-identical to the reference in placement, cost trajectory and commit
+/// order.
+PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
+                                          const HybridGreedyOptions& options);
+
+/// The cache-penalty term of the canonical benefit (lines 10-13), exactly
+/// as hybrid_candidate_benefit_parts accumulates it.  When `terms` is
+/// non-null it receives the per-site contributions (length M, zero for
+/// skipped sites), letting the incremental engine repair a single changed
+/// term and re-sum instead of re-deriving every what-if hit ratio.
+double hybrid_cache_penalty(const sys::CdnSystem& system,
+                            const sys::NearestReplicaIndex& nearest,
+                            const model::ServerCacheState& state,
+                            const std::vector<double>& hit,
+                            sys::ServerIndex server, sys::SiteIndex site,
+                            double* terms);
+
+/// The relative-gain term (lines 14-17), exactly as the canonical function
+/// accumulates it.  `miss_flow` may be null (elementwise fallback).
+double hybrid_relative_gain(const sys::CdnSystem& system,
+                            const sys::ReplicaPlacement& placement,
+                            const sys::NearestReplicaIndex& nearest,
+                            const std::vector<double>& hit,
+                            const double* miss_flow, sys::ServerIndex server,
+                            sys::SiteIndex site);
+
+/// hybrid_candidate_benefit_parts with the penalty terms captured (see
+/// hybrid_cache_penalty).  The public overloads forward here with
+/// `penalty_terms == nullptr`, so there is exactly one benefit definition.
+HybridBenefitParts hybrid_benefit_parts_capture(
+    const sys::CdnSystem& system, const sys::ReplicaPlacement& placement,
+    const sys::NearestReplicaIndex& nearest,
+    const model::ServerCacheState& state, const std::vector<double>& hit,
+    const double* miss_flow, sys::ServerIndex server, sys::SiteIndex site,
+    double* penalty_terms);
+
+/// Materialises options.seed (if any) into `placement` and `states`, in the
+/// same row-major order for both engines.
+inline void apply_seed(const sys::CdnSystem& system,
+                       const HybridGreedyOptions& options,
+                       sys::ReplicaPlacement& placement,
+                       std::vector<model::ServerCacheState>& states) {
+  if (options.seed == nullptr) return;
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  CDN_EXPECT(
+      options.seed->server_count() == n && options.seed->site_count() == m,
+      "seed placement dimensions must match the system");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto server = static_cast<sys::ServerIndex>(i);
+      const auto site = static_cast<sys::SiteIndex>(j);
+      if (options.seed->is_replicated(server, site)) {
+        placement.add(server, site);
+        states[i].replicate(static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+}
+
+}  // namespace cdn::placement::detail

@@ -20,6 +20,13 @@
 namespace cdn::placement {
 
 struct LocalSearchOptions {
+  /// Swap-evaluation engine.  The reference rebuilds a NearestReplicaIndex
+  /// from scratch for every trial swap; the incremental engine maintains the
+  /// exact per-cell redirection-cost matrix and recomputes only the two
+  /// affected site columns per trial, producing bit-identical swap choices
+  /// and costs (test-enforced).
+  PlacementEngine engine = PlacementEngine::kIncremental;
+
   /// Stop after this many applied swaps (0 = until convergence).
   std::size_t max_swaps = 0;
   /// A swap must improve the cost by more than this relative margin to be

@@ -11,6 +11,23 @@
 
 namespace cdn::placement {
 
+/// Which candidate-evaluation engine a greedy placement algorithm runs.
+/// Both engines produce byte-identical placements, cost trajectories and
+/// commit orders under the shared tie-break rule (largest benefit, then
+/// lowest server index, then lowest site index); they differ only in how
+/// much work each iteration performs.
+enum class PlacementEngine {
+  /// Re-evaluate every feasible (server, site) candidate from scratch on
+  /// every iteration — the original Figure-2 code path, kept as the
+  /// equivalence oracle and the baseline of bench_placement_scaling.
+  kReference,
+  /// Lazy max-heap of cached candidate benefits with per-entry staleness
+  /// epochs: after a commit only the candidates whose inputs actually
+  /// changed are re-evaluated (in parallel batches), everything else keeps
+  /// its cached value.  The default.
+  kIncremental,
+};
+
 /// What an algorithm hands to the simulator and the reporting layer: the
 /// replica placement, the consistent nearest-replica index, the modelled
 /// cache hit ratios (zero for pure replication), and the predicted cost.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "src/cdn/nearest_replica.h"
@@ -100,6 +101,50 @@ TEST(NearestReplicaTest, SecondFartherReplicaChangesNothing) {
   sn.on_replica_added(2, 0);
   EXPECT_DOUBLE_EQ(sn.cost(0, 0), before);
   EXPECT_EQ(sn.nearest(0, 0).server, 1u);
+}
+
+TEST(NearestReplicaTest, OnReplicaAddedReturnsChangedServers) {
+  Fixture f;
+  NearestReplicaIndex sn(f.distances, f.placement);
+  // First replica at server 1: beats the primary everywhere (costs 1, 0, 1
+  // vs 5, 4, 3) — every server's cell changes.
+  f.placement.add(1, 0);
+  EXPECT_EQ(sn.on_replica_added(1, 0),
+            (std::vector<cdn::sys::ServerIndex>{0, 1, 2}));
+  // Second replica at server 2: server 2's cell drops 1 -> 0; server 1 is
+  // closer to itself, server 0 is closer to server 1.  The holder is always
+  // in the list.
+  f.placement.add(2, 0);
+  EXPECT_EQ(sn.on_replica_added(2, 0),
+            (std::vector<cdn::sys::ServerIndex>{2}));
+}
+
+TEST(NearestReplicaTest, ChangedListMatchesCellDeltas) {
+  // Property: the returned list is exactly the set of servers whose cost or
+  // holder changed, compared against a before-snapshot, ascending.
+  Fixture f;
+  NearestReplicaIndex sn(f.distances, f.placement);
+  for (const cdn::sys::ServerIndex holder : {2u, 0u, 1u}) {
+    std::vector<double> before;
+    for (cdn::sys::ServerIndex i = 0; i < 3; ++i) {
+      before.push_back(sn.cost(i, 0));
+    }
+    f.placement.add(holder, 0);
+    const auto changed = sn.on_replica_added(holder, 0);
+    std::vector<cdn::sys::ServerIndex> expected;
+    for (cdn::sys::ServerIndex i = 0; i < 3; ++i) {
+      const bool now_holder =
+          !sn.nearest(i, 0).at_primary && sn.nearest(i, 0).server == holder;
+      if (sn.cost(i, 0) != before[i] || (i == holder && now_holder)) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(changed, expected) << "holder " << holder;
+    EXPECT_TRUE(std::find(changed.begin(), changed.end(), holder) !=
+                changed.end())
+        << "holder must always be reported";
+    EXPECT_TRUE(std::is_sorted(changed.begin(), changed.end()));
+  }
 }
 
 TEST(NearestReplicaTest, CostsNeverIncreaseAsReplicasAppear) {

@@ -127,6 +127,26 @@ TEST(HitRatioCurveTest, MonotoneInZ) {
   }
 }
 
+TEST(HitRatioCurveTest, ClampCounterTracksSaturatedEvaluations) {
+  ZipfDistribution zipf(100, 0.9);
+  const HitRatioCurve curve(zipf, 64, 1e-3, 1e3);
+  EXPECT_EQ(curve.clamped_evaluations(), 0u);
+  curve.evaluate_z(0.5);     // interior: no clamp
+  curve.evaluate_z(1e-5);    // below z_min: linear extrapolation, no clamp
+  EXPECT_EQ(curve.clamped_evaluations(), 0u);
+  curve.evaluate_z(1e3);     // exactly z_max clamps (z >= z_max branch)
+  curve.evaluate_z(5e6);
+  EXPECT_EQ(curve.clamped_evaluations(), 2u);
+
+  // Copies share the table but start with a fresh counter.
+  const HitRatioCurve copy(curve);
+  EXPECT_EQ(copy.clamped_evaluations(), 0u);
+  EXPECT_EQ(curve.clamped_evaluations(), 2u);
+  copy.evaluate_z(1e9);
+  EXPECT_EQ(copy.clamped_evaluations(), 1u);
+  EXPECT_EQ(curve.clamped_evaluations(), 2u);
+}
+
 TEST(HitRatioCurveTest, RejectsBadGrid) {
   ZipfDistribution zipf(10, 1.0);
   EXPECT_THROW(HitRatioCurve(zipf, 1), cdn::PreconditionError);

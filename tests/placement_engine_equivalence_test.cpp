@@ -1,0 +1,366 @@
+// Cross-engine equivalence: the incremental placement engines must produce
+// byte-identical placements, cost trajectories and commit orders to their
+// reference counterparts.  Every double is compared with EXPECT_EQ (exact),
+// not EXPECT_NEAR — the contract is bit-identity, not tolerance.
+//
+// The iteration logs are compared column-by-column except "candidates" and
+// "eval_ms": the engines legitimately evaluate different numbers of
+// candidates per commit (that is the whole point) and wall-clock differs.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/obs/registry.h"
+#include "src/placement/greedy_global.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/placement/local_search.h"
+#include "tests/test_support.h"
+
+namespace {
+
+using cdn::placement::greedy_global;
+using cdn::placement::GreedyGlobalOptions;
+using cdn::placement::hybrid_greedy;
+using cdn::placement::HybridGreedyOptions;
+using cdn::placement::local_search_refine;
+using cdn::placement::LocalSearchOptions;
+using cdn::placement::PlacementEngine;
+using cdn::placement::PlacementResult;
+using cdn::test::TestSystem;
+
+struct EngineRun {
+  PlacementResult result;
+  std::vector<std::string> log_columns;
+  std::vector<std::vector<double>> log_rows;
+};
+
+EngineRun run_hybrid(const cdn::sys::CdnSystem& system,
+                     HybridGreedyOptions options, PlacementEngine engine) {
+  cdn::obs::Registry registry;
+  options.engine = engine;
+  options.metrics = &registry;
+  EngineRun run{hybrid_greedy(system, options), {}, {}};
+  const auto* log = registry.find_table("placement/hybrid/iterations");
+  if (log != nullptr) {
+    run.log_columns = log->columns();
+    run.log_rows = log->rows();
+  }
+  return run;
+}
+
+bool skipped_column(const std::string& name) {
+  return name == "candidates" || name == "eval_ms";
+}
+
+void expect_equivalent(const cdn::sys::CdnSystem& system, const EngineRun& ref,
+                       const EngineRun& inc) {
+  EXPECT_EQ(ref.result.replicas_created, inc.result.replicas_created);
+  const std::size_t n = system.server_count();
+  const std::size_t m = system.site_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const auto server = static_cast<cdn::sys::ServerIndex>(i);
+      const auto site = static_cast<cdn::sys::SiteIndex>(j);
+      EXPECT_EQ(ref.result.placement.is_replicated(server, site),
+                inc.result.placement.is_replicated(server, site))
+          << "placement cell (" << i << ", " << j << ")";
+    }
+  }
+  ASSERT_EQ(ref.result.cost_trajectory.size(),
+            inc.result.cost_trajectory.size());
+  for (std::size_t k = 0; k < ref.result.cost_trajectory.size(); ++k) {
+    EXPECT_EQ(ref.result.cost_trajectory[k], inc.result.cost_trajectory[k])
+        << "cost trajectory entry " << k << " is not bit-identical";
+  }
+  EXPECT_EQ(ref.result.predicted_total_cost, inc.result.predicted_total_cost);
+  EXPECT_EQ(ref.result.predicted_cost_per_request,
+            inc.result.predicted_cost_per_request);
+  ASSERT_EQ(ref.result.modeled_hit.size(), inc.result.modeled_hit.size());
+  for (std::size_t k = 0; k < ref.result.modeled_hit.size(); ++k) {
+    EXPECT_EQ(ref.result.modeled_hit[k], inc.result.modeled_hit[k])
+        << "modeled hit entry " << k;
+  }
+
+  // Commit order and per-commit decomposition, from the iteration logs.
+  ASSERT_EQ(ref.log_columns, inc.log_columns);
+  ASSERT_EQ(ref.log_rows.size(), inc.log_rows.size());
+  for (std::size_t r = 0; r < ref.log_rows.size(); ++r) {
+    for (std::size_t c = 0; c < ref.log_columns.size(); ++c) {
+      if (skipped_column(ref.log_columns[c])) continue;
+      EXPECT_EQ(ref.log_rows[r][c], inc.log_rows[r][c])
+          << "iteration log row " << r << " column " << ref.log_columns[c];
+    }
+  }
+}
+
+void expect_hybrid_engines_agree(const cdn::sys::CdnSystem& system,
+                                 const HybridGreedyOptions& options = {}) {
+  const EngineRun ref =
+      run_hybrid(system, options, PlacementEngine::kReference);
+  const EngineRun inc =
+      run_hybrid(system, options, PlacementEngine::kIncremental);
+  expect_equivalent(system, ref, inc);
+  EXPECT_GT(ref.result.replicas_created, 0u)
+      << "vacuous comparison: no replicas committed";
+}
+
+TEST(PlacementEngineEquivalenceTest, HybridDefaultOptions) {
+  const auto t = TestSystem::make();
+  expect_hybrid_engines_agree(*t.system);
+}
+
+TEST(PlacementEngineEquivalenceTest, HybridMaxReplicasCaps) {
+  const auto t = TestSystem::make();
+  for (const std::size_t cap : {std::size_t{1}, std::size_t{3}}) {
+    HybridGreedyOptions options;
+    options.max_replicas = cap;
+    const EngineRun ref =
+        run_hybrid(*t.system, options, PlacementEngine::kReference);
+    const EngineRun inc =
+        run_hybrid(*t.system, options, PlacementEngine::kIncremental);
+    expect_equivalent(*t.system, ref, inc);
+  }
+}
+
+TEST(PlacementEngineEquivalenceTest, HybridSeededPlacement) {
+  const auto t = TestSystem::make();
+  HybridGreedyOptions seed_options;
+  seed_options.max_replicas = 2;
+  const auto seed = hybrid_greedy(*t.system, seed_options);
+  ASSERT_GT(seed.replicas_created, 0u);
+  HybridGreedyOptions options;
+  options.seed = &seed.placement;
+  expect_hybrid_engines_agree(*t.system, options);
+}
+
+TEST(PlacementEngineEquivalenceTest, HybridAddCostPerByte) {
+  const auto t = TestSystem::make();
+  HybridGreedyOptions options;
+  options.add_cost_per_byte = 1e-9;
+  const EngineRun ref =
+      run_hybrid(*t.system, options, PlacementEngine::kReference);
+  const EngineRun inc =
+      run_hybrid(*t.system, options, PlacementEngine::kIncremental);
+  expect_equivalent(*t.system, ref, inc);
+}
+
+TEST(PlacementEngineEquivalenceTest, HybridPerIterationPb) {
+  const auto t = TestSystem::make();
+  HybridGreedyOptions options;
+  options.pb_mode = cdn::model::PbMode::kPerIteration;
+  expect_hybrid_engines_agree(*t.system, options);
+}
+
+TEST(PlacementEngineEquivalenceTest, HybridTinyStorageNoReplicas) {
+  // Degenerate case: nothing fits, both engines must report an empty
+  // placement with the identical pure-caching starting cost.
+  const auto t = TestSystem::make(4, 6, 2, 100, 0.001);
+  const EngineRun ref = run_hybrid(*t.system, {}, PlacementEngine::kReference);
+  const EngineRun inc =
+      run_hybrid(*t.system, {}, PlacementEngine::kIncremental);
+  EXPECT_EQ(ref.result.replicas_created, 0u);
+  expect_equivalent(*t.system, ref, inc);
+}
+
+TEST(PlacementEngineEquivalenceTest, HeapMetricsAndClampCounterExported) {
+  const auto t = TestSystem::make();
+  cdn::obs::Registry ref_registry;
+  HybridGreedyOptions ref_options;
+  ref_options.engine = PlacementEngine::kReference;
+  ref_options.metrics = &ref_registry;
+  hybrid_greedy(*t.system, ref_options);
+
+  cdn::obs::Registry inc_registry;
+  HybridGreedyOptions inc_options;
+  inc_options.engine = PlacementEngine::kIncremental;
+  inc_options.metrics = &inc_registry;
+  hybrid_greedy(*t.system, inc_options);
+
+  EXPECT_NE(inc_registry.find_counter("placement/hybrid/heap/reevaluations"),
+            nullptr);
+  EXPECT_NE(inc_registry.find_counter("placement/hybrid/heap/invalidations"),
+            nullptr);
+  EXPECT_NE(
+      inc_registry.find_counter("placement/hybrid/heap/stale_discarded"),
+      nullptr);
+  EXPECT_NE(inc_registry.find_gauge("placement/hybrid/heap/peak_size"),
+            nullptr);
+  EXPECT_NE(
+      inc_registry.find_series("placement/hybrid/heap/invalidated_per_commit"),
+      nullptr);
+  // Both engines report the shared curve-saturation counter.
+  EXPECT_NE(ref_registry.find_counter("model/curve_clamped"), nullptr);
+  EXPECT_NE(inc_registry.find_counter("model/curve_clamped"), nullptr);
+
+  // The incremental engine must never evaluate more candidates than the
+  // reference (the scaling bench asserts the >= 10x reduction at size).
+  const auto* ref_evals =
+      ref_registry.find_counter("placement/hybrid/candidates_evaluated");
+  const auto* inc_evals =
+      inc_registry.find_counter("placement/hybrid/candidates_evaluated");
+  ASSERT_NE(ref_evals, nullptr);
+  ASSERT_NE(inc_evals, nullptr);
+  EXPECT_LE(inc_evals->value(), ref_evals->value());
+}
+
+EngineRun run_greedy_global(const cdn::sys::CdnSystem& system,
+                            GreedyGlobalOptions options,
+                            PlacementEngine engine) {
+  cdn::obs::Registry registry;
+  options.engine = engine;
+  options.metrics = &registry;
+  EngineRun run{greedy_global(system, options), {}, {}};
+  const auto* log = registry.find_table("placement/greedy_global/iterations");
+  if (log != nullptr) {
+    run.log_columns = log->columns();
+    run.log_rows = log->rows();
+  }
+  return run;
+}
+
+TEST(PlacementEngineEquivalenceTest, GreedyGlobalDefaultOptions) {
+  const auto t = TestSystem::make();
+  const EngineRun ref =
+      run_greedy_global(*t.system, {}, PlacementEngine::kReference);
+  const EngineRun inc =
+      run_greedy_global(*t.system, {}, PlacementEngine::kIncremental);
+  expect_equivalent(*t.system, ref, inc);
+  EXPECT_GT(ref.result.replicas_created, 0u);
+}
+
+TEST(PlacementEngineEquivalenceTest, GreedyGlobalMaxReplicasCap) {
+  const auto t = TestSystem::make();
+  GreedyGlobalOptions options;
+  options.max_replicas = 3;
+  const EngineRun ref =
+      run_greedy_global(*t.system, options, PlacementEngine::kReference);
+  const EngineRun inc =
+      run_greedy_global(*t.system, options, PlacementEngine::kIncremental);
+  expect_equivalent(*t.system, ref, inc);
+}
+
+TEST(PlacementEngineEquivalenceTest, GreedyGlobalRandomizedSystems) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto t = TestSystem::make(3 + seed % 6, 4 + seed % 5, 1 + seed % 3,
+                                    100, 0.05 + 0.03 * static_cast<double>(
+                                                           seed % 7),
+                                    2.0 + static_cast<double>(seed % 9),
+                                    seed);
+    const EngineRun ref =
+        run_greedy_global(*t.system, {}, PlacementEngine::kReference);
+    const EngineRun inc =
+        run_greedy_global(*t.system, {}, PlacementEngine::kIncremental);
+    expect_equivalent(*t.system, ref, inc);
+  }
+}
+
+struct LocalSearchRun {
+  PlacementResult result;
+  cdn::placement::LocalSearchStats stats;
+  std::vector<std::vector<double>> swap_rows;
+};
+
+LocalSearchRun run_local_search(const cdn::sys::CdnSystem& system,
+                                LocalSearchOptions options,
+                                PlacementEngine engine) {
+  // Both greedy_global engines are bit-identical, so each run starts the
+  // refinement from the same placement.
+  GreedyGlobalOptions start_options;
+  start_options.max_replicas = 4;  // leave slack so swaps exist
+  LocalSearchRun run{greedy_global(system, start_options), {}, {}};
+  cdn::obs::Registry registry;
+  options.engine = engine;
+  options.metrics = &registry;
+  run.stats = local_search_refine(system, run.result, options);
+  const auto* log = registry.find_table("placement/local_search/swaps");
+  if (log != nullptr) run.swap_rows = log->rows();
+  return run;
+}
+
+TEST(PlacementEngineEquivalenceTest, LocalSearchSwapsAreBitIdentical) {
+  const auto t = TestSystem::make();
+  const LocalSearchRun ref =
+      run_local_search(*t.system, {}, PlacementEngine::kReference);
+  const LocalSearchRun inc =
+      run_local_search(*t.system, {}, PlacementEngine::kIncremental);
+  EXPECT_EQ(ref.stats.swaps_applied, inc.stats.swaps_applied);
+  EXPECT_EQ(ref.stats.initial_cost, inc.stats.initial_cost);
+  EXPECT_EQ(ref.stats.final_cost, inc.stats.final_cost);
+  EXPECT_EQ(ref.result.predicted_total_cost,
+            inc.result.predicted_total_cost);
+  ASSERT_EQ(ref.swap_rows.size(), inc.swap_rows.size());
+  for (std::size_t r = 0; r < ref.swap_rows.size(); ++r) {
+    ASSERT_EQ(ref.swap_rows[r].size(), inc.swap_rows[r].size());
+    for (std::size_t c = 0; c < ref.swap_rows[r].size(); ++c) {
+      EXPECT_EQ(ref.swap_rows[r][c], inc.swap_rows[r][c])
+          << "swap row " << r << " column " << c;
+    }
+  }
+  const std::size_t n = t.system->server_count();
+  const std::size_t m = t.system->site_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      EXPECT_EQ(ref.result.placement.is_replicated(
+                    static_cast<cdn::sys::ServerIndex>(i),
+                    static_cast<cdn::sys::SiteIndex>(j)),
+                inc.result.placement.is_replicated(
+                    static_cast<cdn::sys::ServerIndex>(i),
+                    static_cast<cdn::sys::SiteIndex>(j)));
+    }
+  }
+}
+
+TEST(PlacementEngineEquivalenceTest, LocalSearchRandomizedSystems) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto t = TestSystem::make(3 + seed % 4, 4 + seed % 3, 1, 100,
+                                    0.1 + 0.05 * static_cast<double>(
+                                                     seed % 4),
+                                    3.0 + static_cast<double>(seed % 5),
+                                    seed);
+    LocalSearchOptions options;
+    options.max_swaps = 3;
+    const LocalSearchRun ref =
+        run_local_search(*t.system, options, PlacementEngine::kReference);
+    const LocalSearchRun inc =
+        run_local_search(*t.system, options, PlacementEngine::kIncremental);
+    EXPECT_EQ(ref.stats.swaps_applied, inc.stats.swaps_applied);
+    EXPECT_EQ(ref.stats.final_cost, inc.stats.final_cost);
+    ASSERT_EQ(ref.swap_rows.size(), inc.swap_rows.size());
+    for (std::size_t r = 0; r < ref.swap_rows.size(); ++r) {
+      for (std::size_t c = 0; c < ref.swap_rows[r].size(); ++c) {
+        EXPECT_EQ(ref.swap_rows[r][c], inc.swap_rows[r][c]);
+      }
+    }
+  }
+}
+
+TEST(PlacementEngineEquivalenceTest, HybridRandomizedSystems) {
+  // Property check: bit-identity must hold across topologies, storage
+  // pressures and demand skews, not just the default fixture.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::size_t servers = 3 + seed % 6;              // 3..8
+    const std::size_t low_sites = 4 + seed % 5;            // 4..8
+    const std::size_t high_sites = 1 + seed % 3;           // 1..3
+    const double storage_fraction = 0.05 + 0.03 * static_cast<double>(
+                                               seed % 7);  // 0.05..0.23
+    const double primary_hops = 2.0 + static_cast<double>(seed % 9);
+    const auto t = TestSystem::make(servers, low_sites, high_sites, 100,
+                                    storage_fraction, primary_hops, seed);
+    HybridGreedyOptions options;
+    if (seed % 3 == 0) options.pb_mode = cdn::model::PbMode::kPerIteration;
+    if (seed % 4 == 0) options.add_cost_per_byte = 1e-10;
+    const EngineRun ref =
+        run_hybrid(*t.system, options, PlacementEngine::kReference);
+    const EngineRun inc =
+        run_hybrid(*t.system, options, PlacementEngine::kIncremental);
+    expect_equivalent(*t.system, ref, inc);
+  }
+}
+
+}  // namespace
