@@ -1,0 +1,112 @@
+// Preemption drill: a long campaign survives being killed mid-run.
+//
+// Spot/preemptible instances can take a SIGTERM at any moment, including
+// in the middle of an outage window when the simulation state is at its
+// most tangled (failover routing, cold caches, half-filled metric
+// windows).  This drill runs the same faulted scenario three ways:
+//
+//   1. uninterrupted — the reference report;
+//   2. preempted     — the stop flag fires mid-outage, the engine flushes
+//                      a checkpoint and throws recover::Interrupted;
+//   3. resumed       — a fresh process-equivalent run picks the
+//                      checkpoint up with --resume semantics and finishes.
+//
+// The acceptance bar is the tentpole invariant from docs/RECOVERY.md: the
+// resumed report is byte-identical to the uninterrupted one — same
+// digest, not just similar numbers.
+//
+// Run it:  ./build/examples/preemption_drill
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+
+#include "src/core/hybridcdn.h"
+#include "src/recover/checkpoint.h"
+#include "src/sim/sim_checkpoint.h"
+
+int main() {
+  using namespace cdn;
+
+  core::ScenarioConfig cfg;
+  cfg.server_count = 16;
+  cfg.classes = {{12, 1.0, "low"}, {24, 4.0, "medium"}, {12, 16.0, "high"}};
+  cfg.surge.objects_per_site = 400;
+  cfg.storage_fraction = 0.05;
+  core::Scenario scenario(cfg);
+  const auto& system = scenario.system();
+  const auto placement = placement::hybrid_greedy(system);
+
+  sim::SimulationConfig sim;
+  sim.total_requests = 1'200'000;
+  sim.slo_ms = 100.0;
+
+  // Same regional-outage script as the outage drill: the preemption lands
+  // while servers 0-3 are dark, so the checkpoint has to carry failover
+  // state, not just counters.
+  const std::uint64_t t0 = sim.total_requests / 3;
+  const std::uint64_t t1 = 2 * sim.total_requests / 3;
+  fault::FaultSchedule drill;
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    drill.add_server_outage(s, t0, t1);
+  }
+  drill.validate(system.server_count(), system.site_count());
+  sim.faults = &drill;
+
+  const auto ckpt = std::filesystem::temp_directory_path() /
+                    "hybridcdn_preemption_drill.ckpt";
+
+  // 1. The uninterrupted reference.
+  const auto reference = sim::simulate(system, placement, sim);
+
+  // 2. The preempted run.  Pre-setting the stop flag with the request
+  //    cadence at the kill point makes the preemption deterministic: the
+  //    engine writes the checkpoint at exactly `kill_at` and throws.
+  const std::uint64_t kill_at = t0 + (t1 - t0) / 2;  // mid-outage
+  std::atomic<bool> stop{true};
+  sim::SimulationConfig preempted = sim;
+  preempted.checkpoint_path = ckpt.string();
+  preempted.checkpoint_every_requests = kill_at;
+  preempted.stop = &stop;
+  std::uint64_t preempted_at = 0;
+  try {
+    (void)sim::simulate(system, placement, preempted);
+    std::cerr << "drill failed: the preemption never fired\n";
+    return 1;
+  } catch (const recover::Interrupted& e) {
+    preempted_at = e.request_index();
+  }
+
+  // 3. The resumed run.
+  sim::SimulationConfig resumed = sim;
+  resumed.resume_path = ckpt.string();
+  const auto report = sim::simulate(system, placement, resumed);
+  std::remove(ckpt.string().c_str());
+
+  const auto want = sim::report_digest(reference);
+  const auto got = sim::report_digest(report);
+  std::cout << "Preemption drill: killed at request " << preempted_at
+            << " (mid-outage), resumed from " << ckpt.string() << "\n\n";
+  util::TextTable table({"run", "mean_ms", "p99_ms", "availability",
+                         "failover", "digest"});
+  const auto row = [&](const char* name, const sim::SimulationReport& r) {
+    char digest[17];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(sim::report_digest(r)));
+    table.add_row({name, util::format_double(r.mean_latency_ms, 2),
+                   util::format_double(r.latency_cdf.quantile(0.99), 2),
+                   util::format_double(r.availability, 6),
+                   std::to_string(r.failover_requests), digest});
+  };
+  row("uninterrupted", reference);
+  row("resumed", report);
+  std::cout << table.str() << '\n';
+
+  if (want != got) {
+    std::cerr << "drill failed: resumed digest differs from the reference\n";
+    return 1;
+  }
+  std::cout << "Byte-identical: the kill point is invisible in the report.\n";
+  return 0;
+}

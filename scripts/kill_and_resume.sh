@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Kill-and-resume integration check (docs/RECOVERY.md).
+#
+# Exercises the crash-safety contract end to end through the real CLI:
+#
+#   1. SIGKILL  — the hard-crash case.  The process dies with no chance to
+#      flush, so resume starts from the last *periodic* checkpoint on disk.
+#   2. SIGTERM  — the graceful case.  The engine flushes a final checkpoint,
+#      the CLI exits with code 75 (resumable, not failed), and resume picks
+#      up from the exact interrupt point.
+#
+# In both cases the resumed run's --report-digest must equal the digest of
+# an uninterrupted reference run — byte-identical, not approximately equal.
+# The kill point is randomized so repeated CI runs cover different offsets.
+#
+# Usage: scripts/kill_and_resume.sh [path/to/hybridcdn_cli]
+
+set -euo pipefail
+
+CLI=${1:-build/tools/hybridcdn_cli}
+[[ -x "$CLI" ]] || { echo "error: $CLI is not executable" >&2; exit 1; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/hybridcdn_killresume.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# A run long enough that the kill reliably lands mid-flight, with faults
+# active so the checkpoint carries failover state.
+ARGS=(--servers 12 --low 10 --medium 20 --high 10 --objects 200
+      --requests 20000000 --mechanisms hybrid --mtbf 400000 --slo-ms 100)
+CADENCE=1000000
+
+echo "== reference (uninterrupted) =="
+"$CLI" "${ARGS[@]}" --report-digest >"$WORK/ref.txt" 2>/dev/null
+REF=$(grep '^digest ' "$WORK/ref.txt" | awk '{print $3}')
+echo "reference digest: $REF"
+
+wait_for_checkpoint() {
+  # Wait until at least one periodic checkpoint is on disk, plus a random
+  # extra delay so the kill offset varies between runs.
+  local ckpt=$1 pid=$2
+  for _ in $(seq 1 200); do
+    [[ -s "$ckpt" ]] && break
+    kill -0 "$pid" 2>/dev/null || { echo "run exited early" >&2; return 1; }
+    sleep 0.05
+  done
+  [[ -s "$ckpt" ]] || { echo "no checkpoint appeared" >&2; return 1; }
+  sleep "0.$((RANDOM % 8))"
+}
+
+resume_and_compare() {
+  local ckpt=$1 label=$2
+  "$CLI" "${ARGS[@]}" --resume "$ckpt" --report-digest \
+    >"$WORK/$label.txt" 2>/dev/null
+  local got
+  got=$(grep '^digest ' "$WORK/$label.txt" | awk '{print $3}')
+  echo "$label resumed digest: $got"
+  if [[ "$got" != "$REF" ]]; then
+    echo "FAIL: $label resume digest $got != reference $REF" >&2
+    exit 1
+  fi
+}
+
+echo "== SIGKILL (hard crash, resume from last periodic checkpoint) =="
+CKPT=$WORK/hard.ckpt
+"$CLI" "${ARGS[@]}" --checkpoint-out "$CKPT" \
+  --checkpoint-every-requests "$CADENCE" >/dev/null 2>&1 &
+PID=$!
+wait_for_checkpoint "$CKPT" "$PID"
+kill -KILL "$PID"
+wait "$PID" 2>/dev/null && { echo "FAIL: run survived SIGKILL" >&2; exit 1; }
+resume_and_compare "$CKPT" "sigkill"
+
+echo "== SIGTERM (graceful shutdown, exit code 75) =="
+CKPT=$WORK/graceful.ckpt
+"$CLI" "${ARGS[@]}" --checkpoint-out "$CKPT" \
+  --checkpoint-every-requests "$CADENCE" >/dev/null 2>"$WORK/graceful.err" &
+PID=$!
+wait_for_checkpoint "$CKPT" "$PID"
+kill -TERM "$PID"
+set +e
+wait "$PID"
+CODE=$?
+set -e
+if [[ "$CODE" -ne 75 ]]; then
+  echo "FAIL: graceful shutdown exited $CODE, expected 75" >&2
+  cat "$WORK/graceful.err" >&2
+  exit 1
+fi
+grep -q '^interrupted:' "$WORK/graceful.err" || {
+  echo "FAIL: no interrupt message on stderr" >&2; exit 1; }
+resume_and_compare "$CKPT" "sigterm"
+
+echo "== parallel engine (SIGTERM, resume with a different thread count) =="
+CKPT=$WORK/parallel.ckpt
+PARGS=("${ARGS[@]}" --threads 4 --shards 8)
+"$CLI" "${PARGS[@]}" --report-digest >"$WORK/pref.txt" 2>/dev/null
+PREF=$(grep '^digest ' "$WORK/pref.txt" | awk '{print $3}')
+"$CLI" "${PARGS[@]}" --checkpoint-out "$CKPT" \
+  --checkpoint-every-requests "$CADENCE" >/dev/null 2>&1 &
+PID=$!
+wait_for_checkpoint "$CKPT" "$PID"
+kill -TERM "$PID"
+set +e
+wait "$PID"
+CODE=$?
+set -e
+[[ "$CODE" -eq 75 ]] || { echo "FAIL: parallel exited $CODE" >&2; exit 1; }
+"$CLI" "${PARGS[@]}" --threads 2 --resume "$CKPT" --report-digest \
+  >"$WORK/par.txt" 2>/dev/null
+PGOT=$(grep '^digest ' "$WORK/par.txt" | awk '{print $3}')
+echo "parallel resumed digest: $PGOT (reference $PREF)"
+if [[ "$PGOT" != "$PREF" ]]; then
+  echo "FAIL: parallel resume digest $PGOT != reference $PREF" >&2
+  exit 1
+fi
+
+echo "PASS: all resumed digests are byte-identical to their references"

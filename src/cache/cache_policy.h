@@ -79,6 +79,14 @@ class CachePolicy {
   virtual const CacheStats& stats() const noexcept { return stats_; }
   virtual void reset_stats() noexcept { stats_.reset(); }
 
+  /// Checkpointing: serialises the full replacement state (residency,
+  /// recency/frequency order, reference bits, ghost directories) plus the
+  /// embedded statistics, so a restored cache behaves byte-identically to
+  /// one that lived through every access.  restore_state() expects a cache
+  /// constructed with the same policy; capacity travels with the state.
+  virtual void save_state(util::ByteWriter& w) const = 0;
+  virtual void restore_state(util::ByteReader& r) = 0;
+
  protected:
   CacheStats stats_;
 };

@@ -4,6 +4,8 @@
 
 #include <cstdint>
 
+#include "src/util/serial.h"
+
 namespace cdn::cache {
 
 /// Streaming cache statistics.  Byte counters use the requested object's
@@ -69,6 +71,28 @@ class CacheStats {
   }
 
   void reset() noexcept { *this = CacheStats{}; }
+
+  /// Checkpointing.
+  void save_state(util::ByteWriter& w) const {
+    w.u64(hits_);
+    w.u64(misses_);
+    w.u64(hit_bytes_);
+    w.u64(miss_bytes_);
+    w.u64(admissions_);
+    w.u64(evictions_);
+    w.u64(admitted_bytes_);
+    w.u64(evicted_bytes_);
+  }
+  void restore_state(util::ByteReader& r) {
+    hits_ = r.u64();
+    misses_ = r.u64();
+    hit_bytes_ = r.u64();
+    miss_bytes_ = r.u64();
+    admissions_ = r.u64();
+    evictions_ = r.u64();
+    admitted_bytes_ = r.u64();
+    evicted_bytes_ = r.u64();
+  }
 
  private:
   std::uint64_t hits_ = 0;

@@ -65,6 +65,50 @@ void ClockCache::clear() {
   used_ = 0;
 }
 
+void ClockCache::save_state(util::ByteWriter& w) const {
+  w.u64(capacity_);
+  stats_.save_state(w);
+  w.u64(ring_.size());
+  std::uint64_t hand_offset = 0;
+  bool hand_found = false;
+  std::uint64_t pos = 0;
+  for (auto it = ring_.begin(); it != ring_.end(); ++it, ++pos) {
+    w.u64(it->key);
+    w.u64(it->bytes);
+    w.u8(it->referenced ? 1 : 0);
+    if (it == hand_) {
+      hand_offset = pos;
+      hand_found = true;
+    }
+  }
+  w.u64(hand_found ? hand_offset : static_cast<std::uint64_t>(-1));
+}
+
+void ClockCache::restore_state(util::ByteReader& r) {
+  clear();
+  capacity_ = r.u64();
+  stats_.restore_state(r);
+  const std::uint64_t n = r.u64();
+  r.need(n * 17, "clock entries");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ObjectKey key = r.u64();
+    const std::uint64_t bytes = r.u64();
+    const bool referenced = r.u8() != 0;
+    ring_.push_back({key, bytes, referenced});
+    index_.emplace(key, std::prev(ring_.end()));
+    used_ += bytes;
+  }
+  const std::uint64_t hand_offset = r.u64();
+  if (hand_offset == static_cast<std::uint64_t>(-1)) {
+    hand_ = ring_.end();
+  } else {
+    CDN_EXPECT(hand_offset < n, "clock hand offset out of range");
+    hand_ = ring_.begin();
+    std::advance(hand_, static_cast<std::ptrdiff_t>(hand_offset));
+  }
+  CDN_EXPECT(used_ <= capacity_, "restored cache exceeds its capacity");
+}
+
 void ClockCache::evict_one() {
   CDN_DCHECK(!ring_.empty(), "eviction from empty cache");
   while (hand_->referenced) {

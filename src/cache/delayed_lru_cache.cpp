@@ -70,4 +70,37 @@ void DelayedLruCache::clear() {
   ghost_index_.clear();
 }
 
+void DelayedLruCache::save_state(util::ByteWriter& w) const {
+  inner_.save_state(w);
+  stats_.save_state(w);
+  w.u32(threshold_);
+  w.u64(ghost_capacity_);
+  w.u64(ghost_order_.size());
+  for (const ObjectKey key : ghost_order_) {  // most recent first
+    w.u64(key);
+    const auto it = ghost_index_.find(key);
+    CDN_CHECK(it != ghost_index_.end(), "ghost order/index out of sync");
+    w.u32(it->second.count);
+  }
+}
+
+void DelayedLruCache::restore_state(util::ByteReader& r) {
+  clear();
+  inner_.restore_state(r);
+  stats_.restore_state(r);
+  threshold_ = r.u32();
+  CDN_EXPECT(threshold_ >= 1, "admission threshold must be >= 1");
+  ghost_capacity_ = static_cast<std::size_t>(r.u64());
+  CDN_EXPECT(ghost_capacity_ >= 1, "ghost directory must hold >= 1 entry");
+  const std::uint64_t n = r.u64();
+  r.need(n * 12, "ghost entries");
+  CDN_EXPECT(n <= ghost_capacity_, "ghost directory exceeds its capacity");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ObjectKey key = r.u64();
+    const std::uint32_t count = r.u32();
+    ghost_order_.push_back(key);
+    ghost_index_.emplace(key, GhostEntry{count, std::prev(ghost_order_.end())});
+  }
+}
+
 }  // namespace cdn::cache

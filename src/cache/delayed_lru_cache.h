@@ -55,6 +55,9 @@ class DelayedLruCache final : public CachePolicy {
     inner_.reset_stats();
   }
 
+  void save_state(util::ByteWriter& w) const override;
+  void restore_state(util::ByteReader& r) override;
+
  private:
   void note_miss(ObjectKey key);
   bool ready_to_admit(ObjectKey key) const;

@@ -41,6 +41,32 @@ void FifoCache::clear() {
   used_ = 0;
 }
 
+void FifoCache::save_state(util::ByteWriter& w) const {
+  w.u64(capacity_);
+  stats_.save_state(w);
+  w.u64(queue_.size());
+  for (const Entry& e : queue_) {  // newest -> oldest admission
+    w.u64(e.key);
+    w.u64(e.bytes);
+  }
+}
+
+void FifoCache::restore_state(util::ByteReader& r) {
+  clear();
+  capacity_ = r.u64();
+  stats_.restore_state(r);
+  const std::uint64_t n = r.u64();
+  r.need(n * 16, "fifo entries");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ObjectKey key = r.u64();
+    const std::uint64_t bytes = r.u64();
+    queue_.push_back({key, bytes});
+    index_.emplace(key, std::prev(queue_.end()));
+    used_ += bytes;
+  }
+  CDN_EXPECT(used_ <= capacity_, "restored cache exceeds its capacity");
+}
+
 void FifoCache::evict_one() {
   CDN_DCHECK(!queue_.empty(), "eviction from empty cache");
   const Entry& victim = queue_.back();

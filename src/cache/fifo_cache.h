@@ -28,6 +28,9 @@ class FifoCache final : public CachePolicy {
   std::uint64_t used_bytes() const override { return used_; }
   std::size_t object_count() const override { return index_.size(); }
 
+  void save_state(util::ByteWriter& w) const override;
+  void restore_state(util::ByteReader& r) override;
+
  private:
   struct Entry {
     ObjectKey key;

@@ -72,6 +72,42 @@ std::uint64_t LfuCache::frequency(ObjectKey key) const {
   return it == index_.end() ? 0 : it->second.entry->freq;
 }
 
+void LfuCache::save_state(util::ByteWriter& w) const {
+  w.u64(capacity_);
+  stats_.save_state(w);
+  w.u64(buckets_.size());
+  for (const auto& [freq, bucket] : buckets_) {  // ascending frequency
+    w.u64(freq);
+    w.u64(bucket.size());
+    for (const Entry& e : bucket) {  // most recently touched first
+      w.u64(e.key);
+      w.u64(e.bytes);
+    }
+  }
+}
+
+void LfuCache::restore_state(util::ByteReader& r) {
+  clear();
+  capacity_ = r.u64();
+  stats_.restore_state(r);
+  const std::uint64_t bucket_count = r.u64();
+  for (std::uint64_t b = 0; b < bucket_count; ++b) {
+    const std::uint64_t freq = r.u64();
+    const std::uint64_t n = r.u64();
+    r.need(n * 16, "lfu bucket entries");
+    const auto bucket = buckets_.emplace(freq, Bucket{}).first;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const ObjectKey key = r.u64();
+      const std::uint64_t bytes = r.u64();
+      bucket->second.push_back({key, bytes, freq});
+      index_.emplace(key,
+                     Locator{bucket, std::prev(bucket->second.end())});
+      used_ += bytes;
+    }
+  }
+  CDN_EXPECT(used_ <= capacity_, "restored cache exceeds its capacity");
+}
+
 void LfuCache::evict_one() {
   CDN_DCHECK(!buckets_.empty(), "eviction from empty cache");
   auto lowest = buckets_.begin();

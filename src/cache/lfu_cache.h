@@ -33,6 +33,9 @@ class LfuCache final : public CachePolicy {
   /// Current reference count of a resident key; 0 if absent.
   std::uint64_t frequency(ObjectKey key) const;
 
+  void save_state(util::ByteWriter& w) const override;
+  void restore_state(util::ByteReader& r) override;
+
  private:
   struct Entry {
     ObjectKey key;

@@ -55,6 +55,32 @@ ObjectKey LruCache::mru_key() const {
   return recency_.front().key;
 }
 
+void LruCache::save_state(util::ByteWriter& w) const {
+  w.u64(capacity_);
+  stats_.save_state(w);
+  w.u64(recency_.size());
+  for (const Entry& e : recency_) {  // MRU -> LRU
+    w.u64(e.key);
+    w.u64(e.bytes);
+  }
+}
+
+void LruCache::restore_state(util::ByteReader& r) {
+  clear();
+  capacity_ = r.u64();
+  stats_.restore_state(r);
+  const std::uint64_t n = r.u64();
+  r.need(n * 16, "lru entries");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const ObjectKey key = r.u64();
+    const std::uint64_t bytes = r.u64();
+    recency_.push_back({key, bytes});
+    index_.emplace(key, std::prev(recency_.end()));
+    used_ += bytes;
+  }
+  CDN_EXPECT(used_ <= capacity_, "restored cache exceeds its capacity");
+}
+
 void LruCache::evict_one() {
   CDN_DCHECK(!recency_.empty(), "eviction from empty cache");
   const Entry& victim = recency_.back();

@@ -36,6 +36,9 @@ class LruCache final : public CachePolicy {
   /// Key at the most-recent position.  Requires a non-empty cache.
   ObjectKey mru_key() const;
 
+  void save_state(util::ByteWriter& w) const override;
+  void restore_state(util::ByteReader& r) override;
+
  private:
   struct Entry {
     ObjectKey key;

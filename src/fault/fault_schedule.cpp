@@ -7,6 +7,7 @@
 
 #include "src/util/error.h"
 #include "src/util/rng.h"
+#include "src/util/text_parse.h"
 
 namespace cdn::fault {
 
@@ -35,15 +36,16 @@ void FaultSchedule::add_link_degradation(std::uint32_t server,
                                          std::uint64_t end,
                                          double latency_multiplier) {
   check_interval(begin, end);
-  CDN_EXPECT(latency_multiplier >= 1.0,
-             "link degradation multiplier must be >= 1");
+  CDN_EXPECT(std::isfinite(latency_multiplier) && latency_multiplier >= 1.0,
+             "link degradation multiplier must be finite and >= 1");
   link_degradations_.push_back({server, begin, end, latency_multiplier});
 }
 
 void FaultSchedule::add_demand_surge(std::uint32_t site, std::uint64_t begin,
                                      std::uint64_t end, double multiplier) {
   check_interval(begin, end);
-  CDN_EXPECT(multiplier >= 1.0, "demand surge multiplier must be >= 1");
+  CDN_EXPECT(std::isfinite(multiplier) && multiplier >= 1.0,
+             "demand surge multiplier must be finite and >= 1");
   demand_surges_.push_back({site, begin, end, multiplier});
 }
 
@@ -114,6 +116,81 @@ FaultSchedule FaultSchedule::random(std::size_t server_count,
   return schedule;
 }
 
+namespace {
+
+/// Whitespace tokenizer over one schedule line with 1-based column
+/// tracking, so every parse error can say exactly where it happened.
+class LineTokens {
+ public:
+  LineTokens(const std::string& line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  /// Location prefix of the NEXT token (or of end-of-line).
+  std::string where() const {
+    return "fault schedule line " + std::to_string(line_no_) + ", col " +
+           std::to_string(util::text_column(
+               std::min(next_start(), line_.size())));
+  }
+
+  bool at_end() const { return next_start() >= line_.size(); }
+
+  std::string expect(const char* what) {
+    const std::size_t start = next_start();
+    CDN_EXPECT(start < line_.size(),
+               where() + ": expected " + what + ", but the line ended");
+    std::size_t end = start;
+    while (end < line_.size() && !is_space(line_[end])) ++end;
+    token_where_ = "fault schedule line " + std::to_string(line_no_) +
+                   ", col " + std::to_string(util::text_column(start));
+    pos_ = end;
+    return line_.substr(start, end - start);
+  }
+
+  std::uint32_t u32(const char* what) {
+    const std::string tok = expect(what);
+    return util::parse_u32_token(tok, token_where_);
+  }
+  std::uint64_t u64(const char* what) {
+    const std::string tok = expect(what);
+    return util::parse_u64_token(tok, token_where_);
+  }
+  double finite(const char* what) {
+    const std::string tok = expect(what);
+    return util::parse_finite_double_token(tok, token_where_);
+  }
+  void literal(const char* word) {
+    const std::string tok = expect(word);
+    CDN_EXPECT(tok == word, token_where_ + ": expected '" +
+                                std::string(word) + "' (got '" + tok + "')");
+  }
+  void done() {
+    CDN_EXPECT(at_end(), where() + ": unexpected trailing token '" +
+                             line_.substr(next_start(),
+                                          line_.find_first_of(" \t",
+                                                              next_start()) -
+                                              next_start()) +
+                             "'");
+  }
+
+  /// Location prefix of the most recently consumed token.
+  const std::string& last_where() const { return token_where_; }
+
+ private:
+  static bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+  std::size_t next_start() const {
+    std::size_t p = pos_;
+    while (p < line_.size() && is_space(line_[p])) ++p;
+    return p;
+  }
+
+  const std::string& line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+  std::string token_where_;
+};
+
+}  // namespace
+
 FaultSchedule FaultSchedule::parse(const std::string& text) {
   FaultSchedule schedule;
   std::istringstream in(text);
@@ -123,41 +200,51 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
     ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
-    std::istringstream ls(line);
-    std::string kind;
-    if (!(ls >> kind)) continue;  // blank / comment-only line
-    const std::string where = " (line " + std::to_string(line_no) + ")";
-    if (kind == "server" || kind == "origin") {
-      std::uint32_t target = 0;
-      std::string verb;
-      std::uint64_t begin = 0, end = 0;
-      CDN_EXPECT(static_cast<bool>(ls >> target >> verb >> begin >> end) &&
-                     verb == "down",
-                 "expected '" + kind + " <idx> down <begin> <end>'" + where);
-      if (kind == "server") {
-        schedule.add_server_outage(target, begin, end);
-      } else {
-        schedule.add_origin_outage(target, begin, end);
+    LineTokens tokens(line, line_no);
+    if (tokens.at_end()) continue;  // blank / comment-only line
+    const std::string kind = tokens.expect("a fault directive");
+    // Interval/multiplier violations from the add_* helpers gain the line
+    // location on the way out.
+    const auto located = [&](const auto& add) {
+      try {
+        add();
+      } catch (const PreconditionError& e) {
+        CDN_EXPECT(false, "fault schedule line " + std::to_string(line_no) +
+                              ": " + e.what());
       }
+    };
+    if (kind == "server" || kind == "origin") {
+      const std::uint32_t target = tokens.u32("a target index");
+      tokens.literal("down");
+      const std::uint64_t begin = tokens.u64("the outage begin");
+      const std::uint64_t end = tokens.u64("the outage end");
+      tokens.done();
+      located([&] {
+        if (kind == "server") {
+          schedule.add_server_outage(target, begin, end);
+        } else {
+          schedule.add_origin_outage(target, begin, end);
+        }
+      });
     } else if (kind == "link") {
-      std::uint32_t server = 0;
-      std::string verb;
-      std::uint64_t begin = 0, end = 0;
-      double mult = 1.0;
-      CDN_EXPECT(
-          static_cast<bool>(ls >> server >> verb >> begin >> end >> mult) &&
-              verb == "degrade",
-          "expected 'link <idx> degrade <begin> <end> <multiplier>'" + where);
-      schedule.add_link_degradation(server, begin, end, mult);
+      const std::uint32_t server = tokens.u32("a server index");
+      tokens.literal("degrade");
+      const std::uint64_t begin = tokens.u64("the degradation begin");
+      const std::uint64_t end = tokens.u64("the degradation end");
+      const double mult = tokens.finite("a latency multiplier");
+      tokens.done();
+      located([&] { schedule.add_link_degradation(server, begin, end, mult); });
     } else if (kind == "surge") {
-      std::uint32_t site = 0;
-      std::uint64_t begin = 0, end = 0;
-      double mult = 1.0;
-      CDN_EXPECT(static_cast<bool>(ls >> site >> begin >> end >> mult),
-                 "expected 'surge <site> <begin> <end> <multiplier>'" + where);
-      schedule.add_demand_surge(site, begin, end, mult);
+      const std::uint32_t site = tokens.u32("a site index");
+      const std::uint64_t begin = tokens.u64("the surge begin");
+      const std::uint64_t end = tokens.u64("the surge end");
+      const double mult = tokens.finite("a demand multiplier");
+      tokens.done();
+      located([&] { schedule.add_demand_surge(site, begin, end, mult); });
     } else {
-      CDN_EXPECT(false, "unknown fault directive '" + kind + "'" + where);
+      CDN_EXPECT(false, tokens.last_where() + ": unknown fault directive '" +
+                            kind + "' (expected server, origin, link or "
+                            "surge)");
     }
   }
   return schedule;

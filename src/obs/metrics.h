@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/util/serial.h"
 #include "src/util/stats.h"
 
 namespace cdn::obs {
@@ -74,6 +75,34 @@ class Histogram {
   }
   std::uint64_t count() const noexcept { return moments_.count(); }
   const util::RunningStats& moments() const noexcept { return moments_; }
+
+  /// Checkpointing.  Boundaries travel with the state so restore works on
+  /// a histogram constructed with any (matching-length or not) boundaries.
+  void save_state(util::ByteWriter& w) const {
+    w.u64(boundaries_.size());
+    for (double b : boundaries_) w.f64(b);
+    for (std::uint64_t c : buckets_) w.u64(c);
+    w.u64(moments_.count());
+    w.f64(moments_.mean());
+    w.f64(moments_.m2());
+    w.f64(moments_.min());
+    w.f64(moments_.max());
+  }
+  void restore_state(util::ByteReader& r) {
+    const std::uint64_t k = r.u64();
+    r.need(k * 16 + 8, "histogram buckets");
+    boundaries_.clear();
+    boundaries_.reserve(static_cast<std::size_t>(k));
+    for (std::uint64_t i = 0; i < k; ++i) boundaries_.push_back(r.f64());
+    buckets_.assign(static_cast<std::size_t>(k) + 1, 0);
+    for (auto& c : buckets_) c = r.u64();
+    const std::uint64_t n = r.u64();
+    const double mean = r.f64();
+    const double m2 = r.f64();
+    const double mn = r.f64();
+    const double mx = r.f64();
+    moments_.restore(n, mean, m2, mn, mx);
+  }
 
  private:
   std::vector<double> boundaries_;

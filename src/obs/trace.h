@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/serial.h"
 
 namespace cdn::obs {
 
@@ -88,6 +89,12 @@ class TraceSink {
 
   /// Writes csv() to `path` (truncating).  Throws on I/O error.
   void write_csv(const std::string& path) const;
+
+  /// Checkpointing: sampler RNG position, contexts, retained events and the
+  /// dropped count, so a resumed run traces the exact same requests and
+  /// exports the exact same CSV as an uninterrupted one.
+  void save_state(util::ByteWriter& w) const;
+  void restore_state(util::ByteReader& r);
 
  private:
   double sample_rate_;

@@ -1,0 +1,142 @@
+#include "src/recover/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/util/error.h"
+
+namespace cdn::recover {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'D', 'N', 'C', 'K', 'P', 'T', '1'};
+
+}  // namespace
+
+std::uint64_t write_file(const std::string& path, const Checkpoint& ckpt) {
+  util::ByteWriter w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.u32(kCheckpointVersion);
+  w.u64(ckpt.fingerprint.size());
+  for (const auto& [name, hash] : ckpt.fingerprint) {
+    w.str(name);
+    w.u64(hash);
+  }
+  w.u64(ckpt.payload.size());
+  w.raw(ckpt.payload.data(), ckpt.payload.size());
+  w.u64(util::fnv1a(w.buffer().data(), w.size()));
+
+  // Atomic publish: serialise to a sibling tmp file, flush it, rename over
+  // the target.  POSIX rename() replaces atomically, so readers only ever
+  // see the old complete file or the new complete file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    CDN_EXPECT(out.good(), "cannot open checkpoint temp file: " + tmp);
+    out.write(reinterpret_cast<const char*>(w.buffer().data()),
+              static_cast<std::streamsize>(w.size()));
+    out.flush();
+    CDN_EXPECT(out.good(), "failed writing checkpoint temp file: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    CDN_EXPECT(false, "cannot rename checkpoint into place: " + path);
+  }
+  return w.size();
+}
+
+Checkpoint read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  CDN_EXPECT(in.good(), "cannot open checkpoint file: " + path);
+  const std::streamoff size = in.tellg();
+  // Smallest valid file: magic + version + two counts + trailer.
+  constexpr std::streamoff kMinSize = 8 + 4 + 8 + 8 + 8;
+  CDN_EXPECT(size >= kMinSize,
+             "checkpoint file truncated: " + path + " is " +
+                 std::to_string(size) + " bytes, need at least " +
+                 std::to_string(kMinSize));
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  CDN_EXPECT(in.good(), "failed reading checkpoint file: " + path);
+
+  // Checksum first: a torn or bit-flipped file is rejected before any of
+  // its contents are interpreted.
+  const std::size_t body = bytes.size() - 8;
+  std::uint64_t stored = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(bytes[body + i]) << (8 * i);
+  }
+  const std::uint64_t computed = util::fnv1a(bytes.data(), body);
+  CDN_EXPECT(stored == computed,
+             "checkpoint checksum mismatch in " + path +
+                 " (torn write or corruption)");
+
+  util::ByteReader r({bytes.data(), body});
+  char magic[8];
+  r.raw(magic, sizeof(magic));
+  CDN_EXPECT(std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+             "not a checkpoint file (bad magic): " + path);
+  const std::uint32_t version = r.u32();
+  CDN_EXPECT(version == kCheckpointVersion,
+             "unsupported checkpoint version " + std::to_string(version) +
+                 " in " + path + " (this build reads version " +
+                 std::to_string(kCheckpointVersion) + ")");
+
+  Checkpoint ckpt;
+  const std::uint64_t sections = r.u64();
+  CDN_EXPECT(sections <= 64, "implausible checkpoint section count");
+  for (std::uint64_t i = 0; i < sections; ++i) {
+    std::string name = r.str();
+    const std::uint64_t hash = r.u64();
+    ckpt.fingerprint.emplace_back(std::move(name), hash);
+  }
+  const std::uint64_t payload_size = r.u64();
+  r.need(payload_size, "checkpoint payload");
+  ckpt.payload.resize(static_cast<std::size_t>(payload_size));
+  r.raw(ckpt.payload.data(), ckpt.payload.size());
+  CDN_EXPECT(r.done(), "checkpoint file has trailing bytes: " + path);
+  return ckpt;
+}
+
+void check_fingerprint(const Checkpoint& ckpt,
+                       const std::vector<FingerprintSection>& expected) {
+  std::string changed;
+  std::string missing;
+  std::string extra;
+  const auto append = [](std::string& list, const std::string& name) {
+    if (!list.empty()) list += ", ";
+    list += name;
+  };
+  for (const auto& [name, hash] : expected) {
+    bool found = false;
+    for (const auto& [fname, fhash] : ckpt.fingerprint) {
+      if (fname != name) continue;
+      found = true;
+      if (fhash != hash) append(changed, name);
+      break;
+    }
+    if (!found) append(missing, name);
+  }
+  for (const auto& [fname, fhash] : ckpt.fingerprint) {
+    bool found = false;
+    for (const auto& [name, hash] : expected) {
+      if (name == fname) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) append(extra, fname);
+  }
+  if (changed.empty() && missing.empty() && extra.empty()) return;
+  std::string msg = "checkpoint fingerprint mismatch — resume requires the "
+                    "exact configuration that wrote the checkpoint.";
+  if (!changed.empty()) msg += " Changed: " + changed + ".";
+  if (!missing.empty()) msg += " Missing from file: " + missing + ".";
+  if (!extra.empty()) msg += " Unexpected in file: " + extra + ".";
+  CDN_EXPECT(false, msg);
+}
+
+}  // namespace cdn::recover

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/obs/scoped_timer.h"
+#include "src/recover/checkpoint.h"
+#include "src/sim/sim_checkpoint.h"
 #include "src/sim/sim_internal.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
@@ -40,6 +45,25 @@ struct ShardResult {
   std::vector<cache::CacheStats> cache_stats;      // per owned server
   std::vector<obs::Histogram> server_latency;      // per owned server
 };
+
+/// Mutable per-shard engine state that must survive checkpoint barriers:
+/// the caches, the substream RNGs and the shard-local request index.
+struct ShardState {
+  std::vector<std::unique_ptr<cache::CachePolicy>> caches;
+  std::optional<workload::RequestStream> stream;
+  util::Rng lambda_rng{0};
+  std::uint64_t t = 0;  // next shard-local request index
+};
+
+/// Per-shard interval target for barrier k of `intervals`: proportional
+/// progress, exact at the last barrier.  128-bit intermediate so huge runs
+/// cannot overflow.
+std::uint64_t interval_target(std::uint64_t shard_total, std::size_t k,
+                              std::size_t intervals) {
+  if (k + 1 >= intervals) return shard_total;
+  return static_cast<std::uint64_t>(static_cast<unsigned __int128>(shard_total) *
+                                    (k + 1) / intervals);
+}
 
 }  // namespace
 
@@ -122,13 +146,9 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
   const bool per_server = instrumented && config.per_server_metrics;
 
   std::vector<ShardResult> results(shards);
-
-  setup_timer.stop();
-  obs::ScopedTimer run_timer(t_run);
-
-  const auto run_shard = [&](std::size_t s) {
-    const std::uint64_t shard_total = plan.requests[s];
-    if (shard_total == 0) return;  // zero-demand shard: nothing to simulate
+  std::vector<ShardState> states(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (plan.requests[s] == 0) continue;  // zero-demand shard: nothing to do
     const std::vector<workload::ServerId>& owned = plan.servers[s];
     ShardResult& out = results[s];
     out.latency.use_sketch(config.latency_sketch_error);
@@ -139,73 +159,241 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
         out.server_latency.emplace_back(obs::default_latency_bounds_ms());
       }
     }
-
-    std::vector<std::unique_ptr<cache::CachePolicy>> caches;
-    caches.reserve(owned.size());
+    ShardState& st = states[s];
+    st.caches.reserve(owned.size());
     for (const workload::ServerId server : owned) {
-      caches.push_back(cache::make_cache(
+      st.caches.push_back(cache::make_cache(
           config.policy,
           result.cache_bytes(static_cast<sys::ServerIndex>(server))));
     }
     // The shard stream samples the conditional cell distribution given
     // "first hop in this shard" — together with the multinomial split this
     // reproduces the full i.i.d. stream's law exactly.
-    workload::RequestStream stream(
-        catalog, system.demand(),
-        detail::substream_seed(config.seed, s, kStreamSalt),
-        config.stream_locality, 256, owned);
-    util::Rng lambda_rng(detail::substream_seed(config.seed, s, kLambdaSalt));
+    st.stream.emplace(catalog, system.demand(),
+                      detail::substream_seed(config.seed, s, kStreamSalt),
+                      config.stream_locality, 256, owned);
+    st.lambda_rng =
+        util::Rng(detail::substream_seed(config.seed, s, kLambdaSalt));
+  }
 
-    const std::uint64_t warmup = shard_warmup[s];
-    const std::uint64_t measured = shard_total - warmup;
-    for (std::uint64_t t = 0; t < shard_total; ++t) {
-      if (t == warmup) {
-        for (auto& c : caches) c->reset_stats();
-      }
-      const workload::Request req = stream.next();
-      // Round-robin ownership makes the local cache index a division.
-      cache::CachePolicy& cache = *caches[req.server / shards];
-      const detail::HealthyOutcome o = detail::healthy_step(
-          catalog, result, cache, lambda_rng, req, config.staleness);
-      if (t < warmup) continue;
+  // --- Crash safety (see docs/RECOVERY.md).  Checkpoints are taken at
+  // shard-merge barriers: the interval loop below pauses every worker,
+  // serialises each shard's state on the main thread, then resumes. ---
+  const bool recovery_active = !config.checkpoint_path.empty() ||
+                               !config.resume_path.empty() ||
+                               config.stop != nullptr;
+  std::vector<recover::FingerprintSection> fingerprint;
+  if (recovery_active) {
+    fingerprint = detail::checkpoint_fingerprint(
+        system, result, config, detail::EngineKind::kParallel, shards);
+  }
 
-      const double latency_ms = config.latency.latency_ms(o.hops);
-      out.latency.add(latency_ms);
-      out.hop_sum += o.hops;
-      if (o.served_locally) ++out.local;
-      if (o.cache_eligible) {
-        ++out.eligible;
-        if (o.cache_hit) ++out.eligible_hits;
-      }
-      if (slo_active && latency_ms > config.slo_ms) ++out.slo_violations;
-      ++out.causes[static_cast<std::size_t>(o.cause)];
-      if (window_count > 0) {
-        const std::uint64_t k = t - warmup;
-        detail::WindowAccumulator& win =
-            out.windows[static_cast<std::size_t>(k * window_count / measured)];
-        ++win.requests;
-        win.hops += o.hops;
-        win.latency_ms += latency_ms;
-        if (o.served_locally) ++win.local;
-        if (o.cache_eligible) {
-          ++win.eligible;
-          if (o.cache_hit) ++win.eligible_hits;
-        }
-      }
-      if (per_server) {
-        out.server_latency[req.server / shards].observe(latency_ms);
-      }
+  const auto save_engine_state = [&](util::ByteWriter& w) {
+    w.u64(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (plan.requests[s] == 0) continue;
+      const ShardState& st = states[s];
+      const ShardResult& out = results[s];
+      w.u64(st.t);
+      st.stream->save_state(w);
+      detail::save_rng(w, st.lambda_rng);
+      w.u64(st.caches.size());
+      for (const auto& c : st.caches) c->save_state(w);
+      w.f64(out.hop_sum);
+      w.u64(out.local);
+      w.u64(out.eligible);
+      w.u64(out.eligible_hits);
+      w.u64(out.slo_violations);
+      out.latency.save_state(w);
+      for (const std::uint64_t c : out.causes) w.u64(c);
+      w.u64(out.windows.size());
+      for (const auto& win : out.windows) detail::save_window(w, win);
+      w.u64(out.server_latency.size());
+      for (const obs::Histogram& h : out.server_latency) h.save_state(w);
     }
-    out.measured = measured;
-    out.cache_stats.reserve(owned.size());
-    for (const auto& c : caches) out.cache_stats.push_back(c->stats());
   };
+
+  const auto restore_engine_state = [&](util::ByteReader& r) {
+    CDN_EXPECT(r.u64() == shards, "checkpoint shard count mismatch");
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (plan.requests[s] == 0) continue;
+      ShardState& st = states[s];
+      ShardResult& out = results[s];
+      st.t = r.u64();
+      CDN_EXPECT(st.t <= plan.requests[s],
+                 "checkpoint shard request index exceeds the shard's plan");
+      st.stream->restore_state(r);
+      detail::restore_rng(r, st.lambda_rng);
+      CDN_EXPECT(r.u64() == st.caches.size(),
+                 "checkpoint shard cache count mismatch");
+      for (auto& c : st.caches) c->restore_state(r);
+      out.hop_sum = r.f64();
+      out.local = r.u64();
+      out.eligible = r.u64();
+      out.eligible_hits = r.u64();
+      out.slo_violations = r.u64();
+      out.latency.restore_state(r);
+      for (std::uint64_t& c : out.causes) c = r.u64();
+      CDN_EXPECT(r.u64() == out.windows.size(),
+                 "checkpoint shard window count mismatch");
+      for (auto& win : out.windows) detail::restore_window(r, win);
+      CDN_EXPECT(r.u64() == out.server_latency.size(),
+                 "checkpoint per-shard histogram count mismatch");
+      for (obs::Histogram& h : out.server_latency) h.restore_state(r);
+    }
+    CDN_EXPECT(r.done(), "checkpoint payload has trailing bytes");
+  };
+
+  obs::Counter* rc_written = nullptr;
+  obs::Counter* rc_bytes = nullptr;
+  obs::Gauge* rc_last_ms = nullptr;
+  if (instrumented && recovery_active) {
+    rc_written = &metrics->counter(prefix + "recover/checkpoints_written");
+    rc_bytes = &metrics->counter(prefix + "recover/bytes");
+    rc_last_ms = &metrics->gauge(prefix + "recover/last_checkpoint_ms");
+  }
+  auto last_checkpoint_time = std::chrono::steady_clock::now();
+  const auto write_checkpoint = [&] {
+    const auto write_start = std::chrono::steady_clock::now();
+    recover::Checkpoint ckpt;
+    ckpt.fingerprint = fingerprint;
+    util::ByteWriter w;
+    save_engine_state(w);
+    ckpt.payload = w.buffer();
+    const std::uint64_t bytes =
+        recover::write_file(config.checkpoint_path, ckpt);
+    last_checkpoint_time = std::chrono::steady_clock::now();
+    if (rc_written != nullptr) {
+      rc_written->add();
+      rc_bytes->add(bytes);
+      rc_last_ms->set(std::chrono::duration<double, std::milli>(
+                          last_checkpoint_time - write_start)
+                          .count());
+    }
+  };
+
+  std::uint64_t last_written_done = 0;
+  if (!config.resume_path.empty()) {
+    const recover::Checkpoint ckpt = recover::read_file(config.resume_path);
+    recover::check_fingerprint(ckpt, fingerprint);
+    util::ByteReader reader(ckpt.payload);
+    restore_engine_state(reader);
+    for (const ShardState& st : states) last_written_done += st.t;
+    if (instrumented) {
+      metrics->gauge(prefix + "recover/resumed").set(1.0);
+      metrics->gauge(prefix + "recover/resume_request_index")
+          .set(static_cast<double>(last_written_done));
+    }
+  }
+
+  // One barrier per checkpoint cadence; 64 give a stop flag or a time
+  // cadence reasonable latency; a plain run keeps today's single pass.
+  const std::size_t intervals =
+      config.checkpoint_every_requests > 0
+          ? static_cast<std::size_t>((total + config.checkpoint_every_requests -
+                                      1) /
+                                     config.checkpoint_every_requests)
+          : (recovery_active ? std::size_t{64} : std::size_t{1});
+  const bool poll_stop = config.stop != nullptr;
+
+  setup_timer.stop();
+  obs::ScopedTimer run_timer(t_run);
 
   {
     // A dedicated pool sized to the run; shards >> threads gives the static
     // partition slack to balance uneven shard masses.
     util::ThreadPool pool(std::min(threads, shards));
-    util::parallel_for(pool, 0, shards, run_shard);
+    for (std::size_t interval = 0; interval < intervals; ++interval) {
+      const auto run_interval = [&](std::size_t s) {
+        const std::uint64_t shard_total = plan.requests[s];
+        if (shard_total == 0) return;
+        const std::uint64_t end =
+            interval_target(shard_total, interval, intervals);
+        ShardState& st = states[s];
+        if (st.t >= end) return;  // already past this barrier (resume)
+        ShardResult& out = results[s];
+        workload::RequestStream& stream = *st.stream;
+        const std::uint64_t warmup = shard_warmup[s];
+        const std::uint64_t measured = shard_total - warmup;
+        std::uint64_t t = st.t;
+        for (; t < end; ++t) {
+          // In-chunk shutdown probe: a worker may bail mid-interval; the
+          // per-shard position is saved individually, so determinism holds.
+          // t == 0 is exempt so even a pre-set flag checkpoints progress.
+          if (poll_stop && (t & 0xfffu) == 0 && t != 0 &&
+              config.stop->load(std::memory_order_relaxed)) {
+            break;
+          }
+          if (t == warmup) {
+            for (auto& c : st.caches) c->reset_stats();
+          }
+          const workload::Request req = stream.next();
+          // Round-robin ownership makes the local cache index a division.
+          cache::CachePolicy& cache = *st.caches[req.server / shards];
+          const detail::HealthyOutcome o = detail::healthy_step(
+              catalog, result, cache, st.lambda_rng, req, config.staleness);
+          if (t < warmup) continue;
+
+          const double latency_ms = config.latency.latency_ms(o.hops);
+          out.latency.add(latency_ms);
+          out.hop_sum += o.hops;
+          if (o.served_locally) ++out.local;
+          if (o.cache_eligible) {
+            ++out.eligible;
+            if (o.cache_hit) ++out.eligible_hits;
+          }
+          if (slo_active && latency_ms > config.slo_ms) ++out.slo_violations;
+          ++out.causes[static_cast<std::size_t>(o.cause)];
+          if (window_count > 0) {
+            const std::uint64_t k = t - warmup;
+            detail::WindowAccumulator& win = out.windows[static_cast<std::size_t>(
+                k * window_count / measured)];
+            ++win.requests;
+            win.hops += o.hops;
+            win.latency_ms += latency_ms;
+            if (o.served_locally) ++win.local;
+            if (o.cache_eligible) {
+              ++win.eligible;
+              if (o.cache_hit) ++win.eligible_hits;
+            }
+          }
+          if (per_server) {
+            out.server_latency[req.server / shards].observe(latency_ms);
+          }
+        }
+        st.t = t;
+      };
+      util::parallel_for(pool, 0, shards, run_interval);
+
+      if (!recovery_active) continue;
+      const bool stop_requested =
+          poll_stop && config.stop->load(std::memory_order_relaxed);
+      std::uint64_t done = 0;
+      for (const ShardState& st : states) done += st.t;
+      bool write = !config.checkpoint_path.empty() &&
+                   (config.checkpoint_every_requests > 0 || stop_requested);
+      if (!write && !config.checkpoint_path.empty() &&
+          config.checkpoint_every_seconds > 0.0) {
+        write = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              last_checkpoint_time)
+                    .count() >= config.checkpoint_every_seconds;
+      }
+      if (write && done > last_written_done) {
+        write_checkpoint();
+        last_written_done = done;
+      }
+      if (stop_requested) {
+        throw recover::Interrupted(done, config.checkpoint_path);
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (plan.requests[s] == 0) continue;
+    ShardResult& out = results[s];
+    out.measured = plan.requests[s] - shard_warmup[s];
+    out.cache_stats.reserve(states[s].caches.size());
+    for (const auto& c : states[s].caches) out.cache_stats.push_back(c->stats());
   }
 
   run_timer.stop();

@@ -1,11 +1,15 @@
 #include "src/sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <optional>
 
 #include "src/obs/scoped_timer.h"
+#include "src/recover/checkpoint.h"
 #include "src/sim/shard_engine.h"
+#include "src/sim/sim_checkpoint.h"
 #include "src/sim/sim_internal.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
@@ -27,6 +31,18 @@ void SimulationConfig::validate() const {
              "retry latency penalties must be non-negative");
   CDN_EXPECT(latency_sketch_error > 0.0 && latency_sketch_error < 1.0,
              "latency sketch relative error must be in (0, 1)");
+  CDN_EXPECT(std::isfinite(checkpoint_every_seconds) &&
+                 checkpoint_every_seconds >= 0.0,
+             "checkpoint time cadence must be a non-negative finite number "
+             "of seconds");
+  const bool checkpoint_cadence =
+      checkpoint_every_requests > 0 || checkpoint_every_seconds > 0.0;
+  CDN_EXPECT(!checkpoint_cadence || !checkpoint_path.empty(),
+             "a checkpoint cadence requires a checkpoint path "
+             "(--checkpoint-out)");
+  CDN_EXPECT(checkpoint_path.empty() || checkpoint_cadence || stop != nullptr,
+             "a checkpoint path needs a trigger: a request or seconds "
+             "cadence, or a stop flag");
 }
 
 SimulationReport simulate(const sys::CdnSystem& system,
@@ -174,7 +190,183 @@ SimulationReport simulate(const sys::CdnSystem& system,
   std::uint64_t retries_total = 0;
   std::uint64_t slo_violations = 0;
 
-  for (std::uint64_t t = 0; t < total; ++t) {
+  // --- Crash safety (see docs/RECOVERY.md).  All of this is setup-time
+  // work; with no checkpoint path, resume path, or stop flag the request
+  // loop pays exactly one never-taken sentinel compare per request. ---
+  const bool recovery_active = !config.checkpoint_path.empty() ||
+                               !config.resume_path.empty() ||
+                               config.stop != nullptr;
+  std::vector<detail::WindowAccumulator> flushed_windows;
+  std::vector<recover::FingerprintSection> fingerprint;
+  if (recovery_active) {
+    fingerprint = detail::checkpoint_fingerprint(
+        system, result, config, detail::EngineKind::kSequential, 1);
+  }
+  obs::Counter* rc_written = nullptr;
+  obs::Counter* rc_bytes = nullptr;
+  obs::Gauge* rc_last_ms = nullptr;
+  if (instrumented && recovery_active) {
+    rc_written = &metrics->counter(prefix + "recover/checkpoints_written");
+    rc_bytes = &metrics->counter(prefix + "recover/bytes");
+    rc_last_ms = &metrics->gauge(prefix + "recover/last_checkpoint_ms");
+  }
+
+  const auto save_engine_state = [&](util::ByteWriter& w,
+                                     std::uint64_t next_t) {
+    w.u64(next_t);
+    stream.save_state(w);
+    detail::save_rng(w, lambda_rng);
+    detail::save_rng(w, surge_rng);
+    w.u64(report.cold_restarts);
+    w.f64(hop_sum);
+    w.u64(local);
+    w.u64(eligible);
+    w.u64(eligible_hits);
+    w.u64(failed_total);
+    w.u64(failover_total);
+    w.u64(retries_total);
+    w.u64(slo_violations);
+    w.u64(caches.size());
+    for (const auto& c : caches) c->save_state(w);
+    report.latency_cdf.save_state(w);
+    w.u8(instrumented ? 1 : 0);
+    if (instrumented) {
+      w.u64(window_index);
+      detail::save_window(w, win);
+      w.u64(flushed_windows.size());
+      for (const auto& fw : flushed_windows) detail::save_window(w, fw);
+      for (std::size_t c = 0; c < obs::kEventCauseCount; ++c) {
+        w.u64(cause_counter[c] != nullptr ? cause_counter[c]->value() : 0);
+      }
+      w.u64(c_retries != nullptr ? c_retries->value() : 0);
+      w.u8(server_latency.empty() ? 0 : 1);
+      if (!server_latency.empty()) {
+        w.u64(server_latency.size());
+        for (const obs::Histogram* h : server_latency) h->save_state(w);
+      }
+    }
+    w.u8(trace_sink != nullptr ? 1 : 0);
+    if (trace_sink != nullptr) trace_sink->save_state(w);
+  };
+
+  const auto restore_engine_state =
+      [&](util::ByteReader& r) -> std::uint64_t {
+    const std::uint64_t resumed_t = r.u64();
+    CDN_EXPECT(resumed_t <= total,
+               "checkpoint request index exceeds the run length");
+    stream.restore_state(r);
+    detail::restore_rng(r, lambda_rng);
+    detail::restore_rng(r, surge_rng);
+    report.cold_restarts = r.u64();
+    hop_sum = r.f64();
+    local = r.u64();
+    eligible = r.u64();
+    eligible_hits = r.u64();
+    failed_total = r.u64();
+    failover_total = r.u64();
+    retries_total = r.u64();
+    slo_violations = r.u64();
+    const std::uint64_t cache_count = r.u64();
+    CDN_EXPECT(cache_count == caches.size(),
+               "checkpoint server count mismatch");
+    for (auto& c : caches) c->restore_state(r);
+    report.latency_cdf.restore_state(r);
+    const bool had_metrics = r.u8() != 0;
+    CDN_EXPECT(had_metrics == instrumented,
+               "checkpoint metrics presence mismatch");
+    if (instrumented) {
+      window_index = r.u64();
+      detail::restore_window(r, win);
+      const std::uint64_t flushed = r.u64();
+      CDN_EXPECT(flushed <= window_count,
+                 "checkpoint flushed-window count exceeds the window count");
+      flushed_windows.clear();
+      for (std::uint64_t i = 0; i < flushed; ++i) {
+        detail::WindowAccumulator fw;
+        detail::restore_window(r, fw);
+        // Replay pre-kill flushes into the fresh registry so the final
+        // per-window series match an uninterrupted run's.
+        win_series.flush(fw);
+        flushed_windows.push_back(fw);
+      }
+      next_window_flush =
+          warmup + (window_index + 1) * measured_total / window_count;
+      for (std::size_t c = 0; c < obs::kEventCauseCount; ++c) {
+        const std::uint64_t v = r.u64();
+        if (cause_counter[c] != nullptr && v > 0) cause_counter[c]->add(v);
+      }
+      const std::uint64_t saved_retries = r.u64();
+      if (c_retries != nullptr && saved_retries > 0) {
+        c_retries->add(saved_retries);
+      }
+      const bool had_server = r.u8() != 0;
+      CDN_EXPECT(had_server == !server_latency.empty(),
+                 "checkpoint per-server metrics mismatch");
+      if (had_server) {
+        const std::uint64_t histograms = r.u64();
+        CDN_EXPECT(histograms == server_latency.size(),
+                   "checkpoint per-server histogram count mismatch");
+        for (obs::Histogram* h : server_latency) h->restore_state(r);
+      }
+    }
+    const bool had_sink = r.u8() != 0;
+    CDN_EXPECT(had_sink == (trace_sink != nullptr),
+               "checkpoint trace sink presence mismatch");
+    if (trace_sink != nullptr) trace_sink->restore_state(r);
+    CDN_EXPECT(r.done(), "checkpoint payload has trailing bytes");
+    return resumed_t;
+  };
+
+  auto last_checkpoint_time = std::chrono::steady_clock::now();
+  const auto write_checkpoint = [&](std::uint64_t next_t) {
+    const auto write_start = std::chrono::steady_clock::now();
+    recover::Checkpoint ckpt;
+    ckpt.fingerprint = fingerprint;
+    util::ByteWriter w;
+    save_engine_state(w, next_t);
+    ckpt.payload = w.buffer();
+    const std::uint64_t bytes =
+        recover::write_file(config.checkpoint_path, ckpt);
+    last_checkpoint_time = std::chrono::steady_clock::now();
+    if (rc_written != nullptr) {
+      rc_written->add();
+      rc_bytes->add(bytes);
+      rc_last_ms->set(std::chrono::duration<double, std::milli>(
+                          last_checkpoint_time - write_start)
+                          .count());
+    }
+  };
+
+  std::uint64_t t0 = 0;
+  if (!config.resume_path.empty()) {
+    const recover::Checkpoint ckpt = recover::read_file(config.resume_path);
+    recover::check_fingerprint(ckpt, fingerprint);
+    util::ByteReader reader(ckpt.payload);
+    t0 = restore_engine_state(reader);
+    // The fault timeline is a pure function of (schedule, t): one advance
+    // re-derives the stepper position, depth counters and transition count.
+    // Cold restarts up to t0 are already reflected in the restored caches,
+    // so just_recovered() is deliberately ignored here.
+    if (faults_active && t0 > 0) timeline->advance(t0 - 1);
+    if (next_progress != std::numeric_limits<std::uint64_t>::max() &&
+        t0 >= next_progress) {
+      next_progress = (t0 / config.progress_every + 1) * config.progress_every;
+    }
+    if (instrumented) {
+      metrics->gauge(prefix + "recover/resumed").set(1.0);
+      metrics->gauge(prefix + "recover/resume_request_index")
+          .set(static_cast<double>(t0));
+    }
+  }
+  const std::uint64_t probe_stride = config.checkpoint_every_requests > 0
+                                         ? config.checkpoint_every_requests
+                                         : 4096;
+  std::uint64_t next_recovery_probe =
+      !config.checkpoint_path.empty() || config.stop != nullptr
+          ? (t0 / probe_stride + 1) * probe_stride
+          : std::numeric_limits<std::uint64_t>::max();
+
+  for (std::uint64_t t = t0; t < total; ++t) {
     // Reset measured-window statistics exactly at the end of warm-up.
     if (t == warmup) {
       for (auto& c : caches) c->reset_stats();
@@ -362,6 +554,7 @@ SimulationReport simulate(const sys::CdnSystem& system,
         }
         if (t + 1 >= next_window_flush) {
           win_series.flush(win);
+          if (recovery_active) flushed_windows.push_back(win);
           win = detail::WindowAccumulator{};
           ++window_index;
           next_window_flush =
@@ -390,6 +583,24 @@ SimulationReport simulate(const sys::CdnSystem& system,
             copy.at_primary ? -1 : static_cast<std::int32_t>(copy.server);
       }
       trace_sink->record(event);
+    }
+
+    if (t + 1 >= next_recovery_probe) {
+      next_recovery_probe += probe_stride;
+      const bool stop_requested =
+          config.stop != nullptr && config.stop->load(std::memory_order_relaxed);
+      bool write = !config.checkpoint_path.empty() &&
+                   (config.checkpoint_every_requests > 0 || stop_requested);
+      if (!write && !config.checkpoint_path.empty() &&
+          config.checkpoint_every_seconds > 0.0) {
+        write = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              last_checkpoint_time)
+                    .count() >= config.checkpoint_every_seconds;
+      }
+      if (write) write_checkpoint(t + 1);
+      if (stop_requested) {
+        throw recover::Interrupted(t + 1, config.checkpoint_path);
+      }
     }
 
     if (t + 1 >= next_progress) {

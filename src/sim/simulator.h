@@ -9,9 +9,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cache/cache_factory.h"
@@ -96,6 +98,32 @@ struct SimulationConfig {
   /// every failed request — count toward slo_violation_fraction.
   /// 0 disables the metric.
   double slo_ms = 0.0;
+
+  // --- Crash safety (see docs/RECOVERY.md) ---
+
+  /// Checkpoint target path.  Empty disables checkpointing entirely — the
+  /// request loop then carries zero extra work (one sentinel compare per
+  /// request, the same pattern as the progress probe).  Non-empty requires
+  /// at least one trigger: a cadence below or a `stop` flag.
+  std::string checkpoint_path;
+  /// Write a checkpoint every this many requests (0 = no request cadence).
+  /// The parallel engine rounds the cadence up to its shard-merge barriers.
+  std::uint64_t checkpoint_every_requests = 0;
+  /// Write a checkpoint when this much wall-clock has elapsed since the
+  /// last one, checked at the request-loop probe points (0 = no time
+  /// cadence).
+  double checkpoint_every_seconds = 0.0;
+  /// Resume from this checkpoint file (empty = fresh run).  The file's
+  /// fingerprint must match the present configuration exactly — mismatches
+  /// are refused with a diff of what changed.  For any kill point, the
+  /// resumed run's SimulationReport is byte-identical to an uninterrupted
+  /// run's.  Metric/trace sinks must be fresh (the checkpoint re-plays
+  /// their pre-kill state into them).
+  std::string resume_path;
+  /// Graceful-shutdown flag (non-owning; typically set by a SIGINT/SIGTERM
+  /// handler).  Polled at the probe points; when set, the engine writes a
+  /// final checkpoint to `checkpoint_path` and throws recover::Interrupted.
+  const std::atomic<bool>* stop = nullptr;
 
   /// Throws PreconditionError on an invalid configuration; called by
   /// simulate() before any work.

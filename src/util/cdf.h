@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/serial.h"
+
 namespace cdn::util {
 
 /// One evaluated point of an empirical CDF: F(x) = fraction of samples <= x.
@@ -53,6 +55,23 @@ class EmpiricalCdf {
 
   /// Merges another CDF's samples into this one.
   void merge(const EmpiricalCdf& other);
+
+  /// Checkpointing.  Samples are stored in their current in-memory order
+  /// (insertion order while the simulator is mid-run — mean() sums floats
+  /// in that order, so preserving it keeps resumed reports byte-identical).
+  void save_state(ByteWriter& w) const {
+    w.u8(sorted_ ? 1 : 0);
+    w.u64(samples_.size());
+    for (double s : samples_) w.f64(s);
+  }
+  void restore_state(ByteReader& r) {
+    sorted_ = r.u8() != 0;
+    const std::uint64_t n = r.u64();
+    r.need(n * 8, "cdf samples");
+    samples_.clear();
+    samples_.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) samples_.push_back(r.f64());
+  }
 
  private:
   void ensure_sorted() const;

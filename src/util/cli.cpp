@@ -55,6 +55,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
       }
     }
     it->second = value;
+    set_flags_.insert(arg);
   }
   return true;
 }

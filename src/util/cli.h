@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,13 @@ class CliParser {
   std::int64_t get_int(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
+  /// True when the user passed the flag explicitly (even with its default
+  /// value) — lets callers reject nonsensical explicit values like
+  /// `--checkpoint-every-requests 0` while keeping 0 as the "off" default.
+  bool is_set(const std::string& name) const noexcept {
+    return set_flags_.contains(name);
+  }
+
   const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
@@ -54,6 +62,7 @@ class CliParser {
   std::string summary_;
   std::vector<FlagSpec> specs_;                 // declaration order
   std::map<std::string, std::string> values_;   // current values
+  std::set<std::string> set_flags_;             // explicitly passed flags
   std::vector<std::string> positional_;
 };
 

@@ -71,6 +71,38 @@ class QuantileSketch {
     return buckets_.size() + (zero_count_ > 0 ? 1 : 0);
   }
 
+  /// Checkpointing.  alpha travels with the state so a restored sketch is
+  /// indistinguishable from the original regardless of how the receiving
+  /// object was constructed.
+  void save_state(ByteWriter& w) const {
+    w.f64(alpha_);
+    w.u64(zero_count_);
+    w.u64(count_);
+    w.f64(sum_);
+    w.f64(min_);
+    w.f64(max_);
+    w.u64(buckets_.size());
+    for (const auto& [index, n] : buckets_) {
+      w.u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(index)));
+      w.u64(n);
+    }
+  }
+  void restore_state(ByteReader& r) {
+    *this = QuantileSketch(r.f64());
+    zero_count_ = r.u64();
+    count_ = r.u64();
+    sum_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+    const std::uint64_t n = r.u64();
+    r.need(n * 16, "sketch buckets");
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto index =
+          static_cast<std::int32_t>(static_cast<std::int64_t>(r.u64()));
+      buckets_[index] = r.u64();
+    }
+  }
+
  private:
   std::int32_t bucket_index(double x) const;
   double bucket_value(std::int32_t index) const;
@@ -140,6 +172,26 @@ class LatencyDistribution {
 
   const EmpiricalCdf& exact() const;
   const QuantileSketch& sketch() const;
+
+  /// Checkpointing: mode flag plus whichever storage is active.
+  void save_state(ByteWriter& w) const {
+    w.u8(use_sketch_ ? 1 : 0);
+    if (use_sketch_) {
+      sketch_.save_state(w);
+    } else {
+      exact_.save_state(w);
+    }
+  }
+  void restore_state(ByteReader& r) {
+    use_sketch_ = r.u8() != 0;
+    if (use_sketch_) {
+      sketch_.restore_state(r);
+      exact_ = EmpiricalCdf();
+    } else {
+      exact_.restore_state(r);
+      sketch_ = QuantileSketch();
+    }
+  }
 
  private:
   EmpiricalCdf exact_;

@@ -106,6 +106,13 @@ class Rng {
   /// Bernoulli draw with success probability p (clamped to [0,1]).
   bool bernoulli(double p) noexcept { return uniform() < p; }
 
+  /// Raw generator state, for checkpointing.  A generator restored via
+  /// set_state() produces the exact same sequence as the original.
+  const std::array<std::uint64_t, 4>& state() const noexcept { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    state_ = s;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,16 @@
+#include "src/util/serial.h"
+
+namespace cdn::util {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace cdn::util

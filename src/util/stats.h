@@ -31,6 +31,19 @@ class RunningStats {
   double max() const noexcept { return n_ ? max_ : 0.0; }
   double sum() const noexcept { return mean_ * static_cast<double>(n_); }
 
+  /// Raw second central moment, for checkpointing (variance() loses the
+  /// exact bit pattern through the division).
+  double m2() const noexcept { return m2_; }
+  /// Restores the exact internal state captured by count/mean/m2/min/max.
+  void restore(std::uint64_t n, double mean, double m2, double min,
+               double max) noexcept {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = min;
+    max_ = max;
+  }
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;

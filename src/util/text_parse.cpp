@@ -1,0 +1,70 @@
+#include "src/util/text_parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "src/util/error.h"
+
+namespace cdn::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& where, const std::string& expected,
+                       const std::string& token) {
+  CDN_EXPECT(false,
+             where + ": expected " + expected + " (got '" + token + "')");
+  std::abort();  // unreachable; CDN_EXPECT(false, ...) always throws
+}
+
+bool all_digits(const std::string& token) {
+  if (token.empty()) return false;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t parse_u64_token(const std::string& token,
+                              const std::string& where) {
+  // strtoull would skip whitespace, accept a sign (wrapping negatives!) and
+  // stop at trailing junk — pre-filtering to pure digits closes all three.
+  if (!all_digits(token)) fail(where, "an unsigned integer", token);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno == ERANGE || end != token.c_str() + token.size()) {
+    fail(where, "an unsigned integer in range", token);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::uint32_t parse_u32_token(const std::string& token,
+                              const std::string& where) {
+  const std::uint64_t value = parse_u64_token(token, where);
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    fail(where, "an unsigned 32-bit integer", token);
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+double parse_finite_double_token(const std::string& token,
+                                 const std::string& where) {
+  if (token.empty() || std::isspace(static_cast<unsigned char>(token[0]))) {
+    fail(where, "a finite number", token);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (errno == ERANGE || end != token.c_str() + token.size() ||
+      !std::isfinite(value)) {
+    fail(where, "a finite number", token);
+  }
+  return value;
+}
+
+}  // namespace cdn::util

@@ -1,0 +1,33 @@
+// Strict token-level parsing of untrusted text inputs (fault schedules,
+// CSV traces).  Every function consumes exactly one whole token or throws
+// PreconditionError with the caller-supplied location prefix and the
+// offending token quoted — no silent wrap-around of negative numbers, no
+// NaN/Inf smuggled through operator>>, no partially-consumed garbage.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cdn::util {
+
+/// Parses `token` as a full unsigned 64-bit decimal integer.  Rejects empty
+/// tokens, signs, hex/octal prefixes doing anything, trailing junk and
+/// out-of-range values.  `where` prefixes the error, e.g.
+/// "fault schedule line 3, col 8".
+std::uint64_t parse_u64_token(const std::string& token,
+                              const std::string& where);
+
+/// parse_u64_token narrowed to 32 bits, same rejection rules.
+std::uint32_t parse_u32_token(const std::string& token,
+                              const std::string& where);
+
+/// Parses `token` as a finite double (scientific notation allowed).
+/// Rejects empty tokens, trailing junk, NaN, Inf and overflow.
+double parse_finite_double_token(const std::string& token,
+                                 const std::string& where);
+
+/// 1-based column of `pos` within a line (for error messages).
+inline std::size_t text_column(std::size_t pos) { return pos + 1; }
+
+}  // namespace cdn::util

@@ -73,4 +73,43 @@ Request RequestStream::next() {
   return req;
 }
 
+void RequestStream::save_state(util::ByteWriter& w) const {
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  w.u8(locality_ > 0.0 ? 1 : 0);
+  if (locality_ > 0.0) {
+    w.u64(recent_.size());
+    for (const Request& req : recent_) {
+      w.u32(req.server);
+      w.u32(req.site);
+      w.u32(req.rank);
+    }
+    w.u64(recent_size_.size());
+    for (const std::uint32_t v : recent_size_) w.u32(v);
+    for (const std::uint32_t v : recent_head_) w.u32(v);
+  }
+}
+
+void RequestStream::restore_state(util::ByteReader& r) {
+  std::array<std::uint64_t, 4> state;
+  for (auto& word : state) word = r.u64();
+  rng_.set_state(state);
+  const bool has_history = r.u8() != 0;
+  CDN_EXPECT(has_history == (locality_ > 0.0),
+             "request stream locality mode mismatch");
+  if (!has_history) return;
+  const std::uint64_t ring_slots = r.u64();
+  CDN_EXPECT(ring_slots == recent_.size(),
+             "request stream history size mismatch");
+  for (Request& req : recent_) {
+    req.server = r.u32();
+    req.site = r.u32();
+    req.rank = r.u32();
+  }
+  const std::uint64_t rows = r.u64();
+  CDN_EXPECT(rows == recent_size_.size(),
+             "request stream row count mismatch");
+  for (auto& v : recent_size_) v = r.u32();
+  for (auto& v : recent_head_) v = r.u32();
+}
+
 }  // namespace cdn::workload

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/util/rng.h"
+#include "src/util/serial.h"
 #include "src/util/zipf.h"
 #include "src/workload/demand.h"
 #include "src/workload/site_catalog.h"
@@ -49,6 +50,13 @@ class RequestStream {
   Request next();
 
   const SiteCatalog& catalog() const noexcept { return *catalog_; }
+
+  /// Checkpointing: RNG position and locality history.  The alias sampler,
+  /// catalog pointer and server subset are construction-time state — the
+  /// resuming run rebuilds the stream with the same constructor arguments
+  /// and then restores the mutable remainder.
+  void save_state(util::ByteWriter& w) const;
+  void restore_state(util::ByteReader& r);
 
  private:
   const SiteCatalog* catalog_;

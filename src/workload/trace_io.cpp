@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/util/error.h"
+#include "src/util/text_parse.h"
 
 namespace cdn::workload {
 
@@ -56,6 +57,17 @@ void RecordedTrace::save_binary(const std::string& path) const {
 RecordedTrace RecordedTrace::load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   CDN_EXPECT(in.good(), "cannot open trace file: " + path);
+  // Reject truncated or padded files up front, BEFORE trusting the record
+  // count: a corrupt header must not drive a multi-gigabyte allocation or a
+  // long doomed read loop.
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(kMagic) + sizeof(kVersion) + sizeof(std::uint64_t);
+  constexpr std::uint64_t kChecksumBytes = sizeof(std::uint64_t);
+  CDN_EXPECT(file_size >= kHeaderBytes + kChecksumBytes,
+             "truncated trace file (smaller than its header): " + path);
   char magic[8];
   in.read(magic, sizeof(magic));
   CDN_EXPECT(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
@@ -67,6 +79,14 @@ RecordedTrace RecordedTrace::load_binary(const std::string& path) {
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
   CDN_EXPECT(in.good(), "truncated trace header: " + path);
+  constexpr std::uint64_t kRecordBytes = 3 * sizeof(std::uint32_t);
+  CDN_EXPECT(count <= (file_size - kHeaderBytes - kChecksumBytes) /
+                          kRecordBytes,
+             "trace record count exceeds the file size (truncated or "
+             "corrupt): " +
+                 path);
+  CDN_EXPECT(file_size == kHeaderBytes + count * kRecordBytes + kChecksumBytes,
+             "trace file size does not match its record count: " + path);
 
   RecordedTrace trace;
   trace.requests_.resize(count);
@@ -99,21 +119,43 @@ RecordedTrace RecordedTrace::load_csv(const std::string& path) {
   std::ifstream in(path);
   CDN_EXPECT(in.good(), "cannot open trace file: " + path);
   std::string line;
-  CDN_EXPECT(static_cast<bool>(std::getline(in, line)) &&
-                 line == "server,site,rank",
-             "unexpected CSV trace header in " + path);
+  CDN_EXPECT(static_cast<bool>(std::getline(in, line)),
+             "empty CSV trace file: " + path);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  CDN_EXPECT(line == "server,site,rank",
+             "trace CSV line 1: expected header 'server,site,rank' (got '" +
+                 line + "')");
   RecordedTrace trace;
+  static constexpr const char* kFields[3] = {"server", "site", "rank"};
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
-    std::stringstream row(line);
-    std::string field;
+    const std::string where_line =
+        "trace CSV line " + std::to_string(line_no);
     std::uint32_t values[3];
+    std::size_t pos = 0;
     for (int f = 0; f < 3; ++f) {
-      CDN_EXPECT(static_cast<bool>(std::getline(row, field, ',')),
-                 "malformed CSV trace at line " + std::to_string(line_no));
-      values[f] = static_cast<std::uint32_t>(std::stoul(field));
+      const std::string where =
+          where_line + ", col " + std::to_string(util::text_column(pos));
+      CDN_EXPECT(pos <= line.size(),
+                 where + ": expected a " + std::string(kFields[f]) +
+                     " field, but the line ended");
+      std::size_t comma = line.find(',', pos);
+      if (f == 2) {
+        CDN_EXPECT(comma == std::string::npos,
+                   where_line + ", col " +
+                       std::to_string(util::text_column(comma)) +
+                       ": unexpected extra field after rank");
+        comma = line.size();
+      } else {
+        CDN_EXPECT(comma != std::string::npos,
+                   where + ": expected 3 comma-separated fields, found " +
+                       std::to_string(f + 1));
+      }
+      values[f] = util::parse_u32_token(line.substr(pos, comma - pos), where);
+      pos = comma + 1;
     }
     trace.requests_.push_back({values[0], values[1], values[2]});
   }

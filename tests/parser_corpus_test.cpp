@@ -1,0 +1,135 @@
+// Malformed-input corpus: every file under tests/data/corpus/ is an
+// adversarial input (truncated, NaN/Inf, negative/overflowing numbers,
+// wrong field counts, corrupted checksums, allocation bombs) and its
+// loader — selected by filename prefix — must reject it with a clean
+// PreconditionError: never a crash, a hang, an InternalError or a foreign
+// exception type.  Runs under the sanitizer CI job.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "src/fault/fault_schedule.h"
+#include "src/recover/checkpoint.h"
+#include "src/util/error.h"
+#include "src/workload/trace_io.h"
+
+namespace {
+
+using namespace cdn;
+
+std::filesystem::path corpus_dir() {
+  return std::filesystem::path(HYBRIDCDN_TEST_DATA_DIR) / "corpus";
+}
+
+std::vector<std::filesystem::path> corpus_files(const char* prefix) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_dir())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+template <typename Loader>
+void expect_all_rejected(const char* prefix, std::size_t at_least,
+                         Loader&& load) {
+  const auto files = corpus_files(prefix);
+  ASSERT_GE(files.size(), at_least)
+      << "corpus lost its '" << prefix << "' files";
+  for (const auto& file : files) {
+    try {
+      load(file.string());
+      ADD_FAILURE() << file.filename() << " was accepted";
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(e.what(), nullptr) << file.filename();
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << file.filename() << " threw "
+                    << typeid(e).name() << " (" << e.what()
+                    << ") instead of PreconditionError";
+    }
+  }
+}
+
+TEST(ParserCorpusTest, CorpusIsPresentAndSubstantial) {
+  std::size_t count = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(corpus_dir())) {
+    (void)entry;
+    ++count;
+  }
+  EXPECT_GE(count, 30u);
+}
+
+TEST(ParserCorpusTest, FaultScheduleFilesAllRejected) {
+  expect_all_rejected("fs_", 15, [](const std::string& p) {
+    (void)fault::FaultSchedule::load(p);
+  });
+}
+
+TEST(ParserCorpusTest, CsvTraceFilesAllRejected) {
+  expect_all_rejected("tr_", 9, [](const std::string& p) {
+    (void)workload::RecordedTrace::load_csv(p);
+  });
+}
+
+TEST(ParserCorpusTest, BinaryTraceFilesAllRejected) {
+  expect_all_rejected("tb_", 7, [](const std::string& p) {
+    (void)workload::RecordedTrace::load_binary(p);
+  });
+}
+
+TEST(ParserCorpusTest, CheckpointFilesAllRejected) {
+  expect_all_rejected("ck_", 8, [](const std::string& p) {
+    (void)recover::read_file(p);
+  });
+}
+
+TEST(ParserCorpusTest, FaultErrorsCarryLineAndColumn) {
+  // Spot-check the diagnostics, not just the exception type.
+  try {
+    fault::FaultSchedule::parse("server 0 down 5 10\nsurge 1 5 10 nan\n");
+    FAIL() << "NaN multiplier accepted";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("col 14"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'nan'"), std::string::npos) << msg;
+  }
+  try {
+    fault::FaultSchedule::parse("link 3 degrade 5");
+    FAIL() << "short line accepted";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line ended"), std::string::npos) << msg;
+  }
+}
+
+TEST(ParserCorpusTest, CsvErrorsCarryLineAndColumn) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto p = dir / ("hybridcdn_csv_diag_" + std::to_string(::getpid()));
+  {
+    std::ofstream out(p);
+    out << "server,site,rank\n0,1,2\n3,-4,5\n";
+  }
+  try {
+    workload::RecordedTrace::load_csv(p.string());
+    FAIL() << "negative field accepted";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("col 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'-4'"), std::string::npos) << msg;
+  }
+  std::filesystem::remove(p);
+}
+
+}  // namespace

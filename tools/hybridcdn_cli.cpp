@@ -9,6 +9,9 @@
 //   hybridcdn_cli --metrics-out m.json --trace-out t.csv --trace-sample 0.01
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <iomanip>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -17,11 +20,22 @@
 #include "src/core/hybridcdn.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
+#include "src/recover/checkpoint.h"
+#include "src/sim/sim_checkpoint.h"
 #include "src/util/cli.h"
 
 namespace {
 
 using namespace cdn;
+
+/// Graceful-shutdown flag set by SIGINT/SIGTERM (see docs/RECOVERY.md).
+/// The engines poll it at their probe points, flush a final checkpoint and
+/// throw recover::Interrupted; main() exits with kInterruptedExitCode (75).
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+}
 
 /// Parses "hybrid,caching,cache20,..." into mechanism specs.
 std::vector<core::MechanismSpec> parse_mechanisms(const std::string& csv,
@@ -107,6 +121,19 @@ int main(int argc, char** argv) {
   cli.add_flag("slo-ms", "0",
                "response-time SLO in ms; failed or slower requests count as "
                "violations (0 = off)");
+  cli.add_flag("checkpoint-out", "",
+               "write crash-safe checkpoints to this file; also enables "
+               "graceful SIGINT/SIGTERM shutdown (docs/RECOVERY.md)");
+  cli.add_flag("checkpoint-every-requests", "0",
+               "checkpoint cadence in requests (requires --checkpoint-out)");
+  cli.add_flag("checkpoint-every-seconds", "0",
+               "checkpoint cadence in wall-clock seconds (requires "
+               "--checkpoint-out)");
+  cli.add_flag("resume", "",
+               "resume from this checkpoint file; the configuration must "
+               "match the one that wrote it exactly");
+  cli.add_flag("report-digest", "false",
+               "print each mechanism's report digest (byte-identity id)");
 
   if (!cli.parse(argc, argv)) return 1;
 
@@ -170,6 +197,36 @@ int main(int argc, char** argv) {
       sim.faults = &schedule;
     }
 
+    // --- Crash safety (docs/RECOVERY.md) ---
+    sim.checkpoint_path = cli.get_string("checkpoint-out");
+    CDN_EXPECT(!cli.is_set("checkpoint-every-requests") ||
+                   cli.get_int("checkpoint-every-requests") > 0,
+               "--checkpoint-every-requests must be a positive request "
+               "count; drop the flag to disable the request cadence");
+    sim.checkpoint_every_requests =
+        static_cast<std::uint64_t>(cli.get_int("checkpoint-every-requests"));
+    sim.checkpoint_every_seconds = cli.get_double("checkpoint-every-seconds");
+    sim.resume_path = cli.get_string("resume");
+    CDN_EXPECT(sim.checkpoint_path.empty() ||
+                   sim.checkpoint_path != sim.resume_path,
+               "--checkpoint-out and --resume must name different files "
+               "(a failed resume would otherwise overwrite its own source)");
+    const bool recovery =
+        !sim.checkpoint_path.empty() || !sim.resume_path.empty();
+    if (recovery) {
+      // A checkpoint captures ONE simulation's state, so restrict the run
+      // to a single mechanism — resume could not tell mechanisms apart.
+      CDN_EXPECT(cli.get_string("mechanisms").find(',') == std::string::npos,
+                 "--checkpoint-out/--resume require exactly one mechanism "
+                 "(got --mechanisms " + cli.get_string("mechanisms") + ")");
+    }
+    if (!sim.checkpoint_path.empty()) {
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
+      sim.stop = &g_stop;
+    }
+    sim.validate();
+
     const std::string metrics_out = cli.get_string("metrics-out");
     const std::string trace_out = cli.get_string("trace-out");
     obs::Registry registry;
@@ -180,10 +237,37 @@ int main(int argc, char** argv) {
                    static_cast<std::size_t>(cli.get_int("trace-max")));
     }
 
-    const auto runs = core::run_mechanisms(
-        scenario,
-        parse_mechanisms(cli.get_string("mechanisms"), cfg.seed, metrics),
-        sim, metrics, sink ? &*sink : nullptr);
+    const auto flush_exports = [&] {
+      if (metrics != nullptr) {
+        obs::write_json_file(registry, metrics_out);
+        std::cerr << "metrics: " << metrics_out << " ("
+                  << registry.metric_count() << " metrics)\n";
+      }
+      if (sink) {
+        sink->write_csv(trace_out);
+        std::cerr << "trace: " << trace_out << " (" << sink->recorded()
+                  << " events, " << sink->dropped() << " dropped)\n";
+      }
+    };
+
+    std::vector<core::MechanismRun> runs;
+    try {
+      runs = core::run_mechanisms(
+          scenario,
+          parse_mechanisms(cli.get_string("mechanisms"), cfg.seed, metrics),
+          sim, metrics, sink ? &*sink : nullptr);
+    } catch (const recover::Interrupted& e) {
+      // Graceful shutdown: the engine already flushed its checkpoint; flush
+      // the observability exports too and exit with the documented code so
+      // wrappers know the run is resumable, not failed.
+      flush_exports();
+      std::cerr << "interrupted: " << e.what() << "\n"
+                << "resume with --resume "
+                << (e.checkpoint_path().empty() ? "<checkpoint>"
+                                                : e.checkpoint_path())
+                << '\n';
+      return recover::kInterruptedExitCode;
+    }
 
     const auto table = core::summary_table(runs);
     std::cout << (cli.get_bool("csv") ? table.csv() : table.str());
@@ -208,16 +292,14 @@ int main(int argc, char** argv) {
     if (cli.get_bool("cdf")) {
       std::cout << "\nResponse-time CDF:\n" << core::cdf_table(runs);
     }
-    if (metrics != nullptr) {
-      obs::write_json_file(registry, metrics_out);
-      std::cerr << "metrics: " << metrics_out << " (" << registry.metric_count()
-                << " metrics)\n";
+    if (cli.get_bool("report-digest")) {
+      for (const auto& run : runs) {
+        std::cout << "digest " << run.name << " " << std::hex
+                  << std::setfill('0') << std::setw(16)
+                  << sim::report_digest(run.report) << std::dec << '\n';
+      }
     }
-    if (sink) {
-      sink->write_csv(trace_out);
-      std::cerr << "trace: " << trace_out << " (" << sink->recorded()
-                << " events, " << sink->dropped() << " dropped)\n";
-    }
+    flush_exports();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
