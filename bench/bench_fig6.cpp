@@ -11,17 +11,35 @@
 #include <iostream>
 #include <vector>
 
+#include "bench/bench_artifact.h"
 #include "bench/bench_support.h"
 #include "src/obs/registry.h"
+#include "src/obs/run_manifest.h"
 #include "src/placement/hybrid_greedy.h"
 #include "src/util/stats.h"
 
+// Usage: bench_fig6 [--smoke] [metrics.json] [--artifact BENCH_fig6.json]
+//   --smoke  200k requests on a pinned shard count and no accuracy gate —
+//            fast enough for CI while keeping the measured error
+//            deterministic, so the regression gate can track it instead.
 int main(int argc, char** argv) {
   using namespace cdn;
   std::cout << "Figure 6: predicted vs actual average cost per request "
                "(hybrid greedy)\n\n";
 
-  const std::string metrics_path = argc > 1 ? argv[1] : "fig6_metrics.json";
+  bool smoke = false;
+  std::string metrics_path = "fig6_metrics.json";
+  std::string artifact_path = "BENCH_fig6.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--artifact" && a + 1 < argc) {
+      artifact_path = argv[++a];
+    } else {
+      metrics_path = arg;
+    }
+  }
   obs::Registry registry;
   obs::Series& predicted_out = registry.series("fig6/predicted_hops");
   obs::Series& actual_out = registry.series("fig6/actual_hops");
@@ -47,6 +65,10 @@ int main(int argc, char** argv) {
     const auto placement =
         placement::hybrid_greedy(scenario.system(), popt);
     auto sim_cfg = bench::paper_sim();
+    if (smoke) {
+      sim_cfg.total_requests = 1'000'000;
+      sim_cfg.shards = 8;  // pinned: deterministic across core counts
+    }
     sim_cfg.staleness = sim::StalenessMode::kRefresh;
     sim_cfg.metrics = &registry;
     sim_cfg.metrics_prefix = tag + "/sim/";
@@ -73,10 +95,36 @@ int main(int argc, char** argv) {
   const double overall =
       util::mean_relative_error(actual_series, predicted_series);
   registry.gauge("fig6/overall_mean_relative_error").set(overall);
-  obs::write_json_file(registry, metrics_path);
+
+  obs::RunManifest manifest =
+      obs::make_run_manifest(smoke ? "bench_fig6 --smoke" : "bench_fig6");
+  manifest.seed = 99;
+  obs::write_json_file(registry, metrics_path, &manifest);
+
+  bench::BenchArtifact artifact("fig6");
+  // The model-vs-simulation error is deterministic in (seed, shards); the
+  // threshold is relative to the error itself (~3-4%), so a genuine
+  // accuracy regression trips it long before the paper's 7% bound.
+  artifact.set("overall_mean_relative_error_pct", 100.0 * overall, "pct",
+               /*higher_is_better=*/false, /*threshold_pct=*/15.0);
+  const auto mean_of = [](const std::vector<double>& v) {
+    double sum = 0.0;
+    for (const double x : v) sum += x;
+    return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+  };
+  artifact.set("mean_predicted_hops", mean_of(predicted_series), "hops",
+               false, 5.0);
+  artifact.set("mean_actual_hops", mean_of(actual_series), "hops", false,
+               5.0);
+  artifact.write_json_file(artifact_path, manifest);
+
   std::cout << "overall mean relative error: "
             << util::format_double(100.0 * overall, 2)
             << "% (paper: < 7%)\n"
-            << "metrics: " << metrics_path << '\n';
+            << "metrics: " << metrics_path << '\n'
+            << "artifact: " << artifact_path << '\n';
+  // The smoke run's shorter stream inflates the error; the regression gate
+  // tracks it against the committed baseline instead of a fixed bound.
+  if (smoke) return 0;
   return overall < 0.07 ? 0 : 1;
 }

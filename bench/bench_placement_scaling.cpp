@@ -9,18 +9,21 @@
 // reports anything, so a speedup number can never come from a divergent
 // answer.
 //
-// Emits through the observability JSON exporter:
+// Emits a schema-versioned BENCH_placement.json artifact (see
+// bench/bench_artifact.h) with an embedded provenance manifest, keyed:
 //
-//   placement_scaling/servers, /sites      problem size
-//   placement_scaling/reference_ms         wall-clock, reference engine
-//   placement_scaling/incremental_ms       wall-clock, incremental engine
-//   placement_scaling/speedup              reference_ms / incremental_ms
-//   placement_scaling/reference_candidates   benefit evaluations, reference
-//   placement_scaling/incremental_candidates benefit evaluations, incremental
-//   placement_scaling/candidate_reduction  reference / incremental evals
-//   placement_scaling/replicas             replicas placed (identical)
+//   reference_ms / incremental_ms          wall-clock per engine
+//   speedup                                reference_ms / incremental_ms
+//   reference_candidates / incremental_candidates  benefit evaluations
+//   candidate_reduction                    reference / incremental evals
+//   replicas                               replicas placed (identical)
 //
-// Usage: bench_placement_scaling [--smoke] [metrics.json]
+// The candidate counts and replica count are machine-independent facts
+// about the algorithms — tight thresholds — while the wall/speedup numbers
+// carry generous ones.  scripts/check_bench_regression.py diffs the file
+// against bench/baselines/BENCH_placement.json in CI.
+//
+// Usage: bench_placement_scaling [--smoke] [artifact.json]
 //   --smoke  small system, equivalence check only (CI sanitizer runs).
 
 #include <chrono>
@@ -31,8 +34,10 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_artifact.h"
 #include "src/cdn/system.h"
 #include "src/obs/registry.h"
+#include "src/obs/run_manifest.h"
 #include "src/placement/hybrid_greedy.h"
 #include "src/util/rng.h"
 #include "src/util/table.h"
@@ -212,21 +217,29 @@ int main(int argc, char** argv) {
             << "x, candidate reduction " << util::format_double(reduction, 2)
             << "x, engines byte-identical\n";
 
-  obs::Registry out;
-  out.gauge("placement_scaling/servers").set(static_cast<double>(servers));
-  out.gauge("placement_scaling/sites")
-      .set(static_cast<double>(system.site_count()));
-  out.gauge("placement_scaling/reference_ms").set(reference.wall_ms);
-  out.gauge("placement_scaling/incremental_ms").set(incremental.wall_ms);
-  out.gauge("placement_scaling/speedup").set(speedup);
-  out.gauge("placement_scaling/reference_candidates")
-      .set(reference.candidates);
-  out.gauge("placement_scaling/incremental_candidates")
-      .set(incremental.candidates);
-  out.gauge("placement_scaling/candidate_reduction").set(reduction);
-  out.gauge("placement_scaling/replicas")
-      .set(static_cast<double>(incremental.result.replicas_created));
-  obs::write_json_file(out, metrics_path);
-  std::cout << "metrics: " << metrics_path << '\n';
+  obs::RunManifest manifest = obs::make_run_manifest(
+      smoke ? "bench_placement_scaling --smoke" : "bench_placement_scaling");
+  manifest.seed = 2005;
+
+  bench::BenchArtifact artifact("placement_scaling");
+  artifact.set("servers", static_cast<double>(servers), "count",
+               /*higher_is_better=*/true, /*threshold_pct=*/0.0);
+  artifact.set("sites", static_cast<double>(system.site_count()), "count",
+               true, 0.0);
+  artifact.set("reference_ms", reference.wall_ms, "ms", false, 75.0);
+  artifact.set("incremental_ms", incremental.wall_ms, "ms", false, 75.0);
+  artifact.set("speedup", speedup, "x", true, 90.0);
+  // Benefit-evaluation counts are pure algorithm facts: any drift means the
+  // engines changed, not the machine.
+  artifact.set("reference_candidates", reference.candidates, "count", false,
+               1.0);
+  artifact.set("incremental_candidates", incremental.candidates, "count",
+               false, 1.0);
+  artifact.set("candidate_reduction", reduction, "x", true, 5.0);
+  artifact.set("replicas",
+               static_cast<double>(incremental.result.replicas_created),
+               "count", true, 1.0);
+  artifact.write_json_file(metrics_path, manifest);
+  std::cout << "artifact: " << metrics_path << '\n';
   return 0;
 }

@@ -1,0 +1,147 @@
+// Simulator throughput bench — requests/sec of the sequential reference
+// engine and the parallel sharded engine on the paper's full scenario
+// (N = 50, M = 200, pure-caching placement so the measurement is
+// simulate-dominated, not placement-dominated).
+//
+// Writes a schema-versioned BENCH_throughput.json artifact (see
+// bench/bench_artifact.h) with an embedded provenance manifest; the CI
+// regression gate diffs it against bench/baselines/BENCH_throughput.json
+// with scripts/check_bench_regression.py.
+//
+// Wall-clock metrics carry generous thresholds (machines differ); the
+// workload metrics (local ratio, mean hop cost) are deterministic in
+// (seed, shards) — the shard count is pinned here for exactly that reason —
+// and carry tight thresholds, so a silent change to the request stream or
+// the cache model fails the gate even when the run happens to be fast.
+//
+// Usage: bench_throughput [--smoke] [artifact.json]
+//   --smoke  500k requests instead of 5M (sanitizer/CI-PR runs).
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "bench/bench_artifact.h"
+#include "bench/bench_support.h"
+#include "src/obs/run_manifest.h"
+#include "src/placement/fixed_split.h"
+#include "src/sim/sim_checkpoint.h"
+#include "src/sim/simulator.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace cdn;
+
+struct EngineRun {
+  sim::SimulationReport report;
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+};
+
+EngineRun run_engine(const sys::CdnSystem& system,
+                     const placement::PlacementResult& placement,
+                     sim::SimulationConfig cfg, std::size_t threads) {
+  cfg.threads = threads;
+  const auto start = std::chrono::steady_clock::now();
+  EngineRun run{sim::simulate(system, placement, cfg)};
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  run.requests_per_sec =
+      run.wall_seconds > 0.0
+          ? static_cast<double>(cfg.total_requests) / run.wall_seconds
+          : 0.0;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_throughput.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  std::cout << "Simulator throughput: sequential vs parallel sharded engine\n";
+
+  core::Scenario scenario(bench::paper_config(0.05, 0.0));
+  const auto placement = placement::pure_caching(scenario.system());
+
+  sim::SimulationConfig cfg;
+  cfg.total_requests = smoke ? 500'000 : 5'000'000;
+  cfg.warmup_fraction = 0.3;
+  cfg.seed = 99;
+  cfg.shards = 8;  // pinned: parallel results are deterministic in
+                   // (seed, shards), never in the machine's core count
+
+  const auto seq = run_engine(scenario.system(), placement, cfg, 1);
+  const auto par = run_engine(scenario.system(), placement, cfg, 0);
+  const double speedup =
+      par.requests_per_sec > 0.0 && seq.requests_per_sec > 0.0
+          ? par.requests_per_sec / seq.requests_per_sec
+          : 0.0;
+
+  util::TextTable table(
+      {"engine", "wall_s", "req/s", "local%", "hops/req", "digest"});
+  for (const auto& [name, run] :
+       {std::pair<const char*, const EngineRun&>{"sequential", seq},
+        std::pair<const char*, const EngineRun&>{"parallel", par}}) {
+    std::ostringstream digest;
+    digest << std::hex << std::setfill('0') << std::setw(16)
+           << sim::report_digest(run.report);
+    table.add_row({name, util::format_double(run.wall_seconds, 2),
+                   util::format_double(run.requests_per_sec, 0),
+                   util::format_double(100.0 * run.report.local_ratio, 2),
+                   util::format_double(run.report.mean_cost_hops, 4),
+                   digest.str()});
+  }
+  std::cout << table.str() << "parallel speedup "
+            << util::format_double(speedup, 2) << "x\n";
+
+  obs::RunManifest manifest =
+      obs::make_run_manifest(smoke ? "bench_throughput --smoke"
+                                   : "bench_throughput");
+  manifest.seed = cfg.seed;
+  manifest.threads = 0;
+  manifest.shards = cfg.shards;
+  for (const auto& [engine, kind] :
+       {std::pair<const char*, sim::detail::EngineKind>{
+            "engine/sequential", sim::detail::EngineKind::kSequential},
+        std::pair<const char*, sim::detail::EngineKind>{
+            "engine/parallel", sim::detail::EngineKind::kParallel}}) {
+    for (const auto& section : sim::detail::checkpoint_fingerprint(
+             scenario.system(), placement, cfg, kind, cfg.shards)) {
+      manifest.add_fingerprint(
+          section.first == "engine" ? engine : section.first, section.second);
+    }
+  }
+
+  // Wall-clock metrics: generous thresholds (only catastrophic regressions
+  // fail across machines).  Workload metrics: deterministic modulo libm
+  // rounding across toolchains, so a tight-but-nonzero threshold.
+  bench::BenchArtifact artifact("throughput");
+  artifact.set("seq_requests_per_sec", seq.requests_per_sec, "req/s",
+               /*higher_is_better=*/true, /*threshold_pct=*/65.0);
+  artifact.set("par_requests_per_sec", par.requests_per_sec, "req/s", true,
+               65.0);
+  artifact.set("parallel_speedup", speedup, "x", true, 90.0);
+  artifact.set("seq_local_ratio", seq.report.local_ratio, "ratio", true, 2.0);
+  artifact.set("seq_mean_cost_hops", seq.report.mean_cost_hops, "hops",
+               /*higher_is_better=*/false, 2.0);
+  artifact.set("par_local_ratio", par.report.local_ratio, "ratio", true, 2.0);
+  artifact.set("par_mean_cost_hops", par.report.mean_cost_hops, "hops", false,
+               2.0);
+  artifact.write_json_file(out_path, manifest);
+  std::cout << "artifact: " << out_path << '\n';
+  return 0;
+}

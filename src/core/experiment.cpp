@@ -11,11 +11,13 @@
 
 namespace cdn::core {
 
-MechanismSpec replication_mechanism(obs::Registry* metrics) {
-  return {"replication", [metrics](const sys::CdnSystem& s) {
+MechanismSpec replication_mechanism(obs::Registry* metrics,
+                                    obs::SpanTracer* spans) {
+  return {"replication", [metrics, spans](const sys::CdnSystem& s) {
             placement::GreedyGlobalOptions options;
             options.metrics = metrics;
             options.metrics_prefix = "placement/replication/";
+            options.spans = spans;
             return placement::greedy_global(s, options);
           }};
 }
@@ -25,11 +27,13 @@ MechanismSpec caching_mechanism() {
           [](const sys::CdnSystem& s) { return placement::pure_caching(s); }};
 }
 
-MechanismSpec hybrid_mechanism(obs::Registry* metrics) {
-  return {"hybrid", [metrics](const sys::CdnSystem& s) {
+MechanismSpec hybrid_mechanism(obs::Registry* metrics,
+                               obs::SpanTracer* spans) {
+  return {"hybrid", [metrics, spans](const sys::CdnSystem& s) {
             placement::HybridGreedyOptions options;
             options.metrics = metrics;
             options.metrics_prefix = "placement/hybrid/";
+            options.spans = spans;
             return placement::hybrid_greedy(s, options);
           }};
 }
@@ -57,7 +61,7 @@ MechanismSpec popularity_mechanism() {
 std::vector<MechanismRun> run_mechanisms(
     const Scenario& scenario, const std::vector<MechanismSpec>& mechanisms,
     const sim::SimulationConfig& sim_config, obs::Registry* metrics,
-    obs::TraceSink* trace) {
+    obs::TraceSink* trace, obs::SpanTracer* spans) {
   CDN_EXPECT(!mechanisms.empty(), "no mechanisms to run");
   std::vector<MechanismRun> runs;
   runs.reserve(mechanisms.size());
@@ -71,17 +75,28 @@ std::vector<MechanismRun> run_mechanisms(
       t_build = &metrics->timer("experiment/" + spec.name + "/build");
       t_simulate = &metrics->timer("experiment/" + spec.name + "/simulate");
     }
+    const char* sp_build = nullptr;
+    const char* sp_simulate = nullptr;
+    if (spans != nullptr) {
+      cfg.spans = spans;
+      sp_build = spans->intern("experiment/" + spec.name + "/build");
+      sp_simulate = spans->intern("experiment/" + spec.name + "/simulate");
+    }
     if (trace != nullptr) {
       cfg.trace_sink = trace;
       trace->begin_context(spec.name);
     }
     obs::ScopedTimer build_timer(t_build);
+    obs::ScopedSpan build_span(spans, sp_build, "experiment");
     MechanismRun run{.name = spec.name,
                      .placement = spec.build(scenario.system()),
                      .report = {}};
+    build_span.stop();
     build_timer.stop();
     obs::ScopedTimer simulate_timer(t_simulate);
+    obs::ScopedSpan simulate_span(spans, sp_simulate, "experiment");
     run.report = sim::simulate(scenario.system(), run.placement, cfg);
+    simulate_span.stop();
     simulate_timer.stop();
     runs.push_back(std::move(run));
   }

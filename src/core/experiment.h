@@ -10,6 +10,7 @@
 
 #include "src/core/scenario.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/placement/placement_result.h"
 #include "src/sim/simulator.h"
@@ -27,10 +28,13 @@ struct MechanismSpec {
 /// Standard mechanisms of the paper's evaluation.  Passing a registry makes
 /// the placement stage log its per-iteration records under
 /// "placement/<name>/" (mechanisms without tunable placement internals
-/// ignore it).
-MechanismSpec replication_mechanism(obs::Registry* metrics = nullptr);
+/// ignore it); passing a span tracer makes it emit iteration spans under
+/// the same prefix.
+MechanismSpec replication_mechanism(obs::Registry* metrics = nullptr,
+                                    obs::SpanTracer* spans = nullptr);
 MechanismSpec caching_mechanism();
-MechanismSpec hybrid_mechanism(obs::Registry* metrics = nullptr);
+MechanismSpec hybrid_mechanism(obs::Registry* metrics = nullptr,
+                               obs::SpanTracer* spans = nullptr);
 /// Ad-hoc fixed split with the given cache share (0.2 / 0.8 in Figure 5).
 MechanismSpec fixed_split_mechanism(double cache_fraction);
 MechanismSpec random_mechanism(std::uint64_t seed);
@@ -50,11 +54,13 @@ struct MechanismRun {
 /// mechanism's simulation logs under "sim/<name>/"; build/simulate wall
 /// times land under "experiment/<name>/".  When `trace` is non-null every
 /// mechanism's sampled request events are recorded into it, labelled with
-/// a per-mechanism context.
+/// a per-mechanism context.  When `spans` is non-null each mechanism gets
+/// "experiment/<name>/build" and ".../simulate" spans and the simulator's
+/// phase spans are recorded into the same tracer.
 std::vector<MechanismRun> run_mechanisms(
     const Scenario& scenario, const std::vector<MechanismSpec>& mechanisms,
     const sim::SimulationConfig& sim_config, obs::Registry* metrics = nullptr,
-    obs::TraceSink* trace = nullptr);
+    obs::TraceSink* trace = nullptr, obs::SpanTracer* spans = nullptr);
 
 /// Summary table: mean / median / p90 / p99 latency, local ratio, measured
 /// hop cost, model-predicted hop cost, replica count.

@@ -3,9 +3,49 @@
 #include <fstream>
 
 #include "src/obs/json_writer.h"
+#include "src/obs/run_manifest.h"
 #include "src/util/error.h"
 
 namespace cdn::obs {
+
+bool natural_metric_name_less(const std::string& a,
+                              const std::string& b) noexcept {
+  const auto is_digit = [](char c) { return c >= '0' && c <= '9'; };
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (is_digit(a[i]) && is_digit(b[j])) {
+      // Compare the two digit runs numerically: strip leading zeros, then
+      // a longer run is larger, then lexicographic on equal lengths.
+      std::size_t ea = i;
+      std::size_t eb = j;
+      while (ea < a.size() && is_digit(a[ea])) ++ea;
+      while (eb < b.size() && is_digit(b[eb])) ++eb;
+      std::size_t sa = i;
+      std::size_t sb = j;
+      while (sa + 1 < ea && a[sa] == '0') ++sa;
+      while (sb + 1 < eb && b[sb] == '0') ++sb;
+      const std::size_t la = ea - sa;
+      const std::size_t lb = eb - sb;
+      if (la != lb) return la < lb;
+      for (std::size_t k = 0; k < la; ++k) {
+        if (a[sa + k] != b[sb + k]) return a[sa + k] < b[sb + k];
+      }
+      i = ea;
+      j = eb;
+      continue;
+    }
+    if (a[i] != b[j]) return a[i] < b[j];
+    ++i;
+    ++j;
+  }
+  const bool a_done = i >= a.size();
+  const bool b_done = j >= b.size();
+  if (a_done != b_done) return a_done;  // the exhausted prefix sorts first
+  // Token-equal strings (e.g. "x01" vs "x1"): plain lexicographic
+  // tie-break keeps the ordering strict.
+  return a < b;
+}
 
 Counter& Registry::counter(const std::string& name) {
   return counters_[name];
@@ -117,9 +157,14 @@ void write_moments(JsonWriter& w, const util::RunningStats& m) {
 
 }  // namespace
 
-std::string Registry::to_json() const {
+std::string Registry::to_json(const RunManifest* manifest) const {
   JsonWriter w;
   w.begin_object();
+
+  if (manifest != nullptr) {
+    w.key("manifest");
+    manifest->write_value(w);
+  }
 
   w.key("counters");
   w.begin_object();
@@ -206,10 +251,11 @@ std::string Registry::to_json() const {
   return w.str();
 }
 
-void write_json_file(const Registry& registry, const std::string& path) {
+void write_json_file(const Registry& registry, const std::string& path,
+                     const RunManifest* manifest) {
   std::ofstream out(path, std::ios::trunc);
   CDN_EXPECT(out.good(), "cannot open metrics output file: " + path);
-  out << registry.to_json() << '\n';
+  out << registry.to_json(manifest) << '\n';
   CDN_EXPECT(out.good(), "failed writing metrics output file: " + path);
 }
 

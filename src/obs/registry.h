@@ -28,6 +28,22 @@
 
 namespace cdn::obs {
 
+struct RunManifest;
+
+/// Natural metric-name ordering: digit runs compare numerically, so
+/// "server/2/..." sorts before "server/10/...".  Equal-valued runs with
+/// different zero padding fall back to plain lexicographic order, keeping
+/// the ordering strict and deterministic across platforms.
+bool natural_metric_name_less(const std::string& a,
+                              const std::string& b) noexcept;
+
+/// Comparator form of natural_metric_name_less for ordered containers.
+struct MetricNameLess {
+  bool operator()(const std::string& a, const std::string& b) const noexcept {
+    return natural_metric_name_less(a, b);
+  }
+};
+
 class Registry {
  public:
   /// Finds or creates the named metric.  References stay valid for the
@@ -63,20 +79,26 @@ class Registry {
   ///   {"counters":{...},"gauges":{...},"histograms":{...},
   ///    "series":{...},"tables":{...},"timers":{...}}
   /// Histograms carry boundaries, bucket counts and moments; tables carry
-  /// their column names and rows.
-  std::string to_json() const;
+  /// their column names and rows.  When `manifest` is non-null the run
+  /// provenance is embedded first under a "manifest" key.
+  std::string to_json(const RunManifest* manifest = nullptr) const;
 
  private:
-  // std::map: deterministic (sorted) export order + stable references.
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, Histogram> histograms_;
-  std::map<std::string, Series> series_;
-  std::map<std::string, Table> tables_;
-  std::map<std::string, TimerStat> timers_;
+  // Ordered map: deterministic export order (natural-numeric, so snapshots
+  // diff cleanly across runs and platforms) + stable references.
+  template <typename T>
+  using MetricMap = std::map<std::string, T, MetricNameLess>;
+  MetricMap<Counter> counters_;
+  MetricMap<Gauge> gauges_;
+  MetricMap<Histogram> histograms_;
+  MetricMap<Series> series_;
+  MetricMap<Table> tables_;
+  MetricMap<TimerStat> timers_;
 };
 
-/// Writes `registry.to_json()` to `path` (truncating).  Throws on I/O error.
-void write_json_file(const Registry& registry, const std::string& path);
+/// Writes `registry.to_json(manifest)` to `path` (truncating).  Throws on
+/// I/O error.
+void write_json_file(const Registry& registry, const std::string& path,
+                     const RunManifest* manifest = nullptr);
 
 }  // namespace cdn::obs

@@ -1,0 +1,188 @@
+// Span tracing with Chrome trace-event export (Perfetto-compatible).
+//
+// `SpanTracer` records timeline events — duration spans, instant markers,
+// and counter samples — into per-thread ring buffers, then exports them as
+// Chrome trace-event JSON that loads directly in https://ui.perfetto.dev
+// or chrome://tracing.  It follows the registry contract from
+// docs/OBSERVABILITY.md: instrumented code holds a nullable
+// `obs::SpanTracer*`, and a null tracer costs one pointer compare — the
+// disabled path never reads the clock and never allocates.
+//
+//   obs::SpanTracer tracer;
+//   {
+//     obs::ScopedSpan span(&tracer, "sim/run", "sim");
+//     ...
+//     tracer.instant("fault/transition", "fault", "request", 1234.0);
+//     tracer.counter("heap/size", 87.0);
+//   }                      // span closes here
+//   tracer.write_json_file("run.trace.json");
+//
+// Concurrency model: each thread writes to its own ring buffer (acquired
+// once and cached in a thread_local), so the hot path is lock-free; a
+// mutex guards only buffer registration and string interning.  Export
+// (`events()`, `to_chrome_json()`) must run after worker threads have
+// finished recording — the engines in this repo join their pools before
+// returning, so exporting after `simulate()`/`hybrid_greedy_place()` is
+// always safe.
+//
+// Event names and categories are `const char*` pointing at storage that
+// outlives the tracer — string literals in practice.  For dynamic names
+// (mechanism names, per-run prefixes) call `intern()` once outside the
+// loop, mirroring the resolve-metrics-once idiom.
+//
+// Ring overflow keeps the *newest* events: when a thread's buffer is full
+// the oldest event is overwritten and `dropped()` counts the loss, so a
+// long run still shows its tail (the part you are usually debugging)
+// instead of silently truncating at minute one.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cdn::obs {
+
+class SpanTracer {
+ public:
+  /// Event phases, mapped to trace-event "ph" values on export:
+  /// kComplete -> "X", kInstant -> "i", kCounter -> "C".
+  enum class Phase : std::uint8_t { kComplete, kInstant, kCounter };
+
+  /// One recorded event.  Timestamps are nanoseconds since the tracer's
+  /// construction (steady clock).  `arg_name == nullptr` means no arg.
+  struct Event {
+    const char* name = nullptr;
+    const char* category = nullptr;
+    std::uint64_t ts_ns = 0;
+    std::uint64_t dur_ns = 0;
+    Phase phase = Phase::kInstant;
+    std::uint32_t tid = 0;
+    const char* arg_name = nullptr;
+    double arg_value = 0.0;
+  };
+
+  /// `events_per_thread` bounds each thread's ring buffer; the default
+  /// (64k events, ~3.5 MiB/thread) comfortably holds phase-granularity
+  /// instrumentation for multi-million-request runs.
+  explicit SpanTracer(std::size_t events_per_thread = std::size_t{1} << 16);
+  ~SpanTracer();
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Nanoseconds since tracer construction (steady clock).
+  std::uint64_t now_ns() const noexcept;
+
+  /// Records a duration span [start_ns, end_ns] on the calling thread.
+  /// Usually emitted through ScopedSpan rather than called directly.
+  void complete(const char* name, const char* category,
+                std::uint64_t start_ns, std::uint64_t end_ns,
+                const char* arg_name = nullptr, double arg_value = 0.0);
+
+  /// Records a zero-duration marker at the current time.
+  void instant(const char* name, const char* category,
+               const char* arg_name = nullptr, double arg_value = 0.0);
+
+  /// Records a counter sample; Perfetto renders one track per name.
+  void counter(const char* name, double value);
+
+  /// Names the calling thread's track in the exported trace.
+  void set_thread_name(const std::string& name);
+
+  /// Copies `text` into tracer-owned storage and returns a pointer stable
+  /// for the tracer's lifetime.  Repeated calls with equal text return the
+  /// same pointer.  Takes a lock — call once at setup, not per event.
+  const char* intern(const std::string& text);
+
+  /// Events currently retained across all buffers (post-overflow).
+  std::uint64_t recorded() const;
+  /// Events lost to ring overflow across all buffers.
+  std::uint64_t dropped() const;
+
+  /// Snapshot of retained events, sorted by (ts, tid).  Export-time only.
+  std::vector<Event> events() const;
+
+  /// The full trace-event JSON document
+  /// (`{"traceEvents":[...],"displayTimeUnit":"ms",...}`).
+  std::string to_chrome_json() const;
+
+  /// Writes `to_chrome_json()` atomically-ish to `path` (truncate+write).
+  /// Throws PreconditionError on I/O failure.
+  void write_json_file(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity, std::uint32_t tid_arg)
+        : ring(capacity), tid(tid_arg) {}
+    std::vector<Event> ring;
+    std::size_t head = 0;       // next write slot
+    std::size_t size = 0;       // valid events (<= ring.size())
+    std::uint64_t dropped = 0;  // overwritten events
+    std::uint32_t tid = 0;
+    std::string thread_name;
+    std::thread::id owner;
+  };
+
+  ThreadBuffer& local_buffer();
+  void push(const Event& event);
+
+  const std::size_t capacity_;
+  const std::uint64_t tracer_id_;  // process-unique, guards tls cache reuse
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;  // buffers_ vector, interned_, thread names
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::deque<std::string> interned_;  // deque: stable addresses on growth
+};
+
+/// RAII duration span.  Null tracer makes construction/destruction no-ops
+/// without reading the clock, so call sites instrument unconditionally:
+///
+///   obs::ScopedSpan span(config.spans, "sim/run", "sim");
+///   span.arg("requests", static_cast<double>(total));
+///   ...                                   // records on scope exit
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanTracer* tracer, const char* name,
+             const char* category = "phase") noexcept
+      : tracer_(tracer), name_(name), category_(category) {
+    if (tracer_ != nullptr) start_ns_ = tracer_->now_ns();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() { stop(); }
+
+  /// Attaches one numeric argument, shown in Perfetto's detail pane.
+  /// Last call wins; must precede stop().
+  void arg(const char* name, double value) noexcept {
+    arg_name_ = name;
+    arg_value_ = value;
+  }
+
+  /// Records the span now instead of at scope exit.  Idempotent.
+  void stop() noexcept {
+    if (tracer_ == nullptr) return;
+    tracer_->complete(name_, category_, start_ns_, tracer_->now_ns(),
+                      arg_name_, arg_value_);
+    tracer_ = nullptr;
+  }
+
+ private:
+  SpanTracer* tracer_;
+  const char* name_;
+  const char* category_;
+  const char* arg_name_ = nullptr;
+  double arg_value_ = 0.0;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace cdn::obs

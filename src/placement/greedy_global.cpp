@@ -75,7 +75,15 @@ PlacementResult greedy_global_reference(
                                  "benefit", "bytes_committed", "cost_after",
                                  "eval_ms"})
               : nullptr;
+  obs::SpanTracer* const spans = options.spans;
+  const char* sp_total = nullptr;
+  const char* sp_iter = nullptr;
+  if (spans != nullptr) {
+    sp_total = spans->intern(pfx + "total");
+    sp_iter = spans->intern(pfx + "iteration");
+  }
   obs::ScopedTimer total_timer(t_total);
+  obs::ScopedSpan total_span(spans, sp_total, "placement");
 
   PlacementResult result{.algorithm = "greedy-global",
                          .placement = std::move(placement),
@@ -91,6 +99,8 @@ PlacementResult greedy_global_reference(
         result.placement.replica_count() >= options.max_replicas) {
       break;
     }
+    obs::ScopedSpan iter_span(spans, sp_iter, "placement");
+    iter_span.arg("iteration", static_cast<double>(iteration));
     std::chrono::steady_clock::time_point eval_start;
     if (t_eval != nullptr) eval_start = std::chrono::steady_clock::now();
     util::parallel_for(0, n, [&](std::size_t i) {
@@ -207,7 +217,17 @@ PlacementResult greedy_global_incremental(
   obs::Series* const inval_series =
       metrics ? &metrics->series(pfx + "heap/invalidated_per_commit")
               : nullptr;
+  obs::SpanTracer* const spans = options.spans;
+  const char* sp_total = nullptr;
+  const char* sp_iter = nullptr;
+  const char* sp_inval = nullptr;
+  if (spans != nullptr) {
+    sp_total = spans->intern(pfx + "total");
+    sp_iter = spans->intern(pfx + "iteration");
+    sp_inval = spans->intern(pfx + "heap/invalidate");
+  }
   obs::ScopedTimer total_timer(t_total);
+  obs::ScopedSpan total_span(spans, sp_total, "placement");
 
   PlacementResult result{.algorithm = "greedy-global",
                          .placement = std::move(placement),
@@ -272,6 +292,8 @@ PlacementResult greedy_global_incremental(
         result.placement.replica_count() >= options.max_replicas) {
       break;
     }
+    obs::ScopedSpan iter_span(spans, sp_iter, "placement");
+    iter_span.arg("iteration", static_cast<double>(iteration));
     while (!heap.empty()) {
       const HeapEntry& top = heap.front();
       const std::size_t idx =
@@ -340,6 +362,10 @@ PlacementResult greedy_global_incremental(
     invalidations += invalidated;
     if (inval_series != nullptr) {
       inval_series->push(static_cast<double>(invalidated));
+    }
+    if (spans != nullptr) {
+      spans->instant(sp_inval, "placement", "invalidated",
+                     static_cast<double>(invalidated));
     }
     pending_candidates = batch_alive;
     reevaluations += batch_alive;

@@ -14,6 +14,7 @@
 
 #include "src/cdn/system.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
@@ -34,6 +35,10 @@ struct GreedyGlobalOptions {
   /// "<metrics_prefix>cost" series, and phase timers.
   obs::Registry* metrics = nullptr;
   std::string metrics_prefix = "placement/greedy_global/";
+
+  /// Span tracer (non-owning; null = no spans).  Emits a total span plus
+  /// one span per committed replica.
+  obs::SpanTracer* spans = nullptr;
 };
 
 /// Runs greedy-global with each server's full storage budget available for

@@ -210,7 +210,15 @@ PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
                      "local_gain", "relative_gain", "cache_penalty",
                      "bytes_committed", "cost_after", "eval_ms"})
               : nullptr;
+  obs::SpanTracer* const spans = options.spans;
+  const char* sp_total = nullptr;
+  const char* sp_iter = nullptr;
+  if (spans != nullptr) {
+    sp_total = spans->intern(pfx + "total");
+    sp_iter = spans->intern(pfx + "iteration");
+  }
   obs::ScopedTimer total_timer(t_total);
+  obs::ScopedSpan total_span(spans, sp_total, "placement");
 
   ModelContext context(system, options.pb_mode);
   std::vector<model::ServerCacheState> states = context.make_states();
@@ -242,6 +250,8 @@ PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
         result.placement.replica_count() >= seeded + options.max_replicas) {
       break;
     }
+    obs::ScopedSpan iter_span(spans, sp_iter, "placement");
+    iter_span.arg("iteration", static_cast<double>(iteration));
     std::chrono::steady_clock::time_point eval_start;
     if (t_eval != nullptr) eval_start = std::chrono::steady_clock::now();
     util::parallel_for(0, n, [&](std::size_t i) {

@@ -25,6 +25,7 @@
 #include "src/cdn/system.h"
 #include "src/model/server_cache_state.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
@@ -60,6 +61,12 @@ struct HybridGreedyOptions {
   /// (D after each replica), per-phase timers, and summary gauges.
   obs::Registry* metrics = nullptr;
   std::string metrics_prefix = "placement/hybrid/";
+
+  /// Span tracer (non-owning; null = no spans).  Each committed replica
+  /// gets an iteration span; the incremental engine also emits heap
+  /// re-evaluation/repair spans, invalidation instants and a heap-size
+  /// counter track (see docs/OBSERVABILITY.md).
+  obs::SpanTracer* spans = nullptr;
 };
 
 /// The three terms of a Figure-2 candidate benefit (see the header comment).

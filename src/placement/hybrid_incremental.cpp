@@ -106,7 +106,23 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
   obs::Series* const inval_series =
       metrics ? &metrics->series(pfx + "heap/invalidated_per_commit")
               : nullptr;
+  obs::SpanTracer* const spans = options.spans;
+  const char* sp_total = nullptr;
+  const char* sp_initial = nullptr;
+  const char* sp_iter = nullptr;
+  const char* sp_reeval = nullptr;
+  const char* sp_inval = nullptr;
+  const char* sp_heap = nullptr;
+  if (spans != nullptr) {
+    sp_total = spans->intern(pfx + "total");
+    sp_initial = spans->intern(pfx + "initial_eval");
+    sp_iter = spans->intern(pfx + "iteration");
+    sp_reeval = spans->intern(pfx + "heap/reevaluate");
+    sp_inval = spans->intern(pfx + "heap/invalidate");
+    sp_heap = spans->intern(pfx + "heap/size");
+  }
   obs::ScopedTimer total_timer(t_total);
+  obs::ScopedSpan total_span(spans, sp_total, "placement");
 
   ModelContext context(system, options.pb_mode);
   std::vector<model::ServerCacheState> states = context.make_states();
@@ -224,6 +240,7 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
 
   // Initial build: evaluate every candidate once (this is the one full
   // sweep; afterwards only invalidated candidates are touched).
+  obs::ScopedSpan initial_span(spans, sp_initial, "placement");
   std::chrono::steady_clock::time_point eval_start;
   if (t_eval != nullptr) eval_start = std::chrono::steady_clock::now();
   util::parallel_for(0, n, [&](std::size_t i) {
@@ -250,6 +267,8 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
     t_eval->record_ns(ns);
     pending_eval_ms = static_cast<double>(ns) * 1e-6;
   }
+  initial_span.arg("candidates", static_cast<double>(heap.size()));
+  initial_span.stop();
 
   const std::size_t seeded = result.placement.replica_count();
   std::uint64_t total_candidates = pending_candidates;
@@ -266,6 +285,8 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
         result.placement.replica_count() >= seeded + options.max_replicas) {
       break;
     }
+    obs::ScopedSpan iter_span(spans, sp_iter, "placement");
+    iter_span.arg("iteration", static_cast<double>(iteration));
     // Lazy deletion: discard entries whose candidate was re-evaluated or
     // died since they were pushed.
     while (!heap.empty()) {
@@ -363,10 +384,16 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
     if (inval_series != nullptr) {
       inval_series->push(static_cast<double>(marked.size()));
     }
+    if (spans != nullptr) {
+      spans->instant(sp_inval, "placement", "marked",
+                     static_cast<double>(marked.size()));
+    }
 
     // --- Batched re-evaluation / repair, parallel across servers, serial
     // within a server (the WhatIf memo is per-state mutable).  Sorting makes
     // the groups contiguous and the later heap pushes deterministic.
+    obs::ScopedSpan reeval_span(spans, sp_reeval, "placement");
+    reeval_span.arg("marked", static_cast<double>(marked.size()));
     std::sort(marked.begin(), marked.end());
     if (t_eval != nullptr) eval_start = std::chrono::steady_clock::now();
     std::vector<std::pair<std::size_t, std::size_t>> groups;
@@ -418,7 +445,11 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
       t_eval->record_ns(ns);
       pending_eval_ms = static_cast<double>(ns) * 1e-6;
     }
+    reeval_span.stop();
     peak_heap = std::max(peak_heap, heap.size());
+    if (spans != nullptr) {
+      spans->counter(sp_heap, static_cast<double>(heap.size()));
+    }
 
     // Compact when lazy deletion has let stale entries pile up.
     if (heap.size() > compact_threshold) {

@@ -72,7 +72,11 @@ LocalSearchStats local_search_refine_incremental(
                                  "in_server", "in_site", "cost_before",
                                  "cost_after"})
               : nullptr;
+  obs::SpanTracer* const spans = options.spans;
+  const char* sp_total =
+      spans != nullptr ? spans->intern(pfx + "total") : nullptr;
   obs::ScopedTimer total_timer(t_total);
+  obs::ScopedSpan total_span(spans, sp_total, "placement");
 
   std::vector<double> costs(n * m, 0.0);
   for (std::size_t j = 0; j < m; ++j) {
@@ -215,7 +219,11 @@ LocalSearchStats local_search_refine_reference(
                                  "in_server", "in_site", "cost_before",
                                  "cost_after"})
               : nullptr;
+  obs::SpanTracer* const spans = options.spans;
+  const char* sp_total =
+      spans != nullptr ? spans->intern(pfx + "total") : nullptr;
   obs::ScopedTimer total_timer(t_total);
+  obs::ScopedSpan total_span(spans, sp_total, "placement");
 
   LocalSearchStats stats;
   stats.initial_cost = replication_cost(system, result.placement);

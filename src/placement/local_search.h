@@ -15,6 +15,7 @@
 
 #include "src/cdn/system.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
@@ -37,6 +38,9 @@ struct LocalSearchOptions {
   /// "<metrics_prefix>swaps" (one row per applied swap) and a total timer.
   obs::Registry* metrics = nullptr;
   std::string metrics_prefix = "placement/local_search/";
+
+  /// Span tracer (non-owning; null = no spans).  Emits a total span.
+  obs::SpanTracer* spans = nullptr;
 };
 
 struct LocalSearchStats {

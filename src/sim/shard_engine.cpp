@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -116,7 +117,30 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
   obs::TimerStat* const t_report =
       metrics ? &metrics->timer(prefix + "phase/report") : nullptr;
 
+  // Span names are interned once; workers then record per-interval shard
+  // spans lock-free into their own thread buffers.
+  obs::SpanTracer* const spans = config.spans;
+  const char* sp_setup = nullptr;
+  const char* sp_run = nullptr;
+  const char* sp_report = nullptr;
+  const char* sp_shard = nullptr;
+  const char* sp_barrier = nullptr;
+  const char* sp_merge = nullptr;
+  const char* sp_checkpoint = nullptr;
+  const char* sp_resume = nullptr;
+  if (spans != nullptr) {
+    sp_setup = spans->intern(prefix + "setup");
+    sp_run = spans->intern(prefix + "run");
+    sp_report = spans->intern(prefix + "report");
+    sp_shard = spans->intern(prefix + "shard/run");
+    sp_barrier = spans->intern(prefix + "barrier");
+    sp_merge = spans->intern(prefix + "merge");
+    sp_checkpoint = spans->intern(prefix + "checkpoint/write");
+    sp_resume = spans->intern(prefix + "checkpoint/resume");
+  }
+
   obs::ScopedTimer setup_timer(t_setup);
+  obs::ScopedSpan setup_span(spans, sp_setup, "sim");
 
   const std::size_t shards = resolve_shard_count(config.shards, threads, n);
   const std::uint64_t total = config.total_requests;
@@ -254,6 +278,7 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
   }
   auto last_checkpoint_time = std::chrono::steady_clock::now();
   const auto write_checkpoint = [&] {
+    obs::ScopedSpan ckpt_span(spans, sp_checkpoint, "recover");
     const auto write_start = std::chrono::steady_clock::now();
     recover::Checkpoint ckpt;
     ckpt.fingerprint = fingerprint;
@@ -274,6 +299,7 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
 
   std::uint64_t last_written_done = 0;
   if (!config.resume_path.empty()) {
+    obs::ScopedSpan resume_span(spans, sp_resume, "recover");
     const recover::Checkpoint ckpt = recover::read_file(config.resume_path);
     recover::check_fingerprint(ckpt, fingerprint);
     util::ByteReader reader(ckpt.payload);
@@ -284,20 +310,42 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
       metrics->gauge(prefix + "recover/resume_request_index")
           .set(static_cast<double>(last_written_done));
     }
+    resume_span.arg("request", static_cast<double>(last_written_done));
   }
 
   // One barrier per checkpoint cadence; 64 give a stop flag or a time
   // cadence reasonable latency; a plain run keeps today's single pass.
-  const std::size_t intervals =
+  // Progress reporting also needs barriers to observe the shard clocks,
+  // but is capped so a tight cadence cannot drown the run in joins.
+  const bool progress_active =
+      config.progress_every > 0 && config.progress != nullptr;
+  std::size_t intervals =
       config.checkpoint_every_requests > 0
           ? static_cast<std::size_t>((total + config.checkpoint_every_requests -
                                       1) /
                                      config.checkpoint_every_requests)
           : (recovery_active ? std::size_t{64} : std::size_t{1});
+  if (progress_active) {
+    const std::size_t wanted = static_cast<std::size_t>(
+        std::min<std::uint64_t>(256, total / config.progress_every));
+    intervals = std::max<std::size_t>(intervals, std::max<std::size_t>(
+                                                     1, wanted));
+  }
   const bool poll_stop = config.stop != nullptr;
+  std::uint64_t warmup_total = 0;
+  for (const std::uint64_t w : shard_warmup) warmup_total += w;
+  const std::uint64_t resume_base = last_written_done;
+  std::uint64_t next_progress =
+      progress_active ? resume_base + config.progress_every
+                      : std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t last_checkpoint_request = 0;
 
   setup_timer.stop();
+  setup_span.stop();
   obs::ScopedTimer run_timer(t_run);
+  obs::ScopedSpan run_span(spans, sp_run, "sim");
+  const auto run_start = std::chrono::steady_clock::now();
 
   {
     // A dedicated pool sized to the run; shards >> threads gives the static
@@ -311,6 +359,8 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
             interval_target(shard_total, interval, intervals);
         ShardState& st = states[s];
         if (st.t >= end) return;  // already past this barrier (resume)
+        obs::ScopedSpan shard_span(spans, sp_shard, "sim");
+        shard_span.arg("shard", static_cast<double>(s));
         ShardResult& out = results[s];
         workload::RequestStream& stream = *st.stream;
         const std::uint64_t warmup = shard_warmup[s];
@@ -365,25 +415,62 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
       };
       util::parallel_for(pool, 0, shards, run_interval);
 
-      if (!recovery_active) continue;
-      const bool stop_requested =
-          poll_stop && config.stop->load(std::memory_order_relaxed);
+      if (!recovery_active && !progress_active) continue;
+      obs::ScopedSpan barrier_span(spans, sp_barrier, "sim");
       std::uint64_t done = 0;
       for (const ShardState& st : states) done += st.t;
-      bool write = !config.checkpoint_path.empty() &&
-                   (config.checkpoint_every_requests > 0 || stop_requested);
-      if (!write && !config.checkpoint_path.empty() &&
-          config.checkpoint_every_seconds > 0.0) {
-        write = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              last_checkpoint_time)
-                    .count() >= config.checkpoint_every_seconds;
+      if (recovery_active) {
+        const bool stop_requested =
+            poll_stop && config.stop->load(std::memory_order_relaxed);
+        bool write = !config.checkpoint_path.empty() &&
+                     (config.checkpoint_every_requests > 0 || stop_requested);
+        if (!write && !config.checkpoint_path.empty() &&
+            config.checkpoint_every_seconds > 0.0) {
+          write =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            last_checkpoint_time)
+                  .count() >= config.checkpoint_every_seconds;
+        }
+        if (write && done > last_written_done) {
+          write_checkpoint();
+          last_written_done = done;
+          ++checkpoints_written;
+          last_checkpoint_request = done;
+        }
+        if (stop_requested) {
+          throw recover::Interrupted(done, config.checkpoint_path);
+        }
       }
-      if (write && done > last_written_done) {
-        write_checkpoint();
-        last_written_done = done;
-      }
-      if (stop_requested) {
-        throw recover::Interrupted(done, config.checkpoint_path);
+      if (progress_active && done >= next_progress) {
+        next_progress = done + config.progress_every;
+        SimulationProgress p;
+        p.completed = done;
+        p.total = total;
+        p.warming_up = done < warmup_total;
+        std::uint64_t el = 0;
+        std::uint64_t el_hits = 0;
+        for (const ShardResult& r : results) {
+          el += r.eligible;
+          el_hits += r.eligible_hits;
+        }
+        p.hit_ratio_known = el > 0;
+        if (p.hit_ratio_known) {
+          p.hit_ratio =
+              static_cast<double>(el_hits) / static_cast<double>(el);
+        }
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          run_start)
+                .count();
+        if (elapsed > 0.0 && done > resume_base) {
+          p.requests_per_sec =
+              static_cast<double>(done - resume_base) / elapsed;
+          p.eta_seconds =
+              static_cast<double>(total - done) / p.requests_per_sec;
+        }
+        p.checkpoints_written = checkpoints_written;
+        p.last_checkpoint_request = last_checkpoint_request;
+        config.progress(p);
       }
     }
   }
@@ -397,7 +484,10 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
   }
 
   run_timer.stop();
+  run_span.stop();
   obs::ScopedTimer report_timer(t_report);
+  obs::ScopedSpan report_span(spans, sp_report, "sim");
+  obs::ScopedSpan merge_span(spans, sp_merge, "sim");
 
   // --- Deterministic merge, fixed shard-index order 0..S-1. ---
   SimulationReport report;
@@ -433,6 +523,7 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
   for (const cache::CacheStats& stats : report.server_cache_stats) {
     report.cache_totals.merge(stats);
   }
+  merge_span.stop();
 
   const double measured = static_cast<double>(report.measured_requests);
   report.mean_latency_ms =

@@ -74,7 +74,26 @@ SimulationReport simulate(const sys::CdnSystem& system,
   obs::TimerStat* const t_report =
       metrics ? &metrics->timer(prefix + "phase/report") : nullptr;
 
+  // Span names are interned once here; the loop only ever records on rare
+  // events (checkpoint writes, fault transitions), never per request.
+  obs::SpanTracer* const spans = config.spans;
+  const char* sp_setup = nullptr;
+  const char* sp_run = nullptr;
+  const char* sp_report = nullptr;
+  const char* sp_checkpoint = nullptr;
+  const char* sp_resume = nullptr;
+  const char* sp_fault = nullptr;
+  if (spans != nullptr) {
+    sp_setup = spans->intern(prefix + "setup");
+    sp_run = spans->intern(prefix + "run");
+    sp_report = spans->intern(prefix + "report");
+    sp_checkpoint = spans->intern(prefix + "checkpoint/write");
+    sp_resume = spans->intern(prefix + "checkpoint/resume");
+    sp_fault = spans->intern(prefix + "fault/transition");
+  }
+
   obs::ScopedTimer setup_timer(t_setup);
+  obs::ScopedSpan setup_span(spans, sp_setup, "sim");
 
   // One cache per server, sized by what the placement left free.
   std::vector<std::unique_ptr<cache::CachePolicy>> caches;
@@ -179,7 +198,9 @@ SimulationReport simulate(const sys::CdnSystem& system,
           : std::numeric_limits<std::uint64_t>::max();
 
   setup_timer.stop();
+  setup_span.stop();
   obs::ScopedTimer run_timer(t_run);
+  obs::ScopedSpan run_span(spans, sp_run, "sim");
 
   double hop_sum = 0.0;
   std::uint64_t local = 0;
@@ -318,7 +339,11 @@ SimulationReport simulate(const sys::CdnSystem& system,
   };
 
   auto last_checkpoint_time = std::chrono::steady_clock::now();
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t last_checkpoint_request = 0;
   const auto write_checkpoint = [&](std::uint64_t next_t) {
+    obs::ScopedSpan ckpt_span(spans, sp_checkpoint, "recover");
+    ckpt_span.arg("request", static_cast<double>(next_t));
     const auto write_start = std::chrono::steady_clock::now();
     recover::Checkpoint ckpt;
     ckpt.fingerprint = fingerprint;
@@ -328,6 +353,8 @@ SimulationReport simulate(const sys::CdnSystem& system,
     const std::uint64_t bytes =
         recover::write_file(config.checkpoint_path, ckpt);
     last_checkpoint_time = std::chrono::steady_clock::now();
+    ++checkpoints_written;
+    last_checkpoint_request = next_t;
     if (rc_written != nullptr) {
       rc_written->add();
       rc_bytes->add(bytes);
@@ -339,6 +366,7 @@ SimulationReport simulate(const sys::CdnSystem& system,
 
   std::uint64_t t0 = 0;
   if (!config.resume_path.empty()) {
+    obs::ScopedSpan resume_span(spans, sp_resume, "recover");
     const recover::Checkpoint ckpt = recover::read_file(config.resume_path);
     recover::check_fingerprint(ckpt, fingerprint);
     util::ByteReader reader(ckpt.payload);
@@ -357,6 +385,7 @@ SimulationReport simulate(const sys::CdnSystem& system,
       metrics->gauge(prefix + "recover/resume_request_index")
           .set(static_cast<double>(t0));
     }
+    resume_span.arg("request", static_cast<double>(t0));
   }
   const std::uint64_t probe_stride = config.checkpoint_every_requests > 0
                                          ? config.checkpoint_every_requests
@@ -365,6 +394,7 @@ SimulationReport simulate(const sys::CdnSystem& system,
       !config.checkpoint_path.empty() || config.stop != nullptr
           ? (t0 / probe_stride + 1) * probe_stride
           : std::numeric_limits<std::uint64_t>::max();
+  const auto run_start = std::chrono::steady_clock::now();
 
   for (std::uint64_t t = t0; t < total; ++t) {
     // Reset measured-window statistics exactly at the end of warm-up.
@@ -378,6 +408,9 @@ SimulationReport simulate(const sys::CdnSystem& system,
       for (const std::uint32_t s : timeline->just_recovered()) {
         caches[s]->clear();
         ++report.cold_restarts;
+      }
+      if (spans != nullptr) {
+        spans->instant(sp_fault, "fault", "request", static_cast<double>(t));
       }
     }
     workload::Request req =
@@ -614,6 +647,18 @@ SimulationReport simulate(const sys::CdnSystem& system,
         p.hit_ratio = static_cast<double>(eligible_hits) /
                       static_cast<double>(eligible);
       }
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        run_start)
+              .count();
+      if (elapsed > 0.0) {
+        p.requests_per_sec =
+            static_cast<double>(t + 1 - t0) / elapsed;
+        p.eta_seconds =
+            static_cast<double>(total - (t + 1)) / p.requests_per_sec;
+      }
+      p.checkpoints_written = checkpoints_written;
+      p.last_checkpoint_request = last_checkpoint_request;
       config.progress(p);
     }
   }
@@ -621,7 +666,9 @@ SimulationReport simulate(const sys::CdnSystem& system,
   if (instrumented && win.requests > 0) win_series.flush(win);
 
   run_timer.stop();
+  run_span.stop();
   obs::ScopedTimer report_timer(t_report);
+  obs::ScopedSpan report_span(spans, sp_report, "sim");
 
   report.measured_requests = measured_total;
   const double measured = static_cast<double>(report.measured_requests);

@@ -21,6 +21,7 @@
 #include "src/cdn/system.h"
 #include "src/fault/fault_schedule.h"
 #include "src/obs/registry.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/placement/placement_result.h"
 #include "src/sim/latency_model.h"
@@ -49,6 +50,17 @@ struct SimulationProgress {
   /// Running measured hit ratio; meaningful only when hit_ratio_known.
   double hit_ratio = 0.0;
   bool hit_ratio_known = false;
+  /// Requests per second this process has sustained since the run phase
+  /// began (resumed runs count post-resume requests only).  0 until the
+  /// first measurable interval has elapsed.
+  double requests_per_sec = 0.0;
+  /// Estimated seconds until completion at the current rate; 0 while the
+  /// rate is unknown.
+  double eta_seconds = 0.0;
+  /// Checkpoints written so far by this process.
+  std::uint64_t checkpoints_written = 0;
+  /// Request index covered by the latest checkpoint (0 = none yet).
+  std::uint64_t last_checkpoint_request = 0;
 };
 
 struct SimulationConfig {
@@ -146,9 +158,19 @@ struct SimulationConfig {
   /// Sampled per-request event sink (non-owning).  Null disables tracing.
   obs::TraceSink* trace_sink = nullptr;
 
-  /// Invoke `progress` every `progress_every` requests (0 = off; sequential
-  /// engine only).  The callback owns the presentation — the simulator
-  /// itself never touches a stream, keeping <iostream> out of the hot TU.
+  /// Span tracer (non-owning; see docs/OBSERVABILITY.md).  Null disables
+  /// span recording entirely.  Spans are phase-granular — engine phases,
+  /// per-shard intervals, checkpoint writes, fault transitions — never
+  /// per-request, so enabling them does not perturb the request loop, and
+  /// the report stays bit-identical with or without a tracer attached.
+  obs::SpanTracer* spans = nullptr;
+
+  /// Invoke `progress` roughly every `progress_every` requests (0 = off).
+  /// The sequential engine honours the cadence exactly; the parallel
+  /// engine reports at its shard-merge barriers, so snapshots arrive at
+  /// the nearest barrier boundary.  The callback owns the presentation —
+  /// the simulator itself never touches a stream, keeping <iostream> out
+  /// of the hot TU.
   std::uint64_t progress_every = 0;
   std::function<void(const SimulationProgress&)> progress;
 };

@@ -1,0 +1,201 @@
+// SimulationProgress reporting (rate, ETA, checkpoint fields) from both
+// engines, and span integration: spans never perturb a report, both
+// engines emit their phase spans, checkpoint writes get spans.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/obs/span.h"
+#include "src/placement/fixed_split.h"
+#include "src/placement/hybrid_greedy.h"
+#include "src/sim/sim_checkpoint.h"
+#include "src/sim/simulator.h"
+#include "tests/test_support.h"
+
+namespace cdn::sim {
+namespace {
+
+placement::PlacementResult make_placement(const sys::CdnSystem& system) {
+  return placement::pure_caching(system);
+}
+
+SimulationConfig base_config(std::uint64_t requests = 40'000) {
+  SimulationConfig cfg;
+  cfg.total_requests = requests;
+  cfg.warmup_fraction = 0.25;
+  cfg.seed = 7;
+  return cfg;
+}
+
+std::set<std::string> span_names(const obs::SpanTracer& tracer) {
+  std::set<std::string> names;
+  for (const auto& event : tracer.events()) names.insert(event.name);
+  return names;
+}
+
+TEST(SimProgressTest, SequentialEngineReportsRateEtaAndCadence) {
+  const auto t = test::TestSystem::make();
+  const auto placement = make_placement(*t.system);
+  auto cfg = base_config();
+  cfg.progress_every = 10'000;
+  std::vector<SimulationProgress> snapshots;
+  cfg.progress = [&](const SimulationProgress& p) {
+    snapshots.push_back(p);
+  };
+  simulate(*t.system, placement, cfg);
+
+  ASSERT_EQ(snapshots.size(), 4u);
+  for (std::size_t k = 0; k < snapshots.size(); ++k) {
+    const auto& p = snapshots[k];
+    EXPECT_EQ(p.completed, (k + 1) * 10'000);
+    EXPECT_EQ(p.total, cfg.total_requests);
+    EXPECT_GT(p.requests_per_sec, 0.0);
+    EXPECT_GE(p.eta_seconds, 0.0);
+    EXPECT_EQ(p.checkpoints_written, 0u);
+    EXPECT_EQ(p.last_checkpoint_request, 0u);
+  }
+  // The final snapshot has nothing left to do.
+  EXPECT_EQ(snapshots.back().completed, cfg.total_requests);
+  EXPECT_EQ(snapshots.back().eta_seconds, 0.0);
+}
+
+TEST(SimProgressTest, SequentialEngineReportsCheckpointActivity) {
+  const auto t = test::TestSystem::make();
+  const auto placement = make_placement(*t.system);
+  auto cfg = base_config();
+  cfg.progress_every = 10'000;
+  cfg.checkpoint_path = testing::TempDir() + "/sim_progress_ckpt.bin";
+  cfg.checkpoint_every_requests = 10'000;
+  std::vector<SimulationProgress> snapshots;
+  cfg.progress = [&](const SimulationProgress& p) {
+    snapshots.push_back(p);
+  };
+  simulate(*t.system, placement, cfg);
+
+  ASSERT_FALSE(snapshots.empty());
+  const auto& last = snapshots.back();
+  EXPECT_GT(last.checkpoints_written, 0u);
+  EXPECT_GT(last.last_checkpoint_request, 0u);
+  EXPECT_LE(last.last_checkpoint_request, cfg.total_requests);
+}
+
+TEST(SimProgressTest, ParallelEngineReportsProgressAtBarriers) {
+  const auto t = test::TestSystem::make();
+  const auto placement = make_placement(*t.system);
+  auto cfg = base_config(60'000);
+  cfg.threads = 2;
+  cfg.shards = 4;
+  cfg.progress_every = 15'000;
+  std::vector<SimulationProgress> snapshots;
+  cfg.progress = [&](const SimulationProgress& p) {
+    snapshots.push_back(p);
+  };
+  const auto report = simulate(*t.system, placement, cfg);
+  EXPECT_EQ(report.shards_used, 4u);
+
+  ASSERT_FALSE(snapshots.empty());
+  std::uint64_t prev = 0;
+  for (const auto& p : snapshots) {
+    EXPECT_GT(p.completed, prev);
+    prev = p.completed;
+    EXPECT_EQ(p.total, cfg.total_requests);
+    EXPECT_GT(p.requests_per_sec, 0.0);
+  }
+  EXPECT_EQ(snapshots.back().completed, cfg.total_requests);
+}
+
+TEST(SimProgressTest, ProgressCallbacksDoNotChangeTheReport) {
+  const auto t = test::TestSystem::make();
+  const auto placement = make_placement(*t.system);
+  const auto quiet = simulate(*t.system, placement, base_config());
+  auto cfg = base_config();
+  cfg.progress_every = 5'000;
+  cfg.progress = [](const SimulationProgress&) {};
+  const auto chatty = simulate(*t.system, placement, cfg);
+  EXPECT_EQ(report_digest(quiet), report_digest(chatty));
+}
+
+TEST(SimSpanTest, SequentialEngineEmitsPhaseSpans) {
+  const auto t = test::TestSystem::make();
+  const auto placement = make_placement(*t.system);
+  obs::SpanTracer tracer;
+  auto cfg = base_config();
+  cfg.spans = &tracer;
+  const auto with_spans = simulate(*t.system, placement, cfg);
+
+  const auto names = span_names(tracer);
+  EXPECT_TRUE(names.count("sim/setup"));
+  EXPECT_TRUE(names.count("sim/run"));
+  EXPECT_TRUE(names.count("sim/report"));
+
+  // Bit-identity: a tracer must never perturb the simulation.
+  auto plain = base_config();
+  const auto without_spans = simulate(*t.system, placement, plain);
+  EXPECT_EQ(report_digest(with_spans), report_digest(without_spans));
+}
+
+TEST(SimSpanTest, SequentialEngineEmitsCheckpointSpans) {
+  const auto t = test::TestSystem::make();
+  const auto placement = make_placement(*t.system);
+  obs::SpanTracer tracer;
+  auto cfg = base_config();
+  cfg.spans = &tracer;
+  cfg.checkpoint_path = testing::TempDir() + "/sim_span_ckpt.bin";
+  cfg.checkpoint_every_requests = 10'000;
+  simulate(*t.system, placement, cfg);
+  EXPECT_TRUE(span_names(tracer).count("sim/checkpoint/write"));
+}
+
+TEST(SimSpanTest, ParallelEngineEmitsShardAndMergeSpans) {
+  const auto t = test::TestSystem::make();
+  const auto placement = make_placement(*t.system);
+  obs::SpanTracer tracer;
+  auto cfg = base_config(60'000);
+  cfg.threads = 2;
+  cfg.shards = 4;
+  cfg.spans = &tracer;
+  const auto with_spans = simulate(*t.system, placement, cfg);
+
+  const auto names = span_names(tracer);
+  EXPECT_TRUE(names.count("sim/setup"));
+  EXPECT_TRUE(names.count("sim/run"));
+  EXPECT_TRUE(names.count("sim/shard/run"));
+  EXPECT_TRUE(names.count("sim/merge"));
+  EXPECT_TRUE(names.count("sim/report"));
+
+  // Shard spans come from worker threads: more than one tid in the trace.
+  std::set<std::uint32_t> tids;
+  for (const auto& event : tracer.events()) tids.insert(event.tid);
+  EXPECT_GT(tids.size(), 1u);
+
+  auto plain = base_config(60'000);
+  plain.threads = 2;
+  plain.shards = 4;
+  const auto without_spans = simulate(*t.system, placement, plain);
+  EXPECT_EQ(report_digest(with_spans), report_digest(without_spans));
+}
+
+TEST(SimSpanTest, PlacementEnginesEmitSpans) {
+  const auto t = test::TestSystem::make();
+  obs::SpanTracer tracer;
+  placement::HybridGreedyOptions options;
+  options.spans = &tracer;
+  const auto with_spans = placement::hybrid_greedy(*t.system, options);
+
+  const auto names = span_names(tracer);
+  EXPECT_TRUE(names.count("placement/hybrid/total"));
+  EXPECT_TRUE(names.count("placement/hybrid/initial_eval"));
+  EXPECT_TRUE(names.count("placement/hybrid/iteration"));
+  EXPECT_TRUE(names.count("placement/hybrid/heap/size"));
+
+  // Spans must not change a placement decision.
+  const auto without_spans = placement::hybrid_greedy(*t.system, {});
+  EXPECT_EQ(with_spans.cost_trajectory, without_spans.cost_trajectory);
+  EXPECT_EQ(with_spans.replicas_created, without_spans.replicas_created);
+}
+
+}  // namespace
+}  // namespace cdn::sim

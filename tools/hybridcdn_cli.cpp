@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <iomanip>
 #include <iostream>
@@ -19,6 +20,8 @@
 
 #include "src/core/hybridcdn.h"
 #include "src/obs/registry.h"
+#include "src/obs/run_manifest.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 #include "src/recover/checkpoint.h"
 #include "src/sim/sim_checkpoint.h"
@@ -40,17 +43,18 @@ extern "C" void handle_stop_signal(int) {
 /// Parses "hybrid,caching,cache20,..." into mechanism specs.
 std::vector<core::MechanismSpec> parse_mechanisms(const std::string& csv,
                                                   std::uint64_t seed,
-                                                  obs::Registry* metrics) {
+                                                  obs::Registry* metrics,
+                                                  obs::SpanTracer* spans) {
   std::vector<core::MechanismSpec> specs;
   std::stringstream ss(csv);
   std::string item;
   while (std::getline(ss, item, ',')) {
     if (item == "replication") {
-      specs.push_back(core::replication_mechanism(metrics));
+      specs.push_back(core::replication_mechanism(metrics, spans));
     } else if (item == "caching") {
       specs.push_back(core::caching_mechanism());
     } else if (item == "hybrid") {
-      specs.push_back(core::hybrid_mechanism(metrics));
+      specs.push_back(core::hybrid_mechanism(metrics, spans));
     } else if (item == "popularity") {
       specs.push_back(core::popularity_mechanism());
     } else if (item == "random") {
@@ -95,6 +99,12 @@ int main(int argc, char** argv) {
   cli.add_flag("csv", "false", "emit the summary as CSV instead of a table");
   cli.add_flag("metrics-out", "",
                "write the metrics registry to this JSON file");
+  cli.add_flag("spans-out", "",
+               "write phase/iteration spans as Chrome trace-event JSON "
+               "(load in https://ui.perfetto.dev; docs/OBSERVABILITY.md)");
+  cli.add_flag("manifest-out", "",
+               "write the run-provenance manifest (seed, fingerprints, "
+               "build info, resource usage) to this JSON file");
   cli.add_flag("trace-out", "",
                "write the sampled per-request event trace to this CSV file");
   cli.add_flag("trace-sample", "0.01",
@@ -135,9 +145,23 @@ int main(int argc, char** argv) {
   cli.add_flag("report-digest", "false",
                "print each mechanism's report digest (byte-identity id)");
 
+  const auto parse_start = std::chrono::steady_clock::now();
   if (!cli.parse(argc, argv)) return 1;
+  const auto parse_end = std::chrono::steady_clock::now();
 
   try {
+    const std::string spans_out = cli.get_string("spans-out");
+    std::optional<obs::SpanTracer> tracer;
+    if (!spans_out.empty()) tracer.emplace();
+    obs::SpanTracer* const spans = tracer ? &*tracer : nullptr;
+    if (spans != nullptr) {
+      spans->set_thread_name("main");
+      spans->instant("cli/parse", "cli", "ms",
+                     std::chrono::duration<double, std::milli>(parse_end -
+                                                               parse_start)
+                         .count());
+    }
+
     core::ScenarioConfig cfg;
     cfg.server_count = static_cast<std::size_t>(cli.get_int("servers"));
     cfg.classes = {
@@ -151,7 +175,9 @@ int main(int argc, char** argv) {
     cfg.uncacheable_fraction = cli.get_double("lambda");
     cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
+    obs::ScopedSpan build_span(spans, "cli/build_scenario", "cli");
     core::Scenario scenario(cfg);
+    build_span.stop();
 
     sim::SimulationConfig sim;
     sim.total_requests = static_cast<std::uint64_t>(cli.get_int("requests"));
@@ -163,14 +189,25 @@ int main(int argc, char** argv) {
     if (cli.get_bool("progress")) {
       sim.progress_every = std::max<std::uint64_t>(1, sim.total_requests / 20);
       sim.progress = [](const sim::SimulationProgress& p) {
-        std::cerr << "sim: " << p.completed << "/" << p.total << " requests ("
-                  << static_cast<int>(100.0 * static_cast<double>(p.completed) /
-                                      static_cast<double>(p.total))
-                  << "%)"
-                  << (p.hit_ratio_known
-                          ? ", hit_ratio=" + std::to_string(p.hit_ratio)
-                          : std::string(p.warming_up ? ", warming up" : ""))
-                  << '\n';
+        std::ostringstream line;
+        line << "sim: " << p.completed << "/" << p.total << " requests ("
+             << static_cast<int>(100.0 * static_cast<double>(p.completed) /
+                                 static_cast<double>(p.total))
+             << "%)";
+        if (p.requests_per_sec > 0.0) {
+          line << ", " << static_cast<std::uint64_t>(p.requests_per_sec)
+               << " req/s, eta " << util::format_double(p.eta_seconds, 1)
+               << "s";
+        }
+        if (p.hit_ratio_known) {
+          line << ", hit_ratio=" << std::to_string(p.hit_ratio);
+        } else if (p.warming_up) {
+          line << ", warming up";
+        }
+        if (p.checkpoints_written > 0) {
+          line << ", ckpt@" << p.last_checkpoint_request;
+        }
+        std::cerr << line.str() << '\n';
       };
     }
     sim.slo_ms = cli.get_double("slo-ms");
@@ -229,6 +266,7 @@ int main(int argc, char** argv) {
 
     const std::string metrics_out = cli.get_string("metrics-out");
     const std::string trace_out = cli.get_string("trace-out");
+    const std::string manifest_out = cli.get_string("manifest-out");
     obs::Registry registry;
     obs::Registry* const metrics = metrics_out.empty() ? nullptr : &registry;
     std::optional<obs::TraceSink> sink;
@@ -237,9 +275,16 @@ int main(int argc, char** argv) {
                    static_cast<std::size_t>(cli.get_int("trace-max")));
     }
 
+    obs::RunManifest manifest = obs::make_run_manifest("hybridcdn_cli");
+    manifest.seed = sim.seed;
+    manifest.threads = sim.threads;
+    manifest.shards = sim.shards;
+
     const auto flush_exports = [&] {
+      obs::ScopedSpan export_span(spans, "cli/export", "cli");
+      manifest.finalize();
       if (metrics != nullptr) {
-        obs::write_json_file(registry, metrics_out);
+        obs::write_json_file(registry, metrics_out, &manifest);
         std::cerr << "metrics: " << metrics_out << " ("
                   << registry.metric_count() << " metrics)\n";
       }
@@ -248,14 +293,25 @@ int main(int argc, char** argv) {
         std::cerr << "trace: " << trace_out << " (" << sink->recorded()
                   << " events, " << sink->dropped() << " dropped)\n";
       }
+      if (!manifest_out.empty()) {
+        manifest.write_json_file(manifest_out);
+        std::cerr << "manifest: " << manifest_out << '\n';
+      }
+      export_span.stop();
+      if (spans != nullptr) {
+        spans->write_json_file(spans_out);
+        std::cerr << "spans: " << spans_out << " (" << spans->recorded()
+                  << " events, " << spans->dropped() << " dropped)\n";
+      }
     };
 
     std::vector<core::MechanismRun> runs;
     try {
       runs = core::run_mechanisms(
           scenario,
-          parse_mechanisms(cli.get_string("mechanisms"), cfg.seed, metrics),
-          sim, metrics, sink ? &*sink : nullptr);
+          parse_mechanisms(cli.get_string("mechanisms"), cfg.seed, metrics,
+                           spans),
+          sim, metrics, sink ? &*sink : nullptr, spans);
     } catch (const recover::Interrupted& e) {
       // Graceful shutdown: the engine already flushed its checkpoint; flush
       // the observability exports too and exit with the documented code so
@@ -267,6 +323,25 @@ int main(int argc, char** argv) {
                                                 : e.checkpoint_path())
                 << '\n';
       return recover::kInterruptedExitCode;
+    }
+
+    // Provenance: the same fingerprint sections checkpoint/resume validates
+    // against, so a manifest identifies a run as precisely as a checkpoint
+    // does.  The placement section differs per mechanism; the rest are
+    // shared (add_fingerprint dedupes identical sections).
+    const auto engine_kind = sim.threads == 1
+                                 ? sim::detail::EngineKind::kSequential
+                                 : sim::detail::EngineKind::kParallel;
+    for (const auto& run : runs) {
+      for (const auto& section : sim::detail::checkpoint_fingerprint(
+               scenario.system(), run.placement, sim, engine_kind,
+               sim.shards)) {
+        if (section.first == "placement") {
+          manifest.add_fingerprint("placement/" + run.name, section.second);
+        } else {
+          manifest.add_fingerprint(section.first, section.second);
+        }
+      }
     }
 
     const auto table = core::summary_table(runs);
