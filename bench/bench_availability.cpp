@@ -17,17 +17,29 @@
 //   avail/<mech>/p99_ms             P99 response time at each rate
 //   avail/<mech>/slo_violation      SLO-violation fraction at each rate
 //
+// Also writes a schema-versioned BENCH_availability.json artifact (see
+// bench/bench_artifact.h) with per-mechanism availability / P99 / SLO
+// metrics at the harshest swept failure rate; the CI regression gate diffs
+// it against bench/baselines/BENCH_availability.json.  The simulation is
+// deterministic in the seed, so the thresholds are tight — drift means the
+// failover or fault-replay logic changed, not the machine.
+//
 // Usage: bench_availability [--smoke] [metrics.json]
-//   --smoke  small scenario + short sweep, used by CI sanitizer runs.
+//                           [--artifact BENCH_availability.json]
+//   --smoke  small scenario + short sweep, used by CI sanitizer runs and
+//            the bench-regression gate (the committed baseline is a smoke
+//            run for exactly that reason).
 
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "bench/bench_artifact.h"
 #include "bench/bench_support.h"
 #include "src/core/experiment.h"
 #include "src/fault/fault_schedule.h"
 #include "src/obs/registry.h"
+#include "src/obs/run_manifest.h"
 #include "src/util/table.h"
 
 int main(int argc, char** argv) {
@@ -35,10 +47,13 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string metrics_path = "availability_metrics.json";
+  std::string artifact_path;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--artifact" && a + 1 < argc) {
+      artifact_path = argv[++a];
     } else {
       metrics_path = arg;
     }
@@ -86,6 +101,9 @@ int main(int argc, char** argv) {
   obs::Series& rate_out = registry.series("avail/failure_rate");
   util::TextTable table({"failure_rate", "mechanism", "availability",
                          "failed", "failover", "p99_ms", "slo_violation"});
+  // Per-mechanism results at the harshest swept rate (the last one) — the
+  // numbers the regression artifact gates on.
+  std::vector<sim::SimulationReport> worst_case(mechanisms.size());
 
   for (const double rate : rates) {
     fault::FaultSchedule schedule;
@@ -108,6 +126,8 @@ int main(int argc, char** argv) {
       const auto report =
           sim::simulate(scenario.system(), placements[k], sim_cfg);
 
+      if (rate == rates.back()) worst_case[k] = report;
+
       const std::string pfx = "avail/" + mechanisms[k].name + "/";
       const double p99 = report.latency_cdf.empty()
                              ? 0.0
@@ -129,5 +149,31 @@ int main(int argc, char** argv) {
   std::cout << table.str() << '\n';
   obs::write_json_file(registry, metrics_path);
   std::cout << "metrics: " << metrics_path << '\n';
+
+  if (!artifact_path.empty()) {
+    obs::RunManifest manifest = obs::make_run_manifest(
+        smoke ? "bench_availability --smoke" : "bench_availability");
+    manifest.seed = sim_base.seed;
+
+    // Deterministic in the seed: tight thresholds, matching the workload
+    // metrics in bench_throughput (2% covers libm rounding differences
+    // across toolchains, nothing more).
+    bench::BenchArtifact artifact("availability");
+    for (std::size_t k = 0; k < mechanisms.size(); ++k) {
+      const auto& report = worst_case[k];
+      const std::string pfx = mechanisms[k].name + "_";
+      const double p99 = report.latency_cdf.empty()
+                             ? 0.0
+                             : report.latency_cdf.quantile(0.99);
+      artifact.set(pfx + "availability", report.availability, "ratio",
+                   /*higher_is_better=*/true, /*threshold_pct=*/2.0);
+      artifact.set(pfx + "p99_ms", p99, "ms", /*higher_is_better=*/false,
+                   2.0);
+      artifact.set(pfx + "slo_violation", report.slo_violation_fraction,
+                   "ratio", /*higher_is_better=*/false, 2.0);
+    }
+    artifact.write_json_file(artifact_path, manifest);
+    std::cout << "artifact: " << artifact_path << '\n';
+  }
   return 0;
 }

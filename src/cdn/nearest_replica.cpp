@@ -1,5 +1,7 @@
 #include "src/cdn/nearest_replica.h"
 
+#include <algorithm>
+
 #include "src/util/error.h"
 
 namespace cdn::sys {
@@ -60,6 +62,11 @@ std::optional<NearestCopy> NearestReplicaIndex::nearest_live(
     best = NearestCopy{true, 0, distances_->server_to_primary(server, site)};
   }
   for (const ServerIndex holder : holders) {
+    // A holder outside the mask would be an out-of-bounds read — with all
+    // copies down that garbage could fabricate a live answer, so a corrupt
+    // holder list must fail loudly instead of non-deterministically.
+    CDN_EXPECT(holder < servers_,
+               "holder list references an out-of-range server");
     if (!server_up[holder]) continue;
     const double c = distances_->server_to_server(server, holder);
     if (!best || c < best->cost) {
@@ -67,6 +74,40 @@ std::optional<NearestCopy> NearestReplicaIndex::nearest_live(
     }
   }
   return best;
+}
+
+std::vector<NearestCopy> NearestReplicaIndex::nearest_live_candidates(
+    ServerIndex server, SiteIndex site, std::span<const ServerIndex> holders,
+    const std::vector<std::uint8_t>& server_up, bool origin_up,
+    std::size_t max_candidates) const {
+  CDN_EXPECT(server < servers_ && site < sites_, "index out of range");
+  CDN_EXPECT(server_up.size() == servers_,
+             "health mask length must equal the server count");
+  std::vector<NearestCopy> live;
+  if (max_candidates == 0) return live;
+  live.reserve(holders.size() + 1);
+  for (const ServerIndex holder : holders) {
+    CDN_EXPECT(holder < servers_,
+               "holder list references an out-of-range server");
+    if (!server_up[holder]) continue;
+    live.push_back(
+        {false, holder, distances_->server_to_server(server, holder)});
+  }
+  if (origin_up) {
+    live.push_back(
+        {true, 0, distances_->server_to_primary(server, site)});
+  }
+  // Ascending cost; at equal cost prefer replicas over the primary (a
+  // replica win spares the origin), then the lowest server index — a total
+  // order, so the ranking is identical on every call and platform.
+  std::sort(live.begin(), live.end(),
+            [](const NearestCopy& a, const NearestCopy& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              if (a.at_primary != b.at_primary) return !a.at_primary;
+              return a.server < b.server;
+            });
+  if (live.size() > max_candidates) live.resize(max_candidates);
+  return live;
 }
 
 std::vector<ServerIndex> NearestReplicaIndex::on_replica_added(

@@ -52,6 +52,18 @@ class NearestReplicaIndex {
       std::span<const ServerIndex> holders,
       const std::vector<std::uint8_t>& server_up, bool origin_up) const;
 
+  /// Ranked variant of nearest_live() for the live redirector: the up-to-
+  /// `max_candidates` cheapest LIVE copies (holders + the primary origin),
+  /// ascending by cost with deterministic tie-breaks (replicas before the
+  /// primary at equal cost, then lowest server index).  The daemon races
+  /// connections across this list in rank order.  Returns an empty vector
+  /// — never a partial guess — when every holder and the origin are down.
+  std::vector<NearestCopy> nearest_live_candidates(
+      ServerIndex server, SiteIndex site,
+      std::span<const ServerIndex> holders,
+      const std::vector<std::uint8_t>& server_up, bool origin_up,
+      std::size_t max_candidates) const;
+
   /// Updates column `site` after `holder` gained a replica of it.  Returns
   /// the ascending list of servers whose (server, site) cell was modified —
   /// i.e. the servers for which the new replica is now the nearest copy

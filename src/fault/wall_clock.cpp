@@ -1,0 +1,29 @@
+#include "src/fault/wall_clock.h"
+
+#include "src/util/error.h"
+
+namespace cdn::fault {
+
+WallClockTimeline::WallClockTimeline(const FaultSchedule& schedule,
+                                     std::size_t server_count,
+                                     std::size_t site_count,
+                                     double requests_per_second,
+                                     Clock::time_point epoch)
+    : timeline_(schedule, server_count, site_count),
+      rate_(requests_per_second),
+      epoch_(epoch) {
+  CDN_EXPECT(rate_ > 0.0, "requests_per_second must be positive");
+}
+
+std::uint64_t WallClockTimeline::request_time(Clock::time_point now) const {
+  if (now <= epoch_) return 0;
+  const double seconds =
+      std::chrono::duration<double>(now - epoch_).count();
+  return static_cast<std::uint64_t>(seconds * rate_);
+}
+
+bool WallClockTimeline::advance_to(Clock::time_point now) {
+  return timeline_.advance(request_time(now));
+}
+
+}  // namespace cdn::fault

@@ -1,0 +1,61 @@
+// Wall-clock driver for the request-time fault timeline.
+//
+// FaultSchedule expresses every fault on the simulator's clock (the
+// request index t).  A live service has no request index — it has a
+// monotonic wall clock — so this adapter replays the same schedule at a
+// configured rate of `requests_per_second`: wall time w seconds after the
+// epoch corresponds to request time t = floor(w * rate).  The redirector
+// daemon advances it on every request (and on a periodic tick while idle),
+// which keeps the health masks it serves consistent with what a simulator
+// running the same schedule at the same rate would see.
+//
+// advance_to() must be called with non-decreasing time points, exactly
+// like FaultTimeline::advance; the epoch is captured at construction (or
+// passed explicitly, which is what the tests do — the mapping is a pure
+// function of (epoch, rate, now), no hidden clock reads).
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/fault/fault_schedule.h"
+
+namespace cdn::fault {
+
+class WallClockTimeline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `requests_per_second` > 0 scales wall time to request time.
+  WallClockTimeline(const FaultSchedule& schedule, std::size_t server_count,
+                    std::size_t site_count, double requests_per_second,
+                    Clock::time_point epoch = Clock::now());
+
+  /// Request-time index corresponding to `now` (0 before the epoch).
+  std::uint64_t request_time(Clock::time_point now) const;
+
+  /// Advances the underlying timeline to request_time(now).  Returns true
+  /// when any fault state changed.
+  bool advance_to(Clock::time_point now);
+
+  const FaultTimeline& timeline() const noexcept { return timeline_; }
+  bool server_up(std::uint32_t server) const {
+    return timeline_.server_up(server);
+  }
+  const std::vector<std::uint8_t>& server_up_mask() const noexcept {
+    return timeline_.server_up_mask();
+  }
+  bool origin_up(std::uint32_t site) const {
+    return timeline_.origin_up(site);
+  }
+  double requests_per_second() const noexcept { return rate_; }
+  Clock::time_point epoch() const noexcept { return epoch_; }
+
+ private:
+  FaultTimeline timeline_;
+  double rate_;
+  Clock::time_point epoch_;
+};
+
+}  // namespace cdn::fault

@@ -1,0 +1,207 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/util/error.h"
+
+namespace cdn::net {
+
+namespace {
+
+/// Parses a dotted-quad IPv4 host into a sockaddr_in.  Throws on
+/// malformed hosts — endpoint strings come from configuration, not peers.
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  CDN_EXPECT(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+             "not an IPv4 address: '" + host + "'");
+  return addr;
+}
+
+int poll_one(int fd, short events, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = events;
+  return ::poll(&p, 1, timeout_ms);
+}
+
+}  // namespace
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string errno_message(int err) {
+  return std::string(std::strerror(err)) + " (" + std::to_string(err) + ")";
+}
+
+bool set_nonblocking_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  const int fdflags = ::fcntl(fd, F_GETFD, 0);
+  return fdflags >= 0 && ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) >= 0;
+}
+
+TcpListener TcpListener::bind(const std::string& host, std::uint16_t port,
+                              int backlog) {
+  const sockaddr_in addr = make_addr(host, port);
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  CDN_EXPECT(fd.valid(), "socket(): " + errno_message(errno));
+  CDN_EXPECT(set_nonblocking_cloexec(fd.get()),
+             "fcntl(): " + errno_message(errno));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  CDN_EXPECT(::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0,
+             "bind(" + host + ":" + std::to_string(port) +
+                 "): " + errno_message(errno));
+  CDN_EXPECT(::listen(fd.get(), backlog) == 0,
+             "listen(): " + errno_message(errno));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  CDN_EXPECT(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                           &len) == 0,
+             "getsockname(): " + errno_message(errno));
+
+  TcpListener listener;
+  listener.fd_ = std::move(fd);
+  listener.host_ = host;
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+std::optional<Fd> TcpListener::accept() {
+  if (!fd_.valid()) return std::nullopt;
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) return std::nullopt;
+  Fd conn(client);
+  if (!set_nonblocking_cloexec(conn.get())) return std::nullopt;
+  const int one = 1;
+  ::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+ConnectStart start_connect(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(host, port);
+  ConnectStart result;
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid() || !set_nonblocking_cloexec(fd.get())) {
+    result.error = errno;
+    return result;
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int rc = ::connect(
+      fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    result.fd = std::move(fd);
+    result.in_progress = false;
+  } else if (errno == EINPROGRESS) {
+    result.fd = std::move(fd);
+    result.in_progress = true;
+  } else {
+    result.error = errno;
+  }
+  return result;
+}
+
+int finish_connect(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return errno;
+  return err;
+}
+
+IoResult read_some(int fd, void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n > 0) return {IoStatus::kOk, static_cast<std::size_t>(n), 0};
+    if (n == 0) return {IoStatus::kClosed, 0, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0, 0};
+    }
+    return {IoStatus::kError, 0, errno};
+  }
+}
+
+IoResult write_some(int fd, const void* buf, std::size_t len) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as EPIPE,
+    // not kill the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<std::size_t>(n), 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0, 0};
+    }
+    return {IoStatus::kError, 0, errno};
+  }
+}
+
+bool write_all(int fd, const void* buf, std::size_t len, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  const char* p = static_cast<const char*>(buf);
+  std::size_t left = len;
+  while (left > 0) {
+    const IoResult r = write_some(fd, p, left);
+    if (r.status == IoStatus::kOk) {
+      p += r.bytes;
+      left -= r.bytes;
+      continue;
+    }
+    if (r.status != IoStatus::kWouldBlock) return false;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return false;
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+    if (poll_one(fd, POLLOUT, static_cast<int>(wait)) <= 0) return false;
+  }
+  return true;
+}
+
+std::optional<std::string> read_line(int fd, int timeout_ms,
+                                     std::size_t max_len) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::string line;
+  char c;
+  for (;;) {
+    const IoResult r = read_some(fd, &c, 1);
+    if (r.status == IoStatus::kOk) {
+      line.push_back(c);
+      if (c == '\n') return line;
+      if (line.size() >= max_len) return std::nullopt;
+      continue;
+    }
+    if (r.status == IoStatus::kClosed) {
+      return line.empty() ? std::nullopt : std::optional<std::string>(line);
+    }
+    if (r.status != IoStatus::kWouldBlock) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - now)
+                          .count();
+    if (poll_one(fd, POLLIN, static_cast<int>(wait)) <= 0) return std::nullopt;
+  }
+}
+
+}  // namespace cdn::net

@@ -1,0 +1,144 @@
+// Minimal portable (POSIX) non-blocking TCP primitives for the redirector
+// daemon and its tests: an RAII file descriptor, an ephemeral-port
+// listener, and a non-blocking connector.
+//
+// Everything is IPv4/loopback-oriented and deliberately small: the daemon
+// races connections and probes health over these sockets, and the
+// integration suite builds its mock replica servers (listen-delay,
+// forced-close, black-hole, slow-accept) on the same primitives, so the
+// tests exercise exactly the code the daemon runs.
+//
+// All calls are non-blocking unless stated otherwise; would-block is
+// reported as IoStatus::kWouldBlock, never by spinning.  Errors carry
+// errno text but are values, not exceptions — socket failures are normal
+// operation for a redirector (that is the entire point of racing).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cdn::net {
+
+/// RAII owner of a file descriptor.  Move-only; -1 means empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  explicit operator bool() const noexcept { return valid(); }
+
+  /// Closes the descriptor now (idempotent).
+  void reset() noexcept;
+
+  /// Relinquishes ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of a non-blocking read/write.
+enum class IoStatus : std::uint8_t {
+  kOk,          // >= 1 byte transferred
+  kWouldBlock,  // EAGAIN/EWOULDBLOCK/EINPROGRESS — retry on readiness
+  kClosed,      // orderly EOF (read) — the peer closed
+  kError,       // hard error; see errno text
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kError;
+  std::size_t bytes = 0;  // transferred on kOk
+  int error = 0;          // errno on kError
+};
+
+/// Human-readable errno text ("Connection refused (111)").
+std::string errno_message(int err);
+
+/// Makes the descriptor non-blocking + close-on-exec.  Returns false (and
+/// sets errno) on failure.
+bool set_nonblocking_cloexec(int fd);
+
+/// Loopback TCP listener.  `port` 0 binds an ephemeral port; the chosen
+/// port is readable afterwards.  `backlog` is passed to listen(2).
+/// Throws PreconditionError when the socket cannot be created or bound —
+/// a configuration error, unlike runtime peer failures.
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  static TcpListener bind(const std::string& host, std::uint16_t port,
+                          int backlog = 64);
+
+  bool valid() const noexcept { return fd_.valid(); }
+  int fd() const noexcept { return fd_.get(); }
+  std::uint16_t port() const noexcept { return port_; }
+  const std::string& host() const noexcept { return host_; }
+
+  /// Accepts one pending connection (already non-blocking + cloexec), or
+  /// nullopt when none is pending.  Hard accept errors also return nullopt
+  /// (the listener stays usable; transient per-connection failures are not
+  /// the server's problem).
+  std::optional<Fd> accept();
+
+  /// Stops accepting: closes the listening socket.  Established
+  /// connections are unaffected.
+  void close() { fd_.reset(); }
+
+ private:
+  Fd fd_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+};
+
+/// Starts a non-blocking connect to host:port.  On immediate failure the
+/// result's fd is empty and `error` holds errno; otherwise the connect is
+/// in flight (or already established) and the socket becomes writable when
+/// it resolves — check `finish_connect` then.
+struct ConnectStart {
+  Fd fd;
+  bool in_progress = false;  // false = established immediately
+  int error = 0;             // errno when fd is empty
+};
+ConnectStart start_connect(const std::string& host, std::uint16_t port);
+
+/// After writability (or to poll synchronously): 0 when the connect
+/// succeeded, errno when it failed.
+int finish_connect(int fd);
+
+/// Non-blocking read/write wrappers.
+IoResult read_some(int fd, void* buf, std::size_t len);
+IoResult write_some(int fd, const void* buf, std::size_t len);
+
+/// Blocking convenience used by tests and the load client: writes the
+/// whole buffer, polling for writability up to `timeout_ms`.  Returns
+/// false on error/timeout.
+bool write_all(int fd, const void* buf, std::size_t len, int timeout_ms);
+
+/// Blocking convenience: reads until `\n` (kept) or EOF/timeout/limit.
+/// Returns nullopt on error, timeout, or an over-limit line.
+std::optional<std::string> read_line(int fd, int timeout_ms,
+                                     std::size_t max_len = 4096);
+
+}  // namespace cdn::net

@@ -1,0 +1,72 @@
+// Capped exponential backoff with deterministic decorrelated jitter.
+//
+// delay(retry) = min(cap, base * multiplier^retry) * U,  U ~ [1-j, 1+j]
+//
+// drawn from a caller-seeded xorshift stream, so a daemon run with a fixed
+// seed produces a reproducible retry schedule (tests assert bounds, not
+// exact values).  The policy is a value type: each racing request carries
+// its own, so concurrent races never share RNG state.
+
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "src/util/error.h"
+
+namespace cdn::redirectd {
+
+struct BackoffPolicy {
+  std::chrono::milliseconds base{20};
+  std::chrono::milliseconds cap{500};
+  double multiplier = 2.0;
+  /// Jitter half-width as a fraction of the un-jittered delay, in [0, 1).
+  double jitter = 0.2;
+
+  void validate() const {
+    CDN_EXPECT(base.count() >= 0, "backoff base must be non-negative");
+    CDN_EXPECT(cap >= base, "backoff cap must be >= base");
+    CDN_EXPECT(multiplier >= 1.0, "backoff multiplier must be >= 1");
+    CDN_EXPECT(jitter >= 0.0 && jitter < 1.0,
+               "backoff jitter must be in [0, 1)");
+  }
+};
+
+/// Per-request backoff state: call next() once per retry round.
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, std::uint64_t seed)
+      : policy_(policy), state_(seed | 1) {
+    policy_.validate();
+  }
+
+  /// Delay before retry round `retries_so_far` (0-based).
+  std::chrono::milliseconds next(std::uint32_t retries_so_far) {
+    double ms = static_cast<double>(policy_.base.count());
+    for (std::uint32_t i = 0;
+         i < retries_so_far && ms < static_cast<double>(policy_.cap.count());
+         ++i) {
+      ms *= policy_.multiplier;
+    }
+    ms = std::min(ms, static_cast<double>(policy_.cap.count()));
+    // xorshift64* uniform in [1-j, 1+j].
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t bits = state_ * 0x2545F4914F6CDD1DULL;
+    const double unit =
+        static_cast<double>(bits >> 11) / 9007199254740992.0;  // [0,1)
+    ms *= 1.0 + policy_.jitter * (2.0 * unit - 1.0);
+    return std::chrono::milliseconds(
+        static_cast<std::int64_t>(std::max(0.0, ms)));
+  }
+
+  const BackoffPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  std::uint64_t state_;
+};
+
+}  // namespace cdn::redirectd

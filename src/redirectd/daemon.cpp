@@ -1,0 +1,497 @@
+#include "src/redirectd/daemon.h"
+
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "src/util/error.h"
+
+namespace cdn::redirectd {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          net::Clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+/// One client connection.  Requests on a session are answered strictly in
+/// order: while a race is in flight (`busy`) further complete lines queue
+/// in `pending` — clients that want concurrency open more connections
+/// (which is what redirect_load does).
+struct RedirectorDaemon::Session {
+  std::uint64_t id = 0;
+  net::Fd fd;
+  std::string inbuf;
+  std::string outbuf;
+  std::deque<std::string> pending;
+  bool busy = false;     // race in flight; answers must stay ordered
+  bool closing = false;  // close once outbuf drains and no race is live
+};
+
+RedirectorDaemon::RedirectorDaemon(const DaemonConfig& config)
+    : config_(config) {
+  CDN_EXPECT(config_.system != nullptr && config_.placement != nullptr,
+             "redirector daemon needs a system and a placement");
+  CDN_EXPECT(config_.top_k >= 1, "top_k must be at least 1");
+  CDN_EXPECT(config_.max_inflight_races >= 1,
+             "max_inflight_races must be at least 1");
+  CDN_EXPECT(config_.drain_timeout.count() > 0,
+             "drain timeout must be positive");
+  config_.race.validate();
+  config_.health.validate();
+
+  const std::size_t servers = config_.system->server_count();
+  const std::size_t sites = config_.system->site_count();
+  CDN_EXPECT(config_.placement->placement.server_count() == servers &&
+                 config_.placement->placement.site_count() == sites,
+             "placement and system disagree on fleet shape");
+  if (config_.endpoints != nullptr && !config_.endpoints->empty()) {
+    config_.endpoints->validate(servers, sites);
+  }
+
+  holders_.resize(sites);
+  for (std::size_t j = 0; j < sites; ++j) {
+    holders_[j] = config_.placement->placement.replicators(
+        static_cast<sys::SiteIndex>(j));
+  }
+  health_scratch_.assign(servers, 1);
+
+  if (config_.metrics != nullptr) {
+    obs::Registry& r = *config_.metrics;
+    m_requests_ = &r.counter("redirect/requests");
+    m_replica_ = &r.counter("redirect/answers/replica");
+    m_origin_ = &r.counter("redirect/answers/origin");
+    m_unavailable_ = &r.counter("redirect/answers/unavailable");
+    m_shed_ = &r.counter("redirect/shed");
+    m_parse_errors_ = &r.counter("redirect/parse_errors");
+    m_races_ = &r.counter("redirect/races/started");
+    m_retries_ = &r.counter("redirect/retries");
+    m_backoff_ms_ = &r.counter("redirect/backoff_ms");
+    m_answer_latency_ = &r.timer("redirect/answer_latency");
+    m_won_by_rank_.reserve(config_.top_k);
+    for (std::size_t rank = 1; rank <= config_.top_k; ++rank) {
+      m_won_by_rank_.push_back(
+          &r.counter("redirect/races/won_rank_" + std::to_string(rank)));
+    }
+  }
+}
+
+RedirectorDaemon::~RedirectorDaemon() = default;
+
+void RedirectorDaemon::start() {
+  listener_ = net::TcpListener::bind(config_.host, config_.port);
+  loop_.add_fd(listener_.fd(), net::kReadable,
+               [this](std::uint32_t) { on_accept(); });
+  loop_.set_wakeup_handler([this] {
+    if (stop_requested_.load(std::memory_order_relaxed)) begin_drain();
+  });
+  const bool racing =
+      config_.endpoints != nullptr && !config_.endpoints->empty();
+  if (racing) {
+    prober_ = std::make_unique<HealthProber>(
+        loop_, *config_.endpoints, config_.system->server_count(),
+        config_.system->site_count(), config_.health, config_.metrics);
+    prober_->start();
+  }
+  if (config_.timeline != nullptr) {
+    // Idle tick: faults keep playing out even between requests, so health
+    // probes and the next request see current masks.
+    arm_tick();
+  }
+}
+
+void RedirectorDaemon::advance_timeline() {
+  if (config_.timeline != nullptr) {
+    config_.timeline->advance_to(net::Clock::now());
+  }
+}
+
+std::uint64_t RedirectorDaemon::run() {
+  loop_.run();
+  return stats_.requests;
+}
+
+void RedirectorDaemon::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  loop_.wakeup();
+}
+
+void RedirectorDaemon::on_accept() {
+  while (auto fd = listener_.accept()) {
+    auto session = std::make_unique<Session>();
+    session->id = next_session_id_++;
+    session->fd = std::move(*fd);
+    const int raw = session->fd.get();
+    sessions_.emplace(raw, std::move(session));
+    loop_.add_fd(raw, net::kReadable,
+                 [this, raw](std::uint32_t events) {
+                   on_session_event(raw, events);
+                 });
+  }
+}
+
+void RedirectorDaemon::on_session_event(int fd, std::uint32_t events) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  Session& session = *it->second;
+
+  if ((events & net::kErrored) != 0) {
+    close_session(fd);
+    return;
+  }
+  if ((events & net::kWritable) != 0) {
+    flush(session);
+    if (sessions_.find(fd) == sessions_.end()) return;  // flushed and closed
+  }
+  if ((events & net::kReadable) != 0 && !session.closing) {
+    char buf[4096];
+    for (;;) {
+      const net::IoResult r = net::read_some(fd, buf, sizeof(buf));
+      if (r.status == net::IoStatus::kOk) {
+        session.inbuf.append(buf, r.bytes);
+        // Lift complete lines out of the input buffer.
+        std::size_t start = 0;
+        for (;;) {
+          const std::size_t nl = session.inbuf.find('\n', start);
+          if (nl == std::string::npos) break;
+          session.pending.push_back(
+              session.inbuf.substr(start, nl - start + 1));
+          start = nl + 1;
+        }
+        session.inbuf.erase(0, start);
+        if (session.inbuf.size() > kMaxRequestLine) {
+          // No newline within the cap: a broken or hostile client.
+          send(session, "ERR request line exceeds " +
+                            std::to_string(kMaxRequestLine) + " bytes\n");
+          session.closing = true;
+          session.inbuf.clear();
+          session.pending.clear();
+          break;
+        }
+        continue;
+      }
+      if (r.status == net::IoStatus::kWouldBlock) break;
+      // kClosed / kError: peer is gone.  Finish what is answerable only if
+      // a race is in flight; otherwise tear down now.
+      if (session.busy) {
+        session.closing = true;
+        session.pending.clear();
+      } else {
+        close_session(fd);
+        return;
+      }
+      break;
+    }
+    process_pending(session);
+  }
+  if (sessions_.find(fd) != sessions_.end() && session.closing &&
+      !session.busy && session.outbuf.empty()) {
+    close_session(fd);
+  }
+}
+
+void RedirectorDaemon::process_pending(Session& session) {
+  // send() tears the session down when the peer is gone, so re-check
+  // liveness after anything that writes (fds are not reused within one
+  // dispatch pass, making the by-fd lookup safe).
+  const int fd = session.fd.get();
+  while (!session.busy && !session.pending.empty()) {
+    const std::string line = std::move(session.pending.front());
+    session.pending.pop_front();
+    RedirectRequest request;
+    bool parsed = true;
+    try {
+      request = parse_request(line);
+    } catch (const PreconditionError& e) {
+      ++stats_.parse_errors;
+      if (m_parse_errors_ != nullptr) m_parse_errors_->add();
+      send(session, std::string("ERR ") + e.what() + "\n");
+      parsed = false;
+    }
+    if (parsed) handle_request(session, request);
+    if (sessions_.find(fd) == sessions_.end()) return;
+  }
+}
+
+void RedirectorDaemon::handle_request(Session& session,
+                                      const RedirectRequest& request) {
+  const std::uint64_t started_ns = steady_now_ns();
+  ++stats_.requests;
+  if (m_requests_ != nullptr) m_requests_->add();
+  advance_timeline();
+
+  const std::size_t servers = config_.system->server_count();
+  const std::size_t sites = config_.system->site_count();
+  if (request.client_server >= servers) {
+    send(session, "ERR client server index out of range\n");
+    return;
+  }
+  if (request.site >= sites) {
+    send(session, "ERR site index out of range\n");
+    return;
+  }
+
+  // Health = AND(scheduled faults, observed socket health).
+  if (config_.timeline != nullptr) {
+    health_scratch_ = config_.timeline->server_up_mask();
+  } else {
+    health_scratch_.assign(servers, 1);
+  }
+  bool origin_up = config_.timeline == nullptr ||
+                   config_.timeline->origin_up(request.site);
+  if (prober_ != nullptr) {
+    const auto& probed = prober_->server_up();
+    for (std::size_t i = 0; i < servers; ++i) {
+      health_scratch_[i] =
+          static_cast<std::uint8_t>(health_scratch_[i] != 0 && probed[i] != 0);
+    }
+    origin_up = origin_up && prober_->origin_up()[request.site] != 0;
+  }
+
+  const auto candidates = config_.placement->nearest.nearest_live_candidates(
+      request.client_server, request.site, holders_[request.site],
+      health_scratch_, origin_up, config_.top_k);
+
+  RedirectAnswer out;
+  out.site = request.site;
+  if (candidates.empty()) {
+    out.kind = AnswerKind::kUnavailable;
+    out.reason = UnavailableReason::kNoLiveCopy;
+    answer(session, out, started_ns);
+    return;
+  }
+
+  // Resolve each ranked candidate to a real endpoint, keeping the model
+  // candidate alongside so the winner maps back to a placement answer.
+  std::vector<RaceCandidate> raced;
+  std::vector<sys::NearestCopy> raced_copies;
+  if (config_.endpoints != nullptr && !config_.endpoints->empty()) {
+    raced.reserve(candidates.size());
+    raced_copies.reserve(candidates.size());
+    for (const auto& copy : candidates) {
+      const std::optional<Endpoint>* slot = nullptr;
+      if (copy.at_primary) {
+        if (request.site < config_.endpoints->origins.size()) {
+          slot = &config_.endpoints->origins[request.site];
+        }
+      } else if (copy.server < config_.endpoints->replicas.size()) {
+        slot = &config_.endpoints->replicas[copy.server];
+      }
+      if (slot != nullptr && slot->has_value()) {
+        raced.push_back(
+            {**slot, static_cast<std::uint32_t>(raced.size() + 1)});
+        raced_copies.push_back(copy);
+      }
+    }
+  }
+
+  if (raced.empty()) {
+    // Model mode (or nothing mapped): answer from the ranking directly.
+    const sys::NearestCopy& best = candidates.front();
+    if (best.at_primary) {
+      out.kind = AnswerKind::kOrigin;
+    } else {
+      out.kind = AnswerKind::kReplica;
+      out.server = best.server;
+    }
+    out.cost = best.cost;
+    out.winner_rank = 1;
+    out.attempts = 0;
+    answer(session, out, started_ns);
+    return;
+  }
+
+  if (inflight_races_ >= config_.max_inflight_races) {
+    ++stats_.unavailable_shed;
+    if (m_shed_ != nullptr) m_shed_->add();
+    out.kind = AnswerKind::kUnavailable;
+    out.reason = UnavailableReason::kShed;
+    answer(session, out, started_ns);
+    return;
+  }
+
+  session.busy = true;
+  ++inflight_races_;
+  ++stats_.races;
+  if (m_races_ != nullptr) m_races_->add();
+  const std::uint64_t backoff_seed =
+      config_.seed * 0x9e3779b97f4a7c15ULL + stats_.requests;
+  const int fd = session.fd.get();
+  const std::uint64_t session_id = session.id;
+  start_race(
+      loop_, std::move(raced), config_.race, backoff_seed,
+      [this, fd, session_id, started_ns, site = request.site,
+       copies = std::move(raced_copies)](const RaceResult& result) {
+        --inflight_races_;
+        stats_.retries += result.retries;
+        if (m_retries_ != nullptr) m_retries_->add(result.retries);
+        if (m_backoff_ms_ != nullptr) {
+          m_backoff_ms_->add(
+              static_cast<std::uint64_t>(result.backoff_total.count()));
+        }
+        auto it = sessions_.find(fd);
+        const bool session_live =
+            it != sessions_.end() && it->second->id == session_id;
+        RedirectAnswer reply;
+        reply.site = site;
+        if (result.success) {
+          const sys::NearestCopy& winner = copies[result.winner_rank - 1];
+          if (winner.at_primary) {
+            reply.kind = AnswerKind::kOrigin;
+          } else {
+            reply.kind = AnswerKind::kReplica;
+            reply.server = winner.server;
+          }
+          reply.cost = winner.cost;
+          reply.winner_rank = result.winner_rank;
+          reply.attempts = result.attempts;
+          if (result.winner_rank <= m_won_by_rank_.size()) {
+            m_won_by_rank_[result.winner_rank - 1]->add();
+          }
+        } else {
+          reply.kind = AnswerKind::kUnavailable;
+          reply.reason = UnavailableReason::kDeadline;
+          reply.attempts = result.attempts;
+        }
+        if (session_live) {
+          Session& target = *it->second;
+          target.busy = false;
+          answer(target, reply, started_ns);
+          if (sessions_.find(fd) != sessions_.end()) {
+            process_pending(target);
+            if (sessions_.find(fd) != sessions_.end() && target.closing &&
+                !target.busy && target.outbuf.empty()) {
+              close_session(fd);
+            }
+          }
+        } else {
+          // Session died mid-race; still account the outcome.
+          record_outcome(reply);
+        }
+        maybe_finish_drain();
+      });
+}
+
+void RedirectorDaemon::record_outcome(const RedirectAnswer& out) {
+  switch (out.kind) {
+    case AnswerKind::kReplica:
+      ++stats_.replica_answers;
+      if (m_replica_ != nullptr) m_replica_->add();
+      break;
+    case AnswerKind::kOrigin:
+      ++stats_.origin_answers;
+      if (m_origin_ != nullptr) m_origin_->add();
+      break;
+    case AnswerKind::kUnavailable:
+      if (out.reason == UnavailableReason::kShed) {
+        // counted at shed time
+      } else if (out.reason == UnavailableReason::kDeadline) {
+        ++stats_.unavailable_deadline;
+      } else {
+        ++stats_.unavailable_no_live_copy;
+      }
+      if (m_unavailable_ != nullptr) m_unavailable_->add();
+      break;
+  }
+}
+
+void RedirectorDaemon::answer(Session& session, const RedirectAnswer& out,
+                              std::uint64_t started_ns) {
+  record_outcome(out);
+  const std::uint64_t latency_ns = steady_now_ns() - started_ns;
+  if (m_answer_latency_ != nullptr) m_answer_latency_->record_ns(latency_ns);
+  if (config_.spans != nullptr) {
+    const std::uint64_t end = config_.spans->now_ns();
+    const std::uint64_t begin = end >= latency_ns ? end - latency_ns : 0;
+    config_.spans->complete("redirect/request", "redirectd", begin, end,
+                            "attempts", static_cast<double>(out.attempts));
+  }
+  send(session, format_answer(out));
+}
+
+void RedirectorDaemon::send(Session& session, const std::string& line) {
+  session.outbuf += line;
+  flush(session);
+}
+
+void RedirectorDaemon::flush(Session& session) {
+  const int fd = session.fd.get();
+  while (!session.outbuf.empty()) {
+    const net::IoResult r =
+        net::write_some(fd, session.outbuf.data(), session.outbuf.size());
+    if (r.status == net::IoStatus::kOk) {
+      session.outbuf.erase(0, r.bytes);
+      continue;
+    }
+    if (r.status == net::IoStatus::kWouldBlock) {
+      loop_.set_interest(fd, net::kReadable | net::kWritable);
+      return;
+    }
+    // Peer is gone; nothing left to deliver.
+    session.outbuf.clear();
+    if (!session.busy) close_session(fd);
+    return;
+  }
+  if (loop_.has_fd(fd)) loop_.set_interest(fd, net::kReadable);
+  if (session.closing && !session.busy) close_session(fd);
+}
+
+void RedirectorDaemon::close_session(int fd) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  if (loop_.has_fd(fd)) loop_.remove_fd(fd);
+  sessions_.erase(it);
+  maybe_finish_drain();
+}
+
+void RedirectorDaemon::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  if (listener_.valid()) {
+    if (loop_.has_fd(listener_.fd())) loop_.remove_fd(listener_.fd());
+    listener_.close();
+  }
+  if (prober_ != nullptr) prober_->stop();
+  if (tick_timer_ != 0) {
+    loop_.cancel_timer(tick_timer_);
+    tick_timer_ = 0;
+  }
+  // Idle sessions close now; busy ones get their answer first.  Queued
+  // lines that have not started are dropped — drain means "finish what is
+  // in flight", not "serve the backlog forever".
+  std::vector<int> idle;
+  for (auto& [fd, session] : sessions_) {
+    session->pending.clear();
+    session->closing = true;
+    if (!session->busy && session->outbuf.empty()) idle.push_back(fd);
+  }
+  for (const int fd : idle) close_session(fd);
+  drain_timer_ = loop_.add_timer_after(config_.drain_timeout,
+                                       [this] { loop_.stop(); });
+  maybe_finish_drain();
+}
+
+void RedirectorDaemon::maybe_finish_drain() {
+  if (!draining_) return;
+  if (sessions_.empty() && inflight_races_ == 0) {
+    if (drain_timer_ != 0) {
+      loop_.cancel_timer(drain_timer_);
+      drain_timer_ = 0;
+    }
+    loop_.stop();
+  }
+}
+
+void RedirectorDaemon::arm_tick() {
+  tick_timer_ = loop_.add_timer_after(std::chrono::milliseconds(50), [this] {
+    advance_timeline();
+    if (!draining_) arm_tick();
+  });
+}
+
+}  // namespace cdn::redirectd

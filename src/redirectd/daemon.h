@@ -1,0 +1,160 @@
+// The live redirector daemon: placement output as a network service.
+//
+// Answers "which replica serves this request" over the line protocol of
+// protocol.h, staying correct while the fleet degrades underneath it:
+//
+//   * candidate ranking comes from NearestReplicaIndex::
+//     nearest_live_candidates under the intersection of two health masks —
+//     the wall-clock fault timeline (scheduled/simulated faults) and the
+//     socket-level health prober (what the network actually says);
+//   * with an endpoint map, the daemon races real connections across the
+//     top-k candidates (racer.h) — forced-closed or black-holed replicas
+//     lose the race to the next rank within the retry/backoff budget;
+//   * without endpoints (model mode), it answers from the ranking alone —
+//     the configuration redirect_load drives at wall-clock rate;
+//   * graceful degradation is explicit: origin fallback when replicas are
+//     gone, UNAVAILABLE no_live_copy when the origin is down too,
+//     UNAVAILABLE shed above the in-flight race limit, UNAVAILABLE
+//     deadline when the race budget is exhausted — never a hang;
+//   * request_stop() (async-signal-safe) drains: the listener closes, in-
+//     flight requests finish, idle sessions close, and run() returns —
+//     bounded by a drain deadline.
+//
+// Single-threaded: everything runs on the EventLoop thread.  The
+// `redirect/*` metrics and `redirectd/*` spans follow the registry
+// contract of docs/OBSERVABILITY.md (null = off, zero cost).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/cdn/system.h"
+#include "src/fault/wall_clock.h"
+#include "src/net/event_loop.h"
+#include "src/obs/registry.h"
+#include "src/obs/span.h"
+#include "src/placement/placement_result.h"
+#include "src/redirectd/health.h"
+#include "src/redirectd/protocol.h"
+#include "src/redirectd/racer.h"
+
+namespace cdn::redirectd {
+
+struct DaemonConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via port()
+
+  /// Candidate replicas raced per request (the paper's SN list depth).
+  std::size_t top_k = 3;
+  RaceParams race{};
+  HealthParams health{};
+
+  /// In-flight race limit; beyond it requests are shed with UNAVAILABLE.
+  std::size_t max_inflight_races = 256;
+  /// Drain budget after request_stop() before the loop is forced down.
+  std::chrono::milliseconds drain_timeout{2000};
+  /// Seeds per-request backoff jitter streams.
+  std::uint64_t seed = 1;
+
+  /// Non-owning wiring; system and placement are required and must
+  /// outlive the daemon.
+  const sys::CdnSystem* system = nullptr;
+  const placement::PlacementResult* placement = nullptr;
+  /// Optional: real endpoints to probe and race (empty/null = model mode).
+  const EndpointMap* endpoints = nullptr;
+  /// Optional: scheduled faults replayed on the wall clock.
+  fault::WallClockTimeline* timeline = nullptr;
+  obs::Registry* metrics = nullptr;
+  obs::SpanTracer* spans = nullptr;
+};
+
+class RedirectorDaemon {
+ public:
+  explicit RedirectorDaemon(const DaemonConfig& config);
+  ~RedirectorDaemon();
+
+  RedirectorDaemon(const RedirectorDaemon&) = delete;
+  RedirectorDaemon& operator=(const RedirectorDaemon&) = delete;
+
+  /// Binds the listener and starts the health prober.  port() is valid
+  /// afterwards.
+  void start();
+
+  /// Serves until request_stop() completes the drain.  Returns the number
+  /// of requests answered.
+  std::uint64_t run();
+
+  /// Async-signal-safe shutdown request (callable from SIGINT/SIGTERM
+  /// handlers and from other threads).
+  void request_stop() noexcept;
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  net::EventLoop& loop() noexcept { return loop_; }
+  bool draining() const noexcept { return draining_; }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t replica_answers = 0;
+    std::uint64_t origin_answers = 0;
+    std::uint64_t unavailable_no_live_copy = 0;
+    std::uint64_t unavailable_shed = 0;
+    std::uint64_t unavailable_deadline = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t races = 0;
+    std::uint64_t retries = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Session;
+
+  void on_accept();
+  void on_session_event(int fd, std::uint32_t events);
+  void process_pending(Session& session);
+  void handle_request(Session& session, const RedirectRequest& request);
+  void answer(Session& session, const RedirectAnswer& out,
+              std::uint64_t started_ns);
+  void record_outcome(const RedirectAnswer& out);
+  void arm_tick();
+  void send(Session& session, const std::string& line);
+  void flush(Session& session);
+  void close_session(int fd);
+  void begin_drain();
+  void maybe_finish_drain();
+  void advance_timeline();
+
+  DaemonConfig config_;
+  net::EventLoop loop_;
+  net::TcpListener listener_;
+  std::unique_ptr<HealthProber> prober_;
+  std::vector<std::vector<sys::ServerIndex>> holders_;  // per site
+  std::vector<std::uint8_t> health_scratch_;            // merged server mask
+
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+  std::size_t inflight_races_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;
+  net::TimerId drain_timer_ = 0;
+  net::TimerId tick_timer_ = 0;
+  Stats stats_;
+
+  // Resolved metric handles (null when metrics are off).
+  obs::Counter* m_requests_ = nullptr;
+  obs::Counter* m_replica_ = nullptr;
+  obs::Counter* m_origin_ = nullptr;
+  obs::Counter* m_unavailable_ = nullptr;
+  obs::Counter* m_shed_ = nullptr;
+  obs::Counter* m_parse_errors_ = nullptr;
+  obs::Counter* m_races_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_backoff_ms_ = nullptr;
+  obs::TimerStat* m_answer_latency_ = nullptr;
+  std::vector<obs::Counter*> m_won_by_rank_;  // index 0 = rank 1
+};
+
+}  // namespace cdn::redirectd

@@ -1,0 +1,100 @@
+#include "src/redirectd/health.h"
+
+namespace cdn::redirectd {
+
+HealthProber::HealthProber(net::EventLoop& loop, const EndpointMap& endpoints,
+                           std::size_t server_count, std::size_t site_count,
+                           const HealthParams& params,
+                           obs::Registry* metrics)
+    : loop_(loop), params_(params) {
+  params_.validate();
+  endpoints.validate(server_count, site_count);
+  server_up_.assign(server_count, 1);
+  origin_up_.assign(site_count, 1);
+  for (std::size_t i = 0; i < endpoints.replicas.size(); ++i) {
+    if (endpoints.replicas[i]) {
+      targets_.push_back({false, static_cast<std::uint32_t>(i),
+                          *endpoints.replicas[i], 0, 0});
+    }
+  }
+  for (std::size_t j = 0; j < endpoints.origins.size(); ++j) {
+    if (endpoints.origins[j]) {
+      targets_.push_back({true, static_cast<std::uint32_t>(j),
+                          *endpoints.origins[j], 0, 0});
+    }
+  }
+  if (metrics != nullptr) {
+    probes_ = &metrics->counter("redirect/health/probes");
+    probe_failures_ = &metrics->counter("redirect/health/failures");
+    transitions_ = &metrics->counter("redirect/health/transitions");
+  }
+}
+
+void HealthProber::start() {
+  if (targets_.empty()) return;  // nothing to probe; masks stay all-up
+  stopped_ = false;
+  begin_sweep();
+}
+
+void HealthProber::stop() {
+  stopped_ = true;
+  if (sweep_timer_ != 0) {
+    loop_.cancel_timer(sweep_timer_);
+    sweep_timer_ = 0;
+  }
+}
+
+void HealthProber::begin_sweep() {
+  if (stopped_) return;
+  outstanding_ = targets_.size();
+  // A probe is a one-candidate race: no stagger, no retries, one bounded
+  // connect+greeting attempt.
+  RaceParams probe;
+  probe.stagger = std::chrono::milliseconds(0);
+  probe.attempt_timeout = params_.probe_timeout;
+  probe.overall_deadline = params_.probe_timeout;
+  probe.max_retry_rounds = 0;
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    if (probes_ != nullptr) probes_->add();
+    start_race(loop_, {{targets_[t].endpoint, 1}}, probe,
+               /*backoff_seed=*/t + 1,
+               [this, t](const RaceResult& result) {
+                 probe_done(t, result.success);
+               });
+  }
+}
+
+void HealthProber::probe_done(std::size_t target_index, bool success) {
+  Target& target = targets_[target_index];
+  std::vector<std::uint8_t>& mask =
+      target.is_origin ? origin_up_ : server_up_;
+  if (success) {
+    target.consecutive_fail = 0;
+    ++target.consecutive_ok;
+    if (mask[target.index] == 0 &&
+        target.consecutive_ok >= params_.up_after) {
+      mask[target.index] = 1;
+      if (transitions_ != nullptr) transitions_->add();
+    }
+  } else {
+    target.consecutive_ok = 0;
+    ++target.consecutive_fail;
+    if (probe_failures_ != nullptr) probe_failures_->add();
+    if (mask[target.index] == 1 &&
+        target.consecutive_fail >= params_.down_after) {
+      mask[target.index] = 0;
+      if (transitions_ != nullptr) transitions_->add();
+    }
+  }
+
+  if (--outstanding_ == 0) {
+    ++sweeps_;
+    if (stopped_) return;
+    sweep_timer_ = loop_.add_timer_after(params_.probe_interval, [this] {
+      sweep_timer_ = 0;
+      begin_sweep();
+    });
+  }
+}
+
+}  // namespace cdn::redirectd

@@ -1,0 +1,91 @@
+// Replica health probing over real sockets.
+//
+// The prober periodically sweeps every mapped replica/origin endpoint with
+// a one-candidate connection probe (connect + greeting byte, bounded by a
+// probe timeout) and maintains up/down masks with consecutive-failure
+// hysteresis.  The daemon intersects these masks with the wall-clock fault
+// timeline's masks before ranking candidates, so racing starts from
+// believed-live replicas and a flapping endpoint cannot whipsaw the
+// candidate lists.
+//
+// Unmapped servers/origins are reported as up — in model mode there is
+// nothing to probe, and the fault timeline is the sole health authority.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/obs/registry.h"
+#include "src/redirectd/protocol.h"
+#include "src/redirectd/racer.h"
+
+namespace cdn::redirectd {
+
+struct HealthParams {
+  std::chrono::milliseconds probe_interval{250};
+  std::chrono::milliseconds probe_timeout{100};
+  /// Consecutive failed probes before an endpoint is marked down.
+  std::uint32_t down_after = 2;
+  /// Consecutive successful probes before a down endpoint recovers.
+  std::uint32_t up_after = 1;
+
+  void validate() const {
+    CDN_EXPECT(probe_interval.count() > 0,
+               "probe interval must be positive");
+    CDN_EXPECT(probe_timeout.count() > 0, "probe timeout must be positive");
+    CDN_EXPECT(down_after >= 1 && up_after >= 1,
+               "health thresholds must be at least 1");
+  }
+};
+
+class HealthProber {
+ public:
+  /// Masks start all-up.  `metrics` may be null.
+  HealthProber(net::EventLoop& loop, const EndpointMap& endpoints,
+               std::size_t server_count, std::size_t site_count,
+               const HealthParams& params, obs::Registry* metrics);
+
+  /// Schedules the first sweep (loop thread).
+  void start();
+  /// Cancels future sweeps; in-flight probes finish on their own within
+  /// the probe timeout.
+  void stop();
+
+  const std::vector<std::uint8_t>& server_up() const noexcept {
+    return server_up_;
+  }
+  const std::vector<std::uint8_t>& origin_up() const noexcept {
+    return origin_up_;
+  }
+  std::uint64_t sweeps_completed() const noexcept { return sweeps_; }
+
+ private:
+  struct Target {
+    bool is_origin = false;
+    std::uint32_t index = 0;
+    Endpoint endpoint;
+    std::uint32_t consecutive_fail = 0;
+    std::uint32_t consecutive_ok = 0;
+  };
+
+  void begin_sweep();
+  void probe_done(std::size_t target_index, bool success);
+
+  net::EventLoop& loop_;
+  HealthParams params_;
+  std::vector<Target> targets_;
+  std::vector<std::uint8_t> server_up_;
+  std::vector<std::uint8_t> origin_up_;
+  std::size_t outstanding_ = 0;
+  std::uint64_t sweeps_ = 0;
+  net::TimerId sweep_timer_ = 0;
+  bool stopped_ = true;
+  obs::Counter* probes_ = nullptr;
+  obs::Counter* probe_failures_ = nullptr;
+  obs::Counter* transitions_ = nullptr;
+};
+
+}  // namespace cdn::redirectd

@@ -1,0 +1,223 @@
+#include "src/redirectd/racer.h"
+
+#include <algorithm>
+
+namespace cdn::redirectd {
+
+namespace {
+
+using net::EventLoop;
+
+/// Self-owning race state machine.  Every loop callback captures the
+/// shared_ptr, so the state lives until the last registration is gone;
+/// `finished_` makes late callbacks no-ops.
+class Race : public std::enable_shared_from_this<Race> {
+ public:
+  Race(EventLoop& loop, std::vector<RaceCandidate> candidates,
+       const RaceParams& params, std::uint64_t backoff_seed,
+       std::function<void(const RaceResult&)> done)
+      : loop_(loop),
+        candidates_(std::move(candidates)),
+        params_(params),
+        backoff_(params.backoff, backoff_seed),
+        done_(std::move(done)) {
+    CDN_EXPECT(!candidates_.empty(), "race needs at least one candidate");
+    params_.validate();
+    attempts_.resize(candidates_.size());
+  }
+
+  void start() {
+    auto self = shared_from_this();
+    deadline_timer_ = loop_.add_timer(
+        net::Clock::now() + params_.overall_deadline, [self] {
+          self->deadline_timer_ = 0;
+          self->result_.deadline_exceeded = true;
+          self->finish(false, 0);
+        });
+    begin_round();
+  }
+
+ private:
+  struct Attempt {
+    net::Fd fd;
+    net::TimerId timeout_timer = 0;
+    bool started = false;
+    bool failed = false;
+    bool connected = false;  // connect done, waiting for the greeting
+  };
+
+  void begin_round() {
+    if (finished_) return;
+    for (auto& a : attempts_) a = Attempt{};
+    next_candidate_ = 0;
+    round_failures_ = 0;
+    start_next_candidate();
+  }
+
+  void start_next_candidate() {
+    if (finished_ || next_candidate_ >= candidates_.size()) return;
+    const std::size_t idx = next_candidate_++;
+    launch_attempt(idx);
+    arm_stagger();
+  }
+
+  void arm_stagger() {
+    if (finished_ || next_candidate_ >= candidates_.size()) return;
+    auto self = shared_from_this();
+    stagger_timer_ =
+        loop_.add_timer_after(params_.stagger, [self] {
+          self->stagger_timer_ = 0;
+          self->start_next_candidate();
+        });
+  }
+
+  void launch_attempt(std::size_t idx) {
+    Attempt& attempt = attempts_[idx];
+    attempt.started = true;
+    ++result_.attempts;
+    const Endpoint& ep = candidates_[idx].endpoint;
+    net::ConnectStart conn = net::start_connect(ep.host, ep.port);
+    if (!conn.fd.valid()) {
+      attempt_failed(idx);
+      return;
+    }
+    attempt.fd = std::move(conn.fd);
+    attempt.connected = !conn.in_progress;
+
+    auto self = shared_from_this();
+    attempt.timeout_timer =
+        loop_.add_timer_after(params_.attempt_timeout, [self, idx] {
+          self->attempts_[idx].timeout_timer = 0;
+          self->attempt_failed(idx);
+        });
+
+    const std::uint32_t interest =
+        attempt.connected ? net::kReadable : net::kWritable;
+    loop_.add_fd(attempt.fd.get(), interest,
+                 [self, idx](std::uint32_t events) {
+                   self->on_attempt_event(idx, events);
+                 });
+  }
+
+  void on_attempt_event(std::size_t idx, std::uint32_t events) {
+    if (finished_) return;
+    Attempt& attempt = attempts_[idx];
+    if (!attempt.fd.valid() || attempt.failed) return;
+
+    if (!attempt.connected) {
+      // Writable/errored: the connect resolved one way or the other.
+      const int err = net::finish_connect(attempt.fd.get());
+      if (err != 0) {
+        attempt_failed(idx);
+        return;
+      }
+      attempt.connected = true;
+      loop_.set_interest(attempt.fd.get(), net::kReadable);
+      if ((events & net::kReadable) == 0) return;
+    }
+
+    // Connected: success requires the replica's greeting byte — a server
+    // that accepts but never speaks (black hole) must not win the race.
+    char byte = 0;
+    const net::IoResult r = net::read_some(attempt.fd.get(), &byte, 1);
+    switch (r.status) {
+      case net::IoStatus::kOk:
+        finish(true, candidates_[idx].rank);
+        return;
+      case net::IoStatus::kWouldBlock:
+        return;  // spurious wakeup; keep waiting
+      case net::IoStatus::kClosed:
+      case net::IoStatus::kError:
+        attempt_failed(idx);  // forced-close lands here
+        return;
+    }
+  }
+
+  void attempt_failed(std::size_t idx) {
+    if (finished_) return;
+    Attempt& attempt = attempts_[idx];
+    if (attempt.failed) return;
+    attempt.failed = true;
+    retire_attempt(attempt);
+    ++round_failures_;
+
+    // Happy-eyeballs: a failure immediately promotes the next candidate
+    // instead of waiting out the stagger.
+    if (next_candidate_ < candidates_.size()) {
+      if (stagger_timer_ != 0) {
+        loop_.cancel_timer(stagger_timer_);
+        stagger_timer_ = 0;
+      }
+      start_next_candidate();
+      return;
+    }
+    if (round_failures_ == candidates_.size()) round_exhausted();
+  }
+
+  void round_exhausted() {
+    if (result_.retries >= params_.max_retry_rounds) {
+      finish(false, 0);
+      return;
+    }
+    const std::chrono::milliseconds delay = backoff_.next(result_.retries);
+    ++result_.retries;
+    result_.backoff_total += delay;
+    auto self = shared_from_this();
+    backoff_timer_ = loop_.add_timer_after(delay, [self] {
+      self->backoff_timer_ = 0;
+      self->begin_round();
+    });
+  }
+
+  void retire_attempt(Attempt& attempt) {
+    if (attempt.timeout_timer != 0) {
+      loop_.cancel_timer(attempt.timeout_timer);
+      attempt.timeout_timer = 0;
+    }
+    if (attempt.fd.valid()) {
+      if (loop_.has_fd(attempt.fd.get())) loop_.remove_fd(attempt.fd.get());
+      attempt.fd.reset();
+    }
+  }
+
+  void finish(bool success, std::uint32_t winner_rank) {
+    if (finished_) return;
+    finished_ = true;
+    for (auto& attempt : attempts_) retire_attempt(attempt);
+    for (const net::TimerId id :
+         {deadline_timer_, stagger_timer_, backoff_timer_}) {
+      if (id != 0) loop_.cancel_timer(id);
+    }
+    deadline_timer_ = stagger_timer_ = backoff_timer_ = 0;
+    result_.success = success;
+    result_.winner_rank = winner_rank;
+    done_(result_);
+  }
+
+  EventLoop& loop_;
+  std::vector<RaceCandidate> candidates_;
+  RaceParams params_;
+  Backoff backoff_;
+  std::function<void(const RaceResult&)> done_;
+
+  std::vector<Attempt> attempts_;
+  std::size_t next_candidate_ = 0;
+  std::size_t round_failures_ = 0;
+  net::TimerId deadline_timer_ = 0;
+  net::TimerId stagger_timer_ = 0;
+  net::TimerId backoff_timer_ = 0;
+  RaceResult result_;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+void start_race(net::EventLoop& loop, std::vector<RaceCandidate> candidates,
+                const RaceParams& params, std::uint64_t backoff_seed,
+                std::function<void(const RaceResult&)> done) {
+  auto race = std::make_shared<Race>(loop, std::move(candidates), params,
+                                     backoff_seed, std::move(done));
+  race->start();
+}
+
+}  // namespace cdn::redirectd

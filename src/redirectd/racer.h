@@ -1,0 +1,81 @@
+// Happy-eyeballs-style connection racing across ranked replica candidates.
+//
+// A race receives the top-k candidate endpoints for a request (cheapest
+// first, as ranked by cdn::NearestReplicaIndex::nearest_live_candidates)
+// and tries to establish a TCP connection *and receive the replica's
+// one-byte greeting* from the best candidate that is actually alive:
+//
+//   * attempt 1 starts immediately; each further candidate starts after a
+//     stagger delay OR as soon as an earlier attempt fails, whichever
+//     comes first (the RFC 8305 shape: favour rank order, never serialise
+//     on a black hole);
+//   * every attempt has its own connect+greeting timeout;
+//   * when a whole round fails, the race sleeps a capped-exponential
+//     jittered backoff and retries, up to a retry budget;
+//   * one monotonic overall deadline bounds everything — a race can never
+//     outlive it, which is what keeps the daemon's answer latency bounded
+//     under black-holed replicas.
+//
+// The race reports which rank won, how many connection attempts were
+// spent, how many retry rounds and how much backoff time elapsed — the
+// counters behind the redirect/* metrics.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/redirectd/backoff.h"
+#include "src/redirectd/protocol.h"
+
+namespace cdn::redirectd {
+
+struct RaceParams {
+  /// Delay before starting the next-ranked candidate while the previous
+  /// one is still pending.
+  std::chrono::milliseconds stagger{25};
+  /// Per-attempt budget covering connect + greeting byte.
+  std::chrono::milliseconds attempt_timeout{150};
+  /// Hard wall-clock bound on the whole race (all rounds + backoff).
+  std::chrono::milliseconds overall_deadline{1000};
+  /// Additional full rounds after the first (0 = single round).
+  std::uint32_t max_retry_rounds = 2;
+  BackoffPolicy backoff{};
+
+  void validate() const {
+    CDN_EXPECT(stagger.count() >= 0, "race stagger must be non-negative");
+    CDN_EXPECT(attempt_timeout.count() > 0,
+               "race attempt timeout must be positive");
+    CDN_EXPECT(overall_deadline >= attempt_timeout,
+               "race overall deadline must cover at least one attempt");
+    backoff.validate();
+  }
+};
+
+/// One ranked endpoint to race.  `rank` is 1-based (1 = cheapest).
+struct RaceCandidate {
+  Endpoint endpoint;
+  std::uint32_t rank = 1;
+};
+
+struct RaceResult {
+  bool success = false;
+  std::uint32_t winner_rank = 0;  // 1-based, valid when success
+  std::uint32_t attempts = 0;     // connections started across all rounds
+  std::uint32_t retries = 0;      // backoff rounds taken
+  std::chrono::milliseconds backoff_total{0};
+  bool deadline_exceeded = false;  // failed because the deadline fired
+};
+
+/// Starts a race on `loop` (loop thread only).  `done` fires exactly once,
+/// on the loop thread.  The race owns itself until completion; callers
+/// keep no handle.  `candidates` must be non-empty.
+void start_race(net::EventLoop& loop, std::vector<RaceCandidate> candidates,
+                const RaceParams& params, std::uint64_t backoff_seed,
+                std::function<void(const RaceResult&)> done);
+
+}  // namespace cdn::redirectd

@@ -207,6 +207,93 @@ TEST(NearestReplicaTest, NearestLiveSkipsDeadHolders) {
   EXPECT_FALSE(sn.nearest_live(0, 0, holders, up, false).has_value());
 }
 
+TEST(NearestReplicaTest, NearestLiveAllDownIsNulloptDeterministically) {
+  // Regression: total outage (every holder AND the origin down) must come
+  // back empty-handed on every call — never a stale or partial answer, and
+  // never an out-of-bounds read of the holder list.
+  Fixture f;
+  f.placement.add(0, 0);
+  f.placement.add(1, 0);
+  f.placement.add(2, 0);
+  NearestReplicaIndex sn(f.distances, f.placement);
+  const auto holders = f.placement.replicators(0);
+  const std::vector<std::uint8_t> all_down{0, 0, 0};
+  for (cdn::sys::ServerIndex i = 0; i < 3; ++i) {
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_FALSE(sn.nearest_live(i, 0, holders, all_down, false).has_value())
+          << "server " << i;
+      EXPECT_TRUE(sn.nearest_live_candidates(i, 0, holders, all_down, false, 3)
+                      .empty())
+          << "server " << i;
+    }
+  }
+}
+
+TEST(NearestReplicaTest, NearestLiveRejectsOutOfRangeHolder) {
+  // The holder list comes from the placement; a corrupted or mismatched
+  // list must trip the precondition instead of reading past the mask.
+  Fixture f;
+  const NearestReplicaIndex sn(f.distances, f.placement);
+  const std::vector<cdn::sys::ServerIndex> bogus{7};
+  const std::vector<std::uint8_t> up{1, 1, 1};
+  EXPECT_THROW((void)sn.nearest_live(0, 0, bogus, up, true),
+               cdn::PreconditionError);
+  EXPECT_THROW((void)sn.nearest_live_candidates(0, 0, bogus, up, true, 3),
+               cdn::PreconditionError);
+}
+
+TEST(NearestReplicaTest, CandidatesRankedByCostWithDeterministicTieBreaks) {
+  Fixture f;
+  f.placement.add(1, 0);
+  f.placement.add(2, 0);
+  NearestReplicaIndex sn(f.distances, f.placement);
+  const auto holders = f.placement.replicators(0);
+  const std::vector<std::uint8_t> up{1, 1, 1};
+
+  // From server 0: holder 1 (cost 1), holder 2 (cost 2), primary (cost 5).
+  const auto ranked = sn.nearest_live_candidates(0, 0, holders, up, true, 8);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].server, 1u);
+  EXPECT_DOUBLE_EQ(ranked[0].cost, 1.0);
+  EXPECT_EQ(ranked[1].server, 2u);
+  EXPECT_TRUE(ranked[2].at_primary);
+  EXPECT_DOUBLE_EQ(ranked[2].cost, 5.0);
+
+  // Equal cost: the replica outranks the primary.  Server 2 sees the
+  // replica at holder 0 and a primary both at some cost; craft a matrix
+  // where they tie at 3 hops.
+  const DistanceOracle tie(3, 1, {0, 1, 3, 1, 0, 1, 3, 1, 0}, {5, 4, 3});
+  ReplicaPlacement p2{std::vector<std::uint64_t>{100, 100, 100},
+                      std::vector<std::uint64_t>{10}};
+  p2.add(0, 0);
+  const NearestReplicaIndex sn2(tie, p2);
+  const auto tied =
+      sn2.nearest_live_candidates(2, 0, p2.replicators(0), up, true, 8);
+  ASSERT_EQ(tied.size(), 2u);
+  EXPECT_FALSE(tied[0].at_primary);  // replica first at equal cost 3
+  EXPECT_TRUE(tied[1].at_primary);
+  EXPECT_DOUBLE_EQ(tied[0].cost, tied[1].cost);
+}
+
+TEST(NearestReplicaTest, CandidatesTruncateToMaxAndSkipDead) {
+  Fixture f;
+  f.placement.add(1, 0);
+  f.placement.add(2, 0);
+  NearestReplicaIndex sn(f.distances, f.placement);
+  const auto holders = f.placement.replicators(0);
+
+  std::vector<std::uint8_t> up{1, 1, 1};
+  EXPECT_EQ(sn.nearest_live_candidates(0, 0, holders, up, true, 2).size(), 2u);
+  EXPECT_TRUE(sn.nearest_live_candidates(0, 0, holders, up, true, 0).empty());
+
+  // Dead rank-1 holder: the list re-ranks instead of leaving a hole.
+  up = {1, 0, 1};
+  const auto ranked = sn.nearest_live_candidates(0, 0, holders, up, true, 8);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].server, 2u);
+  EXPECT_TRUE(ranked[1].at_primary);
+}
+
 TEST(NearestReplicaTest, NearestLivePrefersPrimaryWhenCheaper) {
   Fixture f;
   f.placement.add(0, 0);

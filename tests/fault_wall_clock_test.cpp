@@ -1,0 +1,86 @@
+// WallClockTimeline: pure (epoch, rate, now) -> request-time mapping and
+// fault replay.  All time points are synthetic — no sleeps, no clock reads.
+
+#include "src/fault/wall_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/util/error.h"
+
+namespace cdn::fault {
+namespace {
+
+using Clock = WallClockTimeline::Clock;
+using namespace std::chrono_literals;
+
+FaultSchedule make_schedule() {
+  return FaultSchedule::parse(
+      "server 1 down 100 200\n"
+      "origin 0 down 50 150\n");
+}
+
+TEST(WallClockTimeline, MapsWallTimeToRequestTime) {
+  const Clock::time_point epoch = Clock::now();
+  WallClockTimeline wall(make_schedule(), 4, 2, 100.0, epoch);
+  EXPECT_EQ(wall.request_time(epoch), 0u);
+  EXPECT_EQ(wall.request_time(epoch - 5s), 0u);  // pre-epoch clamps to 0
+  EXPECT_EQ(wall.request_time(epoch + 1s), 100u);
+  EXPECT_EQ(wall.request_time(epoch + 2500ms), 250u);
+  EXPECT_EQ(wall.request_time(epoch + 999ms), 99u);  // floor, not round
+}
+
+TEST(WallClockTimeline, ReplaysFaultsAtTheConfiguredRate) {
+  const Clock::time_point epoch = Clock::now();
+  WallClockTimeline wall(make_schedule(), 4, 2, 100.0, epoch);
+
+  wall.advance_to(epoch);  // t = 0: everything up except nothing yet
+  EXPECT_TRUE(wall.server_up(1));
+  EXPECT_TRUE(wall.origin_up(0));
+
+  wall.advance_to(epoch + 600ms);  // t = 60: origin outage [50, 150) active
+  EXPECT_TRUE(wall.server_up(1));
+  EXPECT_FALSE(wall.origin_up(0));
+
+  wall.advance_to(epoch + 1200ms);  // t = 120: both outages active
+  EXPECT_FALSE(wall.server_up(1));
+  EXPECT_FALSE(wall.origin_up(0));
+  EXPECT_EQ(wall.server_up_mask()[1], 0);
+  EXPECT_EQ(wall.server_up_mask()[0], 1);
+
+  wall.advance_to(epoch + 1700ms);  // t = 170: origin recovered
+  EXPECT_FALSE(wall.server_up(1));
+  EXPECT_TRUE(wall.origin_up(0));
+
+  const bool changed = wall.advance_to(epoch + 2500ms);  // t = 250: all up
+  EXPECT_TRUE(changed);
+  EXPECT_TRUE(wall.server_up(1));
+  EXPECT_FALSE(wall.advance_to(epoch + 3s));  // no further transitions
+}
+
+TEST(WallClockTimeline, RateScalesTheReplay) {
+  const Clock::time_point epoch = Clock::now();
+  // At 10 req/s the same schedule stretches 10x in wall time.
+  WallClockTimeline wall(make_schedule(), 4, 2, 10.0, epoch);
+  wall.advance_to(epoch + 1s);  // t = 10: nothing yet
+  EXPECT_TRUE(wall.origin_up(0));
+  wall.advance_to(epoch + 6s);  // t = 60: origin outage active
+  EXPECT_FALSE(wall.origin_up(0));
+}
+
+TEST(WallClockTimeline, RejectsNonPositiveRate) {
+  EXPECT_THROW(WallClockTimeline(make_schedule(), 4, 2, 0.0), PreconditionError);
+  EXPECT_THROW(WallClockTimeline(make_schedule(), 4, 2, -1.0),
+               PreconditionError);
+}
+
+TEST(WallClockTimeline, ExposesEpochAndRate) {
+  const Clock::time_point epoch = Clock::now();
+  WallClockTimeline wall(make_schedule(), 4, 2, 250.0, epoch);
+  EXPECT_EQ(wall.epoch(), epoch);
+  EXPECT_DOUBLE_EQ(wall.requests_per_second(), 250.0);
+}
+
+}  // namespace
+}  // namespace cdn::fault

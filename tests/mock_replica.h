@@ -1,0 +1,150 @@
+// Mock replica servers for the redirector integration suite.
+//
+// Each MockReplica is a tiny threaded TCP server whose fault mode maps
+// onto one socket-level failure the daemon must survive:
+//
+//   kNormal      accept and greet immediately — a healthy replica;
+//   kListenDelay port is reserved but nothing listens until `delay`
+//                elapses — connects fail fast (ECONNREFUSED), the retry/
+//                backoff path wins once the listener appears;
+//   kForcedClose accept then close without greeting — the racer sees a
+//                clean EOF and promotes the next candidate immediately;
+//   kBlackHole   listen but never accept/greet — connects park in the
+//                backlog and the greeting never arrives, so only the
+//                attempt timeout can retire the attempt;
+//   kSlowGreet   accept immediately, greet after `delay` — wins the race
+//                only when the delay fits inside the attempt timeout.
+//
+// The greeting is the single byte 'R', matching what the race treats as
+// success.  All servers bind ephemeral loopback ports; `port()` is stable
+// from construction even in kListenDelay mode (the port is reserved, then
+// re-bound after the delay — the standard harness trick, cf. the
+// happy-eyeballs test servers in mongo-c-driver).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/net/socket.h"
+#include "src/util/error.h"
+
+namespace cdn::test {
+
+class MockReplica {
+ public:
+  enum class Mode {
+    kNormal,
+    kListenDelay,
+    kForcedClose,
+    kBlackHole,
+    kSlowGreet,
+  };
+
+  explicit MockReplica(Mode mode,
+                       std::chrono::milliseconds delay =
+                           std::chrono::milliseconds(0))
+      : mode_(mode), delay_(delay) {
+    listener_ = net::TcpListener::bind("127.0.0.1", 0);
+    port_ = listener_.port();
+    if (mode_ == Mode::kListenDelay) {
+      // Reserve the port number, then come back for it after the delay.
+      listener_.close();
+    }
+    thread_ = std::thread([this] { serve(); });
+  }
+
+  ~MockReplica() { stop(); }
+
+  MockReplica(const MockReplica&) = delete;
+  MockReplica& operator=(const MockReplica&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Connections accepted so far (never grows in kBlackHole mode).
+  int accepted() const noexcept {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+  void stop() {
+    if (!stop_.exchange(true) && thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct Pending {
+    net::Fd fd;
+    std::chrono::steady_clock::time_point due;
+  };
+
+  void serve() {
+    using std::chrono::steady_clock;
+    if (mode_ == Mode::kListenDelay) {
+      const auto until = steady_clock::now() + delay_;
+      while (!stop_.load(std::memory_order_relaxed) &&
+             steady_clock::now() < until) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      // The freed port can be transiently grabbed by another socket
+      // (e.g. as an ephemeral source port); retry until it is ours again.
+      bool bound = false;
+      while (!bound && !stop_.load(std::memory_order_relaxed)) {
+        try {
+          listener_ = net::TcpListener::bind("127.0.0.1", port_);
+          bound = true;
+        } catch (const PreconditionError&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+      }
+      if (!bound) return;
+    }
+    std::vector<Pending> pending;
+    std::vector<net::Fd> held;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (mode_ != Mode::kBlackHole) {
+        while (auto fd = listener_.accept()) {
+          accepted_.fetch_add(1, std::memory_order_relaxed);
+          switch (mode_) {
+            case Mode::kForcedClose:
+              fd->reset();  // EOF, never a greeting
+              break;
+            case Mode::kSlowGreet:
+              pending.push_back({std::move(*fd),
+                                 steady_clock::now() + delay_});
+              break;
+            default: {
+              const char greeting = 'R';
+              (void)net::write_some(fd->get(), &greeting, 1);
+              held.push_back(std::move(*fd));
+              break;
+            }
+          }
+        }
+      }
+      const auto now = steady_clock::now();
+      for (auto it = pending.begin(); it != pending.end();) {
+        if (it->due <= now) {
+          const char greeting = 'R';
+          (void)net::write_some(it->fd.get(), &greeting, 1);
+          held.push_back(std::move(it->fd));
+          it = pending.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  Mode mode_;
+  std::chrono::milliseconds delay_;
+  net::TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> accepted_{0};
+};
+
+}  // namespace cdn::test

@@ -1,0 +1,156 @@
+// EventLoop: timers, fd readiness, cancellation, wakeup, deferred removal.
+// Every test is bounded — nothing here waits longer than a few hundred ms.
+
+#include "src/net/event_loop.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/net/socket.h"
+#include "src/util/error.h"
+
+namespace cdn::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(EventLoop, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  const auto now = Clock::now();
+  loop.add_timer(now + 30ms, [&] { order.push_back(3); });
+  loop.add_timer(now + 10ms, [&] { order.push_back(1); });
+  loop.add_timer(now + 20ms, [&] {
+    order.push_back(2);
+  });
+  while (loop.pending_timers() > 0) loop.run_once(100ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, CancelledTimerNeverFires) {
+  EventLoop loop;
+  bool fired = false;
+  const TimerId id = loop.add_timer_after(10ms, [&] { fired = true; });
+  loop.add_timer_after(20ms, [] {});
+  loop.cancel_timer(id);
+  while (loop.pending_timers() > 0) loop.run_once(100ms);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, TimerMayReArmItself) {
+  EventLoop loop;
+  int fires = 0;
+  std::function<void()> tick = [&] {
+    if (++fires < 3) loop.add_timer_after(5ms, tick);
+  };
+  loop.add_timer_after(5ms, tick);
+  const auto deadline = Clock::now() + 2s;
+  while (loop.pending_timers() > 0 && Clock::now() < deadline) {
+    loop.run_once(50ms);
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(EventLoop, FdReadabilityDispatches) {
+  EventLoop loop;
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  ASSERT_TRUE(set_nonblocking_cloexec(pipe_fds[0]));
+  Fd rd(pipe_fds[0]), wr(pipe_fds[1]);
+
+  std::string got;
+  loop.add_fd(rd.get(), kReadable, [&](std::uint32_t events) {
+    ASSERT_TRUE(events & kReadable);
+    char buf[16];
+    const IoResult r = read_some(rd.get(), buf, sizeof(buf));
+    ASSERT_EQ(r.status, IoStatus::kOk);
+    got.assign(buf, r.bytes);
+    loop.remove_fd(rd.get());  // removal from inside the callback
+  });
+  ASSERT_EQ(::write(wr.get(), "hi", 2), 2);
+  const auto deadline = Clock::now() + 2s;
+  while (loop.fd_count() > 0 && Clock::now() < deadline) loop.run_once(50ms);
+  EXPECT_EQ(got, "hi");
+  EXPECT_FALSE(loop.has_fd(rd.get()));
+}
+
+TEST(EventLoop, WakeupFromAnotherThreadInvokesHandler) {
+  EventLoop loop;
+  bool woken = false;
+  loop.set_wakeup_handler([&] {
+    woken = true;
+    loop.stop();
+  });
+  // Keep the loop alive with a far-out timer.
+  loop.add_timer_after(10s, [] {});
+  std::thread t([&] {
+    std::this_thread::sleep_for(20ms);
+    loop.wakeup();
+  });
+  loop.run();
+  t.join();
+  EXPECT_TRUE(woken);
+}
+
+TEST(EventLoop, RunReturnsWhenNothingRegistered) {
+  EventLoop loop;
+  loop.add_timer_after(5ms, [] {});
+  loop.run();  // must not hang once the only timer fired
+  SUCCEED();
+}
+
+TEST(EventLoop, DuplicateFdRegistrationThrows) {
+  EventLoop loop;
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  Fd rd(pipe_fds[0]), wr(pipe_fds[1]);
+  loop.add_fd(rd.get(), kReadable, [](std::uint32_t) {});
+  EXPECT_THROW(loop.add_fd(rd.get(), kReadable, [](std::uint32_t) {}),
+               PreconditionError);
+  loop.remove_fd(rd.get());
+}
+
+TEST(EventLoop, FdNumberReusedWithinOnePassIsReclaimed) {
+  // A callback closes an fd (deferred removal) and a new socket created in
+  // the same dispatch pass gets the same number; add_fd must reclaim the
+  // stale entry instead of throwing.  This is exactly what a race retry
+  // does: retire the failed attempt, then immediately connect again.
+  EventLoop loop;
+  int first[2];
+  ASSERT_EQ(::pipe(first), 0);
+  bool second_fired = false;
+  int second_write = -1;
+  loop.add_fd(first[0], kReadable, [](std::uint32_t) {});
+  loop.add_timer_after(5ms, [&] {
+    loop.remove_fd(first[0]);
+    ASSERT_EQ(::close(first[0]), 0);
+    ASSERT_EQ(::close(first[1]), 0);
+    int second[2];
+    ASSERT_EQ(::pipe(second), 0);  // reuses the just-closed numbers
+    ASSERT_EQ(second[0], first[0]);
+    ASSERT_TRUE(set_nonblocking_cloexec(second[0]));
+    second_write = second[1];
+    loop.add_fd(second[0], kReadable, [&](std::uint32_t) {
+      second_fired = true;
+      loop.remove_fd(second[0]);
+      ::close(second[0]);
+    });
+    ASSERT_EQ(::write(second_write, "x", 1), 1);
+  });
+  const auto deadline = Clock::now() + 2s;
+  while (loop.fd_count() > 0 && Clock::now() < deadline) loop.run_once(50ms);
+  EXPECT_TRUE(second_fired);
+  if (second_write >= 0) ::close(second_write);
+}
+
+TEST(EventLoop, SetInterestUnknownFdThrows) {
+  EventLoop loop;
+  EXPECT_THROW(loop.set_interest(42, kReadable), PreconditionError);
+}
+
+}  // namespace
+}  // namespace cdn::net

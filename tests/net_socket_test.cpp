@@ -1,0 +1,126 @@
+// Socket primitives: listener, non-blocking connect, IO wrappers, and the
+// blocking helpers the tests/load client use.
+
+#include "src/net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "src/util/error.h"
+
+namespace cdn::net {
+namespace {
+
+TEST(TcpListener, EphemeralBindReportsPort) {
+  TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.valid());
+  EXPECT_GT(listener.port(), 0);
+  EXPECT_EQ(listener.host(), "127.0.0.1");
+}
+
+TEST(TcpListener, InvalidHostThrows) {
+  EXPECT_THROW(TcpListener::bind("not-an-ip", 0), PreconditionError);
+}
+
+TEST(Socket, ConnectAcceptRoundtrip) {
+  TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+  ConnectStart conn = start_connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(conn.fd.valid());
+
+  // Accept may need a beat on a loaded machine.
+  std::optional<Fd> server;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  while (!server.has_value() &&
+         std::chrono::steady_clock::now() < deadline) {
+    server = listener.accept();
+    if (!server.has_value()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(server.has_value());
+
+  ASSERT_TRUE(write_all(server->get(), "ping\n", 5, 2000));
+  const auto line = read_line(conn.fd.get(), 2000);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "ping\n");
+  EXPECT_EQ(finish_connect(conn.fd.get()), 0);
+}
+
+TEST(Socket, ConnectRefusedReportsError) {
+  // Bind-then-close reserves a port nobody listens on.
+  std::uint16_t dead_port;
+  {
+    TcpListener tmp = TcpListener::bind("127.0.0.1", 0);
+    dead_port = tmp.port();
+  }
+  ConnectStart conn = start_connect("127.0.0.1", dead_port);
+  if (!conn.fd.valid()) {
+    EXPECT_NE(conn.error, 0);  // refused synchronously
+    return;
+  }
+  // Asynchronous refusal: the socket becomes writable with SO_ERROR set.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  int err = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    err = finish_connect(conn.fd.get());
+    if (err != 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_NE(err, 0);
+}
+
+TEST(Socket, ReadSomeReportsEofOnPeerClose) {
+  TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+  ConnectStart conn = start_connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(conn.fd.valid());
+  std::optional<Fd> server;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  while (!server.has_value() &&
+         std::chrono::steady_clock::now() < deadline) {
+    server = listener.accept();
+  }
+  ASSERT_TRUE(server.has_value());
+  server->reset();  // close without sending anything
+
+  char buf[8];
+  IoResult r{};
+  const auto io_deadline = std::chrono::steady_clock::now() +
+                           std::chrono::seconds(2);
+  do {
+    r = read_some(conn.fd.get(), buf, sizeof(buf));
+  } while (r.status == IoStatus::kWouldBlock &&
+           std::chrono::steady_clock::now() < io_deadline);
+  EXPECT_EQ(r.status, IoStatus::kClosed);
+}
+
+TEST(Socket, ReadLineEnforcesLengthCap) {
+  TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+  ConnectStart conn = start_connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(conn.fd.valid());
+  std::optional<Fd> server;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  while (!server.has_value() &&
+         std::chrono::steady_clock::now() < deadline) {
+    server = listener.accept();
+  }
+  ASSERT_TRUE(server.has_value());
+
+  const std::string oversized(64, 'x');  // no newline within the cap
+  ASSERT_TRUE(write_all(server->get(), oversized.data(), oversized.size(),
+                        2000));
+  EXPECT_FALSE(read_line(conn.fd.get(), 500, 16).has_value());
+}
+
+TEST(Socket, ErrnoMessageIsHumanReadable) {
+  const std::string msg = errno_message(111);
+  EXPECT_NE(msg.find("(111)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdn::net

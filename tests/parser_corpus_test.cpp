@@ -16,6 +16,7 @@
 
 #include "src/fault/fault_schedule.h"
 #include "src/recover/checkpoint.h"
+#include "src/redirectd/protocol.h"
 #include "src/util/error.h"
 #include "src/workload/trace_io.h"
 
@@ -90,6 +91,35 @@ TEST(ParserCorpusTest, CheckpointFilesAllRejected) {
   expect_all_rejected("ck_", 8, [](const std::string& p) {
     (void)recover::read_file(p);
   });
+}
+
+TEST(ParserCorpusTest, RedirectRequestFilesAllRejected) {
+  // Each rp_ file holds one adversarial redirector request line (truncated,
+  // bad verb, negative/float/NaN/overflowing numbers, oversized line).
+  expect_all_rejected("rp_", 9, [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::string line((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    (void)redirectd::parse_request(line);
+  });
+}
+
+TEST(ParserCorpusTest, EndpointMapFilesAllRejected) {
+  expect_all_rejected("rd_", 10, [](const std::string& p) {
+    (void)redirectd::EndpointMap::load(p);
+  });
+}
+
+TEST(ParserCorpusTest, RedirectErrorsCarryLineAndColumn) {
+  try {
+    redirectd::parse_request("GET 1 2 nan\n");
+    FAIL() << "NaN object accepted";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("col 9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'nan'"), std::string::npos) << msg;
+  }
 }
 
 TEST(ParserCorpusTest, FaultErrorsCarryLineAndColumn) {

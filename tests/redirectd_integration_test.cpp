@@ -1,0 +1,533 @@
+// Real-socket integration tests for the redirector daemon: connection
+// racing against faulty replicas, retry/backoff, load shedding, graceful
+// drain, and the wall-clock fault timeline.  Every test is bounded — mock
+// delays are tens to hundreds of milliseconds and every read has a
+// timeout, so a hung daemon fails fast instead of wedging the suite.
+
+#include "src/redirectd/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "mock_replica.h"
+#include "src/placement/fixed_split.h"
+#include "src/redirectd/health.h"
+#include "test_support.h"
+
+namespace cdn::redirectd {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+/// Builds the shared fixture: 4 servers on a line (cost |i-k|), primaries
+/// 6 hops away, site 0 replicated at servers 1 and 2 — so from server 0
+/// the candidate ranking for site 0 is [server 1 (cost 1), server 2
+/// (cost 2), origin (cost 6)].
+struct Fixture {
+  test::TestSystem t;
+  placement::PlacementResult placement;
+
+  Fixture()
+      : t(test::TestSystem::make(4, 6, 2, 100, 0.9)),
+        placement(placement::pure_caching(*t.system)) {
+    placement.placement.add(1, 0);
+    placement.placement.add(2, 0);
+    placement.nearest.rebuild(placement.placement);
+  }
+};
+
+/// Runs a daemon's event loop on its own thread; joins on scope exit.
+class DaemonRunner {
+ public:
+  explicit DaemonRunner(RedirectorDaemon& daemon) : daemon_(daemon) {
+    daemon_.start();
+    thread_ = std::thread([this] { daemon_.run(); });
+  }
+  ~DaemonRunner() { stop(); }
+
+  void stop() {
+    if (thread_.joinable()) {
+      daemon_.request_stop();
+      thread_.join();
+    }
+  }
+
+ private:
+  RedirectorDaemon& daemon_;
+  std::thread thread_;
+};
+
+net::Fd connect_client(std::uint16_t port) {
+  net::ConnectStart conn = net::start_connect("127.0.0.1", port);
+  EXPECT_TRUE(conn.fd.valid());
+  return std::move(conn.fd);
+}
+
+/// One request/response exchange with a hard timeout.
+std::optional<RedirectAnswer> rpc(int fd, std::uint32_t server,
+                                  std::uint32_t site, std::uint64_t object,
+                                  int timeout_ms = 5000) {
+  const std::string req = format_request({server, site, object});
+  if (!net::write_all(fd, req.data(), req.size(), timeout_ms)) {
+    return std::nullopt;
+  }
+  const auto line = net::read_line(fd, timeout_ms);
+  if (!line.has_value()) return std::nullopt;
+  return parse_answer(*line);
+}
+
+DaemonConfig base_config(Fixture& fx) {
+  DaemonConfig config;
+  config.system = fx.t.system.get();
+  config.placement = &fx.placement;
+  config.top_k = 3;
+  // Keep the prober from interfering with racing tests: thresholds no
+  // real test run can reach.
+  config.health.down_after = 1000;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Model mode (no endpoints): answers come straight from the live ranking.
+
+TEST(RedirectorDaemon, ModelModeAnswersFromRanking) {
+  Fixture fx;
+  DaemonConfig config = base_config(fx);
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  // Site 0 from server 0: replica at server 1 is the cheapest live copy.
+  const auto a = rpc(client.get(), 0, 0, 1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnswerKind::kReplica);
+  EXPECT_EQ(a->server, 1u);
+  EXPECT_DOUBLE_EQ(a->cost, 1.0);
+  // An unreplicated site falls back to its origin.
+  const auto b = rpc(client.get(), 0, 3, 1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->kind, AnswerKind::kOrigin);
+  EXPECT_EQ(b->site, 3u);
+  EXPECT_DOUBLE_EQ(b->cost, 6.0);
+}
+
+TEST(RedirectorDaemon, PipelinedRequestsAnswerInOrder) {
+  Fixture fx;
+  DaemonConfig config = base_config(fx);
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  std::string block;
+  for (std::uint32_t site = 0; site < 4; ++site) {
+    block += format_request({0, site, 1});
+  }
+  ASSERT_TRUE(net::write_all(client.get(), block.data(), block.size(), 3000));
+  for (std::uint32_t site = 0; site < 4; ++site) {
+    const auto line = net::read_line(client.get(), 5000);
+    ASSERT_TRUE(line.has_value()) << "missing answer for site " << site;
+    const RedirectAnswer answer = parse_answer(*line);
+    if (site == 0) {
+      EXPECT_EQ(answer.kind, AnswerKind::kReplica);
+    } else {
+      EXPECT_EQ(answer.kind, AnswerKind::kOrigin);
+      EXPECT_EQ(answer.site, site);
+    }
+  }
+}
+
+TEST(RedirectorDaemon, MalformedLinesGetErrAndDoNotKillTheSession) {
+  Fixture fx;
+  DaemonConfig config = base_config(fx);
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  const std::string bad = "FETCH 0 0 1\n";
+  ASSERT_TRUE(net::write_all(client.get(), bad.data(), bad.size(), 3000));
+  const auto err = net::read_line(client.get(), 5000);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->rfind("ERR", 0), 0u);
+
+  // The same session still answers real requests afterwards.
+  const auto a = rpc(client.get(), 0, 0, 1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnswerKind::kReplica);
+
+  runner.stop();
+  EXPECT_EQ(daemon.stats().parse_errors, 1u);
+}
+
+TEST(RedirectorDaemon, OversizedRequestLineClosesTheSession) {
+  Fixture fx;
+  DaemonConfig config = base_config(fx);
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  const std::string flood(kMaxRequestLine + 64, 'a');  // no newline at all
+  ASSERT_TRUE(net::write_all(client.get(), flood.data(), flood.size(), 3000));
+  const auto line = net::read_line(client.get(), 5000);
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("ERR", 0), 0u);
+  // The daemon closes the connection after the rejection.
+  EXPECT_FALSE(net::read_line(client.get(), 2000).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock fault timeline gating (model mode).
+
+TEST(RedirectorDaemon, TimelineMasksKillCandidatesAndMapToUnavailable) {
+  Fixture fx;
+  // Both holders and site 0's origin are down for the first million
+  // request-times; site 1+ origins are unaffected.
+  const fault::FaultSchedule schedule = fault::FaultSchedule::parse(
+      "server 1 down 0 1000000\n"
+      "server 2 down 0 1000000\n"
+      "origin 0 down 0 1000000\n");
+  // Epoch in the past => the outage window is active right now, and at
+  // 1000 req/s it stays active for ~1000 seconds — forever, test-wise.
+  fault::WallClockTimeline timeline(
+      schedule, fx.t.system->server_count(), fx.t.system->site_count(),
+      1000.0, fault::WallClockTimeline::Clock::now() - 1s);
+
+  DaemonConfig config = base_config(fx);
+  config.timeline = &timeline;
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  const auto a = rpc(client.get(), 0, 0, 1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnswerKind::kUnavailable);
+  EXPECT_EQ(a->reason, UnavailableReason::kNoLiveCopy);
+
+  // Other sites' origins are up: requests still get served.
+  const auto b = rpc(client.get(), 0, 1, 1);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->kind, AnswerKind::kOrigin);
+
+  runner.stop();
+  EXPECT_EQ(daemon.stats().unavailable_no_live_copy, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Racing mode: real sockets against mock replicas.
+
+TEST(RedirectorDaemon, ForcedClosePrimaryLosesRaceToRankTwo) {
+  Fixture fx;
+  test::MockReplica dead(test::MockReplica::Mode::kForcedClose);
+  test::MockReplica live(test::MockReplica::Mode::kNormal);
+
+  EndpointMap endpoints;
+  endpoints.replicas.resize(3);
+  endpoints.replicas[1] = Endpoint{"127.0.0.1", dead.port()};
+  endpoints.replicas[2] = Endpoint{"127.0.0.1", live.port()};
+
+  DaemonConfig config = base_config(fx);
+  config.endpoints = &endpoints;
+  config.race.stagger = 50ms;
+  config.race.attempt_timeout = 500ms;
+  config.race.overall_deadline = 3000ms;
+  config.race.max_retry_rounds = 2;
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  const auto start = Clock::now();
+  const auto a = rpc(client.get(), 0, 0, 1);
+  const auto elapsed = Clock::now() - start;
+  ASSERT_TRUE(a.has_value());
+  // Rank 1 (server 1) was forced-closed, so rank 2 (server 2) answers.
+  EXPECT_EQ(a->kind, AnswerKind::kReplica);
+  EXPECT_EQ(a->server, 2u);
+  EXPECT_EQ(a->winner_rank, 2u);
+  EXPECT_GE(a->attempts, 2u);
+  // The EOF promotes rank 2 immediately — no retry round, no deadline.
+  EXPECT_LT(elapsed, 3s);
+
+  runner.stop();
+  EXPECT_EQ(daemon.stats().races, 1u);
+  EXPECT_EQ(daemon.stats().replica_answers, 1u);
+}
+
+TEST(RedirectorDaemon, BlackHoleTimesOutWithinDeadline) {
+  Fixture fx;
+  test::MockReplica hole(test::MockReplica::Mode::kBlackHole);
+
+  EndpointMap endpoints;
+  endpoints.replicas.resize(2);
+  endpoints.replicas[1] = Endpoint{"127.0.0.1", hole.port()};
+
+  DaemonConfig config = base_config(fx);
+  config.endpoints = &endpoints;
+  config.top_k = 1;  // only the black-holed rank-1 candidate
+  config.race.stagger = 10ms;
+  config.race.attempt_timeout = 150ms;
+  config.race.overall_deadline = 2000ms;
+  config.race.max_retry_rounds = 1;
+  config.race.backoff.base = 30ms;
+  config.race.backoff.cap = 60ms;
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  const auto start = Clock::now();
+  const auto a = rpc(client.get(), 0, 0, 1);
+  const auto elapsed = Clock::now() - start;
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnswerKind::kUnavailable);
+  EXPECT_EQ(a->reason, UnavailableReason::kDeadline);
+  // At least one full attempt timeout elapsed, but the configured
+  // deadline bounded the whole request.
+  EXPECT_GE(elapsed, 150ms);
+  EXPECT_LT(elapsed, 2500ms);
+
+  runner.stop();
+  EXPECT_GE(daemon.stats().retries, 1u);
+  EXPECT_EQ(daemon.stats().unavailable_deadline, 1u);
+}
+
+TEST(RedirectorDaemon, BlackHoledRankOneIsOutracedByRankTwo) {
+  Fixture fx;
+  test::MockReplica hole(test::MockReplica::Mode::kBlackHole);
+  test::MockReplica live(test::MockReplica::Mode::kNormal);
+
+  EndpointMap endpoints;
+  endpoints.replicas.resize(3);
+  endpoints.replicas[1] = Endpoint{"127.0.0.1", hole.port()};
+  endpoints.replicas[2] = Endpoint{"127.0.0.1", live.port()};
+
+  DaemonConfig config = base_config(fx);
+  config.endpoints = &endpoints;
+  config.race.stagger = 40ms;  // rank 2 starts 40ms in, wins
+  config.race.attempt_timeout = 1000ms;
+  config.race.overall_deadline = 4000ms;
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  const auto start = Clock::now();
+  const auto a = rpc(client.get(), 0, 0, 1);
+  const auto elapsed = Clock::now() - start;
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnswerKind::kReplica);
+  EXPECT_EQ(a->server, 2u);
+  EXPECT_EQ(a->winner_rank, 2u);
+  // The win comes via the stagger, far sooner than the attempt timeout.
+  EXPECT_LT(elapsed, 1s);
+  runner.stop();
+}
+
+TEST(RedirectorDaemon, ListenDelayIsWonByRetryWithBackoff) {
+  Fixture fx;
+  test::MockReplica late(test::MockReplica::Mode::kListenDelay, 250ms);
+
+  EndpointMap endpoints;
+  endpoints.replicas.resize(2);
+  endpoints.replicas[1] = Endpoint{"127.0.0.1", late.port()};
+
+  DaemonConfig config = base_config(fx);
+  config.endpoints = &endpoints;
+  config.top_k = 1;
+  config.race.stagger = 10ms;
+  config.race.attempt_timeout = 150ms;
+  config.race.overall_deadline = 5000ms;
+  config.race.max_retry_rounds = 8;
+  config.race.backoff.base = 50ms;
+  config.race.backoff.cap = 100ms;
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd client = connect_client(daemon.port());
+  const auto a = rpc(client.get(), 0, 0, 1, 8000);
+  ASSERT_TRUE(a.has_value());
+  // Early rounds are refused (nothing listens yet); backoff retries win
+  // once the listener appears.
+  EXPECT_EQ(a->kind, AnswerKind::kReplica);
+  EXPECT_EQ(a->server, 1u);
+  EXPECT_GE(a->attempts, 2u);
+
+  runner.stop();
+  EXPECT_GE(daemon.stats().retries, 1u);
+}
+
+TEST(RedirectorDaemon, ShedsAboveTheInflightLimit) {
+  Fixture fx;
+  test::MockReplica slow(test::MockReplica::Mode::kSlowGreet, 300ms);
+
+  EndpointMap endpoints;
+  endpoints.replicas.resize(2);
+  endpoints.replicas[1] = Endpoint{"127.0.0.1", slow.port()};
+
+  DaemonConfig config = base_config(fx);
+  config.endpoints = &endpoints;
+  config.top_k = 1;
+  config.max_inflight_races = 1;
+  config.race.attempt_timeout = 2000ms;
+  config.race.overall_deadline = 4000ms;
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  net::Fd first = connect_client(daemon.port());
+  net::Fd second = connect_client(daemon.port());
+  const std::string req = format_request({0, 0, 1});
+  ASSERT_TRUE(net::write_all(first.get(), req.data(), req.size(), 3000));
+  // Give the first race a moment to occupy the only slot.
+  std::this_thread::sleep_for(80ms);
+  ASSERT_TRUE(net::write_all(second.get(), req.data(), req.size(), 3000));
+
+  // The second request is shed immediately, long before the slow greet.
+  const auto shed_line = net::read_line(second.get(), 3000);
+  ASSERT_TRUE(shed_line.has_value());
+  const RedirectAnswer shed = parse_answer(*shed_line);
+  EXPECT_EQ(shed.kind, AnswerKind::kUnavailable);
+  EXPECT_EQ(shed.reason, UnavailableReason::kShed);
+
+  // The first request still completes once the replica greets.
+  const auto won_line = net::read_line(first.get(), 5000);
+  ASSERT_TRUE(won_line.has_value());
+  EXPECT_EQ(parse_answer(*won_line).kind, AnswerKind::kReplica);
+
+  runner.stop();
+  EXPECT_EQ(daemon.stats().unavailable_shed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain.
+
+TEST(RedirectorDaemon, DrainFinishesInflightRequestsThenCloses) {
+  Fixture fx;
+  test::MockReplica slow(test::MockReplica::Mode::kSlowGreet, 200ms);
+
+  EndpointMap endpoints;
+  endpoints.replicas.resize(2);
+  endpoints.replicas[1] = Endpoint{"127.0.0.1", slow.port()};
+
+  DaemonConfig config = base_config(fx);
+  config.endpoints = &endpoints;
+  config.top_k = 1;
+  config.race.attempt_timeout = 2000ms;
+  config.race.overall_deadline = 4000ms;
+  config.drain_timeout = 5000ms;
+  RedirectorDaemon daemon(config);
+  const std::uint16_t port = [&] {
+    DaemonRunner runner(daemon);
+    net::Fd client = connect_client(daemon.port());
+    const std::string req = format_request({0, 0, 1});
+    EXPECT_TRUE(net::write_all(client.get(), req.data(), req.size(), 3000));
+    std::this_thread::sleep_for(50ms);  // the race is now in flight
+
+    const auto drain_start = Clock::now();
+    daemon.request_stop();
+
+    // The in-flight request still gets its answer...
+    const auto line = net::read_line(client.get(), 5000);
+    EXPECT_TRUE(line.has_value());
+    if (line.has_value()) {
+      EXPECT_EQ(parse_answer(*line).kind, AnswerKind::kReplica);
+    }
+    // ...then the daemon closes the session.
+    EXPECT_FALSE(net::read_line(client.get(), 3000).has_value());
+    EXPECT_LT(Clock::now() - drain_start, 4s);
+    return daemon.port();
+  }();  // runner joins here — run() must have returned
+
+  // After drain the listener is gone: new connections fail.
+  net::ConnectStart conn = net::start_connect("127.0.0.1", port);
+  if (conn.fd.valid()) {
+    int err = 0;
+    const auto deadline = Clock::now() + 2s;
+    while (Clock::now() < deadline) {
+      err = net::finish_connect(conn.fd.get());
+      if (err != 0) break;
+      char byte = 0;
+      const net::IoResult r = net::read_some(conn.fd.get(), &byte, 1);
+      if (r.status == net::IoStatus::kClosed ||
+          r.status == net::IoStatus::kError) {
+        err = -1;
+        break;
+      }
+      std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_NE(err, 0);
+  }
+}
+
+RedirectorDaemon* g_signal_daemon = nullptr;
+extern "C" void test_sigterm_handler(int) {
+  if (g_signal_daemon != nullptr) g_signal_daemon->request_stop();
+}
+
+TEST(RedirectorDaemon, SigtermDrainsViaSignalSafeRequestStop) {
+  Fixture fx;
+  DaemonConfig config = base_config(fx);
+  RedirectorDaemon daemon(config);
+  g_signal_daemon = &daemon;
+  auto* previous = std::signal(SIGTERM, test_sigterm_handler);
+  ASSERT_NE(previous, SIG_ERR);
+
+  DaemonRunner runner(daemon);
+  net::Fd client = connect_client(daemon.port());
+  const auto a = rpc(client.get(), 0, 0, 1);
+  ASSERT_TRUE(a.has_value());
+
+  const auto start = Clock::now();
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  runner.stop();  // joins run(); must return promptly after the signal
+  EXPECT_LT(Clock::now() - start, 5s);
+
+  std::signal(SIGTERM, previous);
+  g_signal_daemon = nullptr;
+  EXPECT_EQ(daemon.stats().requests, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Health probing.
+
+TEST(HealthProber, MarksDeadReplicasDownAndRecoversLateOnes) {
+  test::MockReplica live(test::MockReplica::Mode::kNormal);
+  test::MockReplica late(test::MockReplica::Mode::kListenDelay, 300ms);
+
+  EndpointMap endpoints;
+  endpoints.replicas.resize(3);
+  endpoints.replicas[1] = Endpoint{"127.0.0.1", live.port()};
+  endpoints.replicas[2] = Endpoint{"127.0.0.1", late.port()};
+
+  HealthParams params;
+  params.probe_interval = 40ms;
+  params.probe_timeout = 200ms;
+  params.down_after = 1;
+  params.up_after = 1;
+
+  net::EventLoop loop;
+  HealthProber prober(loop, endpoints, 4, 2, params, nullptr);
+  prober.start();
+
+  // Drive the loop on this thread (single-threaded — masks are safe to
+  // read between passes).  Phase 1: the late replica is marked down.
+  const auto deadline = Clock::now() + 5s;
+  while (Clock::now() < deadline && prober.server_up()[2] != 0) {
+    loop.run_once(50ms);
+  }
+  EXPECT_EQ(prober.server_up()[2], 0);   // nothing listening yet
+  EXPECT_EQ(prober.server_up()[1], 1);   // healthy replica stays up
+  EXPECT_EQ(prober.server_up()[0], 1);   // unmapped server defaults up
+  EXPECT_EQ(prober.origin_up()[0], 1);   // unmapped origin defaults up
+
+  // Phase 2: once the delayed listener appears, hysteresis brings it back.
+  while (Clock::now() < deadline && prober.server_up()[2] != 1) {
+    loop.run_once(50ms);
+  }
+  EXPECT_EQ(prober.server_up()[2], 1);
+  EXPECT_GE(prober.sweeps_completed(), 2u);
+  prober.stop();
+}
+
+}  // namespace
+}  // namespace cdn::redirectd

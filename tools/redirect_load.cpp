@@ -1,0 +1,243 @@
+// redirect_load — replay client for the redirector daemon.
+//
+// Opens N connections to a running redirectd, replays the scenario's
+// synthetic request stream (same catalog/demand/Zipf draw as the
+// simulator) and reports sustained redirects/sec plus answer-latency
+// percentiles.  With --min-rate it doubles as an assertion: exit 1 when
+// the measured rate falls short (the CI perf gate).
+//
+// Examples:
+//   redirect_load --port 9700 --requests 200000 --connections 16
+//   redirect_load --port 9700 --min-rate 10000 --pipeline 8
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/hybridcdn.h"
+#include "src/net/socket.h"
+#include "src/redirectd/protocol.h"
+#include "src/util/cli.h"
+
+namespace {
+
+using namespace cdn;
+
+struct WorkerResult {
+  std::uint64_t replica = 0;
+  std::uint64_t origin = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t errors = 0;
+  std::vector<std::uint64_t> latency_ns;
+  bool transport_failed = false;
+};
+
+double percentile_ms(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return static_cast<double>(sorted[idx]) * 1e-6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "redirect_load — throughput/latency replay client for redirectd");
+  cli.add_flag("host", "127.0.0.1", "daemon address");
+  cli.add_flag("port", "0", "daemon port (required)");
+  cli.add_flag("connections", "16", "parallel client connections");
+  cli.add_flag("requests", "100000", "total requests to replay");
+  cli.add_flag("pipeline", "8",
+               "requests written per batch before reading the replies "
+               "(1 = strict request/response lockstep)");
+  cli.add_flag("timeout-ms", "5000", "per-read socket timeout");
+  cli.add_flag("min-rate", "0",
+               "exit 1 unless this many redirects/sec is sustained");
+  cli.add_flag("servers", "50", "scenario: number of CDN servers");
+  cli.add_flag("low", "50", "scenario: low-popularity sites");
+  cli.add_flag("medium", "100", "scenario: medium-popularity sites");
+  cli.add_flag("high", "50", "scenario: high-popularity sites");
+  cli.add_flag("objects", "1000", "scenario: objects per site");
+  cli.add_flag("seed", "2005", "scenario seed (must match the daemon)");
+  cli.add_flag("stream-seed", "99", "request-stream seed");
+  if (!cli.parse(argc, argv)) return 2;
+
+  try {
+    const std::uint16_t port =
+        static_cast<std::uint16_t>(cli.get_int("port"));
+    CDN_EXPECT(port != 0, "--port is required");
+    const std::string host = cli.get_string("host");
+    const std::size_t connections =
+        static_cast<std::size_t>(cli.get_int("connections"));
+    CDN_EXPECT(connections >= 1, "--connections must be at least 1");
+    const std::uint64_t total_requests =
+        static_cast<std::uint64_t>(cli.get_int("requests"));
+    const std::size_t pipeline =
+        static_cast<std::size_t>(cli.get_int("pipeline"));
+    CDN_EXPECT(pipeline >= 1, "--pipeline must be at least 1");
+    const int timeout_ms = static_cast<int>(cli.get_int("timeout-ms"));
+
+    core::ScenarioConfig cfg;
+    cfg.server_count = static_cast<std::size_t>(cli.get_int("servers"));
+    cfg.classes = {
+        {static_cast<std::size_t>(cli.get_int("low")), 1.0, "low"},
+        {static_cast<std::size_t>(cli.get_int("medium")), 4.0, "medium"},
+        {static_cast<std::size_t>(cli.get_int("high")), 16.0, "high"}};
+    cfg.surge.objects_per_site =
+        static_cast<std::size_t>(cli.get_int("objects"));
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    core::Scenario scenario(cfg);
+
+    const std::uint64_t stream_seed =
+        static_cast<std::uint64_t>(cli.get_int("stream-seed"));
+
+    std::vector<WorkerResult> results(connections);
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    for (std::size_t w = 0; w < connections; ++w) {
+      const std::uint64_t share =
+          total_requests / connections +
+          (w < total_requests % connections ? 1 : 0);
+      workers.emplace_back([&, w, share] {
+        WorkerResult& out = results[w];
+        net::ConnectStart conn = net::start_connect(host, port);
+        if (!conn.fd.valid()) {
+          out.transport_failed = true;
+          return;
+        }
+        // Blocking-style use of the non-blocking socket: write_all /
+        // read_line poll internally.
+        if (conn.in_progress) {
+          // Wait for the connect to resolve by polling writability via a
+          // zero-length write.
+          char nothing = 0;
+          if (!net::write_all(conn.fd.get(), &nothing, 0, timeout_ms) ||
+              net::finish_connect(conn.fd.get()) != 0) {
+            out.transport_failed = true;
+            return;
+          }
+        }
+        workload::RequestStream stream(scenario.catalog(), scenario.demand(),
+                                       stream_seed + w);
+        out.latency_ns.reserve(share);
+        std::uint64_t sent = 0;
+        while (sent < share) {
+          const std::size_t batch =
+              static_cast<std::size_t>(std::min<std::uint64_t>(
+                  pipeline, share - sent));
+          std::string block;
+          for (std::size_t b = 0; b < batch; ++b) {
+            const workload::Request r = stream.next();
+            redirectd::RedirectRequest req;
+            req.client_server = r.server;
+            req.site = r.site;
+            req.object = r.rank;
+            block += redirectd::format_request(req);
+          }
+          const auto t0 = std::chrono::steady_clock::now();
+          if (!net::write_all(conn.fd.get(), block.data(), block.size(),
+                              timeout_ms)) {
+            out.transport_failed = true;
+            return;
+          }
+          for (std::size_t b = 0; b < batch; ++b) {
+            const auto line =
+                net::read_line(conn.fd.get(), timeout_ms);
+            if (!line.has_value()) {
+              out.transport_failed = true;
+              return;
+            }
+            const auto t1 = std::chrono::steady_clock::now();
+            out.latency_ns.push_back(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
+                                                                     t0)
+                    .count()));
+            if (line->rfind("ERR", 0) == 0) {
+              ++out.errors;
+              continue;
+            }
+            const redirectd::RedirectAnswer answer =
+                redirectd::parse_answer(*line);
+            switch (answer.kind) {
+              case redirectd::AnswerKind::kReplica:
+                ++out.replica;
+                break;
+              case redirectd::AnswerKind::kOrigin:
+                ++out.origin;
+                break;
+              case redirectd::AnswerKind::kUnavailable:
+                ++out.unavailable;
+                break;
+            }
+          }
+          sent += batch;
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+
+    WorkerResult total;
+    for (const auto& r : results) {
+      total.replica += r.replica;
+      total.origin += r.origin;
+      total.unavailable += r.unavailable;
+      total.errors += r.errors;
+      total.transport_failed =
+          total.transport_failed || r.transport_failed;
+      total.latency_ns.insert(total.latency_ns.end(), r.latency_ns.begin(),
+                              r.latency_ns.end());
+    }
+    std::sort(total.latency_ns.begin(), total.latency_ns.end());
+    const std::uint64_t answered = total.latency_ns.size();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(answered) / elapsed : 0.0;
+
+    std::printf("requests      %llu\n",
+                static_cast<unsigned long long>(answered));
+    std::printf("elapsed_s     %.3f\n", elapsed);
+    std::printf("redirects/s   %.0f\n", rate);
+    std::printf("replica       %llu\n",
+                static_cast<unsigned long long>(total.replica));
+    std::printf("origin        %llu\n",
+                static_cast<unsigned long long>(total.origin));
+    std::printf("unavailable   %llu\n",
+                static_cast<unsigned long long>(total.unavailable));
+    std::printf("errors        %llu\n",
+                static_cast<unsigned long long>(total.errors));
+    std::printf("latency_p50_ms %.3f\n",
+                percentile_ms(total.latency_ns, 0.50));
+    std::printf("latency_p90_ms %.3f\n",
+                percentile_ms(total.latency_ns, 0.90));
+    std::printf("latency_p99_ms %.3f\n",
+                percentile_ms(total.latency_ns, 0.99));
+
+    if (total.transport_failed) {
+      std::fprintf(stderr, "redirect_load: a connection failed mid-run\n");
+      return 1;
+    }
+    const double min_rate = cli.get_double("min-rate");
+    if (min_rate > 0.0 && rate < min_rate) {
+      std::fprintf(stderr,
+                   "redirect_load: sustained %.0f redirects/s, below the "
+                   "required %.0f\n",
+                   rate, min_rate);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "redirect_load: %s\n", e.what());
+    return 1;
+  }
+}
