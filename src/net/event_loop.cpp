@@ -36,18 +36,20 @@ void EventLoop::add_fd(int fd, std::uint32_t interest, FdCallback callback) {
     CDN_EXPECT(pending != deferred_removals_.end(),
                "fd " + std::to_string(fd) + " is already registered");
     deferred_removals_.erase(pending);
-    displaced_callbacks_.push_back(std::move(it->second.second));
-    it->second = std::make_pair(interest, std::move(callback));
+    displaced_callbacks_.push_back(std::move(it->second.callback));
+    it->second =
+        FdReg{interest, std::move(callback), next_fd_generation_++};
     return;
   }
-  fds_.emplace(fd, std::make_pair(interest, std::move(callback)));
+  fds_.emplace(fd,
+               FdReg{interest, std::move(callback), next_fd_generation_++});
 }
 
 void EventLoop::set_interest(int fd, std::uint32_t interest) {
   const auto it = fds_.find(fd);
   CDN_EXPECT(it != fds_.end(),
              "fd " + std::to_string(fd) + " is not registered");
-  it->second.first = interest;
+  it->second.interest = interest;
 }
 
 void EventLoop::remove_fd(int fd) {
@@ -55,7 +57,7 @@ void EventLoop::remove_fd(int fd) {
     deferred_removals_.push_back(fd);
     // Stop delivering events for it within this pass.
     const auto it = fds_.find(fd);
-    if (it != fds_.end()) it->second.first = 0;
+    if (it != fds_.end()) it->second.interest = 0;
     return;
   }
   fds_.erase(fd);
@@ -109,7 +111,9 @@ std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
   }
 
   std::vector<pollfd> pfds;
-  std::vector<int> order;
+  // (fd, generation) at poll time: revents belong to that registration
+  // only, never to a later one that reclaimed the same fd number.
+  std::vector<std::pair<int, std::uint64_t>> order;
   pfds.reserve(fds_.size() + 1);
   order.reserve(fds_.size());
   {
@@ -121,10 +125,10 @@ std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
   for (const auto& [fd, reg] : fds_) {
     pollfd p{};
     p.fd = fd;
-    if (reg.first & kReadable) p.events |= POLLIN;
-    if (reg.first & kWritable) p.events |= POLLOUT;
+    if (reg.interest & kReadable) p.events |= POLLIN;
+    if (reg.interest & kWritable) p.events |= POLLOUT;
     pfds.push_back(p);
-    order.push_back(fd);
+    order.emplace_back(fd, reg.generation);
   }
 
   const int rc = ::poll(pfds.data(), pfds.size(),
@@ -143,14 +147,17 @@ std::size_t EventLoop::run_once(std::chrono::milliseconds max_wait) {
     for (std::size_t i = 0; i < order.size(); ++i) {
       const short revents = pfds[i + 1].revents;
       if (revents == 0) continue;
-      const auto it = fds_.find(order[i]);
-      if (it == fds_.end() || it->second.first == 0) continue;
+      const auto it = fds_.find(order[i].first);
+      if (it == fds_.end() || it->second.interest == 0 ||
+          it->second.generation != order[i].second) {
+        continue;
+      }
       std::uint32_t events = 0;
       if (revents & POLLIN) events |= kReadable;
       if (revents & POLLOUT) events |= kWritable;
       if (revents & (POLLERR | POLLHUP | POLLNVAL)) events |= kErrored;
       if (events == 0) continue;
-      it->second.second(events);
+      it->second.callback(events);
       ++dispatched;
     }
   }

@@ -106,7 +106,18 @@ class EventLoop {
   void drain_wakeup_pipe();
   void flush_deferred_removals();
 
-  std::unordered_map<int, std::pair<std::uint32_t, FdCallback>> fds_;
+  struct FdReg {
+    std::uint32_t interest = 0;
+    FdCallback callback;
+    // Bumped on every add_fd.  Readiness captured by poll() is delivered
+    // only to the registration that was polled: if a callback earlier in
+    // the pass closed the fd and the number was reclaimed for a new
+    // socket, the stale revents must not leak to the new registration.
+    std::uint64_t generation = 0;
+  };
+
+  std::unordered_map<int, FdReg> fds_;
+  std::uint64_t next_fd_generation_ = 1;
   std::vector<int> deferred_removals_;
   // Closures displaced by fd-number reuse within a dispatch pass; one of
   // them may be the callback currently executing, so destruction waits

@@ -177,6 +177,10 @@ bool write_all(int fd, const void* buf, std::size_t len, int timeout_ms) {
   return true;
 }
 
+bool wait_writable(int fd, int timeout_ms) {
+  return poll_one(fd, POLLOUT, timeout_ms) > 0;
+}
+
 std::optional<std::string> read_line(int fd, int timeout_ms,
                                      std::size_t max_len) {
   const auto deadline = std::chrono::steady_clock::now() +

@@ -136,6 +136,11 @@ IoResult write_some(int fd, const void* buf, std::size_t len);
 /// false on error/timeout.
 bool write_all(int fd, const void* buf, std::size_t len, int timeout_ms);
 
+/// Blocking convenience: waits until the fd is writable — the readiness
+/// signal that an in-progress connect has resolved (then check
+/// `finish_connect`).  Returns false on poll error or timeout.
+bool wait_writable(int fd, int timeout_ms);
+
 /// Blocking convenience: reads until `\n` (kept) or EOF/timeout/limit.
 /// Returns nullopt on error, timeout, or an over-limit line.
 std::optional<std::string> read_line(int fd, int timeout_ms,

@@ -168,6 +168,9 @@ void RedirectorDaemon::on_session_event(int fd, std::uint32_t events) {
           // No newline within the cap: a broken or hostile client.
           send(session, "ERR request line exceeds " +
                             std::to_string(kMaxRequestLine) + " bytes\n");
+          // A failed write inside send() tears the session down when no
+          // race is in flight; `session` is freed then.
+          if (sessions_.find(fd) == sessions_.end()) return;
           session.closing = true;
           session.inbuf.clear();
           session.pending.clear();

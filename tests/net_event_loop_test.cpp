@@ -147,6 +147,45 @@ TEST(EventLoop, FdNumberReusedWithinOnePassIsReclaimed) {
   if (second_write >= 0) ::close(second_write);
 }
 
+TEST(EventLoop, StaleReventsNotDeliveredToReusedFdNumber) {
+  // poll() captures readiness by fd number; a handler earlier in the same
+  // pass then closes that fd and a new socket reclaims the number.  The
+  // stale POLLIN from the dead registration must not reach the new one —
+  // a racer would read it as "connect resolved" while still in flight.
+  EventLoop loop;
+  int first[2];
+  ASSERT_EQ(::pipe(first), 0);
+  ASSERT_TRUE(set_nonblocking_cloexec(first[0]));
+  bool first_fired = false;
+  loop.add_fd(first[0], kReadable, [&](std::uint32_t) { first_fired = true; });
+  ASSERT_EQ(::write(first[1], "x", 1), 1);  // readable at poll time
+
+  int second[2] = {-1, -1};
+  int second_events = 0;
+  // The wakeup handler runs before fd dispatch within the pass.
+  loop.set_wakeup_handler([&] {
+    loop.remove_fd(first[0]);
+    ASSERT_EQ(::close(first[0]), 0);
+    ASSERT_EQ(::close(first[1]), 0);
+    ASSERT_EQ(::pipe(second), 0);
+    ASSERT_EQ(second[0], first[0]);  // number reclaimed
+    ASSERT_TRUE(set_nonblocking_cloexec(second[0]));
+    loop.add_fd(second[0], kReadable, [&](std::uint32_t) { ++second_events; });
+  });
+  loop.wakeup();
+  loop.run_once(100ms);
+  EXPECT_FALSE(first_fired);
+  EXPECT_EQ(second_events, 0);  // nothing written to the new pipe yet
+
+  ASSERT_EQ(::write(second[1], "y", 1), 1);
+  const auto deadline = Clock::now() + 2s;
+  while (second_events == 0 && Clock::now() < deadline) loop.run_once(50ms);
+  EXPECT_EQ(second_events, 1);
+  loop.remove_fd(second[0]);
+  ::close(second[0]);
+  ::close(second[1]);
+}
+
 TEST(EventLoop, SetInterestUnknownFdThrows) {
   EventLoop loop;
   EXPECT_THROW(loop.set_interest(42, kReadable), PreconditionError);

@@ -73,6 +73,34 @@ TEST(Socket, ConnectRefusedReportsError) {
   EXPECT_NE(err, 0);
 }
 
+TEST(Socket, WaitWritableResolvesInProgressConnect) {
+  TcpListener listener = TcpListener::bind("127.0.0.1", 0);
+  ConnectStart conn = start_connect("127.0.0.1", listener.port());
+  ASSERT_TRUE(conn.fd.valid());
+  if (conn.in_progress) {
+    ASSERT_TRUE(wait_writable(conn.fd.get(), 2000));
+  }
+  EXPECT_EQ(finish_connect(conn.fd.get()), 0);
+}
+
+TEST(Socket, WaitWritableSurfacesAsyncConnectRefusal) {
+  std::uint16_t dead_port;
+  {
+    TcpListener tmp = TcpListener::bind("127.0.0.1", 0);
+    dead_port = tmp.port();
+  }
+  ConnectStart conn = start_connect("127.0.0.1", dead_port);
+  if (!conn.fd.valid()) {
+    EXPECT_NE(conn.error, 0);  // refused synchronously
+    return;
+  }
+  // A refused connect also makes the socket writable — SO_ERROR then
+  // carries the failure, so the caller fails fast instead of discovering
+  // it on the first write/read.
+  ASSERT_TRUE(wait_writable(conn.fd.get(), 2000));
+  EXPECT_NE(finish_connect(conn.fd.get()), 0);
+}
+
 TEST(Socket, ReadSomeReportsEofOnPeerClose) {
   TcpListener listener = TcpListener::bind("127.0.0.1", 0);
   ConnectStart conn = start_connect("127.0.0.1", listener.port());

@@ -7,6 +7,7 @@
 #include "src/redirectd/daemon.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <csignal>
 #include <chrono>
@@ -177,6 +178,35 @@ TEST(RedirectorDaemon, OversizedRequestLineClosesTheSession) {
   EXPECT_EQ(line->rfind("ERR", 0), 0u);
   // The daemon closes the connection after the rejection.
   EXPECT_FALSE(net::read_line(client.get(), 2000).has_value());
+}
+
+TEST(RedirectorDaemon, OversizedLineFromResettingClientDoesNotCrash) {
+  // Regression: the ERR write for an oversized line can fail immediately
+  // (ECONNRESET/EPIPE) when the flooding client resets the connection,
+  // tearing the session down mid-handler; the daemon then must not touch
+  // the freed session.  RST timing is racy, so several clients take the
+  // shot — with the bug present this trips ASan or corrupts the daemon.
+  Fixture fx;
+  DaemonConfig config = base_config(fx);
+  RedirectorDaemon daemon(config);
+  DaemonRunner runner(daemon);
+
+  const std::string flood(kMaxRequestLine + 64, 'a');  // no newline
+  for (int i = 0; i < 20; ++i) {
+    net::Fd client = connect_client(daemon.port());
+    ASSERT_TRUE(
+        net::write_all(client.get(), flood.data(), flood.size(), 3000));
+    const linger hard{1, 0};  // RST on close instead of FIN
+    ASSERT_EQ(::setsockopt(client.get(), SOL_SOCKET, SO_LINGER, &hard,
+                           sizeof(hard)),
+              0);
+  }
+
+  // The daemon survives and keeps serving new sessions.
+  net::Fd fresh = connect_client(daemon.port());
+  const auto a = rpc(fresh.get(), 0, 0, 1);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->kind, AnswerKind::kReplica);
 }
 
 // ---------------------------------------------------------------------------

@@ -116,10 +116,10 @@ int main(int argc, char** argv) {
         // Blocking-style use of the non-blocking socket: write_all /
         // read_line poll internally.
         if (conn.in_progress) {
-          // Wait for the connect to resolve by polling writability via a
-          // zero-length write.
-          char nothing = 0;
-          if (!net::write_all(conn.fd.get(), &nothing, 0, timeout_ms) ||
+          // Wait for the connect to resolve (writability), then fail fast
+          // on SO_ERROR instead of misattributing a refused connect to the
+          // first batch's write or read.
+          if (!net::wait_writable(conn.fd.get(), timeout_ms) ||
               net::finish_connect(conn.fd.get()) != 0) {
             out.transport_failed = true;
             return;
