@@ -1,0 +1,186 @@
+// Flow-engine bench — the analytical fast path (sim::SimEngine::kFlow)
+// against the event engine on a grid of paper-scale scenarios
+// (N = 50, M = 200; storage fraction and uncacheable fraction swept).
+//
+// Two things are measured and gated:
+//
+//   * Speed: total event wall-clock over the grid divided by total flow
+//     wall-clock.  The flow engine exists to make parameter sweeps cheap,
+//     so the bench hard-fails below 100x — if the analytical path is ever
+//     that slow, it has lost its reason to exist.
+//   * Fidelity: the worst absolute local-ratio gap and relative mean-hop
+//     gap between the flow summary and the event engine's measured report
+//     across the grid.  Both engines are deterministic in (seed, shards),
+//     so drift here means a model or engine change, not machine noise.
+//
+// Writes a schema-versioned BENCH_flow.json artifact gated by
+// scripts/check_bench_regression.py against bench/baselines/BENCH_flow.json.
+//
+// Usage: bench_flow [--smoke] [artifact.json]
+//   --smoke  2 grid points at 500k event requests (sanitizer/CI-PR runs)
+//            instead of 4 points at 5M.
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_artifact.h"
+#include "bench/bench_support.h"
+#include "src/obs/run_manifest.h"
+#include "src/placement/fixed_split.h"
+#include "src/sim/simulator.h"
+#include "src/util/error.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace cdn;
+
+double wall_of(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct GridPoint {
+  double storage_fraction;
+  double lambda;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_flow.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  std::cout << "Flow analytical engine vs event engine, paper-scale grid\n";
+
+  std::vector<GridPoint> grid = {{0.01, 0.0}, {0.05, 0.0}};
+  if (!smoke) {
+    grid.push_back({0.15, 0.0});
+    grid.push_back({0.05, 0.3});
+  }
+
+  double event_wall = 0.0;
+  double flow_wall = 0.0;
+  double flow_cf_wall = 0.0;
+  std::uint64_t event_requests = 0;
+  double max_local_gap = 0.0;
+  double max_hops_rel_gap = 0.0;
+  double flow_local_sum = 0.0;
+  double event_local_sum = 0.0;
+
+  util::TextTable table({"storage%", "lambda", "event req/s", "event local%",
+                         "flow local%", "cf local%", "event wall_s",
+                         "flow wall_s"});
+
+  for (const GridPoint& point : grid) {
+    const core::Scenario scenario(
+        bench::paper_config(point.storage_fraction, point.lambda));
+    const auto placement = placement::pure_caching(scenario.system());
+
+    sim::SimulationConfig cfg;
+    cfg.total_requests = smoke ? 500'000 : 5'000'000;
+    cfg.warmup_fraction = 0.3;
+    cfg.seed = 99;
+    cfg.threads = 0;
+    cfg.shards = 8;  // pinned: deterministic in (seed, shards)
+
+    auto start = std::chrono::steady_clock::now();
+    const auto event = sim::simulate(scenario.system(), placement, cfg);
+    const double point_event_wall = wall_of(start);
+    event_wall += point_event_wall;
+    event_requests += cfg.total_requests;
+
+    sim::SimulationConfig flow_cfg = cfg;
+    flow_cfg.engine = sim::SimEngine::kFlow;
+    flow_cfg.hit_model = sim::HitModel::kEmpirical;
+    start = std::chrono::steady_clock::now();
+    const auto flow = sim::simulate(scenario.system(), placement, flow_cfg);
+    const double point_flow_wall = wall_of(start);
+    flow_wall += point_flow_wall;
+
+    // The closed-form tier rebuilds its hit-ratio curves per run; timing it
+    // separately keeps that setup cost visible in the artifact.
+    flow_cfg.hit_model = sim::HitModel::kClosedForm;
+    start = std::chrono::steady_clock::now();
+    const auto flow_cf = sim::simulate(scenario.system(), placement, flow_cfg);
+    flow_cf_wall += wall_of(start);
+
+    const double local_gap = std::abs(flow.local_ratio - event.local_ratio);
+    max_local_gap = std::max(max_local_gap, local_gap);
+    if (event.mean_cost_hops > 0.0) {
+      max_hops_rel_gap = std::max(
+          max_hops_rel_gap,
+          std::abs(flow.mean_cost_hops - event.mean_cost_hops) /
+              event.mean_cost_hops);
+    }
+    flow_local_sum += flow.local_ratio;
+    event_local_sum += event.local_ratio;
+
+    table.add_row(
+        {util::format_double(100.0 * point.storage_fraction, 0),
+         util::format_double(point.lambda, 2),
+         util::format_double(
+             point_event_wall > 0.0
+                 ? static_cast<double>(cfg.total_requests) / point_event_wall
+                 : 0.0,
+             0),
+         util::format_double(100.0 * event.local_ratio, 2),
+         util::format_double(100.0 * flow.local_ratio, 2),
+         util::format_double(100.0 * flow_cf.local_ratio, 2),
+         util::format_double(point_event_wall, 3),
+         util::format_double(point_flow_wall, 4)});
+  }
+
+  const double points = static_cast<double>(grid.size());
+  const double speedup = flow_wall > 0.0 ? event_wall / flow_wall : 0.0;
+  std::cout << table.str() << "flow speedup over event engine "
+            << util::format_double(speedup, 0) << "x, max |local ratio gap| "
+            << util::format_double(max_local_gap, 4) << '\n';
+  CDN_EXPECT(speedup >= 100.0,
+             "flow engine is less than 100x faster than the event engine");
+
+  obs::RunManifest manifest =
+      obs::make_run_manifest(smoke ? "bench_flow --smoke" : "bench_flow");
+  manifest.seed = 99;
+  manifest.threads = 0;
+  manifest.shards = 8;
+
+  // Wall-clock metrics carry generous thresholds (machines differ); the
+  // fidelity gaps are deterministic modulo libm rounding, so tight ones.
+  bench::BenchArtifact artifact("flow");
+  artifact.set("event_requests_per_sec",
+               event_wall > 0.0
+                   ? static_cast<double>(event_requests) / event_wall
+                   : 0.0,
+               "req/s", /*higher_is_better=*/true, /*threshold_pct=*/65.0);
+  artifact.set("flow_evals_per_sec",
+               flow_wall > 0.0 ? points / flow_wall : 0.0, "evals/s", true,
+               65.0);
+  artifact.set("flow_closed_form_evals_per_sec",
+               flow_cf_wall > 0.0 ? points / flow_cf_wall : 0.0, "evals/s",
+               true, 65.0);
+  artifact.set("flow_vs_event_speedup", speedup, "x", true, 90.0);
+  artifact.set("max_local_ratio_abs_gap", max_local_gap, "ratio",
+               /*higher_is_better=*/false, 25.0);
+  artifact.set("max_mean_hops_rel_gap", max_hops_rel_gap, "ratio", false,
+               25.0);
+  artifact.set("flow_mean_local_ratio", flow_local_sum / points, "ratio",
+               true, 2.0);
+  artifact.set("event_mean_local_ratio", event_local_sum / points, "ratio",
+               true, 2.0);
+  artifact.write_json_file(out_path, manifest);
+  std::cout << "artifact: " << out_path << '\n';
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/cache/cache_factory.h"
+#include "src/cache/probe_table.h"
 #include "src/core/experiment.h"
 #include "src/core/scenario.h"
 #include "src/model/characteristic_time.h"
@@ -19,6 +20,7 @@
 #include "src/util/quantile_sketch.h"
 #include "src/util/rng.h"
 #include "src/util/zipf.h"
+#include "src/workload/request_stream.h"
 
 namespace {
 
@@ -41,6 +43,58 @@ BENCHMARK(BM_LruAccessZipf)
     ->Arg(static_cast<int>(cache::PolicyKind::kLfu))
     ->Arg(static_cast<int>(cache::PolicyKind::kClock))
     ->Arg(static_cast<int>(cache::PolicyKind::kDelayedLru));
+
+// The open-addressed probe behind the cache policies' hit path, isolated
+// from eviction/recency bookkeeping.  Arg 0 = steady-state probes against a
+// warm table; arg 1 adds insert+erase churn on every miss, exercising the
+// backward-shift deletion path.
+void BM_CacheProbe(benchmark::State& state) {
+  cache::ProbeTable table;
+  constexpr std::uint64_t kResident = 10'000;
+  for (std::uint64_t k = 1; k <= kResident; ++k) {
+    table.insert(k, static_cast<std::uint32_t>(k));
+  }
+  const util::ZipfDistribution zipf(100'000, 1.0);
+  util::Rng rng(1);
+  const bool churn = state.range(0) != 0;
+  for (auto _ : state) {
+    const auto key = static_cast<std::uint64_t>(zipf.sample(rng));
+    const std::uint32_t slot = table.find(key);
+    if (churn && slot == cache::ProbeTable::kNil) {
+      table.insert(key, 0);
+      table.erase(key);
+    }
+    benchmark::DoNotOptimize(slot);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheProbe)
+    ->Arg(0)   // probe only (hit path)
+    ->Arg(1);  // probe + insert/erase churn on misses
+
+// SoA batch generation — the data-oriented hot loop's input stage.  Items
+// are requests, so items_per_second is the generator's ceiling on engine
+// throughput.
+void BM_RequestBatchGen(benchmark::State& state) {
+  core::ScenarioConfig cfg;
+  cfg.server_count = 16;
+  cfg.classes = {{10, 1.0, "low"}, {6, 4.0, "medium"}, {4, 16.0, "high"}};
+  cfg.surge.objects_per_site = 200;
+  cfg.storage_fraction = 0.05;
+  cfg.seed = 2005;
+  const core::Scenario scenario(cfg);
+  workload::RequestStream stream(scenario.system().catalog(),
+                                 scenario.system().demand(), 99);
+  workload::RequestBatch batch;
+  constexpr std::size_t kBatch = 4096;  // the engines' chunk size
+  for (auto _ : state) {
+    stream.next_batch(batch, kBatch);
+    benchmark::DoNotOptimize(batch.rank.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_RequestBatchGen);
 
 void BM_ZipfSample(benchmark::State& state) {
   const util::ZipfDistribution zipf(static_cast<std::size_t>(state.range(0)),

@@ -4,15 +4,17 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 
 #include "src/cache/cache_policy.h"
+#include "src/cache/probe_table.h"
+#include "src/cache/slot_list.h"
 
 namespace cdn::cache {
 
-/// CLOCK keeps entries on a circular list with a reference bit; the hand
-/// clears bits until it finds an unreferenced victim.
+/// CLOCK keeps entries on a circular order with a reference bit; the hand
+/// clears bits until it finds an unreferenced victim.  The order lives in
+/// an arena-backed slot list (the hand wraps tail -> head), so a hit is a
+/// probe-table lookup plus one bit set — no list surgery at all.
 class ClockCache final : public CachePolicy {
  public:
   explicit ClockCache(std::uint64_t capacity_bytes);
@@ -32,21 +34,22 @@ class ClockCache final : public CachePolicy {
   void restore_state(util::ByteReader& r) override;
 
  private:
-  struct Entry {
+  struct Node {
     ObjectKey key;
     std::uint64_t bytes;
+    std::uint32_t prev;
+    std::uint32_t next;
     bool referenced;
   };
-  using Ring = std::list<Entry>;
 
   void evict_one();
   void advance_hand();
 
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
-  Ring ring_;
-  Ring::iterator hand_ = ring_.end();
-  std::unordered_map<ObjectKey, Ring::iterator> index_;
+  SlotList<Node> ring_;
+  std::uint32_t hand_ = SlotList<Node>::kNil;  // kNil only when empty
+  ProbeTable index_;                           // key -> ring_ slot
 };
 
 }  // namespace cdn::cache

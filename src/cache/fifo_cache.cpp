@@ -4,6 +4,10 @@
 
 namespace cdn::cache {
 
+namespace {
+constexpr std::uint32_t kNil = ProbeTable::kNil;
+}  // namespace
+
 FifoCache::FifoCache(std::uint64_t capacity_bytes)
     : capacity_(capacity_bytes) {}
 
@@ -13,18 +17,19 @@ void FifoCache::admit(ObjectKey key, std::uint64_t bytes) {
   if (bytes > capacity_) return;
   if (index_.contains(key)) return;
   while (used_ + bytes > capacity_) evict_one();
-  queue_.push_front({key, bytes});
-  index_.emplace(key, queue_.begin());
+  const std::uint32_t slot = queue_.alloc({key, bytes, kNil, kNil});
+  queue_.push_front(slot);
+  index_.insert(key, slot);
   used_ += bytes;
   stats_.record_admission(bytes);
 }
 
 bool FifoCache::erase(ObjectKey key) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  used_ -= it->second->bytes;
-  queue_.erase(it->second);
-  index_.erase(it);
+  const std::uint32_t slot = index_.find(key);
+  if (slot == kNil) return false;
+  used_ -= queue_[slot].bytes;
+  queue_.remove(slot);
+  index_.erase(key);
   return true;
 }
 
@@ -45,9 +50,9 @@ void FifoCache::save_state(util::ByteWriter& w) const {
   w.u64(capacity_);
   stats_.save_state(w);
   w.u64(queue_.size());
-  for (const Entry& e : queue_) {  // newest -> oldest admission
-    w.u64(e.key);
-    w.u64(e.bytes);
+  for (std::uint32_t s = queue_.head(); s != kNil; s = queue_[s].next) {
+    w.u64(queue_[s].key);  // newest -> oldest admission
+    w.u64(queue_[s].bytes);
   }
 }
 
@@ -57,11 +62,14 @@ void FifoCache::restore_state(util::ByteReader& r) {
   stats_.restore_state(r);
   const std::uint64_t n = r.u64();
   r.need(n * 16, "fifo entries");
+  queue_.reserve(n);
+  index_.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     const ObjectKey key = r.u64();
     const std::uint64_t bytes = r.u64();
-    queue_.push_back({key, bytes});
-    index_.emplace(key, std::prev(queue_.end()));
+    const std::uint32_t slot = queue_.alloc({key, bytes, kNil, kNil});
+    queue_.push_back(slot);
+    index_.insert(key, slot);
     used_ += bytes;
   }
   CDN_EXPECT(used_ <= capacity_, "restored cache exceeds its capacity");
@@ -69,11 +77,11 @@ void FifoCache::restore_state(util::ByteReader& r) {
 
 void FifoCache::evict_one() {
   CDN_DCHECK(!queue_.empty(), "eviction from empty cache");
-  const Entry& victim = queue_.back();
-  used_ -= victim.bytes;
-  index_.erase(victim.key);
-  stats_.record_eviction(victim.bytes);
-  queue_.pop_back();
+  const std::uint32_t victim = queue_.tail();
+  used_ -= queue_[victim].bytes;
+  index_.erase(queue_[victim].key);
+  stats_.record_eviction(queue_[victim].bytes);
+  queue_.remove(victim);
 }
 
 }  // namespace cdn::cache

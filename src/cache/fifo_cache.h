@@ -5,14 +5,16 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 
 #include "src/cache/cache_policy.h"
+#include "src/cache/probe_table.h"
+#include "src/cache/slot_list.h"
 
 namespace cdn::cache {
 
 /// FIFO eviction: objects leave in admission order regardless of hits.
+/// Same probe-table + slot-arena layout as LruCache; a hit is a single
+/// table probe with no list update at all.
 class FifoCache final : public CachePolicy {
  public:
   explicit FifoCache(std::uint64_t capacity_bytes);
@@ -32,17 +34,19 @@ class FifoCache final : public CachePolicy {
   void restore_state(util::ByteReader& r) override;
 
  private:
-  struct Entry {
+  struct Node {
     ObjectKey key;
     std::uint64_t bytes;
+    std::uint32_t prev;
+    std::uint32_t next;
   };
 
   void evict_one();
 
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
-  std::list<Entry> queue_;  // front = newest admission
-  std::unordered_map<ObjectKey, std::list<Entry>::iterator> index_;
+  SlotList<Node> queue_;  // head = newest admission
+  ProbeTable index_;      // key -> queue_ slot
 };
 
 }  // namespace cdn::cache

@@ -4,16 +4,18 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 
 #include "src/cache/cache_policy.h"
+#include "src/cache/probe_table.h"
+#include "src/cache/slot_list.h"
 
 namespace cdn::cache {
 
-/// Classic LRU: hash map + intrusive recency list.  All operations O(1)
-/// amortised.  The recency list's front is the most-recent end (the "rear"
-/// of the buffer in the paper's Figure 1); eviction pops the back.
+/// Classic LRU: open-addressed probe table + arena-backed recency list.
+/// All operations O(1) amortised, with the hit path (probe + relink) free
+/// of node allocation and bucket-chain pointer chasing.  The recency
+/// list's head is the most-recent end (the "rear" of the buffer in the
+/// paper's Figure 1); eviction pops the tail.
 class LruCache final : public CachePolicy {
  public:
   explicit LruCache(std::uint64_t capacity_bytes);
@@ -40,17 +42,19 @@ class LruCache final : public CachePolicy {
   void restore_state(util::ByteReader& r) override;
 
  private:
-  struct Entry {
+  struct Node {
     ObjectKey key;
     std::uint64_t bytes;
+    std::uint32_t prev;
+    std::uint32_t next;
   };
 
   void evict_one();
 
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
-  std::list<Entry> recency_;  // front = most recent
-  std::unordered_map<ObjectKey, std::list<Entry>::iterator> index_;
+  SlotList<Node> recency_;  // head = most recent
+  ProbeTable index_;        // key -> recency_ slot
 };
 
 }  // namespace cdn::cache

@@ -1,0 +1,126 @@
+// Intrusive doubly-linked list whose nodes live in one flat slot arena.
+//
+// Replaces the std::list each cache policy used for its recency/ring order:
+// nodes are 32-bit slots into a contiguous vector instead of heap-allocated
+// list nodes, so walking neighbours touches a dense array (no per-node
+// allocation, no pointer-sized links) and freed slots recycle through an
+// internal free list.  Pairs with ProbeTable, whose values are these slots.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cdn::cache {
+
+/// Arena-backed doubly-linked list.  `Node` must expose `std::uint32_t
+/// prev, next;` members, which the list owns; all other fields are the
+/// caller's payload.  Slot values stay valid until remove()/clear().
+template <typename Node>
+class SlotList {
+ public:
+  /// "No slot": list end in prev/next chains and head()/tail() of an
+  /// empty list.
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  Node& operator[](std::uint32_t slot) noexcept { return nodes_[slot]; }
+  const Node& operator[](std::uint32_t slot) const noexcept {
+    return nodes_[slot];
+  }
+
+  std::uint32_t head() const noexcept { return head_; }
+  std::uint32_t tail() const noexcept { return tail_; }
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+
+  void reserve(std::size_t n) { nodes_.reserve(n); }
+
+  /// Claims a slot (recycling freed ones) holding `node`; the slot is not
+  /// linked into the list yet — follow with push_front/push_back/
+  /// insert_before.
+  std::uint32_t alloc(Node node) {
+    node.prev = kNil;
+    node.next = kNil;
+    if (free_ != kNil) {
+      const std::uint32_t slot = free_;
+      free_ = nodes_[slot].next;
+      nodes_[slot] = node;
+      return slot;
+    }
+    nodes_.push_back(node);
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  void push_front(std::uint32_t slot) { insert_before(slot, head_); }
+
+  void push_back(std::uint32_t slot) { insert_before(slot, kNil); }
+
+  /// Links `slot` immediately before `pos`; pos == kNil appends at the end
+  /// (the std::list insert-before-end convention).
+  void insert_before(std::uint32_t slot, std::uint32_t pos) {
+    const std::uint32_t before = pos == kNil ? tail_ : nodes_[pos].prev;
+    nodes_[slot].prev = before;
+    nodes_[slot].next = pos;
+    if (before == kNil) {
+      head_ = slot;
+    } else {
+      nodes_[before].next = slot;
+    }
+    if (pos == kNil) {
+      tail_ = slot;
+    } else {
+      nodes_[pos].prev = slot;
+    }
+    ++count_;
+  }
+
+  /// Unlinks `slot` and returns it to the free list.  The payload stays
+  /// readable until the slot is re-allocated, but callers should copy what
+  /// they need first.
+  void remove(std::uint32_t slot) {
+    unlink(slot);
+    nodes_[slot].next = free_;
+    free_ = slot;
+  }
+
+  /// Re-links `slot` at the head; no-op when it is already there.
+  void move_to_front(std::uint32_t slot) {
+    if (slot == head_) return;
+    unlink(slot);
+    insert_before(slot, head_);
+  }
+
+  void clear() noexcept {
+    nodes_.clear();
+    head_ = kNil;
+    tail_ = kNil;
+    free_ = kNil;
+    count_ = 0;
+  }
+
+ private:
+  void unlink(std::uint32_t slot) noexcept {
+    const std::uint32_t p = nodes_[slot].prev;
+    const std::uint32_t n = nodes_[slot].next;
+    if (p == kNil) {
+      head_ = n;
+    } else {
+      nodes_[p].next = n;
+    }
+    if (n == kNil) {
+      tail_ = p;
+    } else {
+      nodes_[n].prev = p;
+    }
+    --count_;
+  }
+
+  std::vector<Node> nodes_;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::uint32_t free_ = kNil;  // singly linked through Node::next
+  std::size_t count_ = 0;
+};
+
+}  // namespace cdn::cache

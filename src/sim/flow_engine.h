@@ -1,0 +1,41 @@
+// Flow-level analytical fast path (SimEngine::kFlow).
+//
+// Instead of replaying per-request events, the flow engine treats the run
+// as its steady state: every (server, site) demand cell is a flow of
+// fractional request mass, split analytically into
+//
+//   * locally replicated mass     -> served at first-hop latency,
+//   * modelled cache-hit mass     -> served at first-hop latency,
+//   * everything else             -> redirected to the nearest copy at
+//                                    C(i, SN_j^(i)) hop cost.
+//
+// The per-(server, site) hit ratios come from a pluggable steady-state
+// model tier (HitModel / model::SteadyStateModel): the placement's own
+// modeled_hit matrix, the closed-form Eq. 1/Eq. 2 pipeline recomputed from
+// the final placement, or the Che/TTL fixed-point approximation.  The
+// result is a SimulationReport with the same summary surface as the event
+// engines (mean latency, hop cost, flow split, hit ratios, a weighted
+// latency CDF, SLO fraction), produced in O(N*M) — typically milliseconds
+// where the event engine takes seconds — and cross-validated against the
+// sharded engine by sim_flow_test and bench_flow.
+//
+// What a flow report does NOT contain: per-request artefacts.  The latency
+// CDF is a weighted sketch (not samples), measured_requests == total
+// (steady state has no warm-up), server_cache_stats are empty, and
+// per-request options are rejected by SimulationConfig::validate().
+
+#pragma once
+
+#include "src/cdn/system.h"
+#include "src/placement/placement_result.h"
+#include "src/sim/simulator.h"
+
+namespace cdn::sim {
+
+/// Runs the flow-level evaluation.  `config` must already satisfy
+/// validate() with engine == SimEngine::kFlow; simulate() dispatches here.
+SimulationReport simulate_flow(const sys::CdnSystem& system,
+                               const placement::PlacementResult& result,
+                               const SimulationConfig& config);
+
+}  // namespace cdn::sim

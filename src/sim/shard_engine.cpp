@@ -169,6 +169,17 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
                    : 0;
   const bool per_server = instrumented && config.per_server_metrics;
 
+  // Hoisted per-site lambda lookups for the batched hot loop below — the
+  // exact doubles uncacheable_fraction returns, so the per-shard bernoulli
+  // draws stay bit-identical to healthy_step's.
+  std::vector<double> site_lambda(system.site_count());
+  for (std::size_t j = 0; j < site_lambda.size(); ++j) {
+    site_lambda[j] =
+        catalog.uncacheable_fraction(static_cast<workload::SiteId>(j));
+  }
+  const bool uncacheable_mode =
+      config.staleness == StalenessMode::kUncacheable;
+
   std::vector<ShardResult> results(shards);
   std::vector<ShardState> states(shards);
   for (std::size_t s = 0; s < shards; ++s) {
@@ -365,11 +376,20 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
         workload::RequestStream& stream = *st.stream;
         const std::uint64_t warmup = shard_warmup[s];
         const std::uint64_t measured = shard_total - warmup;
+        // Data-oriented chunked loop (docs/PERFORMANCE.md): SoA request
+        // batches served by a tight loop with the rare-event boundaries —
+        // stop-poll points, the warm-up edge, window-index changes —
+        // hoisted into the chunking, so the per-request path carries no
+        // boundary compares.  Accounting accumulates per request in the
+        // reference order (floating-point sums included); the sequential
+        // digest-equality tests transitively pin this loop bit-identical.
+        workload::RequestBatch batch;
         std::uint64_t t = st.t;
-        for (; t < end; ++t) {
-          // In-chunk shutdown probe: a worker may bail mid-interval; the
-          // per-shard position is saved individually, so determinism holds.
-          // t == 0 is exempt so even a pre-set flag checkpoints progress.
+        while (t < end) {
+          // Shutdown probe at the same 4096-aligned points as the old
+          // per-request loop: a worker may bail mid-interval; the per-shard
+          // position is saved individually, so determinism holds.  t == 0
+          // is exempt so even a pre-set flag checkpoints progress.
           if (poll_stop && (t & 0xfffu) == 0 && t != 0 &&
               config.stop->load(std::memory_order_relaxed)) {
             break;
@@ -377,39 +397,95 @@ SimulationReport simulate_parallel(const sys::CdnSystem& system,
           if (t == warmup) {
             for (auto& c : st.caches) c->reset_stats();
           }
-          const workload::Request req = stream.next();
-          // Round-robin ownership makes the local cache index a division.
-          cache::CachePolicy& cache = *st.caches[req.server / shards];
-          const detail::HealthyOutcome o = detail::healthy_step(
-              catalog, result, cache, st.lambda_rng, req, config.staleness);
-          if (t < warmup) continue;
-
-          const double latency_ms = config.latency.latency_ms(o.hops);
-          out.latency.add(latency_ms);
-          out.hop_sum += o.hops;
-          if (o.served_locally) ++out.local;
-          if (o.cache_eligible) {
-            ++out.eligible;
-            if (o.cache_hit) ++out.eligible_hits;
+          // Chunk end: the next poll point, the warm-up edge, or the next
+          // measured-window boundary, whichever comes first.
+          std::uint64_t cend =
+              std::min(end, static_cast<std::uint64_t>((t | 0xfff) + 1));
+          if (t < warmup) cend = std::min(cend, warmup);
+          detail::WindowAccumulator* win = nullptr;
+          if (t >= warmup && window_count > 0) {
+            const std::uint64_t widx = (t - warmup) * window_count / measured;
+            win = &out.windows[static_cast<std::size_t>(widx)];
+            const auto next_k = static_cast<std::uint64_t>(
+                ((static_cast<unsigned __int128>(widx) + 1) * measured +
+                 window_count - 1) /
+                window_count);
+            cend = std::min(cend, warmup + next_k);
           }
-          if (slo_active && latency_ms > config.slo_ms) ++out.slo_violations;
-          ++out.causes[static_cast<std::size_t>(o.cause)];
-          if (window_count > 0) {
-            const std::uint64_t k = t - warmup;
-            detail::WindowAccumulator& win = out.windows[static_cast<std::size_t>(
-                k * window_count / measured)];
-            ++win.requests;
-            win.hops += o.hops;
-            win.latency_ms += latency_ms;
-            if (o.served_locally) ++win.local;
-            if (o.cache_eligible) {
-              ++win.eligible;
-              if (o.cache_hit) ++win.eligible_hits;
+          const auto count = static_cast<std::size_t>(cend - t);
+          stream.next_batch(batch, count);
+          const bool measured_chunk = t >= warmup;
+          for (std::size_t i = 0; i < count; ++i) {
+            const workload::ServerId sid = batch.server[i];
+            const workload::SiteId site_id = batch.site[i];
+            const std::uint32_t rank = batch.rank[i];
+            const auto server = static_cast<sys::ServerIndex>(sid);
+            const auto site = static_cast<sys::SiteIndex>(site_id);
+            double hops = 0.0;
+            bool served_locally = false;
+            bool cache_eligible = false;
+            bool cache_hit = false;
+            auto cause = obs::EventCause::kReplica;
+            if (result.placement.is_replicated(server, site)) {
+              served_locally = true;
+            } else {
+              // Same draw order as healthy_step: one bernoulli per
+              // non-replicated request.
+              const bool flagged =
+                  st.lambda_rng.bernoulli(site_lambda[site_id]);
+              const cache::ObjectKey key = catalog.object_id(site_id, rank);
+              const std::uint64_t bytes =
+                  catalog.object_bytes(site_id, rank);
+              // Round-robin ownership makes the cache index a division.
+              cache::CachePolicy& cache = *st.caches[sid / shards];
+              if (flagged && uncacheable_mode) {
+                hops = result.nearest.cost(server, site);
+                cause = obs::EventCause::kUncacheable;
+              } else if (flagged) {
+                cache.access(key, bytes);  // refreshed copy stays cached
+                hops = result.nearest.cost(server, site);
+                cause = obs::EventCause::kStaleRefresh;
+              } else {
+                cache_eligible = true;
+                cache_hit = cache.access(key, bytes);
+                if (cache_hit) {
+                  served_locally = true;
+                  cause = obs::EventCause::kCacheHit;
+                } else {
+                  hops = result.nearest.cost(server, site);
+                  cause = obs::EventCause::kCacheMiss;
+                }
+              }
+            }
+            if (!measured_chunk) continue;
+
+            const double latency_ms = config.latency.latency_ms(hops);
+            out.latency.add(latency_ms);
+            out.hop_sum += hops;
+            if (served_locally) ++out.local;
+            if (cache_eligible) {
+              ++out.eligible;
+              if (cache_hit) ++out.eligible_hits;
+            }
+            if (slo_active && latency_ms > config.slo_ms) {
+              ++out.slo_violations;
+            }
+            ++out.causes[static_cast<std::size_t>(cause)];
+            if (win != nullptr) {
+              ++win->requests;
+              win->hops += hops;
+              win->latency_ms += latency_ms;
+              if (served_locally) ++win->local;
+              if (cache_eligible) {
+                ++win->eligible;
+                if (cache_hit) ++win->eligible_hits;
+              }
+            }
+            if (per_server) {
+              out.server_latency[sid / shards].observe(latency_ms);
             }
           }
-          if (per_server) {
-            out.server_latency[req.server / shards].observe(latency_ms);
-          }
+          t = cend;
         }
         st.t = t;
       };

@@ -8,6 +8,7 @@
 
 #include "src/obs/scoped_timer.h"
 #include "src/recover/checkpoint.h"
+#include "src/sim/flow_engine.h"
 #include "src/sim/shard_engine.h"
 #include "src/sim/sim_checkpoint.h"
 #include "src/sim/sim_internal.h"
@@ -43,12 +44,38 @@ void SimulationConfig::validate() const {
   CDN_EXPECT(checkpoint_path.empty() || checkpoint_cadence || stop != nullptr,
              "a checkpoint path needs a trigger: a request or seconds "
              "cadence, or a stop flag");
+  if (engine == SimEngine::kFlow) {
+    // The flow engine has no per-request loop, so every per-request feature
+    // is meaningless there.  Reject loudly instead of silently ignoring —
+    // a user who asked for a trace or a checkpoint must not get a report
+    // that quietly dropped it.
+    CDN_EXPECT(trace == nullptr,
+               "the flow engine computes steady-state flows and cannot "
+               "replay a recorded trace; use --engine=event");
+    CDN_EXPECT(faults == nullptr || faults->empty(),
+               "fault schedules need per-request failover decisions; "
+               "use --engine=event for fault-injection runs");
+    CDN_EXPECT(trace_sink == nullptr,
+               "per-request trace sampling needs the event engine; "
+               "use --engine=event or drop --trace-out");
+    CDN_EXPECT(checkpoint_path.empty() && resume_path.empty() &&
+                   stop == nullptr && !checkpoint_cadence,
+               "checkpoint/resume makes no sense for the flow engine (runs "
+               "complete in milliseconds); use --engine=event");
+    CDN_EXPECT(stream_locality == 0.0,
+               "the flow model assumes the i.i.d. request stream; "
+               "use --engine=event for temporal-locality studies");
+  }
 }
 
 SimulationReport simulate(const sys::CdnSystem& system,
                           const placement::PlacementResult& result,
                           const SimulationConfig& config) {
   config.validate();
+
+  if (config.engine == SimEngine::kFlow) {
+    return simulate_flow(system, result, config);
+  }
 
   // Healthy synthetic runs may shard; a fault schedule, trace replay or a
   // trace sink needs the global request clock and keeps the sequential
@@ -396,196 +423,137 @@ SimulationReport simulate(const sys::CdnSystem& system,
           : std::numeric_limits<std::uint64_t>::max();
   const auto run_start = std::chrono::steady_clock::now();
 
-  for (std::uint64_t t = t0; t < total; ++t) {
-    // Reset measured-window statistics exactly at the end of warm-up.
-    if (t == warmup) {
-      for (auto& c : caches) c->reset_stats();
+  if (config.trace == nullptr && !faults_active) {
+    // --- Data-oriented healthy loop (docs/PERFORMANCE.md). ---
+    //
+    // Requests are generated in SoA batches and served by a tight loop with
+    // every rare-event boundary (warm-up edge, window flush, recovery probe,
+    // progress tick) hoisted out: a chunk always ends exactly at the next
+    // boundary, so the per-request path carries no sentinel compares.
+    // Accounting accumulates in the same order as the per-request reference
+    // loop below — floating-point sums included — so the report and any
+    // checkpoint stay byte-identical (sim_batch_parity_test; trace replay
+    // keeps the reference loop and is the parity anchor).
+    std::vector<double> site_lambda(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      site_lambda[j] =
+          catalog.uncacheable_fraction(static_cast<workload::SiteId>(j));
     }
-    if (faults_active && timeline->advance(t)) {
-      // A recovered server restarts with a COLD cache: whatever it held
-      // when it crashed is gone.  Its statistics survive (clear() keeps
-      // them) so fleet totals stay consistent.
-      for (const std::uint32_t s : timeline->just_recovered()) {
-        caches[s]->clear();
-        ++report.cold_restarts;
+    const bool uncacheable_mode =
+        config.staleness == StalenessMode::kUncacheable;
+    workload::RequestBatch batch;
+    constexpr std::uint64_t kBatchMax = 4096;
+    std::uint64_t cause_counts[obs::kEventCauseCount] = {};
+    std::uint64_t t = t0;
+    while (t < total) {
+      if (t == warmup) {
+        for (auto& c : caches) c->reset_stats();
       }
-      if (spans != nullptr) {
-        spans->instant(sp_fault, "fault", "request", static_cast<double>(t));
-      }
-    }
-    workload::Request req =
-        config.trace != nullptr ? (*config.trace)[t] : stream.next();
-    if (faults_active && config.trace == nullptr &&
-        timeline->any_surge_active()) {
-      // Flash-crowd reshaping: accept a drawn request with probability
-      // proportional to its site's surge multiplier (rejection sampling
-      // against the current max), which samples site j with probability
-      // ∝ p_j * mult_j without touching the demand matrix.
-      const double bound = timeline->max_demand_multiplier();
-      while (surge_rng.uniform() * bound >
-             timeline->demand_multiplier(req.site)) {
-        req = stream.next();
-      }
-    }
-    const auto server = static_cast<sys::ServerIndex>(req.server);
-    const auto site = static_cast<sys::SiteIndex>(req.site);
-    const bool measured = t >= warmup;
-
-    double hops = 0.0;
-    bool served_locally = false;
-    bool cache_eligible = false;
-    bool cache_hit = false;
-    bool failed = false;
-    std::uint32_t attempts = 0;
-    auto cause = obs::EventCause::kReplica;
-    // Where a redirected request actually landed (fault mode only; the
-    // healthy path derives it from the nearest index when tracing).
-    std::int32_t fault_served_by = -2;
-
-    // Cheapest live holder after a failed attempt on the precomputed
-    // target (or on the first-hop server itself).
-    const auto find_live = [&]() {
-      return result.nearest.nearest_live(server, site, holders[req.site],
-                                         timeline->server_up_mask(),
-                                         timeline->origin_up(req.site));
-    };
-    const bool first_hop_up = !faults_active || timeline->server_up(req.server);
-
-    if (!faults_active) {
-      // Healthy fast path, shared with the parallel sharded engine.
-      const detail::HealthyOutcome o = detail::healthy_step(
-          catalog, result, *caches[server], lambda_rng, req, config.staleness);
-      hops = o.hops;
-      served_locally = o.served_locally;
-      cache_eligible = o.cache_eligible;
-      cache_hit = o.cache_hit;
-      cause = o.cause;
-    } else if (first_hop_up && result.placement.is_replicated(server, site)) {
-      // Replicas are always consistent (the CDN pushes invalidations to
-      // them); even flagged requests are served locally.
-      served_locally = true;
-    } else if (!first_hop_up) {
-      // First-hop crash: the client's connection times out and the
-      // redirector re-routes it to the nearest live copy.  The dead
-      // server's warm cache and its replicas are unreachable.
-      attempts = 1;
-      const auto live = find_live();
-      if (live) {
-        hops = live->cost;
-        cause = obs::EventCause::kFailover;
-        fault_served_by =
-            live->at_primary ? -1 : static_cast<std::int32_t>(live->server);
-      } else {
-        failed = true;
-        cause = obs::EventCause::kFailed;
-      }
-    } else {
-      const bool flagged =
-          lambda_rng.bernoulli(catalog.uncacheable_fraction(req.site));
-      cache::CachePolicy& cache = *caches[server];
-      const cache::ObjectKey key = catalog.object_id(req.site, req.rank);
-      const std::uint64_t bytes = catalog.object_bytes(req.site, req.rank);
-
-      // Fault-aware redirection: the precomputed nearest copy may be
-      // dead; trying it costs one failed attempt before the
-      // health-masked re-route.  No live copy at all fails the request.
-      const auto resolve = [&]() -> std::optional<sys::NearestCopy> {
-        const sys::NearestCopy& pre = result.nearest.nearest(server, site);
-        const bool pre_live = pre.at_primary
-                                  ? timeline->origin_up(req.site)
-                                  : timeline->server_up(pre.server);
-        if (pre_live) return pre;
-        ++attempts;
-        return find_live();
-      };
-      const auto redirect_to =
-          [&](const std::optional<sys::NearestCopy>& live,
-              obs::EventCause healthy_cause) {
-            if (live) {
-              hops = live->cost;
-              cause = attempts > 0 ? obs::EventCause::kFailover
-                                   : healthy_cause;
-              fault_served_by = live->at_primary
-                                    ? -1
-                                    : static_cast<std::int32_t>(live->server);
-            } else {
-              failed = true;
-              cause = obs::EventCause::kFailed;
-            }
-          };
-      if (flagged && config.staleness == StalenessMode::kUncacheable) {
-        redirect_to(resolve(), obs::EventCause::kUncacheable);
-      } else if (flagged) {
-        const auto live = resolve();
-        if (live) cache.access(key, bytes);  // refreshed copy stays cached
-        redirect_to(live, obs::EventCause::kStaleRefresh);
-      } else {
-        cache_eligible = true;
-        // A hit never leaves the server, so no liveness check; a miss
-        // only admits the object when a live source exists to fetch from.
-        cache_hit = cache.access_no_admit(key, bytes);
-        if (cache_hit) {
+      std::uint64_t end = std::min(total, t + kBatchMax);
+      if (t < warmup) end = std::min(end, warmup);
+      end = std::min(
+          {end, next_window_flush, next_recovery_probe, next_progress});
+      const auto count = static_cast<std::size_t>(end - t);
+      stream.next_batch(batch, count);
+      const bool measured_chunk = t >= warmup;
+      for (std::size_t i = 0; i < count; ++i) {
+        const workload::ServerId sid = batch.server[i];
+        const workload::SiteId site_id = batch.site[i];
+        const std::uint32_t rank = batch.rank[i];
+        const auto server = static_cast<sys::ServerIndex>(sid);
+        const auto site = static_cast<sys::SiteIndex>(site_id);
+        double hops = 0.0;
+        bool served_locally = false;
+        bool cache_eligible = false;
+        bool cache_hit = false;
+        auto cause = obs::EventCause::kReplica;
+        if (result.placement.is_replicated(server, site)) {
           served_locally = true;
-          cause = obs::EventCause::kCacheHit;
         } else {
-          const auto live = resolve();
-          if (live) cache.admit(key, bytes);
-          redirect_to(live, obs::EventCause::kCacheMiss);
+          // Same RNG draw order as healthy_step: exactly one bernoulli per
+          // non-replicated request (site_lambda holds the exact doubles
+          // uncacheable_fraction returns, so the draws are bit-identical).
+          const bool flagged = lambda_rng.bernoulli(site_lambda[site_id]);
+          const cache::ObjectKey key = catalog.object_id(site_id, rank);
+          const std::uint64_t bytes = catalog.object_bytes(site_id, rank);
+          cache::CachePolicy& cache = *caches[sid];
+          if (flagged && uncacheable_mode) {
+            hops = result.nearest.cost(server, site);
+            cause = obs::EventCause::kUncacheable;
+          } else if (flagged) {
+            cache.access(key, bytes);  // refreshed copy stays cached
+            hops = result.nearest.cost(server, site);
+            cause = obs::EventCause::kStaleRefresh;
+          } else {
+            cache_eligible = true;
+            cache_hit = cache.access(key, bytes);
+            if (cache_hit) {
+              served_locally = true;
+              cause = obs::EventCause::kCacheHit;
+            } else {
+              hops = result.nearest.cost(server, site);
+              cause = obs::EventCause::kCacheMiss;
+            }
+          }
+        }
+        const double latency_ms = config.latency.latency_ms(hops);
+        if (measured_chunk) {
+          report.latency_cdf.add(latency_ms);
+          hop_sum += hops;
+          if (served_locally) ++local;
+          if (cache_eligible) {
+            ++eligible;
+            if (cache_hit) ++eligible_hits;
+          }
+          if (slo_active && latency_ms > config.slo_ms) ++slo_violations;
+          if (instrumented) {
+            ++cause_counts[static_cast<std::size_t>(cause)];
+            if (!server_latency.empty()) {
+              server_latency[sid]->observe(latency_ms);
+            }
+            ++win.requests;
+            win.hops += hops;
+            win.latency_ms += latency_ms;
+            if (served_locally) ++win.local;
+            if (cache_eligible) {
+              ++win.eligible;
+              if (cache_hit) ++win.eligible_hits;
+            }
+          }
+        }
+        if (trace_sink != nullptr && trace_sink->should_sample()) {
+          obs::TraceEvent event;
+          event.t = t + i;
+          event.server = sid;
+          event.site = site_id;
+          event.rank = rank;
+          event.cause = cause;
+          event.measured = measured_chunk;
+          event.hops = hops;
+          event.latency_ms = latency_ms;
+          if (served_locally) {
+            event.served_by = static_cast<std::int32_t>(sid);
+          } else {
+            const sys::NearestCopy& copy =
+                result.nearest.nearest(server, site);
+            event.served_by =
+                copy.at_primary ? -1 : static_cast<std::int32_t>(copy.server);
+          }
+          trace_sink->record(event);
         }
       }
-    }
-
-    double latency_ms;
-    if (!faults_active) {
-      latency_ms = config.latency.latency_ms(hops);
-    } else if (failed) {
-      // Time wasted before giving up; reported in the trace but excluded
-      // from the latency CDF (the request never completed).
-      latency_ms = config.latency.retry_penalty_ms(attempts);
-    } else {
-      latency_ms = config.latency.failover_latency_ms(
-          hops * timeline->latency_multiplier(req.server), attempts);
-    }
-    if (measured) {
-      if (!failed) {
-        report.latency_cdf.add(latency_ms);
-      } else {
-        ++failed_total;
-      }
-      hop_sum += hops;
-      if (served_locally) ++local;
-      if (cache_eligible) {
-        ++eligible;
-        if (cache_hit) ++eligible_hits;
-      }
-      if (attempts > 0 && !failed) ++failover_total;
-      retries_total += attempts;
-      if (slo_active && (failed || latency_ms > config.slo_ms)) {
-        ++slo_violations;
-      }
-    }
-
-    if (instrumented) {
-      if (measured) {
-        cause_counter[static_cast<std::size_t>(cause)]->add();
-        if (c_retries != nullptr && attempts > 0) c_retries->add(attempts);
-        if (!server_latency.empty() && !failed) {
-          server_latency[server]->observe(latency_ms);
+      t = end;
+      // Boundary work, in the reference loop's order: window flush, then
+      // recovery probe, then progress.  Chunks end exactly at boundaries,
+      // so >= here matches the reference's per-request t + 1 >= checks.
+      if (instrumented) {
+        for (std::size_t c = 0; c < obs::kEventCauseCount; ++c) {
+          if (cause_counts[c] > 0) {
+            cause_counter[c]->add(cause_counts[c]);
+            cause_counts[c] = 0;
+          }
         }
-        ++win.requests;
-        win.hops += hops;
-        if (!failed) win.latency_ms += latency_ms;
-        if (served_locally) ++win.local;
-        if (cache_eligible) {
-          ++win.eligible;
-          if (cache_hit) ++win.eligible_hits;
-        }
-        if (failed) ++win.failed;
-        if (attempts > 0 && !failed) {
-          ++win.failover;
-          win.degraded_latency_ms += latency_ms;
-        }
-        if (t + 1 >= next_window_flush) {
+        if (measured_chunk && t >= next_window_flush) {
           win_series.flush(win);
           if (recovery_active) flushed_windows.push_back(win);
           win = detail::WindowAccumulator{};
@@ -594,72 +562,315 @@ SimulationReport simulate(const sys::CdnSystem& system,
               warmup + (window_index + 1) * measured_total / window_count;
         }
       }
+      if (t >= next_recovery_probe) {
+        next_recovery_probe += probe_stride;
+        const bool stop_requested =
+            config.stop != nullptr &&
+            config.stop->load(std::memory_order_relaxed);
+        bool write = !config.checkpoint_path.empty() &&
+                     (config.checkpoint_every_requests > 0 || stop_requested);
+        if (!write && !config.checkpoint_path.empty() &&
+            config.checkpoint_every_seconds > 0.0) {
+          write = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - last_checkpoint_time)
+                      .count() >= config.checkpoint_every_seconds;
+        }
+        if (write) write_checkpoint(t);
+        if (stop_requested) {
+          throw recover::Interrupted(t, config.checkpoint_path);
+        }
+      }
+      if (t >= next_progress) {
+        next_progress += config.progress_every;
+        SimulationProgress p;
+        p.completed = t;
+        p.total = total;
+        p.warming_up = t <= warmup;
+        p.hit_ratio_known = t > warmup && eligible > 0;
+        if (p.hit_ratio_known) {
+          p.hit_ratio = static_cast<double>(eligible_hits) /
+                        static_cast<double>(eligible);
+        }
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          run_start)
+                .count();
+        if (elapsed > 0.0) {
+          p.requests_per_sec = static_cast<double>(t - t0) / elapsed;
+          p.eta_seconds =
+              static_cast<double>(total - t) / p.requests_per_sec;
+        }
+        p.checkpoints_written = checkpoints_written;
+        p.last_checkpoint_request = last_checkpoint_request;
+        config.progress(p);
+      }
     }
+  } else {
+    for (std::uint64_t t = t0; t < total; ++t) {
+      // Reset measured-window statistics exactly at the end of warm-up.
+      if (t == warmup) {
+        for (auto& c : caches) c->reset_stats();
+      }
+      if (faults_active && timeline->advance(t)) {
+        // A recovered server restarts with a COLD cache: whatever it held
+        // when it crashed is gone.  Its statistics survive (clear() keeps
+        // them) so fleet totals stay consistent.
+        for (const std::uint32_t s : timeline->just_recovered()) {
+          caches[s]->clear();
+          ++report.cold_restarts;
+        }
+        if (spans != nullptr) {
+          spans->instant(sp_fault, "fault", "request", static_cast<double>(t));
+        }
+      }
+      workload::Request req =
+          config.trace != nullptr ? (*config.trace)[t] : stream.next();
+      if (faults_active && config.trace == nullptr &&
+          timeline->any_surge_active()) {
+        // Flash-crowd reshaping: accept a drawn request with probability
+        // proportional to its site's surge multiplier (rejection sampling
+        // against the current max), which samples site j with probability
+        // ∝ p_j * mult_j without touching the demand matrix.
+        const double bound = timeline->max_demand_multiplier();
+        while (surge_rng.uniform() * bound >
+               timeline->demand_multiplier(req.site)) {
+          req = stream.next();
+        }
+      }
+      const auto server = static_cast<sys::ServerIndex>(req.server);
+      const auto site = static_cast<sys::SiteIndex>(req.site);
+      const bool measured = t >= warmup;
 
-    if (trace_sink != nullptr && trace_sink->should_sample()) {
-      obs::TraceEvent event;
-      event.t = t;
-      event.server = req.server;
-      event.site = req.site;
-      event.rank = req.rank;
-      event.cause = cause;
-      event.measured = measured;
-      event.hops = hops;
-      event.latency_ms = latency_ms;
-      if (served_locally) {
-        event.served_by = static_cast<std::int32_t>(req.server);
-      } else if (faults_active) {
-        event.served_by = fault_served_by;  // -2 when the request failed
+      double hops = 0.0;
+      bool served_locally = false;
+      bool cache_eligible = false;
+      bool cache_hit = false;
+      bool failed = false;
+      std::uint32_t attempts = 0;
+      auto cause = obs::EventCause::kReplica;
+      // Where a redirected request actually landed (fault mode only; the
+      // healthy path derives it from the nearest index when tracing).
+      std::int32_t fault_served_by = -2;
+
+      // Cheapest live holder after a failed attempt on the precomputed
+      // target (or on the first-hop server itself).
+      const auto find_live = [&]() {
+        return result.nearest.nearest_live(server, site, holders[req.site],
+                                           timeline->server_up_mask(),
+                                           timeline->origin_up(req.site));
+      };
+      const bool first_hop_up = !faults_active || timeline->server_up(req.server);
+
+      if (!faults_active) {
+        // Healthy fast path, shared with the parallel sharded engine.
+        const detail::HealthyOutcome o = detail::healthy_step(
+            catalog, result, *caches[server], lambda_rng, req, config.staleness);
+        hops = o.hops;
+        served_locally = o.served_locally;
+        cache_eligible = o.cache_eligible;
+        cache_hit = o.cache_hit;
+        cause = o.cause;
+      } else if (first_hop_up && result.placement.is_replicated(server, site)) {
+        // Replicas are always consistent (the CDN pushes invalidations to
+        // them); even flagged requests are served locally.
+        served_locally = true;
+      } else if (!first_hop_up) {
+        // First-hop crash: the client's connection times out and the
+        // redirector re-routes it to the nearest live copy.  The dead
+        // server's warm cache and its replicas are unreachable.
+        attempts = 1;
+        const auto live = find_live();
+        if (live) {
+          hops = live->cost;
+          cause = obs::EventCause::kFailover;
+          fault_served_by =
+              live->at_primary ? -1 : static_cast<std::int32_t>(live->server);
+        } else {
+          failed = true;
+          cause = obs::EventCause::kFailed;
+        }
       } else {
-        const sys::NearestCopy& copy = result.nearest.nearest(server, site);
-        event.served_by =
-            copy.at_primary ? -1 : static_cast<std::int32_t>(copy.server);
-      }
-      trace_sink->record(event);
-    }
+        const bool flagged =
+            lambda_rng.bernoulli(catalog.uncacheable_fraction(req.site));
+        cache::CachePolicy& cache = *caches[server];
+        const cache::ObjectKey key = catalog.object_id(req.site, req.rank);
+        const std::uint64_t bytes = catalog.object_bytes(req.site, req.rank);
 
-    if (t + 1 >= next_recovery_probe) {
-      next_recovery_probe += probe_stride;
-      const bool stop_requested =
-          config.stop != nullptr && config.stop->load(std::memory_order_relaxed);
-      bool write = !config.checkpoint_path.empty() &&
-                   (config.checkpoint_every_requests > 0 || stop_requested);
-      if (!write && !config.checkpoint_path.empty() &&
-          config.checkpoint_every_seconds > 0.0) {
-        write = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                              last_checkpoint_time)
-                    .count() >= config.checkpoint_every_seconds;
+        // Fault-aware redirection: the precomputed nearest copy may be
+        // dead; trying it costs one failed attempt before the
+        // health-masked re-route.  No live copy at all fails the request.
+        const auto resolve = [&]() -> std::optional<sys::NearestCopy> {
+          const sys::NearestCopy& pre = result.nearest.nearest(server, site);
+          const bool pre_live = pre.at_primary
+                                    ? timeline->origin_up(req.site)
+                                    : timeline->server_up(pre.server);
+          if (pre_live) return pre;
+          ++attempts;
+          return find_live();
+        };
+        const auto redirect_to =
+            [&](const std::optional<sys::NearestCopy>& live,
+                obs::EventCause healthy_cause) {
+              if (live) {
+                hops = live->cost;
+                cause = attempts > 0 ? obs::EventCause::kFailover
+                                     : healthy_cause;
+                fault_served_by = live->at_primary
+                                      ? -1
+                                      : static_cast<std::int32_t>(live->server);
+              } else {
+                failed = true;
+                cause = obs::EventCause::kFailed;
+              }
+            };
+        if (flagged && config.staleness == StalenessMode::kUncacheable) {
+          redirect_to(resolve(), obs::EventCause::kUncacheable);
+        } else if (flagged) {
+          const auto live = resolve();
+          if (live) cache.access(key, bytes);  // refreshed copy stays cached
+          redirect_to(live, obs::EventCause::kStaleRefresh);
+        } else {
+          cache_eligible = true;
+          // A hit never leaves the server, so no liveness check; a miss
+          // only admits the object when a live source exists to fetch from.
+          cache_hit = cache.access_no_admit(key, bytes);
+          if (cache_hit) {
+            served_locally = true;
+            cause = obs::EventCause::kCacheHit;
+          } else {
+            const auto live = resolve();
+            if (live) cache.admit(key, bytes);
+            redirect_to(live, obs::EventCause::kCacheMiss);
+          }
+        }
       }
-      if (write) write_checkpoint(t + 1);
-      if (stop_requested) {
-        throw recover::Interrupted(t + 1, config.checkpoint_path);
-      }
-    }
 
-    if (t + 1 >= next_progress) {
-      next_progress += config.progress_every;
-      SimulationProgress p;
-      p.completed = t + 1;
-      p.total = total;
-      p.warming_up = t < warmup;
-      p.hit_ratio_known = measured && eligible > 0;
-      if (p.hit_ratio_known) {
-        p.hit_ratio = static_cast<double>(eligible_hits) /
-                      static_cast<double>(eligible);
+      double latency_ms;
+      if (!faults_active) {
+        latency_ms = config.latency.latency_ms(hops);
+      } else if (failed) {
+        // Time wasted before giving up; reported in the trace but excluded
+        // from the latency CDF (the request never completed).
+        latency_ms = config.latency.retry_penalty_ms(attempts);
+      } else {
+        latency_ms = config.latency.failover_latency_ms(
+            hops * timeline->latency_multiplier(req.server), attempts);
       }
-      const double elapsed =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        run_start)
-              .count();
-      if (elapsed > 0.0) {
-        p.requests_per_sec =
-            static_cast<double>(t + 1 - t0) / elapsed;
-        p.eta_seconds =
-            static_cast<double>(total - (t + 1)) / p.requests_per_sec;
+      if (measured) {
+        if (!failed) {
+          report.latency_cdf.add(latency_ms);
+        } else {
+          ++failed_total;
+        }
+        hop_sum += hops;
+        if (served_locally) ++local;
+        if (cache_eligible) {
+          ++eligible;
+          if (cache_hit) ++eligible_hits;
+        }
+        if (attempts > 0 && !failed) ++failover_total;
+        retries_total += attempts;
+        if (slo_active && (failed || latency_ms > config.slo_ms)) {
+          ++slo_violations;
+        }
       }
-      p.checkpoints_written = checkpoints_written;
-      p.last_checkpoint_request = last_checkpoint_request;
-      config.progress(p);
+
+      if (instrumented) {
+        if (measured) {
+          cause_counter[static_cast<std::size_t>(cause)]->add();
+          if (c_retries != nullptr && attempts > 0) c_retries->add(attempts);
+          if (!server_latency.empty() && !failed) {
+            server_latency[server]->observe(latency_ms);
+          }
+          ++win.requests;
+          win.hops += hops;
+          if (!failed) win.latency_ms += latency_ms;
+          if (served_locally) ++win.local;
+          if (cache_eligible) {
+            ++win.eligible;
+            if (cache_hit) ++win.eligible_hits;
+          }
+          if (failed) ++win.failed;
+          if (attempts > 0 && !failed) {
+            ++win.failover;
+            win.degraded_latency_ms += latency_ms;
+          }
+          if (t + 1 >= next_window_flush) {
+            win_series.flush(win);
+            if (recovery_active) flushed_windows.push_back(win);
+            win = detail::WindowAccumulator{};
+            ++window_index;
+            next_window_flush =
+                warmup + (window_index + 1) * measured_total / window_count;
+          }
+        }
+      }
+
+      if (trace_sink != nullptr && trace_sink->should_sample()) {
+        obs::TraceEvent event;
+        event.t = t;
+        event.server = req.server;
+        event.site = req.site;
+        event.rank = req.rank;
+        event.cause = cause;
+        event.measured = measured;
+        event.hops = hops;
+        event.latency_ms = latency_ms;
+        if (served_locally) {
+          event.served_by = static_cast<std::int32_t>(req.server);
+        } else if (faults_active) {
+          event.served_by = fault_served_by;  // -2 when the request failed
+        } else {
+          const sys::NearestCopy& copy = result.nearest.nearest(server, site);
+          event.served_by =
+              copy.at_primary ? -1 : static_cast<std::int32_t>(copy.server);
+        }
+        trace_sink->record(event);
+      }
+
+      if (t + 1 >= next_recovery_probe) {
+        next_recovery_probe += probe_stride;
+        const bool stop_requested =
+            config.stop != nullptr && config.stop->load(std::memory_order_relaxed);
+        bool write = !config.checkpoint_path.empty() &&
+                     (config.checkpoint_every_requests > 0 || stop_requested);
+        if (!write && !config.checkpoint_path.empty() &&
+            config.checkpoint_every_seconds > 0.0) {
+          write = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                last_checkpoint_time)
+                      .count() >= config.checkpoint_every_seconds;
+        }
+        if (write) write_checkpoint(t + 1);
+        if (stop_requested) {
+          throw recover::Interrupted(t + 1, config.checkpoint_path);
+        }
+      }
+
+      if (t + 1 >= next_progress) {
+        next_progress += config.progress_every;
+        SimulationProgress p;
+        p.completed = t + 1;
+        p.total = total;
+        p.warming_up = t < warmup;
+        p.hit_ratio_known = measured && eligible > 0;
+        if (p.hit_ratio_known) {
+          p.hit_ratio = static_cast<double>(eligible_hits) /
+                        static_cast<double>(eligible);
+        }
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          run_start)
+                .count();
+        if (elapsed > 0.0) {
+          p.requests_per_sec =
+              static_cast<double>(t + 1 - t0) / elapsed;
+          p.eta_seconds =
+              static_cast<double>(total - (t + 1)) / p.requests_per_sec;
+        }
+        p.checkpoints_written = checkpoints_written;
+        p.last_checkpoint_request = last_checkpoint_request;
+        config.progress(p);
+      }
     }
   }
   // Flush a final partial window (rounding can leave the last flush short).

@@ -42,6 +42,34 @@ enum class StalenessMode {
   kUncacheable,
 };
 
+/// Which evaluation engine simulate() runs.
+enum class SimEngine {
+  /// Per-request (event-level) simulation — sequential reference loop or
+  /// the parallel sharded engine, per `threads`.  The default.
+  kEvent,
+  /// Flow-level analytical fast path: summary metrics computed from the
+  /// demand matrix, the placement and a steady-state hit-ratio model with
+  /// no per-request loop (src/sim/flow_engine.cpp).  Orders of magnitude
+  /// faster; per-request features (trace replay/sinks, fault schedules,
+  /// checkpointing, stream locality) are rejected by validate().
+  kFlow,
+};
+
+/// Steady-state hit-ratio model tier of the flow engine (ignored by the
+/// event engine).  Mirrors model::SteadyStateModel; duplicated here so the
+/// public sim config does not pull in the model headers.
+enum class HitModel {
+  /// Reuse the hit matrix the placement computed (modeled_hit) — the
+  /// paper's p_B-at-initialisation model.  Default.
+  kEmpirical,
+  /// Recompute per server from the final placement via the closed-form
+  /// Eq. 1/Eq. 2 pipeline with p_B refreshed over the final cacheable set.
+  kClosedForm,
+  /// Che/TTL approximation: solve the occupancy fixed point for the
+  /// characteristic time, then read Eq. 1's H(z) table.
+  kChe,
+};
+
 /// Progress snapshot handed to SimulationConfig::progress.
 struct SimulationProgress {
   std::uint64_t completed = 0;
@@ -80,6 +108,11 @@ struct SimulationConfig {
   /// Temporal-locality knob of the request stream (0 = i.i.d., the model's
   /// assumption).
   double stream_locality = 0.0;
+
+  /// Evaluation engine (see docs/PERFORMANCE.md for when to trust which).
+  SimEngine engine = SimEngine::kEvent;
+  /// Hit-ratio model tier of the flow engine.
+  HitModel hit_model = HitModel::kEmpirical;
 
   // --- Parallel sharded engine (see docs/PERFORMANCE.md) ---
 

@@ -52,6 +52,24 @@ void QuantileSketch::add(double x) {
   }
 }
 
+void QuantileSketch::add(double x, std::uint64_t weight) {
+  CDN_DCHECK(x >= 0.0, "quantile sketch samples must be non-negative");
+  if (weight == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_ += weight;
+  sum_ += x * static_cast<double>(weight);
+  if (x < kMinTrackable) {
+    zero_count_ += weight;
+  } else {
+    buckets_[bucket_index(x)] += weight;
+  }
+}
+
 void QuantileSketch::merge(const QuantileSketch& other) {
   CDN_EXPECT(alpha_ == other.alpha_,
              "cannot merge sketches with different error bounds");
@@ -138,6 +156,12 @@ void LatencyDistribution::use_sketch(double relative_error) {
              "storage mode must be chosen before the first sample");
   sketch_ = QuantileSketch(relative_error);
   use_sketch_ = true;
+}
+
+void LatencyDistribution::add(double x, std::uint64_t weight) {
+  CDN_EXPECT(use_sketch_,
+             "weighted add requires sketch mode (call use_sketch first)");
+  sketch_.add(x, weight);
 }
 
 void LatencyDistribution::merge(const LatencyDistribution& other) {

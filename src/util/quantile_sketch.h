@@ -38,6 +38,12 @@ class QuantileSketch {
   /// values below the minimum trackable magnitude share one zero bucket.
   void add(double x);
 
+  /// Adds `weight` identical samples of value x in O(1) — the primitive the
+  /// flow-level engine uses to materialise an analytically computed latency
+  /// mix without a per-request loop.  Equivalent to calling add(x) `weight`
+  /// times; weight 0 is a no-op.
+  void add(double x, std::uint64_t weight);
+
   /// Exact merge; both sketches must share the same relative_error.
   /// Deterministic: merging B into A equals having added B's samples to A.
   void merge(const QuantileSketch& other);
@@ -144,6 +150,9 @@ class LatencyDistribution {
       exact_.add(x);
     }
   }
+  /// Weighted insertion; requires sketch mode (exact storage would need
+  /// `weight` copies, defeating the point of a weighted add).
+  void add(double x, std::uint64_t weight);
   /// Merges another distribution of the same mode.
   void merge(const LatencyDistribution& other);
 

@@ -73,6 +73,39 @@ Request RequestStream::next() {
   return req;
 }
 
+void RequestStream::next_batch(RequestBatch& out, std::size_t count) {
+  out.resize(count);
+  if (locality_ > 0.0) {
+    // Locality interleaves history reads with generation; keep the
+    // reference path (identical RNG order either way).
+    for (std::size_t i = 0; i < count; ++i) {
+      const Request req = next();
+      out.server[i] = req.server;
+      out.site[i] = req.site;
+      out.rank[i] = req.rank;
+    }
+    return;
+  }
+  // i.i.d. fast path: same per-request draw order as next() — cell first,
+  // then rank — with straight-line SoA writes and no history bookkeeping.
+  const util::ZipfDistribution& zipf = catalog_->object_popularity();
+  if (servers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t cell = cell_sampler_.sample(rng_);
+      out.server[i] = static_cast<ServerId>(cell / sites_);
+      out.site[i] = static_cast<SiteId>(cell % sites_);
+      out.rank[i] = static_cast<std::uint32_t>(zipf.sample(rng_));
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t cell = cell_sampler_.sample(rng_);
+      out.server[i] = servers_[cell / sites_];
+      out.site[i] = static_cast<SiteId>(cell % sites_);
+      out.rank[i] = static_cast<std::uint32_t>(zipf.sample(rng_));
+    }
+  }
+}
+
 void RequestStream::save_state(util::ByteWriter& w) const {
   for (const std::uint64_t word : rng_.state()) w.u64(word);
   w.u8(locality_ > 0.0 ? 1 : 0);

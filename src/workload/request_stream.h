@@ -34,6 +34,23 @@ struct Request {
   std::uint32_t rank = 1;  // 1-based within-site popularity rank
 };
 
+/// Structure-of-arrays batch of requests — the data-oriented hot-loop
+/// input.  Parallel arrays (server[i], site[i], rank[i]) describe request
+/// i; the flat layout lets the simulator's per-request path stream through
+/// ids without touching a struct per request.
+struct RequestBatch {
+  std::vector<ServerId> server;
+  std::vector<SiteId> site;
+  std::vector<std::uint32_t> rank;  // 1-based within-site popularity rank
+
+  std::size_t size() const noexcept { return server.size(); }
+  void resize(std::size_t n) {
+    server.resize(n);
+    site.resize(n);
+    rank.resize(n);
+  }
+};
+
 /// Infinite request stream.  Deterministic given the seed.
 class RequestStream {
  public:
@@ -48,6 +65,12 @@ class RequestStream {
 
   /// Generates the next request.
   Request next();
+
+  /// Fills `out` (resized to `count`) with the next `count` requests.
+  /// Draws exactly the same RNG sequence as `count` calls to next() — the
+  /// contract that keeps the batched simulator paths byte-identical to the
+  /// per-request reference loop.
+  void next_batch(RequestBatch& out, std::size_t count);
 
   const SiteCatalog& catalog() const noexcept { return *catalog_; }
 

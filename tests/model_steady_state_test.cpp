@@ -1,0 +1,177 @@
+// Tests of the flow engine's steady-state hit-ratio tiers: the tabulated
+// Che occupancy curve against its exact sum, the characteristic-time fixed
+// point, tier agreement, the (1 - lambda) / replication semantics shared
+// with ServerCacheState, and the clamp diagnostics at the table tails.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/hit_ratio_curve.h"
+#include "src/model/steady_state.h"
+#include "src/util/error.h"
+#include "src/util/zipf.h"
+
+namespace {
+
+using cdn::model::che_characteristic_time;
+using cdn::model::HitRatioCurve;
+using cdn::model::lru_occupancy_exponential;
+using cdn::model::OccupancyCurve;
+using cdn::model::steady_state_hit_ratios;
+using cdn::model::SteadyStateModel;
+using cdn::util::ZipfDistribution;
+
+TEST(OccupancyCurveTest, MatchesExactSumAcrossTheGrid) {
+  const ZipfDistribution zipf(500, 0.8);
+  const OccupancyCurve curve(zipf, 1024);
+  for (double z = 1e-3; z < 1e7; z *= 3.7) {
+    const double exact = lru_occupancy_exponential(zipf, z);
+    EXPECT_NEAR(curve.evaluate_z(z), exact, 0.01 * (exact + 1.0))
+        << "z = " << z;
+  }
+}
+
+TEST(OccupancyCurveTest, RangeAndLimits) {
+  const ZipfDistribution zipf(200, 1.0);
+  const OccupancyCurve curve(zipf, 512);
+  EXPECT_DOUBLE_EQ(curve.evaluate_z(0.0), 0.0);
+  EXPECT_NEAR(curve.objects_per_site(), 200.0, 1e-9);
+  // Saturated: every object resident.
+  EXPECT_NEAR(curve.evaluate_z(curve.z_max()), 200.0, 1.0);
+  // Monotone in z.
+  double prev = -1.0;
+  for (double z = 1e-4; z < 1e8; z *= 10.0) {
+    const double n = curve.evaluate_z(z);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(OccupancyCurveTest, ClampCounterTracksTailEvaluations) {
+  const ZipfDistribution zipf(100, 1.0);
+  const OccupancyCurve curve(zipf, 256);
+  EXPECT_EQ(curve.clamped_evaluations(), 0u);
+  (void)curve.evaluate_z(curve.z_max() * 10.0);
+  (void)curve.evaluate_z(curve.z_max() * 100.0);
+  EXPECT_EQ(curve.clamped_evaluations(), 2u);
+  // Copies share the table but start a fresh diagnostic counter.
+  const OccupancyCurve copy(curve);
+  EXPECT_EQ(copy.clamped_evaluations(), 0u);
+}
+
+TEST(CheCharacteristicTimeTest, FixedPointReproducesTheSlotCount) {
+  const ZipfDistribution zipf(300, 0.9);
+  const OccupancyCurve occupancy(zipf, 1024);
+  const std::vector<double> weights{0.5, 0.3, 0.2};
+  const std::uint64_t slots = 150;
+  const double K = che_characteristic_time(weights, occupancy, slots);
+  ASSERT_GT(K, 0.0);
+  double resident = 0.0;
+  for (const double w : weights) {
+    resident += occupancy.evaluate(w, K);
+  }
+  EXPECT_NEAR(resident, static_cast<double>(slots), 0.02 * slots);
+}
+
+TEST(CheCharacteristicTimeTest, DegenerateInputs) {
+  const ZipfDistribution zipf(100, 1.0);
+  const OccupancyCurve occupancy(zipf, 512);
+  const std::vector<double> weights{0.6, 0.4};
+  EXPECT_DOUBLE_EQ(che_characteristic_time(weights, occupancy, 0), 0.0);
+  const std::vector<double> zero_weights{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(che_characteristic_time(zero_weights, occupancy, 100),
+                   0.0);
+  // Cache fits the whole cacheable set: K is pushed past the table edge for
+  // every site (z_max over the smallest positive weight).
+  EXPECT_DOUBLE_EQ(che_characteristic_time(weights, occupancy, 100'000),
+                   occupancy.z_max() / 0.4);
+}
+
+struct TierFixture {
+  ZipfDistribution zipf{100, 1.0};
+  HitRatioCurve curve{zipf, 512};
+  OccupancyCurve occupancy{zipf, 512};
+  std::vector<double> popularity{0.4, 0.3, 0.2, 0.1};
+  std::vector<std::uint8_t> replicated{0, 0, 0, 0};
+  std::vector<double> lambdas{0.0, 0.0, 0.0, 0.0};
+
+  std::vector<double> ratios(SteadyStateModel tier, std::uint64_t slots) {
+    return steady_state_hit_ratios(tier, popularity, replicated, lambdas,
+                                   zipf, curve, &occupancy, slots);
+  }
+};
+
+TEST(SteadyStateTiersTest, ClosedFormAndCheAgreeWithinModelError) {
+  TierFixture f;
+  const auto closed = f.ratios(SteadyStateModel::kClosedForm, 120);
+  const auto che = f.ratios(SteadyStateModel::kChe, 120);
+  ASSERT_EQ(closed.size(), f.popularity.size());
+  ASSERT_EQ(che.size(), f.popularity.size());
+  for (std::size_t j = 0; j < closed.size(); ++j) {
+    EXPECT_GT(closed[j], 0.0);
+    EXPECT_LT(closed[j], 1.0);
+    // Both approximate the same LRU steady state; they may differ by model
+    // error but never wildly.
+    EXPECT_NEAR(closed[j], che[j], 0.15) << "site " << j;
+  }
+}
+
+TEST(SteadyStateTiersTest, MoreSlotsNeverHurt) {
+  TierFixture f;
+  for (const auto tier :
+       {SteadyStateModel::kClosedForm, SteadyStateModel::kChe}) {
+    const auto small = f.ratios(tier, 40);
+    const auto large = f.ratios(tier, 250);
+    for (std::size_t j = 0; j < small.size(); ++j) {
+      EXPECT_GE(large[j] + 1e-9, small[j]) << "site " << j;
+    }
+  }
+}
+
+TEST(SteadyStateTiersTest, ReplicatedSitesBypassTheCache) {
+  TierFixture f;
+  f.replicated = {0, 1, 0, 1};
+  for (const auto tier :
+       {SteadyStateModel::kClosedForm, SteadyStateModel::kChe}) {
+    const auto ratios = f.ratios(tier, 120);
+    EXPECT_DOUBLE_EQ(ratios[1], 0.0);
+    EXPECT_DOUBLE_EQ(ratios[3], 0.0);
+    EXPECT_GT(ratios[0], 0.0);
+    EXPECT_GT(ratios[2], 0.0);
+  }
+}
+
+TEST(SteadyStateTiersTest, LambdaScalesTheCacheableMass) {
+  TierFixture f;
+  const auto clean = f.ratios(SteadyStateModel::kClosedForm, 120);
+  f.lambdas = {0.3, 0.3, 0.3, 0.3};
+  const auto flagged = f.ratios(SteadyStateModel::kClosedForm, 120);
+  for (std::size_t j = 0; j < clean.size(); ++j) {
+    EXPECT_LE(flagged[j], 0.7 + 1e-9);
+    EXPECT_LT(flagged[j], clean[j]);
+  }
+}
+
+TEST(SteadyStateTiersTest, SaturatedCacheHitsEverythingCacheable) {
+  TierFixture f;
+  f.lambdas = {0.2, 0.0, 0.0, 0.0};
+  // Slots cover the whole catalogue (4 sites x 100 objects).
+  for (const auto tier :
+       {SteadyStateModel::kClosedForm, SteadyStateModel::kChe}) {
+    const auto ratios = f.ratios(tier, 1'000'000);
+    EXPECT_NEAR(ratios[0], 0.8, 0.02);
+    for (std::size_t j = 1; j < ratios.size(); ++j) {
+      EXPECT_NEAR(ratios[j], 1.0, 0.02) << "site " << j;
+    }
+  }
+}
+
+TEST(SteadyStateTiersTest, EmpiricalTierHasNoComputationHere) {
+  TierFixture f;
+  EXPECT_THROW(f.ratios(SteadyStateModel::kEmpirical, 120),
+               cdn::PreconditionError);
+}
+
+}  // namespace

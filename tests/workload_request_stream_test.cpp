@@ -110,6 +110,30 @@ TEST(RequestStreamTest, LocalityIncreasesRepeats) {
   EXPECT_GT(repeat_fraction(0.5), repeat_fraction(0.0) + 0.1);
 }
 
+TEST(RequestStreamTest, BatchDrawsExactlyTheScalarSequence) {
+  // next_batch() is the data-oriented hot-loop entry; it must consume the
+  // RNG exactly as repeated next() calls do, or the batched simulator
+  // diverges from the reference loop.
+  const auto f = Fixture::make();
+  for (const double locality : {0.0, 0.4}) {
+    RequestStream scalar(f.catalog, f.demand, 55, locality, 32);
+    RequestStream batched(f.catalog, f.demand, 55, locality, 32);
+    cdn::workload::RequestBatch batch;
+    // Uneven batch sizes cross internal boundaries on purpose.
+    for (const std::size_t count :
+         std::vector<std::size_t>{1, 7, 256, 1000, 3}) {
+      batched.next_batch(batch, count);
+      ASSERT_EQ(batch.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const Request r = scalar.next();
+        ASSERT_EQ(batch.server[i], r.server) << "locality " << locality;
+        ASSERT_EQ(batch.site[i], r.site);
+        ASSERT_EQ(batch.rank[i], r.rank);
+      }
+    }
+  }
+}
+
 TEST(RequestStreamTest, RejectsInvalidConfig) {
   const auto f = Fixture::make();
   EXPECT_THROW(RequestStream(f.catalog, f.demand, 1, 1.0),

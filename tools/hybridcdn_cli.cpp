@@ -113,6 +113,13 @@ int main(int argc, char** argv) {
                "cap on recorded trace events (excess is counted as dropped)");
   cli.add_flag("windows", "50",
                "per-window time-series buckets in the metrics output");
+  cli.add_flag("engine", "event",
+               "evaluation engine: event (per-request simulation) | flow "
+               "(analytical steady-state fast path, milliseconds instead of "
+               "seconds; docs/PERFORMANCE.md)");
+  cli.add_flag("hit-model", "empirical",
+               "hit-ratio model tier of the flow engine: "
+               "empirical|closed-form|che (ignored by --engine=event)");
   cli.add_flag("threads", "1",
                "simulation threads: 1 = sequential reference engine, "
                "0 = all hardware threads, N = parallel sharded engine");
@@ -186,6 +193,23 @@ int main(int argc, char** argv) {
     sim.metrics_windows = static_cast<std::size_t>(cli.get_int("windows"));
     sim.threads = static_cast<std::size_t>(cli.get_int("threads"));
     sim.shards = static_cast<std::size_t>(cli.get_int("shards"));
+    const std::string engine_name = cli.get_string("engine");
+    if (engine_name == "flow") {
+      sim.engine = sim::SimEngine::kFlow;
+    } else {
+      CDN_EXPECT(engine_name == "event",
+                 "unknown --engine: " + engine_name + " (expected event|flow)");
+    }
+    const std::string hit_model_name = cli.get_string("hit-model");
+    if (hit_model_name == "closed-form") {
+      sim.hit_model = sim::HitModel::kClosedForm;
+    } else if (hit_model_name == "che") {
+      sim.hit_model = sim::HitModel::kChe;
+    } else {
+      CDN_EXPECT(hit_model_name == "empirical",
+                 "unknown --hit-model: " + hit_model_name +
+                     " (expected empirical|closed-form|che)");
+    }
     if (cli.get_bool("progress")) {
       sim.progress_every = std::max<std::uint64_t>(1, sim.total_requests / 20);
       sim.progress = [](const sim::SimulationProgress& p) {
