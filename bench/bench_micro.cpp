@@ -11,6 +11,7 @@
 #include "src/core/scenario.h"
 #include "src/model/characteristic_time.h"
 #include "src/model/hit_ratio_curve.h"
+#include "src/model/steady_state.h"
 #include "src/obs/registry.h"
 #include "src/placement/hybrid_greedy.h"
 #include "src/placement/model_support.h"
@@ -150,6 +151,69 @@ void BM_CharacteristicTimeExact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CharacteristicTimeExact);
+
+// Per-server steady-state pricing cost of the placement tiers (the work a
+// TierEvaluator table rebuild amortises across one iteration's candidates).
+// Arg 0 = closed-form, arg 1 = Che (fixed-point solve + per-site N(z)).
+void BM_SteadyStateTier(benchmark::State& state) {
+  const auto tier = state.range(0) == 0 ? model::SteadyStateModel::kClosedForm
+                                        : model::SteadyStateModel::kChe;
+  constexpr std::size_t kSites = 256;
+  const util::ZipfDistribution zipf(1000, 0.8);
+  const model::HitRatioCurve curve(zipf);
+  const model::OccupancyCurve occupancy(zipf);
+  std::vector<double> popularity(kSites);
+  std::vector<std::uint8_t> replicated(kSites, 0);
+  std::vector<double> lambdas(kSites, 0.05);
+  double total = 0.0;
+  for (std::size_t j = 0; j < kSites; ++j) {
+    popularity[j] = 1.0 / static_cast<double>(j + 1);
+    total += popularity[j];
+  }
+  for (double& p : popularity) p /= total;
+  replicated[3] = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::steady_state_hit_ratios(
+        tier, popularity, replicated, lambdas, zipf, curve, &occupancy,
+        20'000));
+  }
+  state.SetItemsProcessed(state.iterations() * kSites);
+}
+BENCHMARK(BM_SteadyStateTier)->Arg(0)->Arg(1);
+
+// Cold vs warm-started Che characteristic-time solve.  The warm case
+// mirrors the engines' post-commit update: the previous K is a solution of
+// a fixed point one replica away, so the bracket opens at [K/2, 2K].
+void BM_CharacteristicTimeIncremental(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  constexpr std::size_t kSites = 256;
+  const util::ZipfDistribution zipf(1000, 0.8);
+  const model::OccupancyCurve occupancy(zipf);
+  std::vector<double> weights(kSites);
+  double total = 0.0;
+  for (std::size_t j = 0; j < kSites; ++j) {
+    weights[j] = 1.0 / static_cast<double>(j + 1);
+    total += weights[j];
+  }
+  for (double& w : weights) w /= total;
+  // The "previous commit" state: site 7's mass bypasses the cache and the
+  // buffer lost the replica's slots.
+  std::vector<double> prev = weights;
+  prev[7] = 0.0;
+  const double prev_k =
+      model::che_characteristic_time(prev, occupancy, 19'000);
+  std::uint64_t iterations = 0;
+  for (auto _ : state) {
+    const auto solved = model::che_characteristic_time_warm(
+        weights, occupancy, 20'000, warm ? prev_k : 0.0);
+    benchmark::DoNotOptimize(solved.k);
+    iterations += solved.iterations;
+  }
+  state.counters["fp_iters_per_solve"] =
+      benchmark::Counter(static_cast<double>(iterations),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_CharacteristicTimeIncremental)->Arg(0)->Arg(1);
 
 void BM_HitRatioTableEvaluate(benchmark::State& state) {
   const util::ZipfDistribution zipf(1000, 1.0);

@@ -12,9 +12,12 @@
 namespace cdn::core {
 
 MechanismSpec replication_mechanism(obs::Registry* metrics,
-                                    obs::SpanTracer* spans) {
-  return {"replication", [metrics, spans](const sys::CdnSystem& s) {
+                                    obs::SpanTracer* spans,
+                                    placement::PlacementModel placement_model) {
+  return {"replication",
+          [metrics, spans, placement_model](const sys::CdnSystem& s) {
             placement::GreedyGlobalOptions options;
+            options.placement_model = placement_model;
             options.metrics = metrics;
             options.metrics_prefix = "placement/replication/";
             options.spans = spans;
@@ -27,15 +30,30 @@ MechanismSpec caching_mechanism() {
           [](const sys::CdnSystem& s) { return placement::pure_caching(s); }};
 }
 
-MechanismSpec hybrid_mechanism(obs::Registry* metrics,
-                               obs::SpanTracer* spans) {
-  return {"hybrid", [metrics, spans](const sys::CdnSystem& s) {
+MechanismSpec hybrid_mechanism(obs::Registry* metrics, obs::SpanTracer* spans,
+                               placement::PlacementModel placement_model) {
+  return {"hybrid",
+          [metrics, spans, placement_model](const sys::CdnSystem& s) {
             placement::HybridGreedyOptions options;
+            options.placement_model = placement_model;
             options.metrics = metrics;
             options.metrics_prefix = "placement/hybrid/";
             options.spans = spans;
             return placement::hybrid_greedy(s, options);
           }};
+}
+
+std::string model_tier_mismatch_note(const std::string& hit_model,
+                                     const std::string& placement_model) {
+  const std::string coherent_placement =
+      hit_model == "closed-form" ? "closed-form"
+      : hit_model == "che"       ? "che"
+                                 : "exact";
+  if (placement_model == coherent_placement) return "";
+  return "note: --hit-model=" + hit_model + " simulates hit ratios with a "
+         "different model tier than --placement-model=" + placement_model +
+         " uses to rank placement candidates; results are well-defined but "
+         "the predicted-vs-measured comparison mixes tiers";
 }
 
 MechanismSpec fixed_split_mechanism(double cache_fraction) {

@@ -12,6 +12,7 @@
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
 #include "src/obs/trace.h"
+#include "src/placement/model_support.h"
 #include "src/placement/placement_result.h"
 #include "src/sim/simulator.h"
 #include "src/util/cdf.h"
@@ -30,11 +31,24 @@ struct MechanismSpec {
 /// "placement/<name>/" (mechanisms without tunable placement internals
 /// ignore it); passing a span tracer makes it emit iteration spans under
 /// the same prefix.
-MechanismSpec replication_mechanism(obs::Registry* metrics = nullptr,
-                                    obs::SpanTracer* spans = nullptr);
+MechanismSpec replication_mechanism(
+    obs::Registry* metrics = nullptr, obs::SpanTracer* spans = nullptr,
+    placement::PlacementModel placement_model =
+        placement::PlacementModel::kExact);
 MechanismSpec caching_mechanism();
 MechanismSpec hybrid_mechanism(obs::Registry* metrics = nullptr,
-                               obs::SpanTracer* spans = nullptr);
+                               obs::SpanTracer* spans = nullptr,
+                               placement::PlacementModel placement_model =
+                                   placement::PlacementModel::kExact);
+
+/// Loud-but-not-fatal coherence note for the CLI: "" when the --hit-model /
+/// --placement-model pair is coherent (empirical<->exact,
+/// closed-form<->closed-form, che<->che), otherwise a one-line warning that
+/// the placement ranking and the simulated hit ratios use different model
+/// tiers.  Mixing is allowed — the combination is well-defined — it just
+/// should never happen silently.
+std::string model_tier_mismatch_note(const std::string& hit_model,
+                                     const std::string& placement_model);
 /// Ad-hoc fixed split with the given cache share (0.2 / 0.8 in Figure 5).
 MechanismSpec fixed_split_mechanism(double cache_fraction);
 MechanismSpec random_mechanism(std::uint64_t seed);

@@ -18,7 +18,7 @@ ServerCacheState::ServerCacheState(std::span<const double> site_rates,
     : rates_(site_rates.begin(), site_rates.end()),
       bytes_(site_bytes.begin(), site_bytes.end()),
       lambdas_(lambdas.begin(), lambdas.end()),
-      replicated_(site_rates.size(), false),
+      replicated_(site_rates.size(), 0),
       zipf_(&zipf),
       curve_(&curve),
       pb_mode_(pb_mode),
@@ -75,7 +75,7 @@ double ServerCacheState::hit_ratio(std::uint32_t site) const {
 
 bool ServerCacheState::is_replicated(std::uint32_t site) const {
   CDN_EXPECT(site < rates_.size(), "site out of range");
-  return replicated_[site];
+  return replicated_[site] != 0;
 }
 
 bool ServerCacheState::can_fit(std::uint32_t site) const {
@@ -122,7 +122,7 @@ void ServerCacheState::replicate(std::uint32_t site) {
   CDN_EXPECT(site < rates_.size(), "site out of range");
   CDN_EXPECT(!replicated_[site], "site already replicated");
   CDN_EXPECT(can_fit(site), "replica does not fit in remaining space");
-  replicated_[site] = true;
+  replicated_[site] = 1;
   cache_bytes_ -= bytes_[site];
   w_ = std::max(0.0, w_ - popularity_[site]);
   ++epoch_;

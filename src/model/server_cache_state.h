@@ -74,6 +74,21 @@ class ServerCacheState {
 
   std::size_t site_count() const noexcept { return rates_.size(); }
 
+  /// Flat SoA views over the per-site model inputs, for bulk consumers
+  /// (the placement tier evaluator builds its shared tables from these
+  /// without M virtual-ish accessor calls per rebuild).
+  std::span<const double> popularities() const noexcept { return popularity_; }
+  std::span<const double> site_lambdas() const noexcept { return lambdas_; }
+  std::span<const std::uint8_t> replicated_flags() const noexcept {
+    return replicated_;
+  }
+
+  /// Unreplicated popularity mass w (popularities renormalise as p/w).
+  double unreplicated_mass() const noexcept { return w_; }
+
+  /// o-bar, the bytes-per-LRU-slot conversion factor.
+  double mean_object_bytes() const noexcept { return mean_object_bytes_; }
+
   /// Lightweight view answering "what would site k's hit ratio be if site
   /// `replicating` were given a replica here".  Valid until the parent
   /// mutates.
@@ -124,7 +139,9 @@ class ServerCacheState {
   std::vector<double> rates_;           // r_j^(i)
   std::vector<std::uint64_t> bytes_;    // o_j
   std::vector<double> lambdas_;
-  std::vector<bool> replicated_;
+  // One byte per site (not vector<bool>): the flat array is shared with the
+  // placement tier evaluator and steady_state_hit_ratios as a span.
+  std::vector<std::uint8_t> replicated_;
   std::vector<double> popularity_;      // p_j over ALL requests at server
   const util::ZipfDistribution* zipf_;
   const HitRatioCurve* curve_;

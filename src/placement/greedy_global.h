@@ -15,11 +15,17 @@
 #include "src/cdn/system.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/placement/model_support.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
 
 struct GreedyGlobalOptions {
+  /// Accepted for CLI symmetry with hybrid_greedy, but a documented no-op:
+  /// the greedy-global objective is model-free (no Eq. 1/Eq. 2 in the
+  /// benefit), so every tier prices candidates identically
+  /// (invariance is test-enforced).
+  PlacementModel placement_model = PlacementModel::kExact;
   /// Candidate-evaluation engine.  A commit of (i*, j*) only changes the
   /// inputs of column-j* candidates (the benefit reads nothing outside its
   /// own site column), so the incremental engine re-evaluates N candidates

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <optional>
 
 #include "src/cdn/cost.h"
 #include "src/obs/scoped_timer.h"
 #include "src/placement/hybrid_internal.h"
 #include "src/placement/model_support.h"
+#include "src/placement/tier_evaluator.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
 
@@ -220,7 +223,7 @@ PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
   obs::ScopedTimer total_timer(t_total);
   obs::ScopedSpan total_span(spans, sp_total, "placement");
 
-  ModelContext context(system, options.pb_mode);
+  ModelContext context(system, options.pb_mode, options.placement_model);
   std::vector<model::ServerCacheState> states = context.make_states();
 
   sys::ReplicaPlacement placement(system.server_storage(),
@@ -240,6 +243,21 @@ PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
     return sys::total_remote_cost(demand, result.nearest, hit_fn(hit, m));
   };
   result.cost_trajectory.push_back(current_cost());
+
+  // Tier fast path (kClosedForm / kChe): candidates are priced from shared
+  // per-server tables; the exact-model branch below stays literally
+  // untouched under kExact (byte-identity gate).
+  const bool tiered = options.placement_model != PlacementModel::kExact;
+  std::optional<TierEvaluator> tier;
+  std::optional<RelativeColumns> columns;
+  if (tiered) {
+    tier.emplace(system, states, result.nearest, context.curve(),
+                 context.occupancy(), options.placement_model);
+    columns.emplace();
+    columns->build(system, result.placement, result.nearest, flow);
+  }
+  std::uint64_t tier_fallbacks = 0;
+  std::uint64_t tier_margin_hits = 0;
 
   const std::size_t seeded = result.placement.replica_count();
   std::vector<Candidate> best_per_server(n);
@@ -264,12 +282,18 @@ PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
         CDN_DCHECK(states[i].can_fit(static_cast<std::uint32_t>(j)),
                    "placement and model state disagree on free space");
         ++evaluated;
-        const double b =
-            hybrid_candidate_benefit(system, result.placement, result.nearest,
-                                     states[i], hit, flow.data(), server,
-                                     site) -
+        const double budget_cost =
             options.add_cost_per_byte *
-                static_cast<double>(system.site_bytes()[j]);
+            static_cast<double>(system.site_bytes()[j]);
+        const double b =
+            tiered
+                ? flow[i * m + j] * result.nearest.cost(server, site) +
+                      columns->relative_gain(server, site) -
+                      tier->penalty(server, site) - budget_cost
+                : hybrid_candidate_benefit(system, result.placement,
+                                           result.nearest, states[i], hit,
+                                           flow.data(), server, site) -
+                      budget_cost;
         if (!best.valid || b > best.benefit) {
           best = {b, server, site, true, 0};
         }
@@ -296,22 +320,73 @@ PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
       }
     }
     total_candidates += iteration_candidates;
+
+    // Error-gated exact fallback: the tier prices only RANK candidates —
+    // the winner plus every candidate whose tier benefit lands within the
+    // margin band of it is re-priced with the exact Eq. 1/Eq. 2 penalty,
+    // and the exact values pick the committed candidate and make the stop
+    // decision.  The band absorbs tier mis-ranking of near-winners; it is
+    // relative to the current top benefit, so it tightens as the frontier
+    // decays instead of sweeping the whole tail into exact re-pricing.
+    std::optional<HybridBenefitParts> winner_parts;
+    if (tiered && winner.valid) {
+      const double band =
+          options.tier_fallback_margin * std::abs(winner.benefit);
+      Candidate exact_best;
+      HybridBenefitParts exact_parts;
+      for (const Candidate& c : best_per_server) {
+        if (!c.valid || c.benefit < winner.benefit - band) continue;
+        ++tier_fallbacks;
+        if (c.server != winner.server || c.site != winner.site) {
+          ++tier_margin_hits;
+        }
+        HybridBenefitParts p;
+        p.local_gain =
+            flow[static_cast<std::size_t>(c.server) * m + c.site] *
+            result.nearest.cost(c.server, c.site);
+        p.relative_gain = columns->relative_gain(c.server, c.site);
+        p.cache_penalty =
+            hybrid_cache_penalty(system, result.nearest, states[c.server],
+                                 hit, c.server, c.site, nullptr);
+        const double b =
+            p.total() - options.add_cost_per_byte *
+                            static_cast<double>(system.site_bytes()[c.site]);
+        if (!exact_best.valid || b > exact_best.benefit) {
+          exact_best = {b, c.server, c.site, true, 0};
+          exact_parts = p;
+        }
+      }
+      winner = exact_best;
+      winner_parts = exact_parts;
+    }
     if (!winner.valid || winner.benefit <= 0.0) break;
 
     // Benefit decomposition of the winner, against the pre-commit state
     // (the same inputs the benefit above saw).
     HybridBenefitParts parts;
     if (iteration_log != nullptr) {
-      parts = hybrid_candidate_benefit_parts(
-          system, result.placement, result.nearest, states[winner.server],
-          hit, flow.data(), winner.server, winner.site);
+      if (!tiered) {
+        parts = hybrid_candidate_benefit_parts(
+            system, result.placement, result.nearest, states[winner.server],
+            hit, flow.data(), winner.server, winner.site);
+      } else if (winner_parts) {
+        parts = *winner_parts;
+      } else {
+        parts.local_gain =
+            flow[static_cast<std::size_t>(winner.server) * m + winner.site] *
+            result.nearest.cost(winner.server, winner.site);
+        parts.relative_gain =
+            columns->relative_gain(winner.server, winner.site);
+        parts.cache_penalty = tier->penalty(winner.server, winner.site);
+      }
     }
 
     {
       // Lines 18-25: materialise the winner and update the books.
       obs::ScopedTimer commit_timer(t_commit);
       result.placement.add(winner.server, winner.site);
-      result.nearest.on_replica_added(winner.server, winner.site);
+      const std::vector<sys::ServerIndex> changed =
+          result.nearest.on_replica_added(winner.server, winner.site);
       states[winner.server].replicate(winner.site);
 
       // Refresh the winner server's modelled hit row; other rows are
@@ -321,6 +396,13 @@ PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
             states[winner.server].hit_ratio(static_cast<std::uint32_t>(j));
       }
       refresh_miss_flow_row(system, hit, winner.server, flow);
+      if (tiered) {
+        for (const sys::ServerIndex k : changed) {
+          if (k != winner.server) tier->on_cost_changed(k, winner.site);
+        }
+        columns->on_commit(result.nearest, flow, winner.server, winner.site,
+                           changed);
+      }
       result.cost_trajectory.push_back(current_cost());
     }
 
@@ -347,6 +429,15 @@ PlacementResult hybrid_greedy_reference(const sys::CdnSystem& system,
         .set(static_cast<double>(result.replicas_created));
     metrics->gauge(pfx + "predicted_cost_per_request")
         .set(result.predicted_cost_per_request);
+    if (tiered) {
+      metrics->counter(pfx + "tier_evaluations").add(tier->evaluations());
+      metrics->counter(pfx + "tier_fallbacks").add(tier_fallbacks);
+      metrics->counter(pfx + "tier_margin_hits").add(tier_margin_hits);
+      if (options.placement_model == PlacementModel::kChe) {
+        metrics->counter("model/che/fixed_point_iterations")
+            .add(tier->che_iterations());
+      }
+    }
     obs::Series& cost = metrics->series(pfx + "cost");
     for (const double c : result.cost_trajectory) cost.push(c);
   }

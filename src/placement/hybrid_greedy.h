@@ -26,6 +26,7 @@
 #include "src/model/server_cache_state.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/placement/model_support.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
@@ -34,6 +35,25 @@ struct HybridGreedyOptions {
   /// When the top-B probability p_B of Eq. 2 is recomputed (paper default:
   /// once at initialisation; see DESIGN.md ablation A1).
   model::PbMode pb_mode = model::PbMode::kAtInit;
+
+  /// Model tier pricing candidate evaluations (docs/PERFORMANCE.md,
+  /// "Placement model tiers").  kExact keeps today's byte-identical paths;
+  /// kClosedForm / kChe price candidates from shared per-server tables in
+  /// O(1) per candidate and re-verify near-threshold winners with the exact
+  /// Eq. 1/Eq. 2 model before commit.  The hit matrix, miss flows, cost
+  /// trajectory and final states stay exact in every tier.
+  PlacementModel placement_model = PlacementModel::kExact;
+
+  /// Width of the exact-verification band for the cheap tiers, as a
+  /// fraction of the current iteration's top tier benefit.
+  /// Tier prices only RANK candidates: every iteration the winner is
+  /// re-priced with the exact model before commit, together with every
+  /// contender whose tier benefit lands within this margin of the top (so
+  /// a tier mis-ranking inside the band cannot pick the wrong replica).
+  /// Larger margins verify more contenders (slower, closer to exact); 0
+  /// still exact-verifies the winner and the stop decision, trusting the
+  /// tier's ordering everywhere else.  Ignored under kExact.
+  double tier_fallback_margin = 0.1;
 
   /// Candidate-evaluation engine.  kIncremental (default) runs the lazy
   /// heap + sound-invalidation engine; kReference re-evaluates everything

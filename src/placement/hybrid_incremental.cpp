@@ -44,9 +44,24 @@
 // stops fitting is dead forever; deaths can only occur inside the
 // invalidated set (only server i*'s budget moved), where the batch
 // re-evaluation notices them.
+//
+// Tier mode (placement_model != kExact) reuses the same invalidation sets
+// but prices kFull re-evaluations from the shared per-server tables and
+// verifies near-top candidates with the exact model before commit (see
+// hybrid_greedy.h).  Repairs of an exact-verified candidate patch the
+// exact decomposition in place instead of dropping back to a tier price:
+// the penalty's j* term moves by dh * r * (C_new - C_old) with dh and r
+// untouched off the committed row, and the relative term is exact by
+// construction.  The patched doubles carry normal floating-point
+// accumulation drift relative to a fresh evaluation (they are NOT
+// bit-identical, unlike the kExact repairs above), which the 1 % cost gate
+// absorbs; keeping the verified stamp across repairs is what makes the
+// verify band affordable at large M.
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <optional>
 #include <vector>
 
 #include "src/cdn/cost.h"
@@ -54,6 +69,7 @@
 #include "src/placement/hybrid_greedy.h"
 #include "src/placement/hybrid_internal.h"
 #include "src/placement/model_support.h"
+#include "src/placement/tier_evaluator.h"
 #include "src/util/error.h"
 #include "src/util/thread_pool.h"
 
@@ -124,7 +140,7 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
   obs::ScopedTimer total_timer(t_total);
   obs::ScopedSpan total_span(spans, sp_total, "placement");
 
-  ModelContext context(system, options.pb_mode);
+  ModelContext context(system, options.pb_mode, options.placement_model);
   std::vector<model::ServerCacheState> states = context.make_states();
 
   sys::ReplicaPlacement placement(system.server_storage(),
@@ -143,17 +159,46 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
   };
   result.cost_trajectory.push_back(current_cost());
 
+  // Tier fast path (kClosedForm / kChe): candidate prices come from shared
+  // per-server tables and the transposed relative columns; every branch
+  // below that touches `tier`/`columns` is gated on `tiered`, so the kExact
+  // paths stay literally the pre-tier code (byte-identity gate).
+  const bool tiered = options.placement_model != PlacementModel::kExact;
+  std::optional<TierEvaluator> tier;
+  std::optional<RelativeColumns> columns;
+  if (tiered) {
+    tier.emplace(system, states, result.nearest, context.curve(),
+                 context.occupancy(), options.placement_model);
+    columns.emplace();
+    columns->build(system, result.placement, result.nearest, flow);
+  }
+  std::uint64_t tier_fallbacks = 0;
+  std::uint64_t tier_margin_hits = 0;
+
   // Per-candidate books.  `val` caches the budget-adjusted benefit; an
   // in-heap entry is live iff its version matches `version[idx]`; `dead`
   // candidates (replicated or no longer fitting) never re-enter the heap.
   std::vector<double> val(n * m, 0.0);
   std::vector<std::uint32_t> version(n * m, 1);
+  // A tier-mode candidate is exactly priced iff its stamp matches its
+  // version: any invalidation or repair bumps the version and naturally
+  // stales the stamp.
+  std::vector<std::uint32_t> verified_stamp(n * m, 0);
   std::vector<std::uint8_t> dead(n * m, 0);
   std::vector<std::uint8_t> eval_ok(n * m, 0);
   std::vector<std::uint32_t> mark_stamp(n * m, 0);
   std::vector<std::uint8_t> mark_kind(n * m, 0);
   std::vector<std::uint32_t> marked;
   std::vector<double> old_flow(m, 0.0);
+  // Tier mode: repairs of an exact-verified candidate patch its exact
+  // decomposition in place (the relative term is exact by construction and
+  // the penalty moved only in the committed site's term), so verification
+  // survives invalidation; `still_exact` carries that fact from the
+  // parallel repair batch to the serial version bump.  `old_cost_js[k]` is
+  // the pre-commit nearest cost C(k, SN_js) the penalty patch differences
+  // against.
+  std::vector<std::uint8_t> still_exact(n * m, 0);
+  std::vector<double> old_cost_js(n, 0.0);
   std::vector<HeapEntry> heap;
   const WorseThan worse{};
   const std::size_t compact_threshold = 2 * n * m + 1024;
@@ -169,7 +214,7 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
   std::vector<double> part_local(n * m, 0.0);
   std::vector<double> part_penalty(n * m, 0.0);
   std::vector<double> part_relative(n * m, 0.0);
-  const bool term_cache = n * m * m <= (std::size_t{1} << 24);
+  const bool term_cache = !tiered && n * m * m <= (std::size_t{1} << 24);
   std::vector<double> pen_terms(term_cache ? n * m * m : 0, 0.0);
 
   auto evaluate = [&](std::size_t idx) {
@@ -182,6 +227,18 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
     CDN_DCHECK(states[server].can_fit(static_cast<std::uint32_t>(site)),
                "placement and model state disagree on free space");
     eval_ok[idx] = 1;
+    if (tiered) {
+      // Local and relative terms are exact (they are model-free); only the
+      // cache penalty is tier-priced.
+      still_exact[idx] = 0;
+      part_local[idx] = flow[idx] * result.nearest.cost(server, site);
+      part_penalty[idx] = tier->penalty(server, site);
+      part_relative[idx] = columns->relative_gain(server, site);
+      val[idx] = part_local[idx] + part_relative[idx] - part_penalty[idx] -
+                 options.add_cost_per_byte *
+                     static_cast<double>(system.site_bytes()[site]);
+      return;
+    }
     const HybridBenefitParts parts = hybrid_benefit_parts_capture(
         system, result.placement, result.nearest, states[server], hit,
         flow.data(), server, site,
@@ -199,6 +256,51 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
   auto repair = [&](std::size_t idx, std::uint8_t kind, sys::SiteIndex js) {
     const auto server = static_cast<sys::ServerIndex>(idx / m);
     const auto site = static_cast<sys::SiteIndex>(idx % m);
+    if (tiered) {
+      still_exact[idx] = 0;
+      if (verified_stamp[idx] == version[idx]) {
+        // The candidate's cached decomposition is exact (verify loop or a
+        // previous exact-preserving patch).  A repair-class invalidation
+        // only moves inputs the exact terms depend on linearly: the
+        // relative term is exact by construction in tier mode, and a
+        // penalty repair shifts just the committed column's term by
+        // dh * r * (C_new - C_old) — dh and r are untouched for servers
+        // off the committed row (those get kFull).  Patching in place keeps
+        // the candidate exact-verified, so the verify loop never pays the
+        // O(M) re-price for it again.
+        if ((kind & kRepairPenalty) != 0 && js != site &&
+            !states[server].is_replicated(static_cast<std::uint32_t>(js))) {
+          const double c_new = result.nearest.cost(server, js);
+          const double c_old = old_cost_js[server];
+          if (c_new != c_old) {
+            const double dh =
+                hit[static_cast<std::size_t>(server) * m + js] -
+                states[server]
+                    .what_if_replicate(static_cast<std::uint32_t>(site))
+                    .hit_ratio(static_cast<std::uint32_t>(js));
+            part_penalty[idx] +=
+                dh * system.demand().requests(server, js) * (c_new - c_old);
+          }
+        }
+        if ((kind & kRepairRelative) != 0) {
+          part_relative[idx] = columns->relative_gain(server, site);
+        }
+        still_exact[idx] = 1;
+      } else {
+        // Tier repairs re-price from the (already patched) shared tables —
+        // both components are O(1)-ish, so no term cache is needed.
+        if ((kind & kRepairPenalty) != 0) {
+          part_penalty[idx] = tier->penalty(server, site);
+        }
+        if ((kind & kRepairRelative) != 0) {
+          part_relative[idx] = columns->relative_gain(server, site);
+        }
+      }
+      val[idx] = part_local[idx] + part_relative[idx] - part_penalty[idx] -
+                 options.add_cost_per_byte *
+                     static_cast<double>(system.site_bytes()[site]);
+      return;
+    }
     if ((kind & kRepairPenalty) != 0) {
       if (term_cache) {
         double* terms = &pen_terms[idx * m];
@@ -289,17 +391,95 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
     iter_span.arg("iteration", static_cast<double>(iteration));
     // Lazy deletion: discard entries whose candidate was re-evaluated or
     // died since they were pushed.
-    while (!heap.empty()) {
-      const HeapEntry& top = heap.front();
-      const std::size_t idx =
-          static_cast<std::size_t>(top.server) * m + top.site;
-      if (top.version != version[idx]) {
-        std::pop_heap(heap.begin(), heap.end(), worse);
-        heap.pop_back();
-        ++stale_discarded;
-        continue;
+    auto discard_stale = [&] {
+      while (!heap.empty()) {
+        const HeapEntry& top = heap.front();
+        const std::size_t idx =
+            static_cast<std::size_t>(top.server) * m + top.site;
+        if (top.version != version[idx]) {
+          std::pop_heap(heap.begin(), heap.end(), worse);
+          heap.pop_back();
+          ++stale_discarded;
+          continue;
+        }
+        break;
       }
-      break;
+    };
+    discard_stale();
+
+    // Error-gated exact fallback (cheap tiers only): tier prices RANK the
+    // heap; the commit decision is always exact.  Each round exact
+    // re-prices every live, unverified entry whose tier benefit lands
+    // within the margin band of the current top (the top itself included),
+    // stamps them, and reinserts; it stops once the top is exact-priced
+    // and no unverified runner remains inside its band.  Stop decisions
+    // are therefore exact-anchored too: an unverified top at or below
+    // zero is within its own band and gets verified before the loop can
+    // break on it.
+    if (tiered) {
+      // Verification is exact-model work — it counts toward the eval
+      // timer so tier speedup numbers cannot hide fallback cost.
+      std::chrono::steady_clock::time_point verify_start;
+      if (t_eval != nullptr) verify_start = std::chrono::steady_clock::now();
+      std::vector<HeapEntry> repriced;
+      for (;;) {
+        discard_stale();
+        if (heap.empty()) break;
+        const HeapEntry top = heap.front();
+        // The band tracks the current top benefit, tightening as the
+        // frontier decays — a frozen run-level scale would drag the whole
+        // post-commit invalidation set into exact re-pricing every
+        // iteration once benefits shrink below it.
+        const double band =
+            options.tier_fallback_margin * std::abs(top.benefit);
+        const std::size_t tidx =
+            static_cast<std::size_t>(top.server) * m + top.site;
+        // Settled: exact top, nothing unverified close enough to contest.
+        bool pending = false;
+        for (const HeapEntry& e : heap) {
+          const std::size_t idx =
+              static_cast<std::size_t>(e.server) * m + e.site;
+          if (e.version != version[idx]) continue;  // stale duplicate
+          if (verified_stamp[idx] == version[idx]) continue;
+          if (e.benefit < top.benefit - band) continue;
+          pending = true;
+          break;
+        }
+        if (!pending && verified_stamp[tidx] == version[tidx]) break;
+
+        repriced.clear();
+        for (const HeapEntry& e : heap) {
+          const std::size_t idx =
+              static_cast<std::size_t>(e.server) * m + e.site;
+          if (e.version != version[idx]) continue;
+          if (verified_stamp[idx] == version[idx]) continue;
+          if (e.benefit < top.benefit - band) continue;
+          ++tier_fallbacks;
+          if (idx != tidx) ++tier_margin_hits;
+          part_penalty[idx] = hybrid_cache_penalty(
+              system, result.nearest, states[e.server], hit, e.server,
+              e.site, nullptr);
+          val[idx] = part_local[idx] + part_relative[idx] -
+                     part_penalty[idx] -
+                     options.add_cost_per_byte *
+                         static_cast<double>(system.site_bytes()[e.site]);
+          ++version[idx];
+          verified_stamp[idx] = version[idx];
+          repriced.push_back({val[idx], e.server, e.site, version[idx]});
+        }
+        for (const HeapEntry& e : repriced) {
+          heap.push_back(e);
+          std::push_heap(heap.begin(), heap.end(), worse);
+        }
+        // Loop: re-pricing may have surfaced a different (possibly still
+        // unverified) top whose own band needs settling.
+      }
+      if (t_eval != nullptr) {
+        t_eval->record_ns(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - verify_start)
+                .count()));
+      }
     }
     if (heap.empty()) break;
     const HeapEntry winner = heap.front();
@@ -313,14 +493,29 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
     // Benefit decomposition of the winner, against the pre-commit state.
     HybridBenefitParts parts;
     if (iteration_log != nullptr) {
-      parts = hybrid_candidate_benefit_parts(system, result.placement,
-                                             result.nearest, states[ws], hit,
-                                             flow.data(), ws, js);
+      if (tiered) {
+        const std::size_t widx = ws_row + js;
+        parts.local_gain = part_local[widx];
+        parts.cache_penalty = part_penalty[widx];
+        parts.relative_gain = part_relative[widx];
+      } else {
+        parts = hybrid_candidate_benefit_parts(system, result.placement,
+                                               result.nearest, states[ws], hit,
+                                               flow.data(), ws, js);
+      }
     }
 
     std::vector<sys::ServerIndex> changed_servers;
     {
       obs::ScopedTimer commit_timer(t_commit);
+      if (tiered) {
+        // Pre-commit nearest costs of the committed column, for the
+        // exact-preserving penalty patch in repair().
+        for (std::size_t i = 0; i < n; ++i) {
+          old_cost_js[i] =
+              result.nearest.cost(static_cast<sys::ServerIndex>(i), js);
+        }
+      }
       result.placement.add(ws, js);
       changed_servers = result.nearest.on_replica_added(ws, js);
       states[ws].replicate(js);
@@ -332,6 +527,15 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
             states[ws].hit_ratio(static_cast<std::uint32_t>(j));
       }
       refresh_miss_flow_row(system, hit, ws, flow);
+      if (tiered) {
+        // Patch the shared tables before the batch re-pricing below reads
+        // them: cost deltas fold into the changed servers' g/Phi/A tables
+        // in O(grid); ws's own table rebuilds lazily (its epoch moved).
+        for (const sys::ServerIndex k : changed_servers) {
+          if (k != ws) tier->on_cost_changed(k, js);
+        }
+        columns->on_commit(result.nearest, flow, ws, js, changed_servers);
+      }
       result.cost_trajectory.push_back(current_cost());
     }
 
@@ -423,6 +627,11 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
         dead[idx] = 1;
         continue;
       }
+      if (still_exact[idx] != 0) {
+        // Exact-preserving patch: the new version is born verified.
+        verified_stamp[idx] = version[idx];
+        still_exact[idx] = 0;
+      }
       if ((mark_kind[idx] & kFull) != 0) {
         ++batch_evals;
       } else {
@@ -471,6 +680,15 @@ PlacementResult hybrid_greedy_incremental(const sys::CdnSystem& system,
     metrics->counter(pfx + "heap/stale_discarded").add(stale_discarded);
     metrics->counter("model/curve_clamped")
         .add(context.curve().clamped_evaluations());
+    if (tiered) {
+      metrics->counter(pfx + "tier_evaluations").add(tier->evaluations());
+      metrics->counter(pfx + "tier_fallbacks").add(tier_fallbacks);
+      metrics->counter(pfx + "tier_margin_hits").add(tier_margin_hits);
+      if (options.placement_model == PlacementModel::kChe) {
+        metrics->counter("model/che/fixed_point_iterations")
+            .add(tier->che_iterations());
+      }
+    }
     metrics->gauge(pfx + "heap/peak_size")
         .set(static_cast<double>(peak_heap));
     metrics->gauge(pfx + "replicas_created")

@@ -16,11 +16,16 @@
 #include "src/cdn/system.h"
 #include "src/obs/registry.h"
 #include "src/obs/span.h"
+#include "src/placement/model_support.h"
 #include "src/placement/placement_result.h"
 
 namespace cdn::placement {
 
 struct LocalSearchOptions {
+  /// Accepted for CLI symmetry with hybrid_greedy, but a documented no-op:
+  /// the swap objective is the pure replication cost (model-free), so every
+  /// tier prices swaps identically (invariance is test-enforced).
+  PlacementModel placement_model = PlacementModel::kExact;
   /// Swap-evaluation engine.  The reference rebuilds a NearestReplicaIndex
   /// from scratch for every trial swap; the incremental engine maintains the
   /// exact per-cell redirection-cost matrix and recomputes only the two

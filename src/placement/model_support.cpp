@@ -4,12 +4,40 @@
 
 namespace cdn::placement {
 
+PlacementModel parse_placement_model(const std::string& name) {
+  if (name == "exact") return PlacementModel::kExact;
+  if (name == "closed-form") return PlacementModel::kClosedForm;
+  if (name == "che") return PlacementModel::kChe;
+  CDN_EXPECT(false,
+             "unknown placement model '" + name +
+                 "' (expected exact, closed-form, or che)");
+  return PlacementModel::kExact;
+}
+
+const char* placement_model_name(PlacementModel model) {
+  switch (model) {
+    case PlacementModel::kExact:
+      return "exact";
+    case PlacementModel::kClosedForm:
+      return "closed-form";
+    case PlacementModel::kChe:
+      return "che";
+  }
+  return "exact";
+}
+
 ModelContext::ModelContext(const sys::CdnSystem& system,
-                           model::PbMode pb_mode)
+                           model::PbMode pb_mode,
+                           PlacementModel placement_model)
     : system_(&system),
       curve_(system.catalog().object_popularity()),
       pb_mode_(pb_mode),
-      lambdas_(system.uncacheable_fractions()) {}
+      placement_model_(placement_model),
+      lambdas_(system.uncacheable_fractions()) {
+  if (placement_model_ == PlacementModel::kChe) {
+    occupancy_.emplace(system.catalog().object_popularity());
+  }
+}
 
 std::vector<model::ServerCacheState> ModelContext::make_states(
     const sys::ReplicaPlacement* existing) const {
