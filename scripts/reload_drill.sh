@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Reload-under-load drill (docs/REDIRECTOR.md).
+#
+# Proves the daemon's live-reconfiguration contract against the real
+# binaries, with redirect_load hammering the data plane the whole time:
+#
+#   1. >=5 placement RELOADs via the control socket while the load runs —
+#      every reply OK, STATUS generation strictly increasing;
+#   2. one malformed RELOAD mid-drill — the reply is ERR and STATUS shows
+#      the same generation and placement digest as before the attempt
+#      (the old config kept serving, nothing half-applied);
+#   3. redirect_load exits 0: zero transport failures and zero protocol
+#      errors across every swap — no request was dropped or hung.
+#
+# Usage: scripts/reload_drill.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+BUILD=${1:-build}
+REDIRECTD="$BUILD/tools/redirectd"
+LOAD="$BUILD/tools/redirect_load"
+for bin in "$REDIRECTD" "$LOAD"; do
+  [[ -x "$bin" ]] || { echo "error: $bin is not executable" >&2; exit 1; }
+done
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/hybridcdn_reload_drill.XXXXXX")
+DAEMON_PID=""
+LOAD_PID=""
+cleanup() {
+  [[ -n "$LOAD_PID" ]] && kill "$LOAD_PID" 2>/dev/null || true
+  [[ -n "$DAEMON_PID" ]] && kill "$DAEMON_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# The scenario both the daemon and the load generator must agree on.
+SCENARIO=(--servers 20 --low 10 --medium 20 --high 10 --objects 200
+          --seed 2005)
+
+wait_for_line() {  # wait_for_line <file> <token>
+  local file=$1 token=$2
+  for _ in $(seq 1 100); do
+    grep -q "$token" "$file" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "error: '$token' never appeared in $file" >&2
+  return 1
+}
+
+# One control-socket exchange per call; replies land on stdout.
+control() {  # control <command...>
+  local fd
+  exec {fd}<>"/dev/tcp/127.0.0.1/$CONTROL_PORT"
+  printf '%s\n' "$*" >&"$fd"
+  local reply
+  IFS= read -r -t 10 reply <&"$fd"
+  exec {fd}>&-
+  printf '%s\n' "$reply"
+}
+
+status_field() {  # status_field <status-line> <key>
+  sed -n "s/.* $2=\([^ ]*\).*/\1/p" <<<"$1"
+}
+
+echo "== plan files (two valid mechanisms + one malformed) =="
+# Each --dump-placement daemon writes its plan at startup; SIGTERM right
+# after LISTENING.
+for mech in hybrid replication; do
+  "$REDIRECTD" "${SCENARIO[@]}" --storage 0.05 --mechanism "$mech" \
+    --port 0 --dump-placement "$WORK/plan_$mech.txt" \
+    > "$WORK/dump_$mech.out" 2>/dev/null &
+  pid=$!
+  wait_for_line "$WORK/dump_$mech.out" LISTENING
+  kill -TERM "$pid"; wait "$pid" || true
+done
+printf 'placement 20 40\nreplica 0 bogus\n' > "$WORK/plan_bad.txt"
+wc -l "$WORK"/plan_*.txt
+
+echo "== daemon =="
+"$REDIRECTD" "${SCENARIO[@]}" --storage 0.05 --port 0 --control-port 0 \
+  > "$WORK/daemon.out" 2> "$WORK/daemon.err" &
+DAEMON_PID=$!
+wait_for_line "$WORK/daemon.out" LISTENING
+wait_for_line "$WORK/daemon.out" CONTROL
+DATA_PORT=$(awk '/^LISTENING/ {print $2}' "$WORK/daemon.out")
+CONTROL_PORT=$(awk '/^CONTROL/ {print $2}' "$WORK/daemon.out")
+echo "data port $DATA_PORT, control port $CONTROL_PORT"
+
+echo "== load (runs across every swap) =="
+"$LOAD" "${SCENARIO[@]}" --port "$DATA_PORT" \
+  --requests 400000 --connections 8 --pipeline 16 \
+  > "$WORK/load.out" 2> "$WORK/load.err" &
+LOAD_PID=$!
+sleep 0.5  # let the load ramp before the first swap
+
+echo "== 6 reloads + 1 malformed, generation must stay monotone =="
+LAST_GENERATION=1
+for swap in 1 2 3 4 5 6; do
+  if (( swap % 2 == 1 )); then plan="$WORK/plan_replication.txt";
+  else plan="$WORK/plan_hybrid.txt"; fi
+  REPLY=$(control "RELOAD placement $plan")
+  [[ "$REPLY" == OK* ]] || { echo "FAIL: swap $swap: $REPLY" >&2; exit 1; }
+  STATUS=$(control STATUS)
+  GENERATION=$(status_field "$STATUS" generation)
+  if (( GENERATION <= LAST_GENERATION )); then
+    echo "FAIL: generation $GENERATION did not advance past $LAST_GENERATION" >&2
+    exit 1
+  fi
+  LAST_GENERATION=$GENERATION
+  echo "swap $swap -> $REPLY"
+
+  if (( swap == 3 )); then
+    BEFORE=$(control STATUS)
+    BAD_REPLY=$(control "RELOAD placement $WORK/plan_bad.txt")
+    [[ "$BAD_REPLY" == ERR* ]] || {
+      echo "FAIL: malformed reload was accepted: $BAD_REPLY" >&2; exit 1; }
+    AFTER=$(control STATUS)
+    for key in generation placement_digest; do
+      B=$(status_field "$BEFORE" "$key") A=$(status_field "$AFTER" "$key")
+      [[ "$B" == "$A" ]] || {
+        echo "FAIL: $key changed across a failed reload: $B -> $A" >&2
+        exit 1; }
+    done
+    echo "malformed reload rejected -> $BAD_REPLY (digest preserved)"
+  fi
+  sleep 0.2
+done
+
+echo "== load must finish clean =="
+if ! wait "$LOAD_PID"; then
+  echo "FAIL: redirect_load exited nonzero" >&2
+  sed -n '1,20p' "$WORK/load.err" >&2
+  exit 1
+fi
+LOAD_PID=""
+grep -E '^(requests|redirects/s|errors|replica_p50_ms|origin_p50_ms)' "$WORK/load.out"
+ERRORS=$(awk '/^errors/ {print $2}' "$WORK/load.out")
+[[ "$ERRORS" == 0 ]] || { echo "FAIL: $ERRORS protocol errors" >&2; exit 1; }
+
+FINAL=$(control STATUS)
+echo "final $FINAL"
+[[ "$(status_field "$FINAL" generation)" == 7 ]] || {
+  echo "FAIL: expected final generation 7" >&2; exit 1; }
+[[ "$(status_field "$FINAL" reloads)" == 6 ]] || {
+  echo "FAIL: expected 6 applied reloads" >&2; exit 1; }
+[[ "$(status_field "$FINAL" reload_failures)" == 1 ]] || {
+  echo "FAIL: expected 1 failed reload" >&2; exit 1; }
+
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || true
+DAEMON_PID=""
+echo "PASS: 6 swaps + 1 rejected reload under load, generations 1..7 monotone"

@@ -1,0 +1,65 @@
+// Text (de)serialization of replica placements for the live-reload path.
+//
+// A placement file is the minimal durable form of a placement algorithm's
+// output — enough for the redirector daemon to swap its serving state at
+// runtime without recomputing anything:
+//
+//   placement <server_count> <site_count>
+//   replica <server> <site>
+//   ...
+//
+// Lines are order-insensitive after the header; '#' starts a comment.
+// Parsing is hardened exactly like the fault-schedule and endpoint-map
+// formats: every malformed input throws PreconditionError with a line/col
+// location (the rc_* adversarial corpus holds the regression inputs), and
+// validation against the CdnSystem — header shape, index ranges, duplicate
+// replicas, per-server storage capacity, and non-emptiness — happens at
+// parse time so a bad file can never become serving state.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/cdn/system.h"
+#include "src/placement/placement_result.h"
+
+namespace cdn::placement {
+
+/// Canonical text form (ascending server-major replica order) — two
+/// placements serialize identically iff they place the same replicas, so
+/// the serialization doubles as the digest pre-image.
+std::string serialize_placement(const sys::ReplicaPlacement& placement);
+
+/// Writes `serialize_placement` to `path` (throws PreconditionError on I/O
+/// failure).
+void save_placement(const sys::ReplicaPlacement& placement,
+                    const std::string& path);
+
+/// FNV-1a over the canonical serialization: the generation digest the
+/// daemon's STATUS command reports and the reload drill compares.
+std::uint64_t placement_digest(const sys::ReplicaPlacement& placement);
+
+/// Parses and fully validates a placement file against `system`:
+///   * the header's server/site counts must match the system exactly;
+///   * every replica index must be in range;
+///   * duplicate replica lines are rejected;
+///   * the per-server byte budgets must hold every assigned replica;
+///   * an empty placement (zero replicas) is rejected — a replan that lost
+///     everything is a corrupt file, not a plan.
+/// Returns a complete PlacementResult (nearest-replica index rebuilt, no
+/// modeled hit ratios — reloaded placements serve redirects, not the
+/// simulator).  Throws PreconditionError with a line/col diagnostic on any
+/// violation.
+PlacementResult parse_placement_result(const std::string& text,
+                                       const sys::CdnSystem& system,
+                                       const std::string& algorithm =
+                                           "reloaded");
+
+/// `parse_placement_result` over a file's contents.
+PlacementResult load_placement_result(const std::string& path,
+                                      const sys::CdnSystem& system,
+                                      const std::string& algorithm =
+                                          "reloaded");
+
+}  // namespace cdn::placement

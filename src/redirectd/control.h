@@ -1,0 +1,117 @@
+// Line-protocol control socket for live daemon reconfiguration.
+//
+// A second TCP listener (loopback by default) accepting operator commands,
+// one per line, each answered with exactly one OK/ERR line:
+//
+//   RELOAD placement <path>\n   validate off the hot path, swap on success
+//                               → OK generation=<g> digest=<hex>\n
+//                               → ERR <line/col diagnostic>\n   (old config
+//                                 keeps serving, generation unchanged)
+//   RELOAD endpoints <path>\n   same contract for the endpoint map
+//   STATUS\n                    → OK generation=<g> placement_digest=<hex>
+//                                 endpoints_digest=<hex> requests=<n>
+//                                 inflight=<n> sessions=<n> reloads=<n>
+//                                 reload_failures=<n> draining=<0|1>\n
+//   DRAIN\n                     → OK draining\n, then the daemon drains
+//
+// Commands on one connection are answered strictly in order; a RELOAD
+// keeps the connection busy until its background validation completes
+// (further pipelined commands queue).  Malformed commands get an ERR with
+// a line/col diagnostic and the session survives; a line longer than
+// kMaxControlLine gets an ERR and the session is closed (a broken or
+// hostile client).  The rc_* adversarial corpus holds the regression
+// inputs.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/net/event_loop.h"
+#include "src/obs/registry.h"
+#include "src/redirectd/reload.h"
+
+namespace cdn::redirectd {
+
+/// Hard cap on an inbound control line (including '\n').  Generous — it
+/// must fit a filesystem path — but bounded: the session buffer cannot be
+/// grown without limit by a client that never sends a newline.
+inline constexpr std::size_t kMaxControlLine = 4096;
+
+struct ControlCommand {
+  enum class Verb : std::uint8_t { kStatus, kDrain, kReload };
+  Verb verb = Verb::kStatus;
+  ReloadKind reload_kind = ReloadKind::kPlacement;  // kReload only
+  std::string path;                                 // kReload only
+};
+
+/// Parses one control line ('\n' / '\r\n' optional).  Throws
+/// PreconditionError with a line/col diagnostic on any malformed input:
+/// unknown verb, missing/trailing fields, unknown reload target, or a line
+/// longer than kMaxControlLine.
+ControlCommand parse_control_command(const std::string& line);
+
+/// The control listener + its sessions.  Owned by the daemon; everything
+/// runs on the daemon's event loop.
+class ControlServer {
+ public:
+  struct Handlers {
+    /// Asynchronous: `done(reply)` fires exactly once, later, on the loop
+    /// thread with the full reply line (no '\n').
+    std::function<void(ReloadKind kind, const std::string& path,
+                       std::function<void(std::string)> done)>
+        reload;
+    /// Synchronous; return the full reply line (no '\n').
+    std::function<std::string()> status;
+    std::function<std::string()> drain;
+  };
+
+  ControlServer(net::EventLoop& loop, std::string host, std::uint16_t port,
+                Handlers handlers, obs::Registry* metrics);
+  ~ControlServer();
+
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  /// Binds and registers the listener.  port() is valid afterwards.
+  void start();
+  /// Closes the listener and every session (the drain path).  Idempotent.
+  void shutdown();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::uint64_t commands() const noexcept { return commands_; }
+  std::uint64_t errors() const noexcept { return errors_; }
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+
+ private:
+  struct Session;
+
+  void on_accept();
+  void on_session_event(int fd, std::uint32_t events);
+  void process_pending(Session& session);
+  void handle_line(Session& session, const std::string& line);
+  void send(Session& session, const std::string& line);
+  void flush(Session& session);
+  void close_session(int fd);
+
+  net::EventLoop& loop_;
+  std::string host_;
+  std::uint16_t requested_port_;
+  Handlers handlers_;
+  net::TcpListener listener_;
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+  std::uint64_t commands_ = 0;
+  std::uint64_t errors_ = 0;
+  bool shutdown_ = false;
+  /// Cleared on destruction; async reload-done callbacks check it before
+  /// touching `this`.
+  std::shared_ptr<bool> alive_;
+  obs::Counter* m_commands_ = nullptr;
+  obs::Counter* m_errors_ = nullptr;
+};
+
+}  // namespace cdn::redirectd

@@ -1,10 +1,14 @@
 #include "src/redirectd/daemon.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <string>
 #include <utility>
 
+#include "src/placement/placement_io.h"
 #include "src/util/error.h"
+#include "src/util/serial.h"
 
 namespace cdn::redirectd {
 
@@ -15,6 +19,18 @@ std::uint64_t steady_now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           net::Clock::now().time_since_epoch())
           .count());
+}
+
+std::string to_hex(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::uint64_t endpoint_map_digest(const EndpointMap& endpoints) {
+  const std::string canonical = endpoints.serialize();
+  return util::fnv1a(canonical.data(), canonical.size());
 }
 
 }  // namespace
@@ -40,10 +56,13 @@ RedirectorDaemon::RedirectorDaemon(const DaemonConfig& config)
   CDN_EXPECT(config_.top_k >= 1, "top_k must be at least 1");
   CDN_EXPECT(config_.max_inflight_races >= 1,
              "max_inflight_races must be at least 1");
+  CDN_EXPECT(config_.max_session_outbuf >= kMaxRequestLine,
+             "max_session_outbuf must hold at least one line");
   CDN_EXPECT(config_.drain_timeout.count() > 0,
              "drain timeout must be positive");
   config_.race.validate();
   config_.health.validate();
+  if (config_.adaptive) config_.ewma.validate();
 
   const std::size_t servers = config_.system->server_count();
   const std::size_t sites = config_.system->site_count();
@@ -54,10 +73,26 @@ RedirectorDaemon::RedirectorDaemon(const DaemonConfig& config)
     config_.endpoints->validate(servers, sites);
   }
 
-  holders_.resize(sites);
+  // Generation 1: serving state built from the constructor wiring.
+  auto initial = std::make_shared<ServingState>();
+  initial->generation = 1;
+  initial->placement = config_.placement;
+  initial->endpoints = config_.endpoints;
+  initial->holders.resize(sites);
   for (std::size_t j = 0; j < sites; ++j) {
-    holders_[j] = config_.placement->placement.replicators(
+    initial->holders[j] = config_.placement->placement.replicators(
         static_cast<sys::SiteIndex>(j));
+  }
+  initial->placement_digest =
+      placement::placement_digest(config_.placement->placement);
+  if (initial->racing()) {
+    initial->endpoints_digest = endpoint_map_digest(*initial->endpoints);
+  }
+  state_ = std::move(initial);
+
+  if (config_.adaptive) {
+    ewma_ = std::make_unique<LatencyEwma>(servers, sites, config_.ewma,
+                                          config_.metrics);
   }
   health_scratch_.assign(servers, 1);
 
@@ -72,6 +107,11 @@ RedirectorDaemon::RedirectorDaemon(const DaemonConfig& config)
     m_races_ = &r.counter("redirect/races/started");
     m_retries_ = &r.counter("redirect/retries");
     m_backoff_ms_ = &r.counter("redirect/backoff_ms");
+    m_slow_reader_ = &r.counter("redirect/slow_reader_closes");
+    m_reload_applied_ = &r.counter("redirect/reload/applied");
+    m_reload_failed_ = &r.counter("redirect/reload/failed");
+    m_generation_ = &r.gauge("redirect/reload/generation");
+    m_generation_->set(1.0);
     m_answer_latency_ = &r.timer("redirect/answer_latency");
     m_won_by_rank_.reserve(config_.top_k);
     for (std::size_t rank = 1; rank <= config_.top_k; ++rank) {
@@ -87,22 +127,45 @@ void RedirectorDaemon::start() {
   listener_ = net::TcpListener::bind(config_.host, config_.port);
   loop_.add_fd(listener_.fd(), net::kReadable,
                [this](std::uint32_t) { on_accept(); });
-  loop_.set_wakeup_handler([this] {
-    if (stop_requested_.load(std::memory_order_relaxed)) begin_drain();
-  });
-  const bool racing =
-      config_.endpoints != nullptr && !config_.endpoints->empty();
-  if (racing) {
-    prober_ = std::make_unique<HealthProber>(
-        loop_, *config_.endpoints, config_.system->server_count(),
-        config_.system->site_count(), config_.health, config_.metrics);
-    prober_->start();
+  loop_.set_wakeup_handler([this] { on_wakeup(); });
+  start_prober(*state_);
+  if (config_.control || !config_.reload_placement_path.empty() ||
+      !config_.reload_endpoints_path.empty()) {
+    reload_worker_ = std::make_unique<ReloadWorker>(loop_, *config_.system);
+  }
+  if (config_.control) {
+    ControlServer::Handlers handlers;
+    handlers.reload = [this](ReloadKind kind, const std::string& path,
+                             std::function<void(std::string)> done) {
+      submit_reload(kind, path, std::move(done));
+    };
+    handlers.status = [this] { return status_line(); };
+    handlers.drain = [this] {
+      // Defer the drain to the wakeup handler so the reply line gets
+      // flushed before the control sessions are torn down.
+      request_stop();
+      return std::string("OK draining");
+    };
+    control_ = std::make_unique<ControlServer>(
+        loop_, config_.control_host, config_.control_port,
+        std::move(handlers), config_.metrics);
+    control_->start();
   }
   if (config_.timeline != nullptr) {
     // Idle tick: faults keep playing out even between requests, so health
     // probes and the next request see current masks.
     arm_tick();
   }
+}
+
+void RedirectorDaemon::start_prober(const ServingState& state) {
+  prober_.reset();  // in-flight probe callbacks are disarmed by its alive flag
+  if (!state.racing()) return;
+  prober_ = std::make_unique<HealthProber>(
+      loop_, *state.endpoints, config_.system->server_count(),
+      config_.system->site_count(), config_.health, config_.metrics,
+      ewma_.get());
+  prober_->start();
 }
 
 void RedirectorDaemon::advance_timeline() {
@@ -119,6 +182,100 @@ std::uint64_t RedirectorDaemon::run() {
 void RedirectorDaemon::request_stop() noexcept {
   stop_requested_.store(true, std::memory_order_relaxed);
   loop_.wakeup();
+}
+
+void RedirectorDaemon::request_reload() noexcept {
+  reload_requested_.store(true, std::memory_order_relaxed);
+  loop_.wakeup();
+}
+
+void RedirectorDaemon::on_wakeup() {
+  // Reload completions swap serving state here — between dispatch passes,
+  // never under a request callback's feet.
+  if (reload_worker_ != nullptr) reload_worker_->drain_completions();
+  if (reload_requested_.exchange(false, std::memory_order_relaxed) &&
+      !draining_) {
+    // SIGHUP path: re-read whichever files the daemon was configured to
+    // watch.  Outcomes land in stats/metrics; there is no reply channel.
+    if (!config_.reload_placement_path.empty()) {
+      submit_reload(ReloadKind::kPlacement, config_.reload_placement_path,
+                    [](std::string) {});
+    }
+    if (!config_.reload_endpoints_path.empty()) {
+      submit_reload(ReloadKind::kEndpoints, config_.reload_endpoints_path,
+                    [](std::string) {});
+    }
+  }
+  if (stop_requested_.load(std::memory_order_relaxed)) begin_drain();
+}
+
+void RedirectorDaemon::submit_reload(ReloadKind kind, const std::string& path,
+                                     std::function<void(std::string)> done) {
+  if (draining_) {
+    done("ERR draining");
+    return;
+  }
+  if (reload_worker_ == nullptr) {
+    reload_worker_ = std::make_unique<ReloadWorker>(loop_, *config_.system);
+  }
+  reload_worker_->submit(
+      kind, path, [this, done = std::move(done)](const ReloadOutcome& outcome) {
+        done(apply_reload(outcome));
+      });
+}
+
+std::string RedirectorDaemon::apply_reload(const ReloadOutcome& outcome) {
+  if (draining_) return "ERR draining";
+  if (!outcome.ok) {
+    ++stats_.reloads_failed;
+    if (m_reload_failed_ != nullptr) m_reload_failed_->add();
+    return std::string("ERR reload ") + reload_kind_name(outcome.kind) +
+           ": " + outcome.error;
+  }
+  auto next = std::make_shared<ServingState>(*state_);
+  next->generation = state_->generation + 1;
+  if (outcome.kind == ReloadKind::kPlacement) {
+    next->owned_placement = outcome.placement;
+    next->placement = outcome.placement.get();
+    next->placement_digest = outcome.digest;
+    const std::size_t sites = config_.system->site_count();
+    for (std::size_t j = 0; j < sites; ++j) {
+      next->holders[j] = next->placement->placement.replicators(
+          static_cast<sys::SiteIndex>(j));
+    }
+  } else {
+    next->owned_endpoints = outcome.endpoints;
+    next->endpoints = outcome.endpoints.get();
+    next->endpoints_digest = outcome.digest;
+  }
+  const std::uint64_t generation = next->generation;
+  state_ = std::move(next);
+  if (outcome.kind == ReloadKind::kEndpoints) {
+    // The prober probes a fixed endpoint list; swap it with the map.  Its
+    // up/down masks restart all-up and re-converge within the hysteresis
+    // window (documented in docs/REDIRECTOR.md).
+    start_prober(*state_);
+  }
+  ++stats_.reloads_applied;
+  if (m_reload_applied_ != nullptr) m_reload_applied_->add();
+  if (m_generation_ != nullptr) {
+    m_generation_->set(static_cast<double>(generation));
+  }
+  return "OK generation=" + std::to_string(generation) +
+         " digest=" + to_hex(outcome.digest);
+}
+
+std::string RedirectorDaemon::status_line() const {
+  const ServingState& state = *state_;
+  return "OK generation=" + std::to_string(state.generation) +
+         " placement_digest=" + to_hex(state.placement_digest) +
+         " endpoints_digest=" + to_hex(state.endpoints_digest) +
+         " requests=" + std::to_string(stats_.requests) +
+         " inflight=" + std::to_string(inflight_races_) +
+         " sessions=" + std::to_string(sessions_.size()) +
+         " reloads=" + std::to_string(stats_.reloads_applied) +
+         " reload_failures=" + std::to_string(stats_.reloads_failed) +
+         " draining=" + (draining_ ? "1" : "0");
 }
 
 void RedirectorDaemon::on_accept() {
@@ -150,7 +307,13 @@ void RedirectorDaemon::on_session_event(int fd, std::uint32_t events) {
   }
   if ((events & net::kReadable) != 0 && !session.closing) {
     char buf[4096];
-    for (;;) {
+    // Bounded read per dispatch: a client writing faster than we parse
+    // must not pin this loop iteration until it pauses — that would
+    // starve every other session, the timers, the prober and the control
+    // socket for as long as the firehose lasts.  poll(2) is level-
+    // triggered, so unread bytes re-deliver on the next loop pass, after
+    // everyone else has had their turn.
+    for (int chunk = 0; chunk < 4; ++chunk) {
       const net::IoResult r = net::read_some(fd, buf, sizeof(buf));
       if (r.status == net::IoStatus::kOk) {
         session.inbuf.append(buf, r.bytes);
@@ -228,6 +391,11 @@ void RedirectorDaemon::handle_request(Session& session,
   if (m_requests_ != nullptr) m_requests_->add();
   advance_timeline();
 
+  // Pin this request's generation: a reload that lands while the race is
+  // in flight swaps state_ under us, but this request resolves and answers
+  // against the generation it started with.
+  const std::shared_ptr<const ServingState> state = state_;
+
   const std::size_t servers = config_.system->server_count();
   const std::size_t sites = config_.system->site_count();
   if (request.client_server >= servers) {
@@ -256,9 +424,25 @@ void RedirectorDaemon::handle_request(Session& session,
     origin_up = origin_up && prober_->origin_up()[request.site] != 0;
   }
 
-  const auto candidates = config_.placement->nearest.nearest_live_candidates(
-      request.client_server, request.site, holders_[request.site],
+  auto candidates = state->placement->nearest.nearest_live_candidates(
+      request.client_server, request.site, state->holders[request.site],
       health_scratch_, origin_up, config_.top_k);
+
+  // Adaptive health: stable-demote latency outliers to the back of the
+  // ranking — still raceable as a last resort, never preferred.
+  if (ewma_ != nullptr && candidates.size() > 1) {
+    const net::TimePoint now = net::Clock::now();
+    std::stable_partition(
+        candidates.begin(), candidates.end(),
+        [&](const sys::NearestCopy& copy) {
+          return !ewma_->demoted(
+              copy.at_primary ? LatencyEwma::Kind::kOrigin
+                              : LatencyEwma::Kind::kReplica,
+              copy.at_primary ? static_cast<std::uint32_t>(request.site)
+                              : static_cast<std::uint32_t>(copy.server),
+              now);
+        });
+  }
 
   RedirectAnswer out;
   out.site = request.site;
@@ -273,17 +457,17 @@ void RedirectorDaemon::handle_request(Session& session,
   // candidate alongside so the winner maps back to a placement answer.
   std::vector<RaceCandidate> raced;
   std::vector<sys::NearestCopy> raced_copies;
-  if (config_.endpoints != nullptr && !config_.endpoints->empty()) {
+  if (state->racing()) {
     raced.reserve(candidates.size());
     raced_copies.reserve(candidates.size());
     for (const auto& copy : candidates) {
       const std::optional<Endpoint>* slot = nullptr;
       if (copy.at_primary) {
-        if (request.site < config_.endpoints->origins.size()) {
-          slot = &config_.endpoints->origins[request.site];
+        if (request.site < state->endpoints->origins.size()) {
+          slot = &state->endpoints->origins[request.site];
         }
-      } else if (copy.server < config_.endpoints->replicas.size()) {
-        slot = &config_.endpoints->replicas[copy.server];
+      } else if (copy.server < state->endpoints->replicas.size()) {
+        slot = &state->endpoints->replicas[copy.server];
       }
       if (slot != nullptr && slot->has_value()) {
         raced.push_back(
@@ -328,7 +512,7 @@ void RedirectorDaemon::handle_request(Session& session,
   const std::uint64_t session_id = session.id;
   start_race(
       loop_, std::move(raced), config_.race, backoff_seed,
-      [this, fd, session_id, started_ns, site = request.site,
+      [this, fd, session_id, started_ns, site = request.site, state,
        copies = std::move(raced_copies)](const RaceResult& result) {
         --inflight_races_;
         stats_.retries += result.retries;
@@ -337,6 +521,7 @@ void RedirectorDaemon::handle_request(Session& session,
           m_backoff_ms_->add(
               static_cast<std::uint64_t>(result.backoff_total.count()));
         }
+        feed_ewma(site, copies, result);
         auto it = sessions_.find(fd);
         const bool session_live =
             it != sessions_.end() && it->second->id == session_id;
@@ -380,6 +565,32 @@ void RedirectorDaemon::handle_request(Session& session,
       });
 }
 
+void RedirectorDaemon::feed_ewma(sys::SiteIndex site,
+                                 const std::vector<sys::NearestCopy>& copies,
+                                 const RaceResult& result) {
+  if (ewma_ == nullptr) return;
+  // A failed attempt is charged at least the attempt timeout: a fast
+  // refusal (connection reset) must read as a slow endpoint, not a fast
+  // one, or refusing replicas would look attractive.
+  const std::uint64_t penalty = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          config_.race.attempt_timeout)
+          .count());
+  const net::TimePoint now = net::Clock::now();
+  for (const AttemptSample& sample : result.samples) {
+    if (sample.rank == 0 || sample.rank > copies.size()) continue;
+    const sys::NearestCopy& copy = copies[sample.rank - 1];
+    const std::uint64_t latency_ns =
+        sample.success ? sample.latency_ns
+                       : std::max(sample.latency_ns, penalty);
+    ewma_->record(copy.at_primary ? LatencyEwma::Kind::kOrigin
+                                  : LatencyEwma::Kind::kReplica,
+                  copy.at_primary ? static_cast<std::uint32_t>(site)
+                                  : static_cast<std::uint32_t>(copy.server),
+                  latency_ns, now);
+  }
+}
+
 void RedirectorDaemon::record_outcome(const RedirectAnswer& out) {
   switch (out.kind) {
     case AnswerKind::kReplica:
@@ -419,6 +630,14 @@ void RedirectorDaemon::answer(Session& session, const RedirectAnswer& out,
 
 void RedirectorDaemon::send(Session& session, const std::string& line) {
   session.outbuf += line;
+  if (session.outbuf.size() > config_.max_session_outbuf) {
+    // The reader is slower than its answer stream; unbounded buffering
+    // would trade one slow client for daemon memory.  Disconnect it.
+    ++stats_.slow_reader_closes;
+    if (m_slow_reader_ != nullptr) m_slow_reader_->add();
+    close_session(session.fd.get());
+    return;
+  }
   flush(session);
 }
 
@@ -459,6 +678,7 @@ void RedirectorDaemon::begin_drain() {
     if (loop_.has_fd(listener_.fd())) loop_.remove_fd(listener_.fd());
     listener_.close();
   }
+  if (control_ != nullptr) control_->shutdown();
   if (prober_ != nullptr) prober_->stop();
   if (tick_timer_ != 0) {
     loop_.cancel_timer(tick_timer_);

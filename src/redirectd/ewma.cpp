@@ -1,0 +1,121 @@
+#include "src/redirectd/ewma.h"
+
+#include <algorithm>
+
+namespace cdn::redirectd {
+
+LatencyEwma::LatencyEwma(std::size_t server_count, std::size_t site_count,
+                         const EwmaParams& params, obs::Registry* metrics)
+    : params_(params),
+      replicas_(server_count),
+      origins_(site_count) {
+  params_.validate();
+  if (metrics != nullptr) {
+    m_ejections_ = &metrics->counter("redirect/ewma/ejections");
+    m_recoveries_ = &metrics->counter("redirect/ewma/recoveries");
+  }
+}
+
+LatencyEwma::Entry& LatencyEwma::entry(Kind kind, std::uint32_t index) {
+  auto& slots = kind == Kind::kReplica ? replicas_ : origins_;
+  CDN_EXPECT(index < slots.size(), "ewma endpoint index out of range");
+  return slots[index];
+}
+
+const LatencyEwma::Entry& LatencyEwma::entry(Kind kind,
+                                             std::uint32_t index) const {
+  const auto& slots = kind == Kind::kReplica ? replicas_ : origins_;
+  CDN_EXPECT(index < slots.size(), "ewma endpoint index out of range");
+  return slots[index];
+}
+
+double LatencyEwma::fleet_median_ns() const {
+  std::vector<double> sampled;
+  sampled.reserve(replicas_.size() + origins_.size());
+  for (const auto* slots : {&replicas_, &origins_}) {
+    for (const Entry& e : *slots) {
+      if (e.samples > 0) sampled.push_back(e.ewma);
+    }
+  }
+  if (sampled.empty()) return 0.0;
+  const std::size_t mid = sampled.size() / 2;
+  std::nth_element(sampled.begin(), sampled.begin() + mid, sampled.end());
+  return sampled[mid];
+}
+
+bool LatencyEwma::is_outlier(const Entry& e) const {
+  if (e.samples < params_.min_samples) return false;
+  std::size_t fleet = 0;
+  for (const auto* slots : {&replicas_, &origins_}) {
+    for (const Entry& other : *slots) {
+      if (other.samples > 0) ++fleet;
+    }
+  }
+  if (fleet < params_.min_fleet) return false;
+  const double median = fleet_median_ns();
+  return median > 0.0 && e.ewma > params_.eject_multiplier * median;
+}
+
+void LatencyEwma::record(Kind kind, std::uint32_t index,
+                         std::uint64_t latency_ns, net::TimePoint now) {
+  Entry& e = entry(kind, index);
+  const double x = static_cast<double>(latency_ns);
+  e.ewma = e.samples == 0
+               ? x
+               : params_.alpha * x + (1.0 - params_.alpha) * e.ewma;
+  ++e.samples;
+
+  const bool outlier = is_outlier(e);
+  switch (e.circuit) {
+    case Circuit::kClosed:
+      if (outlier) {
+        e.circuit = Circuit::kEjected;
+        e.eject_until = now + params_.eject_cooldown;
+        ++ejections_;
+        if (m_ejections_ != nullptr) m_ejections_->add();
+      }
+      break;
+    case Circuit::kEjected:
+      if (!outlier) {
+        // Recovered early (the prober kept measuring it).
+        e.circuit = Circuit::kClosed;
+        ++recoveries_;
+        if (m_recoveries_ != nullptr) m_recoveries_->add();
+      } else if (now >= e.eject_until) {
+        e.circuit = Circuit::kHalfOpen;
+      }
+      break;
+    case Circuit::kHalfOpen:
+      if (outlier) {
+        e.circuit = Circuit::kEjected;
+        e.eject_until = now + params_.eject_cooldown;
+        ++ejections_;
+        if (m_ejections_ != nullptr) m_ejections_->add();
+      } else {
+        e.circuit = Circuit::kClosed;
+        ++recoveries_;
+        if (m_recoveries_ != nullptr) m_recoveries_->add();
+      }
+      break;
+  }
+}
+
+bool LatencyEwma::demoted(Kind kind, std::uint32_t index,
+                          net::TimePoint now) {
+  Entry& e = entry(kind, index);
+  if (e.circuit == Circuit::kEjected && now >= e.eject_until) {
+    e.circuit = Circuit::kHalfOpen;
+  }
+  return e.circuit == Circuit::kEjected;
+}
+
+double LatencyEwma::ewma_ns(Kind kind, std::uint32_t index) const {
+  return entry(kind, index).ewma;
+}
+
+LatencyEwma::Circuit LatencyEwma::circuit(Kind kind,
+                                          std::uint32_t index) const {
+  return entry(kind, index).circuit;
+}
+
+}  // namespace cdn::redirectd

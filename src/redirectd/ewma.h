@@ -1,0 +1,113 @@
+// Per-endpoint latency EWMA with fleet-median outlier ejection.
+//
+// The health prober's up/down masks catch *dead* replicas; this layer
+// catches *slow* ones.  Every successful race win and every health-probe
+// round trip feeds an exponentially weighted moving average of the
+// endpoint's connect+greeting latency (failures feed the attempt-timeout
+// penalty, so a refusing or black-holed endpoint reads as slow, not fast).
+// An endpoint whose EWMA exceeds `eject_multiplier` times the fleet median
+// is ejected: the daemon demotes it to the back of the candidate ranking —
+// still raceable as a last resort, never preferred — and a circuit breaker
+// governs recovery:
+//
+//   kClosed ──(EWMA > k × median)──▶ kEjected ──(cooldown)──▶ kHalfOpen
+//      ▲                                 ▲                        │
+//      └──────(healthy sample)───────────┴──(still an outlier)────┘
+//
+// In kHalfOpen the endpoint ranks normally again, so the next race or
+// probe re-measures it: a healthy sample closes the circuit, an outlier
+// sample re-ejects for another cooldown.  Probes keep flowing to ejected
+// endpoints throughout (ejection demotes ranking, it does not stop
+// measurement), so recovery needs no extra machinery.
+//
+// Single-threaded: lives on the daemon's event-loop thread.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/net/event_loop.h"
+#include "src/obs/registry.h"
+#include "src/util/error.h"
+
+namespace cdn::redirectd {
+
+struct EwmaParams {
+  /// Weight of the newest sample (ewma' = alpha*x + (1-alpha)*ewma).
+  double alpha = 0.3;
+  /// Ejection threshold: EWMA > multiplier × fleet median.
+  double eject_multiplier = 4.0;
+  /// Samples an endpoint needs before it can be ejected.
+  std::uint32_t min_samples = 3;
+  /// Sampled endpoints the fleet needs before any ejection (a median over
+  /// one or two endpoints is noise).
+  std::uint32_t min_fleet = 3;
+  /// Ejection duration before the circuit half-opens.
+  std::chrono::milliseconds eject_cooldown{2000};
+
+  void validate() const {
+    CDN_EXPECT(alpha > 0.0 && alpha <= 1.0, "ewma alpha must be in (0, 1]");
+    CDN_EXPECT(eject_multiplier > 1.0,
+               "ewma eject multiplier must exceed 1");
+    CDN_EXPECT(min_samples >= 1, "ewma min samples must be at least 1");
+    CDN_EXPECT(min_fleet >= 2, "ewma min fleet must be at least 2");
+    CDN_EXPECT(eject_cooldown.count() > 0,
+               "ewma eject cooldown must be positive");
+  }
+};
+
+class LatencyEwma {
+ public:
+  enum class Kind : std::uint8_t { kReplica, kOrigin };
+  enum class Circuit : std::uint8_t { kClosed, kEjected, kHalfOpen };
+
+  /// `metrics` may be null (metrics off).
+  LatencyEwma(std::size_t server_count, std::size_t site_count,
+              const EwmaParams& params, obs::Registry* metrics);
+
+  /// Feeds one latency observation (ns) and advances the endpoint's
+  /// circuit.  Failures should be fed as the attempt-timeout penalty by
+  /// the caller — this class only sees latencies.
+  void record(Kind kind, std::uint32_t index, std::uint64_t latency_ns,
+              net::TimePoint now);
+
+  /// True while the endpoint should be demoted in candidate ranking.
+  /// Ejected endpoints whose cooldown has expired transition to half-open
+  /// here (rank normally; the next sample decides).
+  bool demoted(Kind kind, std::uint32_t index, net::TimePoint now);
+
+  /// Current EWMA in ns; 0 before the first sample.
+  double ewma_ns(Kind kind, std::uint32_t index) const;
+  Circuit circuit(Kind kind, std::uint32_t index) const;
+
+  /// Median EWMA over every endpoint with at least one sample; 0 when none
+  /// have samples.
+  double fleet_median_ns() const;
+
+  std::uint64_t ejections() const noexcept { return ejections_; }
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+ private:
+  struct Entry {
+    double ewma = 0.0;
+    std::uint32_t samples = 0;
+    Circuit circuit = Circuit::kClosed;
+    net::TimePoint eject_until{};
+  };
+
+  Entry& entry(Kind kind, std::uint32_t index);
+  const Entry& entry(Kind kind, std::uint32_t index) const;
+  bool is_outlier(const Entry& e) const;
+
+  EwmaParams params_;
+  std::vector<Entry> replicas_;  // by server index
+  std::vector<Entry> origins_;   // by site index
+  std::uint64_t ejections_ = 0;
+  std::uint64_t recoveries_ = 0;
+  obs::Counter* m_ejections_ = nullptr;
+  obs::Counter* m_recoveries_ = nullptr;
+};
+
+}  // namespace cdn::redirectd

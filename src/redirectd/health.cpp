@@ -1,12 +1,17 @@
 #include "src/redirectd/health.h"
 
+#include <algorithm>
+
 namespace cdn::redirectd {
 
 HealthProber::HealthProber(net::EventLoop& loop, const EndpointMap& endpoints,
                            std::size_t server_count, std::size_t site_count,
-                           const HealthParams& params,
-                           obs::Registry* metrics)
-    : loop_(loop), params_(params) {
+                           const HealthParams& params, obs::Registry* metrics,
+                           LatencyEwma* ewma)
+    : loop_(loop),
+      params_(params),
+      alive_(std::make_shared<bool>(true)),
+      ewma_(ewma) {
   params_.validate();
   endpoints.validate(server_count, site_count);
   server_up_.assign(server_count, 1);
@@ -14,13 +19,13 @@ HealthProber::HealthProber(net::EventLoop& loop, const EndpointMap& endpoints,
   for (std::size_t i = 0; i < endpoints.replicas.size(); ++i) {
     if (endpoints.replicas[i]) {
       targets_.push_back({false, static_cast<std::uint32_t>(i),
-                          *endpoints.replicas[i], 0, 0});
+                          *endpoints.replicas[i], 0, 0, 0, 0});
     }
   }
   for (std::size_t j = 0; j < endpoints.origins.size(); ++j) {
     if (endpoints.origins[j]) {
       targets_.push_back({true, static_cast<std::uint32_t>(j),
-                          *endpoints.origins[j], 0, 0});
+                          *endpoints.origins[j], 0, 0, 0, 0});
     }
   }
   if (metrics != nullptr) {
@@ -30,23 +35,58 @@ HealthProber::HealthProber(net::EventLoop& loop, const EndpointMap& endpoints,
   }
 }
 
+HealthProber::~HealthProber() {
+  stop();
+  *alive_ = false;
+}
+
 void HealthProber::start() {
   if (targets_.empty()) return;  // nothing to probe; masks stay all-up
   stopped_ = false;
-  begin_sweep();
+  // Phase-spread: endpoint t's probes fire at offset t/|targets| of the
+  // interval, every interval — same per-endpoint cadence as a synchronized
+  // sweep, but the fleet-wide burst is gone.
+  const auto interval =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          params_.probe_interval);
+  for (std::size_t t = 0; t < targets_.size(); ++t) {
+    schedule_probe(t, interval * t / targets_.size());
+  }
 }
 
 void HealthProber::stop() {
   stopped_ = true;
-  if (sweep_timer_ != 0) {
-    loop_.cancel_timer(sweep_timer_);
-    sweep_timer_ = 0;
+  for (Target& target : targets_) {
+    if (target.timer != 0) {
+      loop_.cancel_timer(target.timer);
+      target.timer = 0;
+    }
   }
 }
 
-void HealthProber::begin_sweep() {
+std::uint64_t HealthProber::sweeps_completed() const noexcept {
+  if (targets_.empty()) return 0;
+  std::uint64_t sweeps = targets_.front().rounds;
+  for (const Target& target : targets_) {
+    sweeps = std::min(sweeps, target.rounds);
+  }
+  return sweeps;
+}
+
+void HealthProber::schedule_probe(std::size_t target_index,
+                                  std::chrono::nanoseconds delay) {
+  auto alive = alive_;
+  targets_[target_index].timer =
+      loop_.add_timer_after(delay, [this, alive, target_index] {
+        if (!*alive) return;
+        targets_[target_index].timer = 0;
+        launch_probe(target_index);
+      });
+}
+
+void HealthProber::launch_probe(std::size_t target_index) {
   if (stopped_) return;
-  outstanding_ = targets_.size();
+  if (probes_ != nullptr) probes_->add();
   // A probe is a one-candidate race: no stagger, no retries, one bounded
   // connect+greeting attempt.
   RaceParams probe;
@@ -54,18 +94,19 @@ void HealthProber::begin_sweep() {
   probe.attempt_timeout = params_.probe_timeout;
   probe.overall_deadline = params_.probe_timeout;
   probe.max_retry_rounds = 0;
-  for (std::size_t t = 0; t < targets_.size(); ++t) {
-    if (probes_ != nullptr) probes_->add();
-    start_race(loop_, {{targets_[t].endpoint, 1}}, probe,
-               /*backoff_seed=*/t + 1,
-               [this, t](const RaceResult& result) {
-                 probe_done(t, result.success);
-               });
-  }
+  auto alive = alive_;
+  start_race(loop_, {{targets_[target_index].endpoint, 1}}, probe,
+             /*backoff_seed=*/target_index + 1,
+             [this, alive, target_index](const RaceResult& result) {
+               if (!*alive) return;
+               probe_done(target_index, result);
+             });
 }
 
-void HealthProber::probe_done(std::size_t target_index, bool success) {
+void HealthProber::probe_done(std::size_t target_index,
+                              const RaceResult& result) {
   Target& target = targets_[target_index];
+  const bool success = result.success;
   std::vector<std::uint8_t>& mask =
       target.is_origin ? origin_up_ : server_up_;
   if (success) {
@@ -87,14 +128,25 @@ void HealthProber::probe_done(std::size_t target_index, bool success) {
     }
   }
 
-  if (--outstanding_ == 0) {
-    ++sweeps_;
-    if (stopped_) return;
-    sweep_timer_ = loop_.add_timer_after(params_.probe_interval, [this] {
-      sweep_timer_ = 0;
-      begin_sweep();
-    });
+  if (ewma_ != nullptr) {
+    // A successful probe contributes its measured round trip; a failed one
+    // the full probe-timeout penalty (a fast refusal is not a fast
+    // endpoint).
+    const std::uint64_t penalty = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            params_.probe_timeout)
+            .count());
+    std::uint64_t latency_ns = penalty;
+    if (success && !result.samples.empty()) {
+      latency_ns = result.samples.back().latency_ns;
+    }
+    ewma_->record(target.is_origin ? LatencyEwma::Kind::kOrigin
+                                   : LatencyEwma::Kind::kReplica,
+                  target.index, latency_ns, net::Clock::now());
   }
+
+  ++target.rounds;
+  if (!stopped_) schedule_probe(target_index, params_.probe_interval);
 }
 
 }  // namespace cdn::redirectd

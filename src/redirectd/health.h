@@ -1,12 +1,25 @@
 // Replica health probing over real sockets.
 //
-// The prober periodically sweeps every mapped replica/origin endpoint with
+// The prober periodically probes every mapped replica/origin endpoint with
 // a one-candidate connection probe (connect + greeting byte, bounded by a
 // probe timeout) and maintains up/down masks with consecutive-failure
 // hysteresis.  The daemon intersects these masks with the wall-clock fault
 // timeline's masks before ranking candidates, so racing starts from
 // believed-live replicas and a flapping endpoint cannot whipsaw the
 // candidate lists.
+//
+// Probes are *phase-spread*: each endpoint owns a self-rearming timer
+// offset by `index * interval / targets` within the probe interval, so the
+// fleet is never swept in one synchronized burst — a recovering replica
+// sees a trickle of probes, not a thundering herd, and the per-endpoint
+// cadence (and therefore the hysteresis behaviour) is identical to the
+// old synchronized sweep.
+//
+// Probe round trips also feed the per-endpoint latency EWMA (ewma.h) when
+// one is attached: a successful probe contributes its measured latency, a
+// failed probe contributes the probe-timeout penalty — which is how a
+// slow-but-alive endpoint gets demoted in candidate ranking while staying
+// "up" in the mask.
 //
 // Unmapped servers/origins are reported as up — in model mode there is
 // nothing to probe, and the fault timeline is the sole health authority.
@@ -15,10 +28,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/net/event_loop.h"
 #include "src/obs/registry.h"
+#include "src/redirectd/ewma.h"
 #include "src/redirectd/protocol.h"
 #include "src/redirectd/racer.h"
 
@@ -43,15 +58,22 @@ struct HealthParams {
 
 class HealthProber {
  public:
-  /// Masks start all-up.  `metrics` may be null.
+  /// Masks start all-up.  `metrics` and `ewma` may be null; `ewma` must
+  /// outlive the prober when given.
   HealthProber(net::EventLoop& loop, const EndpointMap& endpoints,
                std::size_t server_count, std::size_t site_count,
-               const HealthParams& params, obs::Registry* metrics);
+               const HealthParams& params, obs::Registry* metrics,
+               LatencyEwma* ewma = nullptr);
 
-  /// Schedules the first sweep (loop thread).
+  /// Cancels pending timers and disarms in-flight probe callbacks — safe
+  /// to destroy while the loop keeps running (the hot-reload path swaps
+  /// probers live when the endpoint map changes).
+  ~HealthProber();
+
+  /// Schedules the phase-offset first probes (loop thread).
   void start();
-  /// Cancels future sweeps; in-flight probes finish on their own within
-  /// the probe timeout.
+  /// Cancels future probes; in-flight ones finish on their own within the
+  /// probe timeout.
   void stop();
 
   const std::vector<std::uint8_t>& server_up() const noexcept {
@@ -60,7 +82,9 @@ class HealthProber {
   const std::vector<std::uint8_t>& origin_up() const noexcept {
     return origin_up_;
   }
-  std::uint64_t sweeps_completed() const noexcept { return sweeps_; }
+  /// Full rounds completed by EVERY endpoint (the slowest phase defines a
+  /// sweep, matching the old synchronized-sweep counter).
+  std::uint64_t sweeps_completed() const noexcept;
 
  private:
   struct Target {
@@ -69,23 +93,28 @@ class HealthProber {
     Endpoint endpoint;
     std::uint32_t consecutive_fail = 0;
     std::uint32_t consecutive_ok = 0;
+    std::uint64_t rounds = 0;
+    net::TimerId timer = 0;
   };
 
-  void begin_sweep();
-  void probe_done(std::size_t target_index, bool success);
+  void schedule_probe(std::size_t target_index,
+                      std::chrono::nanoseconds delay);
+  void launch_probe(std::size_t target_index);
+  void probe_done(std::size_t target_index, const RaceResult& result);
 
   net::EventLoop& loop_;
   HealthParams params_;
   std::vector<Target> targets_;
   std::vector<std::uint8_t> server_up_;
   std::vector<std::uint8_t> origin_up_;
-  std::size_t outstanding_ = 0;
-  std::uint64_t sweeps_ = 0;
-  net::TimerId sweep_timer_ = 0;
   bool stopped_ = true;
+  /// Cleared on destruction; in-flight race callbacks check it before
+  /// touching `this`, so a live prober swap cannot use-after-free.
+  std::shared_ptr<bool> alive_;
   obs::Counter* probes_ = nullptr;
   obs::Counter* probe_failures_ = nullptr;
   obs::Counter* transitions_ = nullptr;
+  LatencyEwma* ewma_ = nullptr;
 };
 
 }  // namespace cdn::redirectd

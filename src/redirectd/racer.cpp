@@ -44,7 +44,15 @@ class Race : public std::enable_shared_from_this<Race> {
     bool started = false;
     bool failed = false;
     bool connected = false;  // connect done, waiting for the greeting
+    net::TimePoint started_at{};
   };
+
+  std::uint64_t attempt_elapsed_ns(const Attempt& attempt) const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            net::Clock::now() - attempt.started_at)
+            .count());
+  }
 
   void begin_round() {
     if (finished_) return;
@@ -74,6 +82,7 @@ class Race : public std::enable_shared_from_this<Race> {
   void launch_attempt(std::size_t idx) {
     Attempt& attempt = attempts_[idx];
     attempt.started = true;
+    attempt.started_at = net::Clock::now();
     ++result_.attempts;
     const Endpoint& ep = candidates_[idx].endpoint;
     net::ConnectStart conn = net::start_connect(ep.host, ep.port);
@@ -122,6 +131,8 @@ class Race : public std::enable_shared_from_this<Race> {
     const net::IoResult r = net::read_some(attempt.fd.get(), &byte, 1);
     switch (r.status) {
       case net::IoStatus::kOk:
+        result_.samples.push_back(
+            {candidates_[idx].rank, true, attempt_elapsed_ns(attempt)});
         finish(true, candidates_[idx].rank);
         return;
       case net::IoStatus::kWouldBlock:
@@ -138,6 +149,8 @@ class Race : public std::enable_shared_from_this<Race> {
     Attempt& attempt = attempts_[idx];
     if (attempt.failed) return;
     attempt.failed = true;
+    result_.samples.push_back(
+        {candidates_[idx].rank, false, attempt_elapsed_ns(attempt)});
     retire_attempt(attempt);
     ++round_failures_;
 

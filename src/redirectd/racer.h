@@ -62,6 +62,17 @@ struct RaceCandidate {
   std::uint32_t rank = 1;
 };
 
+/// Per-attempt measurement: how long one candidate took to succeed
+/// (connect + greeting) or to fail (refusal, reset, EOF, attempt timeout).
+/// Feeds the per-endpoint latency EWMA — failures should be charged the
+/// attempt-timeout penalty by the consumer, so a fast refusal does not
+/// read as a fast endpoint.
+struct AttemptSample {
+  std::uint32_t rank = 0;  // 1-based candidate rank
+  bool success = false;
+  std::uint64_t latency_ns = 0;
+};
+
 struct RaceResult {
   bool success = false;
   std::uint32_t winner_rank = 0;  // 1-based, valid when success
@@ -69,6 +80,9 @@ struct RaceResult {
   std::uint32_t retries = 0;      // backoff rounds taken
   std::chrono::milliseconds backoff_total{0};
   bool deadline_exceeded = false;  // failed because the deadline fired
+  /// One entry per resolved attempt, in resolution order (an attempt still
+  /// in flight when the race finishes contributes nothing).
+  std::vector<AttemptSample> samples;
 };
 
 /// Starts a race on `loop` (loop thread only).  `done` fires exactly once,

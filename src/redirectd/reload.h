@@ -1,0 +1,110 @@
+// Validate-then-swap hot reload for the redirector daemon.
+//
+// Parsing and validating a new placement or endpoint map is file I/O plus
+// O(N·M) index rebuilding — far too slow for the event-loop thread that is
+// answering redirects.  ReloadWorker runs it on a dedicated background
+// thread:
+//
+//   loop thread:  submit(kind, path, done)        — enqueue, never blocks
+//   worker:       load file → parse → validate against the CdnSystem
+//                 (index ranges, shape, capacity, non-emptiness) → build
+//                 the immutable new state (NearestReplicaIndex included)
+//   worker:       push the outcome + loop.wakeup()
+//   loop thread:  drain_completions() from the wakeup handler invokes the
+//                 `done` callback with the outcome — the only point where
+//                 serving state may swap, which is what makes the swap
+//                 event-loop-safe by construction.
+//
+// Any failure — unreadable file, parse error with line/col, validation
+// violation — produces ok=false with the diagnostic; the daemon keeps the
+// previous generation serving and answers ERR on the control socket.  A
+// half-applied reload cannot exist: the outcome carries a fully built
+// immutable state or nothing.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/cdn/system.h"
+#include "src/net/event_loop.h"
+#include "src/placement/placement_result.h"
+#include "src/redirectd/protocol.h"
+
+namespace cdn::redirectd {
+
+enum class ReloadKind : std::uint8_t { kPlacement, kEndpoints };
+
+const char* reload_kind_name(ReloadKind kind);
+
+struct ReloadOutcome {
+  ReloadKind kind = ReloadKind::kPlacement;
+  bool ok = false;
+  /// Diagnostic with line/col location when !ok.
+  std::string error;
+  /// FNV-1a digest of the canonical serialization (valid when ok).
+  std::uint64_t digest = 0;
+  /// Exactly one is set when ok, matching `kind`.
+  std::shared_ptr<const placement::PlacementResult> placement;
+  std::shared_ptr<const EndpointMap> endpoints;
+};
+
+/// Parses and validates reload requests off the event-loop thread.  All
+/// public methods are loop-thread-only; completions are delivered on the
+/// loop thread via drain_completions().
+class ReloadWorker {
+ public:
+  using Done = std::function<void(const ReloadOutcome&)>;
+
+  /// `system` must outlive the worker (it is the validation authority).
+  ReloadWorker(net::EventLoop& loop, const sys::CdnSystem& system);
+  /// Joins the worker thread; queued requests are abandoned (their `done`
+  /// callbacks never fire — only reached on daemon teardown).
+  ~ReloadWorker();
+
+  ReloadWorker(const ReloadWorker&) = delete;
+  ReloadWorker& operator=(const ReloadWorker&) = delete;
+
+  /// Enqueues a reload.  `done` fires exactly once on the loop thread
+  /// (unless the worker is destroyed first).
+  void submit(ReloadKind kind, std::string path, Done done);
+
+  /// Invokes pending completion callbacks.  Call from the loop's wakeup
+  /// handler.
+  void drain_completions();
+
+  std::uint64_t submitted() const noexcept { return submitted_; }
+
+ private:
+  struct Request {
+    ReloadKind kind;
+    std::string path;
+    Done done;
+  };
+  struct Completion {
+    ReloadOutcome outcome;
+    Done done;
+  };
+
+  void worker_main();
+  ReloadOutcome process(const Request& request) const;
+
+  net::EventLoop& loop_;
+  const sys::CdnSystem& system_;
+  std::uint64_t submitted_ = 0;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> requests_;
+  std::deque<Completion> completions_;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
+}  // namespace cdn::redirectd

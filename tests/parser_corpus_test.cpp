@@ -15,10 +15,13 @@
 #include <vector>
 
 #include "src/fault/fault_schedule.h"
+#include "src/placement/placement_io.h"
 #include "src/recover/checkpoint.h"
+#include "src/redirectd/control.h"
 #include "src/redirectd/protocol.h"
 #include "src/util/error.h"
 #include "src/workload/trace_io.h"
+#include "tests/test_support.h"
 
 namespace {
 
@@ -108,6 +111,47 @@ TEST(ParserCorpusTest, EndpointMapFilesAllRejected) {
   expect_all_rejected("rd_", 10, [](const std::string& p) {
     (void)redirectd::EndpointMap::load(p);
   });
+}
+
+TEST(ParserCorpusTest, ReloadPlacementFilesAllRejected) {
+  // Each rc_placement_ file is a hot-reload placement input (truncated,
+  // out-of-range indices, duplicates, wrong shape, empty) that must leave
+  // the daemon's previous generation serving — i.e. throw cleanly here.
+  const test::TestSystem t = test::TestSystem::make();
+  expect_all_rejected("rc_placement_", 6, [&](const std::string& p) {
+    (void)placement::load_placement_result(p, *t.system);
+  });
+}
+
+TEST(ParserCorpusTest, ReloadEndpointFilesAllRejected) {
+  const test::TestSystem t = test::TestSystem::make();
+  expect_all_rejected("rc_endpoints_", 1, [&](const std::string& p) {
+    redirectd::EndpointMap map = redirectd::EndpointMap::load(p);
+    map.validate(t.system->server_count(), t.system->site_count());
+  });
+}
+
+TEST(ParserCorpusTest, ControlCommandFilesAllRejected) {
+  expect_all_rejected("rc_control_", 5, [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::string line((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    (void)redirectd::parse_control_command(line);
+  });
+}
+
+TEST(ParserCorpusTest, PlacementErrorsCarryLineAndColumn) {
+  const test::TestSystem t = test::TestSystem::make();
+  try {
+    (void)placement::parse_placement_result("placement 4 8\nreplica 0 nope\n",
+                                            *t.system);
+    FAIL() << "bad site index accepted";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("col 11"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'nope'"), std::string::npos) << msg;
+  }
 }
 
 TEST(ParserCorpusTest, RedirectErrorsCarryLineAndColumn) {

@@ -1,0 +1,175 @@
+// Placement text (de)serialization — the durable form the redirector
+// daemon hot-reloads.  Covers canonical roundtrips, digest stability,
+// file I/O, and the validation wall: a file that disagrees with the
+// CdnSystem (shape, ranges, duplicates, capacity, emptiness) must throw
+// PreconditionError with a line/col diagnostic and never become state.
+
+#include "src/placement/placement_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/util/error.h"
+#include "test_support.h"
+
+namespace cdn::placement {
+namespace {
+
+std::filesystem::path temp_path(const char* tag) {
+  return std::filesystem::temp_directory_path() /
+         ("hybridcdn_pio_" + std::string(tag) + "_" +
+          std::to_string(::getpid()) + ".txt");
+}
+
+sys::ReplicaPlacement make_placement(const test::TestSystem& t) {
+  sys::ReplicaPlacement placement(t.system->server_storage(),
+                                  t.system->site_bytes());
+  placement.add(1, 0);
+  placement.add(2, 0);
+  placement.add(3, 5);
+  return placement;
+}
+
+TEST(PlacementIo, SerializeIsCanonicalAndRoundtrips) {
+  const test::TestSystem t = test::TestSystem::make();
+  const sys::ReplicaPlacement placement = make_placement(t);
+
+  const std::string text = serialize_placement(placement);
+  EXPECT_EQ(text,
+            "placement 4 8\n"
+            "replica 1 0\n"
+            "replica 2 0\n"
+            "replica 3 5\n");
+
+  const PlacementResult parsed = parse_placement_result(text, *t.system);
+  EXPECT_EQ(parsed.algorithm, "reloaded");
+  EXPECT_EQ(parsed.replicas_created, 3u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(parsed.placement.is_replicated(i, j),
+                placement.is_replicated(i, j))
+          << "(" << i << ", " << j << ")";
+    }
+  }
+  // The rebuilt nearest index is consistent: from server 0, site 0's
+  // nearest copy is the replica at server 1 (line distance 1).
+  const sys::NearestCopy& nearest = parsed.nearest.nearest(0, 0);
+  EXPECT_FALSE(nearest.at_primary);
+  EXPECT_EQ(nearest.server, 1u);
+  EXPECT_DOUBLE_EQ(nearest.cost, 1.0);
+}
+
+TEST(PlacementIo, DigestMatchesIffPlacementsMatch) {
+  const test::TestSystem t = test::TestSystem::make();
+  const sys::ReplicaPlacement a = make_placement(t);
+  sys::ReplicaPlacement b(t.system->server_storage(), t.system->site_bytes());
+  // Same replicas added in a different order: identical digest.
+  b.add(3, 5);
+  b.add(2, 0);
+  b.add(1, 0);
+  EXPECT_EQ(placement_digest(a), placement_digest(b));
+  // One replica moved: different digest.
+  b.remove(1, 0);
+  b.add(0, 0);
+  EXPECT_NE(placement_digest(a), placement_digest(b));
+}
+
+TEST(PlacementIo, CommentsBlankLinesAndOrderAreTolerated) {
+  const test::TestSystem t = test::TestSystem::make();
+  const PlacementResult parsed = parse_placement_result(
+      "# replan produced 2026-08-09\n"
+      "placement 4 8   # shape\n"
+      "\n"
+      "replica 2 0\n"
+      "replica 1 0  # out of canonical order on purpose\n",
+      *t.system);
+  EXPECT_EQ(parsed.replicas_created, 2u);
+  EXPECT_TRUE(parsed.placement.is_replicated(1, 0));
+  EXPECT_TRUE(parsed.placement.is_replicated(2, 0));
+}
+
+TEST(PlacementIo, SaveAndLoadRoundtripThroughAFile) {
+  const test::TestSystem t = test::TestSystem::make();
+  const sys::ReplicaPlacement placement = make_placement(t);
+  const auto path = temp_path("roundtrip");
+  save_placement(placement, path.string());
+
+  const PlacementResult loaded = load_placement_result(path.string(),
+                                                       *t.system, "from-disk");
+  EXPECT_EQ(loaded.algorithm, "from-disk");
+  EXPECT_EQ(placement_digest(loaded.placement), placement_digest(placement));
+  std::filesystem::remove(path);
+}
+
+TEST(PlacementIo, LoadOfMissingFileThrows) {
+  const test::TestSystem t = test::TestSystem::make();
+  EXPECT_THROW(
+      (void)load_placement_result("/nonexistent/plan.txt", *t.system),
+      PreconditionError);
+}
+
+TEST(PlacementIo, ShapeMismatchIsRejectedWithLocation) {
+  const test::TestSystem t = test::TestSystem::make();
+  try {
+    (void)parse_placement_result("placement 8 4\nreplica 1 0\n", *t.system);
+    FAIL() << "wrong shape accepted";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("8x4"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4x8"), std::string::npos) << msg;
+  }
+}
+
+TEST(PlacementIo, ReplicaBeforeHeaderIsRejected) {
+  const test::TestSystem t = test::TestSystem::make();
+  try {
+    (void)parse_placement_result("replica 1 0\nplacement 4 8\n", *t.system);
+    FAIL() << "headerless body accepted";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("header"), std::string::npos);
+  }
+}
+
+TEST(PlacementIo, DuplicateAndOutOfRangeReplicasAreRejected) {
+  const test::TestSystem t = test::TestSystem::make();
+  EXPECT_THROW((void)parse_placement_result(
+                   "placement 4 8\nreplica 1 0\nreplica 1 0\n", *t.system),
+               PreconditionError);
+  EXPECT_THROW((void)parse_placement_result("placement 4 8\nreplica 4 0\n",
+                                            *t.system),
+               PreconditionError);
+  EXPECT_THROW((void)parse_placement_result("placement 4 8\nreplica 0 8\n",
+                                            *t.system),
+               PreconditionError);
+}
+
+TEST(PlacementIo, EmptyPlacementIsRejected) {
+  const test::TestSystem t = test::TestSystem::make();
+  EXPECT_THROW((void)parse_placement_result("placement 4 8\n", *t.system),
+               PreconditionError);
+}
+
+TEST(PlacementIo, StorageBudgetIsEnforcedAtParseTime) {
+  // Default storage fraction (0.15 of total site bytes) cannot hold every
+  // site on one server; the overflowing replica line is the one named.
+  const test::TestSystem t = test::TestSystem::make();
+  std::string text = "placement 4 8\n";
+  for (int j = 0; j < 8; ++j) {
+    text += "replica 0 " + std::to_string(j) + "\n";
+  }
+  try {
+    (void)parse_placement_result(text, *t.system);
+    FAIL() << "over-capacity placement accepted";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("storage budget"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace cdn::placement

@@ -1,0 +1,196 @@
+// Unit tests for the adaptive-health layer: per-endpoint latency EWMAs,
+// fleet-median outlier ejection, and the kClosed → kEjected → kHalfOpen
+// circuit breaker.  All time is passed in explicitly, so every transition
+// is exercised deterministically — no sleeping, no sockets.
+
+#include "src/redirectd/ewma.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/obs/registry.h"
+#include "src/util/error.h"
+
+namespace cdn::redirectd {
+namespace {
+
+using namespace std::chrono_literals;
+using Kind = LatencyEwma::Kind;
+using Circuit = LatencyEwma::Circuit;
+
+constexpr std::uint64_t kFastNs = 1'000'000;    // 1 ms
+constexpr std::uint64_t kSlowNs = 100'000'000;  // 100 ms
+
+EwmaParams test_params() {
+  EwmaParams params;
+  params.alpha = 0.3;
+  params.eject_multiplier = 4.0;
+  params.min_samples = 3;
+  params.min_fleet = 3;
+  params.eject_cooldown = 1000ms;
+  return params;
+}
+
+/// Feeds `n` identical samples to one endpoint.
+void feed(LatencyEwma& ewma, Kind kind, std::uint32_t index,
+          std::uint64_t latency_ns, int n, net::TimePoint now) {
+  for (int i = 0; i < n; ++i) ewma.record(kind, index, latency_ns, now);
+}
+
+TEST(LatencyEwma, FirstSampleSeedsTheAverage) {
+  LatencyEwma ewma(4, 2, test_params(), nullptr);
+  const net::TimePoint t0 = net::Clock::now();
+  EXPECT_DOUBLE_EQ(ewma.ewma_ns(Kind::kReplica, 1), 0.0);
+  ewma.record(Kind::kReplica, 1, 100, t0);
+  EXPECT_DOUBLE_EQ(ewma.ewma_ns(Kind::kReplica, 1), 100.0);
+  // ewma' = 0.3 * 200 + 0.7 * 100 = 130.
+  ewma.record(Kind::kReplica, 1, 200, t0);
+  EXPECT_DOUBLE_EQ(ewma.ewma_ns(Kind::kReplica, 1), 130.0);
+}
+
+TEST(LatencyEwma, ReplicasAndOriginsAreIndependentSlots) {
+  LatencyEwma ewma(4, 2, test_params(), nullptr);
+  const net::TimePoint t0 = net::Clock::now();
+  ewma.record(Kind::kReplica, 1, 100, t0);
+  ewma.record(Kind::kOrigin, 1, 900, t0);
+  EXPECT_DOUBLE_EQ(ewma.ewma_ns(Kind::kReplica, 1), 100.0);
+  EXPECT_DOUBLE_EQ(ewma.ewma_ns(Kind::kOrigin, 1), 900.0);
+}
+
+TEST(LatencyEwma, OutOfRangeIndexThrows) {
+  LatencyEwma ewma(4, 2, test_params(), nullptr);
+  EXPECT_THROW(ewma.record(Kind::kReplica, 4, 100, net::Clock::now()),
+               PreconditionError);
+  EXPECT_THROW((void)ewma.ewma_ns(Kind::kOrigin, 2), PreconditionError);
+}
+
+TEST(LatencyEwma, NoEjectionBelowMinSamplesOrMinFleet) {
+  LatencyEwma ewma(4, 2, test_params(), nullptr);
+  const net::TimePoint t0 = net::Clock::now();
+  // Two fast endpoints + a slow one with only 2 samples: fleet is big
+  // enough but the endpoint is under min_samples.
+  feed(ewma, Kind::kReplica, 0, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 1, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 2, kSlowNs, 2, t0);
+  EXPECT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kClosed);
+  EXPECT_FALSE(ewma.demoted(Kind::kReplica, 2, t0));
+
+  // Fresh tracker: a slow endpoint in a fleet of two sampled endpoints
+  // never ejects — a median over two points is noise.
+  LatencyEwma small(4, 2, test_params(), nullptr);
+  feed(small, Kind::kReplica, 0, kFastNs, 5, t0);
+  feed(small, Kind::kReplica, 2, kSlowNs, 5, t0);
+  EXPECT_EQ(small.circuit(Kind::kReplica, 2), Circuit::kClosed);
+  EXPECT_EQ(small.ejections(), 0u);
+}
+
+TEST(LatencyEwma, OutlierIsEjectedAndDemoted) {
+  obs::Registry metrics;
+  LatencyEwma ewma(4, 2, test_params(), &metrics);
+  const net::TimePoint t0 = net::Clock::now();
+  feed(ewma, Kind::kReplica, 0, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 1, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 2, kSlowNs, 3, t0);
+
+  EXPECT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kEjected);
+  EXPECT_TRUE(ewma.demoted(Kind::kReplica, 2, t0));
+  EXPECT_FALSE(ewma.demoted(Kind::kReplica, 0, t0));
+  EXPECT_FALSE(ewma.demoted(Kind::kReplica, 1, t0));
+  EXPECT_EQ(ewma.ejections(), 1u);
+  EXPECT_DOUBLE_EQ(ewma.fleet_median_ns(), static_cast<double>(kFastNs));
+}
+
+TEST(LatencyEwma, CooldownExpiryHalfOpensViaDemotedQuery) {
+  LatencyEwma ewma(4, 2, test_params(), nullptr);
+  const net::TimePoint t0 = net::Clock::now();
+  feed(ewma, Kind::kReplica, 0, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 1, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 2, kSlowNs, 3, t0);
+  ASSERT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kEjected);
+
+  // Still inside the cooldown: demoted.
+  EXPECT_TRUE(ewma.demoted(Kind::kReplica, 2, t0 + 500ms));
+  // Cooldown expired: the ranking query itself half-opens the circuit.
+  EXPECT_FALSE(ewma.demoted(Kind::kReplica, 2, t0 + 1500ms));
+  EXPECT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kHalfOpen);
+}
+
+TEST(LatencyEwma, HalfOpenHealthySampleClosesTheCircuit) {
+  LatencyEwma ewma(4, 2, test_params(), nullptr);
+  const net::TimePoint t0 = net::Clock::now();
+  // A *mild* outlier: 5 ms against a 1 ms fleet median trips the 4×
+  // threshold, but one fast sample (0.3·1 + 0.7·5 = 3.8 ms) brings the
+  // EWMA back under it.
+  constexpr std::uint64_t kMildNs = 5'000'000;
+  feed(ewma, Kind::kReplica, 0, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 1, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 2, kMildNs, 3, t0);
+  ASSERT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kEjected);
+  ASSERT_FALSE(ewma.demoted(Kind::kReplica, 2, t0 + 1500ms));  // half-open
+
+  // The single healthy measurement closes the circuit and counts a
+  // recovery.
+  ewma.record(Kind::kReplica, 2, kFastNs, t0 + 1600ms);
+  EXPECT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kClosed);
+  EXPECT_FALSE(ewma.demoted(Kind::kReplica, 2, t0 + 1700ms));
+  EXPECT_EQ(ewma.recoveries(), 1u);
+}
+
+TEST(LatencyEwma, HalfOpenOutlierSampleReEjects) {
+  LatencyEwma ewma(4, 2, test_params(), nullptr);
+  const net::TimePoint t0 = net::Clock::now();
+  feed(ewma, Kind::kReplica, 0, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 1, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 2, kSlowNs, 3, t0);
+  ASSERT_FALSE(ewma.demoted(Kind::kReplica, 2, t0 + 1500ms));  // half-open
+
+  // Still slow: one more bad sample re-ejects for a fresh cooldown.
+  ewma.record(Kind::kReplica, 2, kSlowNs, t0 + 1600ms);
+  EXPECT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kEjected);
+  EXPECT_EQ(ewma.ejections(), 2u);
+  EXPECT_TRUE(ewma.demoted(Kind::kReplica, 2, t0 + 2000ms));
+}
+
+TEST(LatencyEwma, EjectedEndpointRecoversEarlyOnHealthySamples) {
+  LatencyEwma ewma(4, 2, test_params(), nullptr);
+  const net::TimePoint t0 = net::Clock::now();
+  feed(ewma, Kind::kReplica, 0, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 1, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 2, kSlowNs, 3, t0);
+  ASSERT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kEjected);
+
+  // The prober keeps measuring ejected endpoints; once the EWMA is no
+  // longer an outlier the circuit closes without waiting out the cooldown.
+  feed(ewma, Kind::kReplica, 2, kFastNs, 10, t0 + 100ms);
+  EXPECT_EQ(ewma.circuit(Kind::kReplica, 2), Circuit::kClosed);
+  EXPECT_GE(ewma.recoveries(), 1u);
+  EXPECT_FALSE(ewma.demoted(Kind::kReplica, 2, t0 + 200ms));
+}
+
+TEST(LatencyEwma, ParamsAreValidated) {
+  EwmaParams bad = test_params();
+  bad.alpha = 0.0;
+  EXPECT_THROW(LatencyEwma(4, 2, bad, nullptr), PreconditionError);
+  bad = test_params();
+  bad.eject_multiplier = 1.0;
+  EXPECT_THROW(LatencyEwma(4, 2, bad, nullptr), PreconditionError);
+  bad = test_params();
+  bad.min_fleet = 1;
+  EXPECT_THROW(LatencyEwma(4, 2, bad, nullptr), PreconditionError);
+}
+
+TEST(LatencyEwma, MetricsCountEjectionsAndRecoveries) {
+  obs::Registry metrics;
+  LatencyEwma ewma(4, 2, test_params(), &metrics);
+  const net::TimePoint t0 = net::Clock::now();
+  feed(ewma, Kind::kReplica, 0, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 1, kFastNs, 3, t0);
+  feed(ewma, Kind::kReplica, 2, kSlowNs, 3, t0);
+  feed(ewma, Kind::kReplica, 2, kFastNs, 10, t0 + 100ms);
+  EXPECT_EQ(metrics.counter("redirect/ewma/ejections").value(), 1u);
+  EXPECT_EQ(metrics.counter("redirect/ewma/recoveries").value(), 1u);
+}
+
+}  // namespace
+}  // namespace cdn::redirectd

@@ -33,6 +33,12 @@ struct WorkerResult {
   std::uint64_t unavailable = 0;
   std::uint64_t errors = 0;
   std::vector<std::uint64_t> latency_ns;
+  // Per-answer-type latencies: a degraded fleet answers ORIGIN/UNAVAILABLE
+  // on a different path (retry/backoff budget) than healthy REPLICA wins,
+  // and one pooled percentile hides that split.
+  std::vector<std::uint64_t> replica_ns;
+  std::vector<std::uint64_t> origin_ns;
+  std::vector<std::uint64_t> unavailable_ns;
   bool transport_failed = false;
 };
 
@@ -156,10 +162,11 @@ int main(int argc, char** argv) {
               return;
             }
             const auto t1 = std::chrono::steady_clock::now();
-            out.latency_ns.push_back(static_cast<std::uint64_t>(
+            const std::uint64_t latency = static_cast<std::uint64_t>(
                 std::chrono::duration_cast<std::chrono::nanoseconds>(t1 -
                                                                      t0)
-                    .count()));
+                    .count());
+            out.latency_ns.push_back(latency);
             if (line->rfind("ERR", 0) == 0) {
               ++out.errors;
               continue;
@@ -169,12 +176,15 @@ int main(int argc, char** argv) {
             switch (answer.kind) {
               case redirectd::AnswerKind::kReplica:
                 ++out.replica;
+                out.replica_ns.push_back(latency);
                 break;
               case redirectd::AnswerKind::kOrigin:
                 ++out.origin;
+                out.origin_ns.push_back(latency);
                 break;
               case redirectd::AnswerKind::kUnavailable:
                 ++out.unavailable;
+                out.unavailable_ns.push_back(latency);
                 break;
             }
           }
@@ -198,8 +208,18 @@ int main(int argc, char** argv) {
           total.transport_failed || r.transport_failed;
       total.latency_ns.insert(total.latency_ns.end(), r.latency_ns.begin(),
                               r.latency_ns.end());
+      total.replica_ns.insert(total.replica_ns.end(), r.replica_ns.begin(),
+                              r.replica_ns.end());
+      total.origin_ns.insert(total.origin_ns.end(), r.origin_ns.begin(),
+                             r.origin_ns.end());
+      total.unavailable_ns.insert(total.unavailable_ns.end(),
+                                  r.unavailable_ns.begin(),
+                                  r.unavailable_ns.end());
     }
     std::sort(total.latency_ns.begin(), total.latency_ns.end());
+    std::sort(total.replica_ns.begin(), total.replica_ns.end());
+    std::sort(total.origin_ns.begin(), total.origin_ns.end());
+    std::sort(total.unavailable_ns.begin(), total.unavailable_ns.end());
     const std::uint64_t answered = total.latency_ns.size();
     const double rate =
         elapsed > 0.0 ? static_cast<double>(answered) / elapsed : 0.0;
@@ -222,6 +242,18 @@ int main(int argc, char** argv) {
                 percentile_ms(total.latency_ns, 0.90));
     std::printf("latency_p99_ms %.3f\n",
                 percentile_ms(total.latency_ns, 0.99));
+    std::printf("replica_p50_ms %.3f\n",
+                percentile_ms(total.replica_ns, 0.50));
+    std::printf("replica_p99_ms %.3f\n",
+                percentile_ms(total.replica_ns, 0.99));
+    std::printf("origin_p50_ms %.3f\n",
+                percentile_ms(total.origin_ns, 0.50));
+    std::printf("origin_p99_ms %.3f\n",
+                percentile_ms(total.origin_ns, 0.99));
+    std::printf("unavailable_p50_ms %.3f\n",
+                percentile_ms(total.unavailable_ns, 0.50));
+    std::printf("unavailable_p99_ms %.3f\n",
+                percentile_ms(total.unavailable_ns, 0.99));
 
     if (total.transport_failed) {
       std::fprintf(stderr, "redirect_load: a connection failed mid-run\n");

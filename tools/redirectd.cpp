@@ -10,10 +10,15 @@
 //   redirectd --servers 8 --low 4 --medium 8 --high 4 --port 0
 //   redirectd --faults sched.txt --fault-rate 1000 --metrics-out m.json
 //   redirectd --endpoints endpoints.txt            # probe + race real sockets
+//   redirectd --control-port 0                     # + RELOAD/STATUS/DRAIN
+//   redirectd --placement plan.txt                 # serve a saved placement
+//   redirectd --dump-placement plan.txt            # save the computed one
 //
 // Prints exactly one line `LISTENING <port>` on stdout once the socket is
-// bound (tests and redirect_load wait for it), then serves until
-// SIGINT/SIGTERM, drains in-flight requests and exits 0.
+// bound (tests and redirect_load wait for it) — plus `CONTROL <port>` when
+// the control socket is enabled — then serves until SIGINT/SIGTERM, drains
+// in-flight requests and exits 0.  SIGHUP re-reads --placement and
+// --endpoints through the validate-then-swap reload pipeline.
 
 #include <atomic>
 #include <csignal>
@@ -25,6 +30,7 @@
 #include "src/obs/registry.h"
 #include "src/obs/run_manifest.h"
 #include "src/obs/span.h"
+#include "src/placement/placement_io.h"
 #include "src/redirectd/daemon.h"
 #include "src/util/cli.h"
 
@@ -36,6 +42,10 @@ redirectd::RedirectorDaemon* g_daemon = nullptr;
 
 extern "C" void handle_stop_signal(int) {
   if (g_daemon != nullptr) g_daemon->request_stop();
+}
+
+extern "C" void handle_reload_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_reload();
 }
 
 }  // namespace
@@ -71,6 +81,17 @@ int main(int argc, char** argv) {
   cli.add_flag("endpoints", "",
                "endpoint map file (replica/origin host:port lines); "
                "enables health probing and connection racing");
+  cli.add_flag("placement", "",
+               "serve a saved placement file instead of computing one "
+               "(also the file SIGHUP re-reads)");
+  cli.add_flag("dump-placement", "",
+               "write the serving placement to this file at startup");
+  cli.add_flag("control-port", "",
+               "enable the RELOAD/STATUS/DRAIN control socket on this "
+               "port (0 = ephemeral, printed as CONTROL <port>)");
+  cli.add_flag("control-host", "127.0.0.1", "control socket address");
+  cli.add_flag("no-adaptive", "false",
+               "disable EWMA latency tracking and outlier ejection");
   cli.add_flag("probe-interval-ms", "250", "health probe sweep interval");
   cli.add_flag("probe-timeout-ms", "100", "health probe timeout");
   cli.add_flag("faults", "", "fault schedule file (request-time units)");
@@ -112,7 +133,16 @@ int main(int argc, char** argv) {
     } else {
       CDN_EXPECT(false, "unknown mechanism: " + mechanism);
     }
-    placement::PlacementResult placement = spec.build(scenario.system());
+    const std::string placement_file = cli.get_string("placement");
+    placement::PlacementResult placement =
+        placement_file.empty()
+            ? spec.build(scenario.system())
+            : placement::load_placement_result(placement_file,
+                                               scenario.system());
+    const std::string dump_file = cli.get_string("dump-placement");
+    if (!dump_file.empty()) {
+      placement::save_placement(placement.placement, dump_file);
+    }
 
     std::optional<fault::WallClockTimeline> timeline;
     fault::FaultSchedule schedule;
@@ -156,6 +186,16 @@ int main(int argc, char** argv) {
     dc.drain_timeout =
         std::chrono::milliseconds(cli.get_int("drain-timeout-ms"));
     dc.seed = cfg.seed;
+    dc.adaptive = !cli.get_bool("no-adaptive");
+    const std::string control_port = cli.get_string("control-port");
+    if (!control_port.empty()) {
+      dc.control = true;
+      dc.control_host = cli.get_string("control-host");
+      dc.control_port =
+          static_cast<std::uint16_t>(std::stoul(control_port));
+    }
+    dc.reload_placement_path = placement_file;
+    dc.reload_endpoints_path = endpoints_file;
     dc.system = &scenario.system();
     dc.placement = &placement;
     dc.endpoints = endpoints.empty() ? nullptr : &endpoints;
@@ -168,9 +208,14 @@ int main(int argc, char** argv) {
     g_daemon = &daemon;
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGHUP, handle_reload_signal);
     std::signal(SIGPIPE, SIG_IGN);
 
     std::printf("LISTENING %u\n", static_cast<unsigned>(daemon.port()));
+    if (dc.control) {
+      std::printf("CONTROL %u\n",
+                  static_cast<unsigned>(daemon.control_port()));
+    }
     std::fflush(stdout);
 
     const std::uint64_t served = daemon.run();
